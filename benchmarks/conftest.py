@@ -1,0 +1,13 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index).  The regenerated rows/series are printed
+to stdout — run with ``pytest benchmarks/ --benchmark-only -s`` to see them —
+and the headline shape claims are asserted so the harness doubles as an
+end-to-end regression check.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

@@ -1,0 +1,37 @@
+"""A2 — sensitivity of the prediction to the communication characterisation.
+
+Perturbs the interpreter's machine abstraction (message latency and link
+bandwidth scaling) while the simulated machine stays fixed.  The prediction
+error should be smallest when the abstraction matches the machine (scale 1.0)
+and grow as the characterisation is degraded — the reason §4.4 derives the
+communication parameters from benchmarking runs instead of data sheets.
+"""
+
+from repro.workbench import run_comm_sensitivity
+
+
+def test_ablation_comm_sensitivity(benchmark):
+    report = benchmark.pedantic(
+        run_comm_sensitivity,
+        kwargs={"application": "laplace_block_block", "size": 128, "nprocs": 8},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(report.to_table())
+
+    errors = report.errors_by_label()
+    matched = errors["latency x1, bandwidth x1"]
+    print()
+    print(f"  matched characterisation error: {matched:.2f}%")
+
+    # the matched characterisation is accurate
+    assert matched < 6.0
+
+    # badly mis-characterised latency or bandwidth degrades the prediction
+    assert errors["latency x2, bandwidth x1"] > matched
+    assert errors["latency x0.5, bandwidth x1"] > matched
+    assert errors["latency x1, bandwidth x0.5"] > matched
+
+    # the worst mis-characterisation is clearly worse than the matched one
+    assert max(errors.values()) > matched * 1.5

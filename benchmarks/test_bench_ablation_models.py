@@ -1,0 +1,35 @@
+"""A1 — ablation of the interpreter's fidelity knobs (design-choice study).
+
+Disables the memory-hierarchy model and perturbs the mask model, then checks
+that the full model is at least as accurate (on average) as the ablated
+configurations — the quantitative justification for the modelling choices
+DESIGN.md calls out.
+"""
+
+from repro.workbench import run_model_ablation
+
+
+def test_ablation_interpreter_models(benchmark):
+    report = benchmark.pedantic(run_model_ablation, rounds=1, iterations=1)
+
+    print()
+    print(report.to_table())
+
+    errors = report.errors_by_label()
+    print()
+    for label, value in sorted(errors.items(), key=lambda kv: kv[1]):
+        print(f"  mean abs error {value:6.2f}%  {label}")
+
+    assert "full model" in errors
+    full = errors["full model"]
+
+    # the full model is reasonable in absolute terms
+    assert full < 10.0
+
+    # removing the memory model or assuming a flat 50% hit ratio should not
+    # beat the full model (it may tie on comm-bound applications)
+    assert errors["flat hit ratio 0.5"] >= full - 0.5
+    assert errors["no memory model"] >= full - 0.5
+
+    # a wrong mask assumption hurts the masked kernels
+    assert errors["mask assumed half true"] >= errors["mask assumed always true"] - 0.5

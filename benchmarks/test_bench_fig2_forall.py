@@ -1,0 +1,40 @@
+"""E3 — Figure 2: abstraction of the forall statement.
+
+Compiles the paper's example
+
+    forall (K = 2:N-1, V(K) .GT. 0)  X(K+1) = X(K) + X(K-1)
+
+and checks that Phase 1 produces the three-level structure (gather-in
+communication, local computation, no final write-back) and Phase 2 abstracts
+it as Seq -> Comm -> IterD containing a CondtD for the mask.
+"""
+
+from repro.workbench import run_forall_abstraction
+
+
+def test_fig2_forall_abstraction(benchmark):
+    result = benchmark.pedantic(run_forall_abstraction, rounds=1, iterations=1)
+
+    print()
+    print(result.describe())
+
+    # Phase 1: Seq / Comm / IterD structure, in that order
+    kinds = result.phase1_levels
+    assert any(level.startswith("Seq") for level in kinds)
+    assert any(level.startswith("Comm(gather-in)") for level in kinds)
+    assert any(level.startswith("IterD") for level in kinds)
+    gather_pos = next(i for i, k in enumerate(kinds) if k.startswith("Comm(gather-in)"))
+    iter_pos = next(i for i, k in enumerate(kinds) if k.startswith("IterD"))
+    assert gather_pos < iter_pos, "off-processor data is fetched before local computation"
+
+    # the stencil references X(K) and X(K-1) relative to the owner of X(K+1)
+    assert set(result.shift_offsets) == {-1, -2}
+
+    # the mask becomes a CondtD nested inside the IterD
+    assert result.has_mask_condition
+    assert "CondtD" in result.aau_types
+    assert "IterD" in result.aau_types
+
+    # "the final communication phase is not required as no off-processor data
+    #  needs to be written"
+    assert not result.needs_final_communication

@@ -1,0 +1,48 @@
+"""E4 — Figure 3: the Laplace solver's three candidate data distributions.
+
+Regenerates the ownership maps of the (BLOCK,BLOCK), (BLOCK,*) and (*,BLOCK)
+distributions of the template on 4 processors and checks their shapes.
+"""
+
+import numpy as np
+
+from repro.workbench import illustrate_distributions
+
+
+def test_fig3_laplace_distributions(benchmark):
+    illustrations = benchmark.pedantic(
+        illustrate_distributions, kwargs={"n": 8, "nprocs": 4}, rounds=1, iterations=1
+    )
+
+    print()
+    for illustration in illustrations:
+        print(illustration.render())
+        print()
+
+    by_variant = {ill.variant: ill for ill in illustrations}
+    assert set(by_variant) == {"block_block", "block_star", "star_block"}
+
+    bb = np.array(by_variant["block_block"].owner_map)
+    bs = np.array(by_variant["block_star"].owner_map)
+    sb = np.array(by_variant["star_block"].owner_map)
+
+    # every distribution uses all four processors and partitions all elements
+    for owners in (bb, bs, sb):
+        assert set(np.unique(owners)) == {0, 1, 2, 3}
+        counts = np.bincount(owners.ravel(), minlength=4)
+        assert counts.max() == counts.min(), "BLOCK distributions are balanced"
+
+    # (BLOCK,BLOCK): 2x2 quadrants — constant within each quadrant
+    assert bb[0, 0] != bb[0, -1] and bb[0, 0] != bb[-1, 0]
+    assert np.unique(bb[:4, :4]).size == 1
+
+    # (BLOCK,*): whole rows per processor — constant along each row
+    assert all(np.unique(bs[i, :]).size == 1 for i in range(bs.shape[0]))
+
+    # (*,BLOCK): whole columns per processor — constant along each column
+    assert all(np.unique(sb[:, j]).size == 1 for j in range(sb.shape[1]))
+
+    # grid shapes match the paper's Figure 3 arrangement
+    assert by_variant["block_block"].grid_shape == (2, 2)
+    assert by_variant["block_star"].grid_shape == (4,)
+    assert by_variant["star_block"].grid_shape == (4,)

@@ -1,0 +1,50 @@
+"""E6 — Figures 6 & 7: application performance debugging on the Finance model.
+
+Regenerates the per-phase computation / communication / overhead profile of
+the parallel stock-option pricing application (Procs = 4, Size = 256) and
+asserts the structural claims of §5.2.2: Phase 1 (lattice creation) contains
+the application's communication; Phase 2 (call-price computation) requires
+none.
+"""
+
+from repro.workbench import run_debugging_study
+
+
+def test_fig6_7_finance_phase_profile(benchmark):
+    study = benchmark.pedantic(
+        run_debugging_study, kwargs={"size": 256, "nprocs": 4}, rounds=1, iterations=1
+    )
+
+    print()
+    print(study.to_table())
+    print()
+    print(study.to_chart())
+
+    labels = [p.label for p in study.phases]
+    assert labels == ["Phase 1", "Phase 2"]
+
+    phase1 = study.phase("Phase 1")
+    phase2 = study.phase("Phase 2")
+
+    # Figure 6: Phase 1 creates the lattice with shift communication
+    assert phase1.estimated.communication > 0.0
+    assert phase1.measured.communication > 0.0
+
+    # "Phase 2, which requires no communication, computes the call prices"
+    assert phase2.estimated.communication == 0.0
+    assert phase2.measured.communication == 0.0
+    assert "Phase 2" in study.communication_free_phases()
+
+    # Phase 1 dominates the application's execution time (it iterates the lattice)
+    assert study.dominant_phase() == "Phase 1"
+    assert phase1.estimated.total > phase2.estimated.total
+
+    # both phases do real computation
+    assert phase1.estimated.computation > 0.0
+    assert phase2.estimated.computation > 0.0
+
+    # estimated and measured per-phase breakdowns agree reasonably well
+    for phase in study.phases:
+        if phase.measured.total > 0:
+            error = abs(phase.estimated.total - phase.measured.total) / phase.measured.total
+            assert error < 0.15, f"{phase.label}: {error:.2%}"

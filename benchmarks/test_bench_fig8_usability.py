@@ -1,0 +1,41 @@
+"""E7 — Figure 8: experimentation time, interpreter vs iPSC/860.
+
+Regenerates the workflow-cost comparison for evaluating the three Laplace
+implementations: interpretation on a workstation versus
+edit/cross-compile/transfer/load/run on the shared iPSC/860.  The paper
+reports ≈10 minutes per implementation for the interpreter against ≈27-60
+minutes for measurement; the assertions check that relationship (interpreter
+several times cheaper, measurement path dominated by its fixed workflow
+steps).
+"""
+
+from repro.workbench import run_usability_study
+
+
+def test_fig8_experimentation_time(benchmark):
+    study = benchmark.pedantic(
+        run_usability_study,
+        kwargs={"sizes": (64, 128, 256), "nprocs": 4, "runs_per_configuration": 3},
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(study.to_table())
+    print()
+    print(study.to_chart())
+
+    assert len(study.entries) == 3
+
+    # the interpreter workflow is cheaper for every implementation
+    assert study.interpreter_always_cheaper()
+
+    for entry in study.entries:
+        # paper: interpretation took ~10 minutes per implementation
+        assert 2.0 < entry.interpreter_minutes < 20.0
+        # paper: measurement took >= ~27 minutes per implementation
+        assert entry.measurement_minutes > 20.0
+        # the advantage is a healthy multiple
+        assert entry.speedup > 2.0
+
+    # the slowest measured path is close to an hour, the fastest near half an hour
+    assert study.max_measurement_minutes() >= study.min_measurement_minutes() >= 20.0

@@ -1,0 +1,46 @@
+"""E1 — Table 1: the validation application set.
+
+Benchmarks Phase-1 compilation of the entire NPAC suite and regenerates the
+Table 1 listing (name + description) plus the compiled SPMD node inventory.
+"""
+
+from repro.output.report import render_table
+from repro.suite import all_entries
+
+
+def _compile_whole_suite(nprocs: int = 4):
+    compiled = {}
+    for key, entry in all_entries().items():
+        compiled[key] = entry.compile(entry.sizes[0], nprocs=nprocs)
+    return compiled
+
+
+def test_table1_suite_compilation(benchmark):
+    compiled = benchmark.pedantic(_compile_whole_suite, rounds=1, iterations=1)
+
+    entries = all_entries()
+    assert len(entries) == 16, "Table 1 lists 16 validation applications"
+
+    rows = []
+    for key, entry in entries.items():
+        program = compiled[key]
+        counts = program.spmd.count_nodes()
+        rows.append([entry.name, entry.category, entry.description[:50],
+                     counts.get("LocalLoopNest", 0), counts.get("CommPhase", 0)])
+    print()
+    print(render_table(["Name", "Set", "Description", "loop nests", "comm phases"],
+                       rows, title="Table 1: Validation Application Set"))
+
+    # every application must produce a non-trivial SPMD program
+    for key, program in compiled.items():
+        assert program.spmd.nodes, f"{key}: empty node program"
+        assert program.nprocs == 4
+    # the data-parallel applications must contain at least one parallel loop nest
+    assert all(
+        compiled[key].spmd.count_nodes().get("LocalLoopNest", 0) >= 1
+        for key in entries
+    )
+    # stencil/lattice codes must have detected communication
+    for key in ("lfk1", "finance", "laplace_block_block"):
+        counts = compiled[key].spmd.count_nodes()
+        assert counts.get("CommPhase", 0) + counts.get("ShiftNode", 0) >= 1, key

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Application performance debugging (the §5.2.2 / Figures 6-7 study).
+
+The parallel stock-option pricing model is interpreted, its two application
+phases are profiled (Phase 1 builds the distributed price lattice with shift
+communication, Phase 2 computes call prices with no communication), the
+hottest source lines are listed, and a ParaGraph-style interpretation trace is
+produced — all without "running" the application on the target machine.
+
+Run with:  python examples/performance_debugging.py
+"""
+
+from repro import QueryInterface, generate_trace, interpret, ipsc860, simulate
+from repro.output import line_profile, render_profile
+from repro.suite import get_entry
+from repro.workbench import run_debugging_study
+
+
+def main() -> None:
+    size, nprocs = 256, 4
+    entry = get_entry("finance")
+    compiled = entry.compile(size, nprocs)
+    machine = ipsc860(nprocs)
+
+    print("=== Figure 6/7: per-phase interpreted performance profile ===")
+    study = run_debugging_study(size=size, nprocs=nprocs)
+    print(study.to_table())
+    print()
+    print(study.to_chart())
+    print()
+    print(f"bottleneck phase        : {study.dominant_phase()}")
+    print(f"communication-free phase: {study.communication_free_phases()}")
+    print()
+
+    print("=== Per-line queries (output parse, second output form) ===")
+    estimate = interpret(compiled, machine, options=entry.interpreter_options(size))
+    simulation = simulate(compiled, machine)
+    queries = QueryInterface(estimate, simulation)
+    for line_result in queries.hottest_lines(5):
+        print(line_result.describe())
+    print()
+    print("communication table:")
+    for row in queries.communication_operations()[:8]:
+        print("  " + row)
+    print()
+    print(queries.critical_variables())
+    print()
+    print(f"dominant cost component: {queries.bottleneck_type()}")
+    print()
+
+    print("=== Full per-line profile ===")
+    print(render_profile(line_profile(estimate), top=10))
+    print()
+
+    print("=== ParaGraph-style interpretation trace (third output form) ===")
+    trace = generate_trace(estimate)
+    print(f"{len(trace.events)} trace events over {trace.nprocs} processors")
+    print(trace.timeline(width=60))
+    print()
+    print("first trace records:")
+    for event in trace.sorted_events()[:6]:
+        print("  " + event.to_record())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table is the canonical metadata; this file exists
+so that editable installs work in offline environments whose setuptools lacks
+the PEP 660 wheel hook.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,192 @@
+"""repro — a reproduction of "Interpreting the Performance of HPF/Fortran 90D".
+
+The package implements, from scratch, the source-driven interpretive
+performance-prediction framework of Parashar, Hariri, Haupt and Fox
+(Supercomputing '94) together with every substrate it needs:
+
+* an HPF/Fortran 90D frontend and Phase-1 compiler (parse → normalise →
+  partition → sequentialise → communication detection → loosely-synchronous
+  SPMD node program),
+* the Systems Module (SAG/SAU machine characterisation, with the iPSC/860
+  abstraction of §4.4),
+* the Application Module (AAU / AAG / SAAG, communication table, critical
+  variables, machine-specific filter),
+* the Interpretation Engine (per-AAU interpretation functions + the recursive
+  interpretation algorithm) and the Output Module (profiles, per-line queries,
+  ParaGraph-style traces),
+* a functional interpreter (correctness oracle) and an iPSC/860 execution
+  simulator (hypercube network + dynamic node cost model) that stands in for
+  the real machine as the source of "measured" times,
+* the NPAC benchmark suite of Table 1 and a workbench regenerating every table
+  and figure of the paper's evaluation.
+
+Quick start
+-----------
+
+>>> from repro import compile_source, ipsc860, interpret, simulate
+>>> compiled = compile_source(SOURCE, nprocs=4)
+>>> machine = ipsc860(4)
+>>> estimate = interpret(compiled, machine)       # Phase 2: interpretation parse
+>>> measured = simulate(compiled, machine)        # "run it on the iPSC/860"
+>>> estimate.predicted_time_s, measured.measured_time_s
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# frontend / compiler -----------------------------------------------------------
+from .compiler import (
+    CompiledProgram,
+    CompileOptions,
+    OptimizationOptions,
+    compile_program,
+    compile_source,
+)
+from .frontend import SourceFile, SymbolTable, parse_expression, parse_source
+from .frontend.errors import (
+    CompilerError,
+    EvaluationError,
+    FrontendError,
+    InterpretationError,
+    ParserError,
+    ReproError,
+    SimulationError,
+)
+
+# distribution algebra ------------------------------------------------------------
+from .distribution import (
+    ArrayDistribution,
+    DimDistribution,
+    ProcessorGrid,
+    Template,
+)
+
+# systems module --------------------------------------------------------------------
+from .system import SAG, SAU, Machine, ipsc860
+
+# application module -------------------------------------------------------------------
+from .appmodel import AAG, AAU, AAUType, SAAG, build_aag, build_saag
+
+# interpretation engine ------------------------------------------------------------------
+from .interpreter import (
+    InterpretationResult,
+    InterpreterOptions,
+    Metrics,
+    PerformanceInterpreter,
+    interpret,
+)
+
+# functional interpreter and simulator ------------------------------------------------------
+from .functional import FunctionalEvaluator, evaluate_program
+from .simulator import SimulationResult, SimulatorOptions, simulate, simulate_repeated
+
+# output module -----------------------------------------------------------------------------
+from .output import (
+    QueryInterface,
+    generate_trace,
+    line_profile,
+    phase_profile,
+    program_profile,
+    render_profile,
+)
+
+# benchmark suite ---------------------------------------------------------------------------
+from .suite import all_entries, compile_entry, get_entry
+
+
+def predict(
+    source: str,
+    *,
+    nprocs: int = 4,
+    grid_shape: tuple[int, ...] | None = None,
+    params: dict[str, float] | None = None,
+    machine: Machine | None = None,
+    options: InterpreterOptions | None = None,
+) -> InterpretationResult:
+    """One-call convenience: compile HPF source and interpret its performance."""
+    compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
+    target = machine or ipsc860(nprocs)
+    return interpret(compiled, target, options=options)
+
+
+def measure(
+    source: str,
+    *,
+    nprocs: int = 4,
+    grid_shape: tuple[int, ...] | None = None,
+    params: dict[str, float] | None = None,
+    machine: Machine | None = None,
+    options: SimulatorOptions | None = None,
+) -> SimulationResult:
+    """One-call convenience: compile HPF source and run it in the simulator."""
+    compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
+    target = machine or ipsc860(nprocs)
+    return simulate(compiled, target, options=options)
+
+
+__all__ = [
+    "__version__",
+    # compiler / frontend
+    "CompiledProgram",
+    "CompileOptions",
+    "OptimizationOptions",
+    "compile_program",
+    "compile_source",
+    "SourceFile",
+    "SymbolTable",
+    "parse_expression",
+    "parse_source",
+    # errors
+    "CompilerError",
+    "EvaluationError",
+    "FrontendError",
+    "InterpretationError",
+    "ParserError",
+    "ReproError",
+    "SimulationError",
+    # distribution
+    "ArrayDistribution",
+    "DimDistribution",
+    "ProcessorGrid",
+    "Template",
+    # system
+    "SAG",
+    "SAU",
+    "Machine",
+    "ipsc860",
+    # appmodel
+    "AAG",
+    "AAU",
+    "AAUType",
+    "SAAG",
+    "build_aag",
+    "build_saag",
+    # interpreter
+    "InterpretationResult",
+    "InterpreterOptions",
+    "Metrics",
+    "PerformanceInterpreter",
+    "interpret",
+    # functional / simulator
+    "FunctionalEvaluator",
+    "evaluate_program",
+    "SimulationResult",
+    "SimulatorOptions",
+    "simulate",
+    "simulate_repeated",
+    # output
+    "QueryInterface",
+    "generate_trace",
+    "line_profile",
+    "phase_profile",
+    "program_profile",
+    "render_profile",
+    # suite
+    "all_entries",
+    "compile_entry",
+    "get_entry",
+    # convenience
+    "predict",
+    "measure",
+]

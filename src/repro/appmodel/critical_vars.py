@@ -1,0 +1,179 @@
+"""Critical variable identification and resolution (§4.2).
+
+*"The abstraction parse also identifies all critical variables in the
+application description; a critical variable being defined as a variable whose
+value effects the flow of execution, e.g. a loop limit.  The critical
+variables are then resolved either by tracing their definition paths or by
+allowing the user to explicitly specify their values."*
+
+We implement both resolution mechanisms:
+
+* **tracing** — walk the declaration section (PARAMETER constants) and simple
+  scalar assignments whose right-hand sides are constant expressions;
+* **user specification** — the ``overrides`` mapping passed to the
+  interpretation engine (this is how problem sizes are swept in the
+  experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..frontend import ast_nodes as ast
+from ..frontend.symbols import SymbolTable, try_eval_const
+
+
+@dataclass
+class CriticalVariable:
+    """One variable whose value affects control flow."""
+
+    name: str
+    roles: list[str] = field(default_factory=list)   # 'loop limit', 'forall bound', ...
+    lines: list[int] = field(default_factory=list)
+    value: Optional[float] = None
+    resolution: str = "unresolved"  # 'parameter' | 'traced' | 'user' | 'unresolved'
+
+    def describe(self) -> str:
+        value = f"= {self.value:g}" if self.value is not None else "(unresolved)"
+        roles = ", ".join(sorted(set(self.roles)))
+        return f"{self.name} {value} [{roles}] via {self.resolution}"
+
+
+@dataclass
+class CriticalVariableReport:
+    """All critical variables of a program and how each was resolved."""
+
+    variables: dict[str, CriticalVariable] = field(default_factory=dict)
+
+    def add_role(self, name: str, role: str, line: int) -> CriticalVariable:
+        key = name.lower()
+        var = self.variables.setdefault(key, CriticalVariable(name=key))
+        var.roles.append(role)
+        var.lines.append(line)
+        return var
+
+    def unresolved(self) -> list[CriticalVariable]:
+        return [v for v in self.variables.values() if v.value is None]
+
+    def resolved_env(self) -> dict[str, float]:
+        return {name: v.value for name, v in self.variables.items() if v.value is not None}
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.variables
+
+    def get(self, name: str) -> Optional[CriticalVariable]:
+        return self.variables.get(name.lower())
+
+    def describe(self) -> str:
+        if not self.variables:
+            return "no critical variables"
+        lines = [f"critical variables ({len(self.variables)}):"]
+        lines.extend("  " + v.describe() for v in sorted(self.variables.values(),
+                                                         key=lambda v: v.name))
+        return "\n".join(lines)
+
+
+def _collect_expr_names(expr: ast.Expr | None, report: CriticalVariableReport,
+                        role: str, line: int) -> None:
+    if expr is None:
+        return
+    for name in ast.expr_variables(expr):
+        report.add_role(name, role, line)
+
+
+def identify_critical_variables(program: ast.Program) -> CriticalVariableReport:
+    """Scan a program (original or normalised) for control-flow-critical variables."""
+    report = CriticalVariableReport()
+
+    def visit(stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.DoLoop):
+                _collect_expr_names(stmt.start, report, "loop limit", stmt.line)
+                _collect_expr_names(stmt.end, report, "loop limit", stmt.line)
+                _collect_expr_names(stmt.step, report, "loop step", stmt.line)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.DoWhile):
+                _collect_expr_names(stmt.cond, report, "while condition", stmt.line)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.ForallStmt):
+                for trip in stmt.triplets:
+                    _collect_expr_names(trip.lo, report, "forall bound", stmt.line)
+                    _collect_expr_names(trip.hi, report, "forall bound", stmt.line)
+                    _collect_expr_names(trip.step, report, "forall stride", stmt.line)
+                _collect_expr_names(stmt.mask, report, "forall mask", stmt.line)
+            elif isinstance(stmt, ast.WhereStmt):
+                _collect_expr_names(stmt.mask, report, "where mask", stmt.line)
+            elif isinstance(stmt, ast.IfBlock):
+                for cond, body in stmt.branches:
+                    _collect_expr_names(cond, report, "branch condition", stmt.line)
+                    visit(body)
+                visit(stmt.else_body)
+
+    visit(program.body)
+    return report
+
+
+def _trace_simple_definitions(program: ast.Program, env: Mapping[str, float]) -> dict[str, float]:
+    """Trace straight-line scalar assignments with constant right-hand sides.
+
+    Walks the executable body in order; later reassignments overwrite earlier
+    ones (the last statically-known value is what a loop bound most likely
+    sees, matching the paper's "tracing their definition paths" behaviour for
+    simple programs).
+    """
+    traced: dict[str, float] = dict(env)
+
+    def visit(stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assignment) and isinstance(stmt.target, ast.Var):
+                value = try_eval_const(stmt.value, traced)
+                if value is not None:
+                    traced[stmt.target.name.lower()] = value
+            elif isinstance(stmt, ast.IfBlock):
+                for _, body in stmt.branches:
+                    visit(body)
+                visit(stmt.else_body)
+            # Do not descend into loops: loop-carried updates are not static.
+
+    visit(program.body)
+    return traced
+
+
+def resolve_critical_variables(
+    program: ast.Program,
+    symtable: SymbolTable,
+    overrides: Mapping[str, float] | None = None,
+    base_env: Mapping[str, float] | None = None,
+) -> CriticalVariableReport:
+    """Identify and resolve the program's critical variables.
+
+    Resolution order (highest priority first): explicit user ``overrides``,
+    PARAMETER constants / compile-time environment, traced simple definitions.
+    """
+    report = identify_critical_variables(program)
+    param_env = dict(base_env) if base_env else symtable.parameter_env()
+    traced_env = _trace_simple_definitions(program, param_env)
+    overrides = {k.lower(): float(v) for k, v in (overrides or {}).items()}
+
+    for name, var in report.variables.items():
+        if name in overrides:
+            var.value = overrides[name]
+            var.resolution = "user"
+        elif name in param_env:
+            var.value = float(param_env[name])
+            var.resolution = "parameter"
+        elif name in traced_env:
+            var.value = float(traced_env[name])
+            var.resolution = "traced"
+        else:
+            sym = symtable.get(name)
+            if sym is not None and sym.init is not None:
+                value = try_eval_const(sym.init, param_env)
+                if value is not None:
+                    var.value = value
+                    var.resolution = "traced"
+    return report

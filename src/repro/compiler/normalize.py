@@ -1,0 +1,424 @@
+"""Normalisation pass: array assignments and WHERE statements become FORALLs.
+
+This is the first transformation of Phase 1 (§4.1 step 1): *"Array assignment
+statement and where statement are transformed into equivalent forall
+statements with no loss of information"*.  In addition, HPF parallel-intrinsic
+calls that imply communication are hoisted out of expressions into their own
+statements so later passes can pattern-match them directly:
+
+* ``cshift`` / ``eoshift`` / ``tshift`` calls on whole arrays become
+  ``<temp array> = cshift(...)`` statements (later compiled to
+  :class:`~repro.compiler.spmd.ShiftNode`),
+* reduction intrinsics (``sum``, ``product``, ``maxval``, ``minval``,
+  ``maxloc``, ``minloc``, ``count``, ``dot_product``) over array arguments
+  become ``<temp scalar> = sum(...)`` statements (later compiled to
+  :class:`~repro.compiler.spmd.ReductionNode`).
+
+The pass is purely syntactic: it consults the symbol table only to learn array
+ranks and declared bounds.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..frontend import ast_nodes as ast
+from ..frontend.errors import CompilerError
+from ..frontend.intrinsics import intrinsic_class, IntrinsicClass, is_intrinsic
+from ..frontend.symbols import ArraySpec, Symbol, SymbolTable
+
+_REDUCTION_NAMES = {
+    "sum", "product", "maxval", "minval", "count", "any", "all",
+    "maxloc", "minloc", "dot_product",
+}
+_SHIFT_NAMES = {"cshift", "eoshift", "tshift"}
+
+
+@dataclass
+class NormalizeResult:
+    """Output of the normalisation pass."""
+
+    program: ast.Program
+    temp_array_aliases: dict[str, str] = field(default_factory=dict)  # temp -> source array
+    temp_scalars: list[str] = field(default_factory=list)
+
+
+class _Normalizer:
+    def __init__(self, symtable: SymbolTable):
+        self.symtable = symtable
+        self.temp_array_aliases: dict[str, str] = {}
+        self.temp_scalars: list[str] = []
+        self._index_counter = 0
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # fresh names
+    # ------------------------------------------------------------------
+
+    def _fresh_index(self) -> str:
+        self._index_counter += 1
+        return f"nrm_i{self._index_counter}"
+
+    def _fresh_temp(self) -> str:
+        self._temp_counter += 1
+        return f"nrm_t{self._temp_counter}"
+
+    # ------------------------------------------------------------------
+    # statement list processing
+    # ------------------------------------------------------------------
+
+    def normalize_body(self, stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+        out: list[ast.Stmt] = []
+        for stmt in stmts:
+            out.extend(self.normalize_stmt(stmt))
+        return out
+
+    def normalize_stmt(self, stmt: ast.Stmt) -> list[ast.Stmt]:
+        if isinstance(stmt, ast.Assignment):
+            return self._normalize_assignment(stmt)
+        if isinstance(stmt, ast.WhereStmt):
+            return self._normalize_where(stmt)
+        if isinstance(stmt, ast.ForallStmt):
+            pre, new_body = self._extract_calls_from_assignments(stmt.body)
+            new_stmt = ast.ForallStmt(
+                line=stmt.line, triplets=stmt.triplets, mask=stmt.mask, body=new_body
+            )
+            return pre + [new_stmt]
+        if isinstance(stmt, ast.DoLoop):
+            new = ast.DoLoop(line=stmt.line, var=stmt.var, start=stmt.start,
+                             end=stmt.end, step=stmt.step,
+                             body=self.normalize_body(stmt.body))
+            return [new]
+        if isinstance(stmt, ast.DoWhile):
+            new = ast.DoWhile(line=stmt.line, cond=stmt.cond,
+                              body=self.normalize_body(stmt.body))
+            return [new]
+        if isinstance(stmt, ast.IfBlock):
+            new = ast.IfBlock(
+                line=stmt.line,
+                branches=[(cond, self.normalize_body(body)) for cond, body in stmt.branches],
+                else_body=self.normalize_body(stmt.else_body),
+            )
+            return [new]
+        return [stmt]
+
+    # ------------------------------------------------------------------
+    # hoisting of shift / reduction intrinsic calls
+    # ------------------------------------------------------------------
+
+    def _extract_calls_from_assignments(
+        self, body: list[ast.Assignment]
+    ) -> tuple[list[ast.Stmt], list[ast.Assignment]]:
+        pre: list[ast.Stmt] = []
+        new_body: list[ast.Assignment] = []
+        for assign in body:
+            hoisted, value = self._hoist_special_calls(assign.value, assign.line)
+            pre.extend(hoisted)
+            new_body.append(ast.Assignment(line=assign.line, target=assign.target, value=value))
+        return pre, new_body
+
+    def _hoist_special_calls(
+        self, expr: ast.Expr, line: int, *, top_level: bool = False
+    ) -> tuple[list[ast.Stmt], ast.Expr]:
+        """Hoist shift/reduction calls out of *expr*, returning (new stmts, rewritten expr)."""
+        pre: list[ast.Stmt] = []
+
+        def rewrite(node: ast.Expr, is_top: bool) -> ast.Expr:
+            if isinstance(node, ast.FuncCall):
+                name = node.name.lower()
+                if name in _SHIFT_NAMES:
+                    if is_top:
+                        # kept in place: the caller (assignment) becomes a ShiftNode
+                        return ast.FuncCall(line=node.line, name=name,
+                                            args=[rewrite(a, False) for a in node.args])
+                    temp = self._make_temp_array_like(node, line)
+                    pre.append(ast.Assignment(
+                        line=line,
+                        target=ast.Var(line=line, name=temp),
+                        value=ast.FuncCall(line=node.line, name=name, args=list(node.args)),
+                    ))
+                    return ast.Var(line=node.line, name=temp)
+                if name in _REDUCTION_NAMES and self._has_array_argument(node):
+                    if is_top:
+                        return ast.FuncCall(line=node.line, name=name,
+                                            args=[rewrite(a, False) for a in node.args])
+                    temp = self._make_temp_scalar(line)
+                    pre.append(ast.Assignment(
+                        line=line,
+                        target=ast.Var(line=line, name=temp),
+                        value=ast.FuncCall(line=node.line, name=name, args=list(node.args)),
+                    ))
+                    return ast.Var(line=node.line, name=temp)
+                return ast.FuncCall(line=node.line, name=node.name,
+                                    args=[rewrite(a, False) for a in node.args])
+            if isinstance(node, ast.BinOp):
+                return ast.BinOp(line=node.line, op=node.op,
+                                 left=rewrite(node.left, False), right=rewrite(node.right, False))
+            if isinstance(node, ast.UnaryOp):
+                return ast.UnaryOp(line=node.line, op=node.op, operand=rewrite(node.operand, False))
+            if isinstance(node, ast.Compare):
+                return ast.Compare(line=node.line, op=node.op,
+                                   left=rewrite(node.left, False), right=rewrite(node.right, False))
+            if isinstance(node, ast.Logical):
+                return ast.Logical(line=node.line, op=node.op,
+                                   left=rewrite(node.left, False), right=rewrite(node.right, False))
+            return node
+
+        new_expr = rewrite(expr, top_level)
+        return pre, new_expr
+
+    def _has_array_argument(self, call: ast.FuncCall) -> bool:
+        for arg in call.args:
+            for node in ast.walk_expr(arg):
+                if isinstance(node, ast.Var):
+                    sym = self.symtable.get(node.name)
+                    if sym is not None and sym.is_array:
+                        return True
+                if isinstance(node, ast.ArrayRef) and node.has_section:
+                    return True
+                if isinstance(node, ast.ArrayRef):
+                    sym = self.symtable.get(node.name)
+                    if sym is not None and sym.is_array:
+                        return True
+        return False
+
+    def _make_temp_array_like(self, call: ast.FuncCall, line: int) -> str:
+        source = self._first_array_name(call)
+        if source is None:
+            raise CompilerError("cshift/eoshift argument must be an array", line)
+        temp = self._fresh_temp()
+        src_sym = self.symtable.lookup(source)
+        self.symtable.add(Symbol(
+            name=temp,
+            type_name=src_sym.type_name,
+            is_array=True,
+            array_spec=ArraySpec(list(src_sym.array_spec.dims)) if src_sym.array_spec else None,
+            line=line,
+        ))
+        self.temp_array_aliases[temp] = source.lower()
+        return temp
+
+    def _make_temp_scalar(self, line: int) -> str:
+        temp = self._fresh_temp()
+        self.symtable.add(Symbol(name=temp, type_name="real", line=line))
+        self.temp_scalars.append(temp)
+        return temp
+
+    def _first_array_name(self, call: ast.FuncCall) -> str | None:
+        for node in ast.walk_expr(call.args[0] if call.args else None):
+            if isinstance(node, (ast.Var, ast.ArrayRef)):
+                sym = self.symtable.get(node.name)
+                if sym is not None and sym.is_array:
+                    return node.name
+        return None
+
+    # ------------------------------------------------------------------
+    # array assignment -> forall
+    # ------------------------------------------------------------------
+
+    def _normalize_assignment(self, stmt: ast.Assignment) -> list[ast.Stmt]:
+        # Hoist nested special calls first.
+        pre, value = self._hoist_special_calls(stmt.value, stmt.line, top_level=True)
+        stmt = ast.Assignment(line=stmt.line, target=stmt.target, value=value)
+
+        # Pure shift / reduction statements stay as plain assignments — the
+        # sequentialiser pattern-matches them.
+        if isinstance(value, ast.FuncCall):
+            name = value.name.lower()
+            if name in _SHIFT_NAMES or (name in _REDUCTION_NAMES and self._has_array_argument(value)):
+                return pre + [stmt]
+
+        target = stmt.target
+        target_ref = self._as_array_ref(target)
+        if target_ref is None:
+            return pre + [stmt]  # scalar assignment
+
+        sections = [
+            (axis, ix) for axis, ix in enumerate(target_ref.indices) if isinstance(ix, ast.Section)
+        ]
+        if not sections:
+            return pre + [stmt]  # element assignment (scalar subscripts)
+
+        forall = self._sections_to_forall(target_ref, sections, stmt.value, None, stmt.line)
+        return pre + [forall]
+
+    def _normalize_where(self, stmt: ast.WhereStmt) -> list[ast.Stmt]:
+        out: list[ast.Stmt] = []
+        for assign in stmt.body:
+            out.extend(self._where_assignment(assign, stmt.mask, stmt.line))
+        for assign in stmt.elsewhere:
+            negated = ast.UnaryOp(line=stmt.line, op=".not.", operand=copy.deepcopy(stmt.mask))
+            out.extend(self._where_assignment(assign, negated, stmt.line))
+        return out
+
+    def _where_assignment(
+        self, assign: ast.Assignment, mask: ast.Expr, line: int
+    ) -> list[ast.Stmt]:
+        pre, value = self._hoist_special_calls(assign.value, assign.line)
+        target_ref = self._as_array_ref(assign.target)
+        if target_ref is None:
+            raise CompilerError("WHERE assignment target must be an array", assign.line)
+        sections = [
+            (axis, ix) for axis, ix in enumerate(target_ref.indices) if isinstance(ix, ast.Section)
+        ]
+        if not sections:
+            raise CompilerError("WHERE assignment target must be an array section", assign.line)
+        forall = self._sections_to_forall(target_ref, sections, value, mask, line)
+        return pre + [forall]
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _as_array_ref(self, target: ast.Expr) -> ast.ArrayRef | None:
+        """Return *target* as a fully-subscripted ArrayRef if it denotes an array."""
+        if isinstance(target, ast.ArrayRef):
+            sym = self.symtable.get(target.name)
+            if sym is None or not sym.is_array:
+                return None
+            return target
+        if isinstance(target, ast.Var):
+            sym = self.symtable.get(target.name)
+            if sym is None or not sym.is_array or sym.array_spec is None:
+                return None
+            indices: list[ast.Expr] = [
+                ast.Section(line=target.line) for _ in range(sym.array_spec.rank)
+            ]
+            return ast.ArrayRef(line=target.line, name=target.name, indices=indices)
+        return None
+
+    def _declared_bounds(self, array: str, axis: int, line: int) -> tuple[ast.Expr, ast.Expr]:
+        sym = self.symtable.get(array)
+        if sym is None or sym.array_spec is None or axis >= sym.array_spec.rank:
+            raise CompilerError(f"cannot determine bounds of '{array}' axis {axis + 1}", line)
+        dim = sym.array_spec.dims[axis]
+        lower = dim.lower if dim.lower is not None else ast.Num(line=line, value=1.0, is_int=True)
+        return copy.deepcopy(lower), copy.deepcopy(dim.upper)
+
+    def _section_bounds(
+        self, array: str, axis: int, section: ast.Section, line: int
+    ) -> tuple[ast.Expr, ast.Expr, ast.Expr | None]:
+        decl_lo, decl_hi = self._declared_bounds(array, axis, line)
+        lo = copy.deepcopy(section.lo) if section.lo is not None else decl_lo
+        hi = copy.deepcopy(section.hi) if section.hi is not None else decl_hi
+        stride = copy.deepcopy(section.stride) if section.stride is not None else None
+        return lo, hi, stride
+
+    def _sections_to_forall(
+        self,
+        target_ref: ast.ArrayRef,
+        sections: list[tuple[int, ast.Section]],
+        value: ast.Expr,
+        mask: ast.Expr | None,
+        line: int,
+    ) -> ast.ForallStmt:
+        triplets: list[ast.ForallTriplet] = []
+        lhs_info: list[tuple[int, str, ast.Expr]] = []  # (axis, index var, lhs lo expr)
+
+        new_indices = list(target_ref.indices)
+        for axis, section in sections:
+            lo, hi, stride = self._section_bounds(target_ref.name, axis, section, line)
+            var = self._fresh_index()
+            triplets.append(ast.ForallTriplet(var=var, lo=lo, hi=hi, step=stride))
+            new_indices[axis] = ast.Var(line=line, name=var)
+            lhs_info.append((axis, var, lo))
+
+        new_target = ast.ArrayRef(line=target_ref.line, name=target_ref.name, indices=new_indices)
+        new_value = self._map_rhs(value, lhs_info, line)
+        new_mask = self._map_rhs(mask, lhs_info, line) if mask is not None else None
+
+        assignment = ast.Assignment(line=line, target=new_target, value=new_value)
+        return ast.ForallStmt(line=line, triplets=triplets, mask=new_mask, body=[assignment])
+
+    def _map_rhs(
+        self, expr: ast.Expr | None, lhs_info: list[tuple[int, str, ast.Expr]], line: int
+    ) -> ast.Expr | None:
+        """Rewrite RHS sections / whole-array refs in terms of the new forall indices."""
+        if expr is None:
+            return None
+
+        def index_expr(var: str, lhs_lo: ast.Expr, rhs_lo: ast.Expr) -> ast.Expr:
+            # rhs index = rhs_lo + (ivar - lhs_lo); simplify the common identical-bounds case.
+            if ast.format_expr(lhs_lo) == ast.format_expr(rhs_lo):
+                return ast.Var(line=line, name=var)
+            delta = ast.BinOp(line=line, op="-", left=copy.deepcopy(rhs_lo),
+                              right=copy.deepcopy(lhs_lo))
+            return ast.BinOp(line=line, op="+", left=ast.Var(line=line, name=var), right=delta)
+
+        def rewrite(node: ast.Expr) -> ast.Expr:
+            if isinstance(node, ast.ArrayRef):
+                sym = self.symtable.get(node.name)
+                if sym is None or not sym.is_array:
+                    return node
+                slot = 0
+                new_idx: list[ast.Expr] = []
+                for axis, ix in enumerate(node.indices):
+                    if isinstance(ix, ast.Section):
+                        if slot >= len(lhs_info):
+                            raise CompilerError(
+                                f"section of '{node.name}' does not conform to assignment target",
+                                node.line,
+                            )
+                        _, var, lhs_lo = lhs_info[slot]
+                        rhs_lo, _, _ = self._section_bounds(node.name, axis, ix, line)
+                        new_idx.append(index_expr(var, lhs_lo, rhs_lo))
+                        slot += 1
+                    else:
+                        new_idx.append(rewrite(ix))
+                return ast.ArrayRef(line=node.line, name=node.name, indices=new_idx)
+            if isinstance(node, ast.Var):
+                sym = self.symtable.get(node.name)
+                if sym is not None and sym.is_array and sym.array_spec is not None:
+                    rank = sym.array_spec.rank
+                    if rank > len(lhs_info):
+                        raise CompilerError(
+                            f"whole-array reference '{node.name}' does not conform to target",
+                            node.line,
+                        )
+                    new_idx = []
+                    for axis in range(rank):
+                        _, var, lhs_lo = lhs_info[axis]
+                        decl_lo, _ = self._declared_bounds(node.name, axis, line)
+                        new_idx.append(index_expr(var, lhs_lo, decl_lo))
+                    return ast.ArrayRef(line=node.line, name=node.name, indices=new_idx)
+                return node
+            if isinstance(node, ast.BinOp):
+                return ast.BinOp(line=node.line, op=node.op, left=rewrite(node.left),
+                                 right=rewrite(node.right))
+            if isinstance(node, ast.UnaryOp):
+                return ast.UnaryOp(line=node.line, op=node.op, operand=rewrite(node.operand))
+            if isinstance(node, ast.Compare):
+                return ast.Compare(line=node.line, op=node.op, left=rewrite(node.left),
+                                   right=rewrite(node.right))
+            if isinstance(node, ast.Logical):
+                return ast.Logical(line=node.line, op=node.op, left=rewrite(node.left),
+                                   right=rewrite(node.right))
+            if isinstance(node, ast.FuncCall):
+                name = node.name.lower()
+                if is_intrinsic(name) and intrinsic_class(name) in (
+                    IntrinsicClass.ELEMENTAL, IntrinsicClass.CONVERSION
+                ):
+                    return ast.FuncCall(line=node.line, name=node.name,
+                                        args=[rewrite(a) for a in node.args])
+                return ast.FuncCall(line=node.line, name=node.name,
+                                    args=[rewrite(a) for a in node.args])
+            return node
+
+        return rewrite(expr)
+
+
+def normalize_program(program: ast.Program, symtable: SymbolTable) -> NormalizeResult:
+    """Run the normalisation pass over *program* (returns a new Program)."""
+    normalizer = _Normalizer(symtable)
+    new_body = normalizer.normalize_body(program.body)
+    new_program = ast.Program(
+        line=program.line,
+        name=program.name,
+        declarations=list(program.declarations),
+        directives=list(program.directives),
+        body=new_body,
+    )
+    return NormalizeResult(
+        program=new_program,
+        temp_array_aliases=normalizer.temp_array_aliases,
+        temp_scalars=normalizer.temp_scalars,
+    )

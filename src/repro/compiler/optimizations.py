@@ -1,0 +1,111 @@
+"""Optional compiler optimisations on the SPMD node program.
+
+The paper's interpretation parse "has provisions to take into consideration a
+set of compiler optimizations (for the generated Fortran 77 + MP code) such as
+loop re-ordering, etc.  These can be turned on/off by the user."  This module
+implements the transformations themselves so that both the interpreter and the
+simulator see the same (optimised or unoptimised) node program, and exposes
+the on/off switches as :class:`OptimizationOptions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.symbols import try_eval_const
+from .partition import MappingContext
+from .spmd import CommPhase, LocalLoopNest, NodeDo, NodeDoWhile, NodeIf, SPMDNode
+
+
+@dataclass
+class OptimizationOptions:
+    """User-selectable Phase-1 optimisations."""
+
+    merge_comm_phases: bool = True      # aggregate adjacent communication phases
+    loop_reordering: bool = True        # order loop nests for stride-1 innermost access
+    eliminate_empty_phases: bool = True # drop communication phases with no messages
+
+    @classmethod
+    def none(cls) -> "OptimizationOptions":
+        return cls(merge_comm_phases=False, loop_reordering=False, eliminate_empty_phases=False)
+
+
+def apply_optimizations(
+    nodes: list[SPMDNode],
+    mapping: MappingContext,
+    options: OptimizationOptions,
+) -> list[SPMDNode]:
+    """Apply the enabled optimisations, returning a new node list."""
+    result = list(nodes)
+    if options.eliminate_empty_phases:
+        result = _eliminate_empty_phases(result)
+    if options.merge_comm_phases:
+        result = _merge_adjacent_comm_phases(result)
+    if options.loop_reordering:
+        result = [_reorder_loops(node, mapping) for node in result]
+    # Recurse into structured nodes.
+    for node in result:
+        if isinstance(node, (NodeDo, NodeDoWhile)):
+            node.body = apply_optimizations(node.body, mapping, options)
+        elif isinstance(node, NodeIf):
+            node.branches = [
+                (cond, apply_optimizations(body, mapping, options))
+                for cond, body in node.branches
+            ]
+            node.else_body = apply_optimizations(node.else_body, mapping, options)
+    return result
+
+
+def _eliminate_empty_phases(nodes: list[SPMDNode]) -> list[SPMDNode]:
+    return [n for n in nodes if not (isinstance(n, CommPhase) and n.is_empty)]
+
+
+def _merge_adjacent_comm_phases(nodes: list[SPMDNode]) -> list[SPMDNode]:
+    out: list[SPMDNode] = []
+    for node in nodes:
+        if (
+            isinstance(node, CommPhase)
+            and out
+            and isinstance(out[-1], CommPhase)
+            and out[-1].purpose == node.purpose
+        ):
+            previous = out[-1]
+            seen = {(c.kind, c.array, c.axis, c.offset, c.reduce_op) for c in previous.comms}
+            for comm in node.comms:
+                key = (comm.kind, comm.array, comm.axis, comm.offset, comm.reduce_op)
+                if key not in seen:
+                    previous.comms.append(comm)
+                    seen.add(key)
+            continue
+        out.append(node)
+    return out
+
+
+def _reorder_loops(node: SPMDNode, mapping: MappingContext) -> SPMDNode:
+    """Order a loop nest so the longest extent (stride-1 Fortran axis) is innermost.
+
+    The generated Fortran 77 node code is column-major: iterating the first
+    array axis in the innermost loop gives unit-stride access.  We therefore
+    sort loop dimensions so that ``home_axis == 0`` ends up last (innermost),
+    which is what the production compiler's loop-reordering pass achieves.
+    """
+    if not isinstance(node, LocalLoopNest) or len(node.loops) < 2:
+        return node
+    if any(dim.home_axis is None for dim in node.loops):
+        return node
+
+    def sort_key(dim) -> tuple:
+        extent = _static_extent(dim, mapping)
+        # outermost first: higher home_axis first, so axis 0 is innermost
+        return (-(dim.home_axis or 0), -extent)
+
+    node.loops = sorted(node.loops, key=sort_key)
+    return node
+
+
+def _static_extent(dim, mapping: MappingContext) -> float:
+    lo = try_eval_const(dim.lo, dict(mapping.env))
+    hi = try_eval_const(dim.hi, dict(mapping.env))
+    if lo is None or hi is None:
+        return 0.0
+    return max(hi - lo + 1.0, 0.0)

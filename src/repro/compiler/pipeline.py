@@ -1,0 +1,142 @@
+"""The Phase-1 compilation driver.
+
+``compile_source`` / ``compile_program`` run the full pass pipeline of §4.1:
+
+1. parse (done by the caller or here from source text),
+2. normalise array assignments / WHERE into foralls,
+3. process directives and partition data (``build_mapping``),
+4. sequentialise parallel constructs into node loops,
+5. detect and insert communication, producing the loosely-synchronous SPMD
+   node program.
+
+The result, a :class:`CompiledProgram`, is the object Phase 2 (abstraction +
+interpretation) and the simulator both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import ast_nodes as ast
+from ..frontend.parser import parse_source
+from ..frontend.source import SourceFile
+from ..frontend.symbols import SymbolTable
+from .normalize import NormalizeResult, normalize_program
+from .optimizations import OptimizationOptions, apply_optimizations
+from .partition import MappingContext, PartitionOptions, build_mapping
+from .sequentialize import sequentialize
+from .spmd import SPMDProgram
+
+
+@dataclass
+class CompiledProgram:
+    """Everything Phase 1 produces for one HPF/Fortran 90D program."""
+
+    name: str
+    source: SourceFile
+    program: ast.Program             # original AST
+    normalized: ast.Program          # after normalisation
+    symtable: SymbolTable
+    mapping: MappingContext
+    spmd: SPMDProgram
+    options: "CompileOptions"
+    temp_array_aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def nprocs(self) -> int:
+        return self.mapping.nprocs
+
+    @property
+    def env(self) -> dict[str, float]:
+        return self.mapping.env
+
+    def describe(self) -> str:
+        """A short multi-line summary used by reports and examples."""
+        lines = [f"program {self.name}: {self.nprocs} processors, grid {self.mapping.grid.shape}"]
+        for dist in self.mapping.distributions.values():
+            lines.append(f"  {dist.describe()}")
+        counts = self.spmd.count_nodes()
+        summary = ", ".join(f"{count} {kind}" for kind, count in sorted(counts.items()))
+        lines.append(f"  SPMD nodes: {summary}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompileOptions:
+    """All user-controllable Phase-1 parameters."""
+
+    nprocs: int = 1
+    grid_shape: Optional[tuple[int, ...]] = None
+    params: dict[str, float] = field(default_factory=dict)
+    optimizations: OptimizationOptions = field(default_factory=OptimizationOptions)
+
+
+def compile_program(
+    program: ast.Program,
+    source: SourceFile | None = None,
+    options: CompileOptions | None = None,
+) -> CompiledProgram:
+    """Compile an already-parsed program unit."""
+    options = options or CompileOptions()
+    source = source or SourceFile(text="", name=program.name)
+
+    symtable = SymbolTable.from_program(program)
+    normalized: NormalizeResult = normalize_program(program, symtable)
+    mapping = build_mapping(
+        program,
+        symtable,
+        PartitionOptions(
+            nprocs=options.nprocs,
+            grid_shape=options.grid_shape,
+            params=options.params,
+        ),
+        temp_array_aliases=normalized.temp_array_aliases,
+    )
+    nodes = sequentialize(normalized.program, symtable, mapping)
+    nodes = apply_optimizations(nodes, mapping, options.optimizations)
+
+    scalars = {
+        sym.name.lower(): sym.type_name
+        for sym in symtable.scalars()
+    }
+    spmd = SPMDProgram(
+        name=program.name,
+        nodes=nodes,
+        grid=mapping.grid,
+        distributions=mapping.distributions,
+        scalars=scalars,
+        source_name=source.name,
+    )
+    return CompiledProgram(
+        name=program.name,
+        source=source,
+        program=program,
+        normalized=normalized.program,
+        symtable=symtable,
+        mapping=mapping,
+        spmd=spmd,
+        options=options,
+        temp_array_aliases=normalized.temp_array_aliases,
+    )
+
+
+def compile_source(
+    text: str,
+    *,
+    name: str = "<string>",
+    nprocs: int = 1,
+    grid_shape: tuple[int, ...] | None = None,
+    params: dict[str, float] | None = None,
+    optimizations: OptimizationOptions | None = None,
+) -> CompiledProgram:
+    """Parse and compile HPF/Fortran 90D source text."""
+    source = SourceFile(text=text, name=name)
+    program = parse_source(text, name=name)
+    options = CompileOptions(
+        nprocs=nprocs,
+        grid_shape=grid_shape,
+        params=dict(params or {}),
+        optimizations=optimizations or OptimizationOptions(),
+    )
+    return compile_program(program, source, options)

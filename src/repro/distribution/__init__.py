@@ -1,0 +1,28 @@
+"""Data-distribution machinery: the HPF two-level mapping as a reusable library.
+
+Arrays are ALIGNed with TEMPLATEs, templates are DISTRIBUTEd (BLOCK / CYCLIC /
+collapsed) onto PROCESSORS grids.  This package provides the index algebra for
+that mapping — ownership, local extents, global↔local conversion — as pure,
+property-tested functions and descriptors shared by the compiler, the
+interpretation engine, and the iPSC/860 simulator.
+"""
+
+from . import layout
+from .align import Alignment, AxisAlignment
+from .distribute import ArrayDistribution, AxisMapping, DimDistribution
+from .processors import ProcessorGrid, ProcessorSet, enumerate_subgrids
+from .template import Template, TemplateSet
+
+__all__ = [
+    "layout",
+    "Alignment",
+    "AxisAlignment",
+    "ArrayDistribution",
+    "AxisMapping",
+    "DimDistribution",
+    "ProcessorGrid",
+    "ProcessorSet",
+    "enumerate_subgrids",
+    "Template",
+    "TemplateSet",
+]

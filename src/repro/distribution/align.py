@@ -1,0 +1,152 @@
+"""Alignment of arrays with templates (the HPF ALIGN directive).
+
+An ALIGN directive
+
+    !HPF$ ALIGN A(i, j) WITH T(j, i+1)
+
+establishes, for each array axis, which template axis it follows and with
+what constant offset.  The supported alignment functions are the identity /
+permutation / constant-offset subset (``dummy`` and ``dummy + c`` and
+``dummy - c``), which covers the Fortran 90D benchmark suite; general affine
+(stride) alignment raises a :class:`~repro.frontend.errors.DirectiveError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import ast_nodes as ast
+from ..frontend.errors import DirectiveError
+from ..frontend.symbols import try_eval_const
+
+
+@dataclass(frozen=True)
+class AxisAlignment:
+    """Alignment of one array axis: follows ``template_axis`` with ``offset``."""
+
+    array_axis: int
+    template_axis: int
+    offset: int = 0
+
+
+@dataclass
+class Alignment:
+    """Resolved alignment of one array with one template."""
+
+    alignee: str
+    target: str
+    axis_alignments: list[AxisAlignment] = field(default_factory=list)
+    # Template axes that do not follow any array axis (a '*' or constant
+    # subscript in the directive) — the array is replicated/fixed along them.
+    free_template_axes: list[int] = field(default_factory=list)
+    line: int = 0
+
+    def template_axis_for(self, array_axis: int) -> Optional[int]:
+        for aa in self.axis_alignments:
+            if aa.array_axis == array_axis:
+                return aa.template_axis
+        return None
+
+    def offset_for(self, array_axis: int) -> int:
+        for aa in self.axis_alignments:
+            if aa.array_axis == array_axis:
+                return aa.offset
+        return 0
+
+    @classmethod
+    def identity(cls, alignee: str, target: str, rank: int) -> "Alignment":
+        """The default alignment: axis k of the array follows axis k of the template."""
+        return cls(
+            alignee=alignee,
+            target=target,
+            axis_alignments=[AxisAlignment(k, k, 0) for k in range(rank)],
+        )
+
+    @classmethod
+    def from_directive(
+        cls,
+        directive: ast.AlignDirective,
+        env: dict[str, float] | None = None,
+    ) -> "Alignment":
+        """Resolve an ALIGN directive into per-axis (template axis, offset) pairs."""
+        dummies = [d.lower() for d in directive.source_dummies]
+        alignment = cls(alignee=directive.alignee.lower(), target=directive.target.lower(),
+                        line=directive.line)
+
+        if not directive.target_subscripts:
+            # ALIGN A WITH T  (no subscripts): identity alignment over A's rank,
+            # which equals the number of source dummies (possibly zero).
+            rank = len(dummies)
+            alignment.axis_alignments = [AxisAlignment(k, k, 0) for k in range(rank)]
+            return alignment
+
+        for template_axis, subscript in enumerate(directive.target_subscripts):
+            if subscript is None:
+                alignment.free_template_axes.append(template_axis)
+                continue
+            dummy_name, offset = _parse_alignment_subscript(subscript, dummies, env)
+            if dummy_name is None:
+                # Constant subscript: the array is fixed at one template position
+                # along this axis; treat it as a free axis for ownership purposes.
+                alignment.free_template_axes.append(template_axis)
+                continue
+            array_axis = dummies.index(dummy_name)
+            alignment.axis_alignments.append(
+                AxisAlignment(array_axis=array_axis, template_axis=template_axis, offset=offset)
+            )
+
+        mapped = {aa.array_axis for aa in alignment.axis_alignments}
+        for axis, dummy in enumerate(dummies):
+            if dummy != "*" and axis not in mapped:
+                raise DirectiveError(
+                    f"ALIGN {directive.alignee}: dummy index '{dummy}' does not appear "
+                    f"in the WITH clause",
+                    directive.line,
+                )
+        return alignment
+
+
+def _parse_alignment_subscript(
+    expr: ast.Expr,
+    dummies: list[str],
+    env: dict[str, float] | None,
+) -> tuple[Optional[str], int]:
+    """Decompose an alignment subscript into (dummy name, constant offset).
+
+    Supported forms: ``i``, ``i + c``, ``i - c``, ``c + i`` and plain constants
+    (returned as ``(None, value)``).
+    """
+    if isinstance(expr, ast.Var):
+        name = expr.name.lower()
+        if name in dummies:
+            return name, 0
+        value = try_eval_const(expr, env)
+        if value is not None:
+            return None, int(value)
+        raise DirectiveError(f"unknown name '{expr.name}' in ALIGN subscript", expr.line)
+
+    if isinstance(expr, ast.Num):
+        return None, int(expr.value)
+
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-"):
+        left_var = isinstance(expr.left, ast.Var) and expr.left.name.lower() in dummies
+        right_var = isinstance(expr.right, ast.Var) and expr.right.name.lower() in dummies
+        if left_var and not right_var:
+            const = try_eval_const(expr.right, env)
+            if const is None:
+                raise DirectiveError("non-constant offset in ALIGN subscript", expr.line)
+            offset = int(const) if expr.op == "+" else -int(const)
+            return expr.left.name.lower(), offset
+        if right_var and not left_var and expr.op == "+":
+            const = try_eval_const(expr.left, env)
+            if const is None:
+                raise DirectiveError("non-constant offset in ALIGN subscript", expr.line)
+            return expr.right.name.lower(), int(const)
+
+    value = try_eval_const(expr, env)
+    if value is not None:
+        return None, int(value)
+    raise DirectiveError(
+        "only identity / constant-offset alignment functions are supported", expr.line
+    )

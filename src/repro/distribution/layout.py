@@ -1,0 +1,191 @@
+"""Pure index-algebra functions for HPF BLOCK / CYCLIC / collapsed layouts.
+
+These functions are the single source of truth for ownership and local/global
+index conversion.  The Phase-1 compiler uses them to partition computation
+(owner computes), the interpretation engine uses them to size local iteration
+spaces and messages, and the simulator uses them to carve NumPy blocks per
+rank — so all three stages agree on data layout by construction.
+
+All indices here are **0-based global indices** over an extent ``n`` mapped
+onto ``p`` processors along one axis.  Callers convert from Fortran 1-based
+(declared lower bound) indices before calling in.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# BLOCK distribution
+# ---------------------------------------------------------------------------
+
+
+def block_size(n: int, p: int) -> int:
+    """HPF standard block size: ceil(n / p)."""
+    if p <= 0:
+        raise ValueError("number of processors must be positive")
+    if n <= 0:
+        return 0
+    return -(-n // p)
+
+
+def block_owner(i: int, n: int, p: int) -> int:
+    """Owner processor (0-based) of global index *i* under BLOCK distribution."""
+    b = block_size(n, p)
+    if b == 0:
+        return 0
+    return min(i // b, p - 1)
+
+
+def block_bounds(proc: int, n: int, p: int) -> tuple[int, int]:
+    """Half-open global index range [lo, hi) owned by *proc* under BLOCK."""
+    b = block_size(n, p)
+    lo = min(proc * b, n)
+    hi = min(lo + b, n)
+    return lo, hi
+
+
+def block_local_count(proc: int, n: int, p: int) -> int:
+    lo, hi = block_bounds(proc, n, p)
+    return hi - lo
+
+
+def block_global_to_local(i: int, n: int, p: int) -> int:
+    """Local index of global index *i* on its owning processor."""
+    b = block_size(n, p)
+    owner = block_owner(i, n, p)
+    return i - owner * b
+
+
+def block_local_to_global(proc: int, local: int, n: int, p: int) -> int:
+    b = block_size(n, p)
+    return proc * b + local
+
+
+def block_local_indices(proc: int, n: int, p: int) -> np.ndarray:
+    """All global indices owned by *proc*, as a NumPy int array."""
+    lo, hi = block_bounds(proc, n, p)
+    return np.arange(lo, hi, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# CYCLIC / CYCLIC(k) distribution
+# ---------------------------------------------------------------------------
+
+
+def cyclic_owner(i: int, p: int, block: int = 1) -> int:
+    """Owner of global index *i* under CYCLIC(block)."""
+    if block <= 0:
+        raise ValueError("cyclic block size must be positive")
+    return (i // block) % p
+
+
+def cyclic_local_count(proc: int, n: int, p: int, block: int = 1) -> int:
+    """Number of elements owned by *proc* under CYCLIC(block)."""
+    if n <= 0:
+        return 0
+    full_cycles, rem = divmod(n, p * block)
+    count = full_cycles * block
+    # remaining `rem` elements start a new cycle at processor 0
+    start = proc * block
+    if rem > start:
+        count += min(block, rem - start)
+    return count
+
+
+def cyclic_global_to_local(i: int, p: int, block: int = 1) -> int:
+    cycle, offset = divmod(i, p * block)
+    return cycle * block + (offset % block)
+
+
+def cyclic_local_to_global(proc: int, local: int, p: int, block: int = 1) -> int:
+    cycle, offset = divmod(local, block)
+    return cycle * p * block + proc * block + offset
+
+
+def cyclic_local_indices(proc: int, n: int, p: int, block: int = 1) -> np.ndarray:
+    """All global indices owned by *proc* under CYCLIC(block), ascending."""
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    mask = (idx // block) % p == proc
+    return idx[mask]
+
+
+# ---------------------------------------------------------------------------
+# Collapsed ('*') dimension: the whole extent lives on every processor
+# along this axis (the axis is not divided across the grid).
+# ---------------------------------------------------------------------------
+
+
+def collapsed_local_count(n: int) -> int:
+    return max(n, 0)
+
+
+def collapsed_local_indices(n: int) -> np.ndarray:
+    return np.arange(max(n, 0), dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by interpreter and simulator
+# ---------------------------------------------------------------------------
+
+
+def max_local_count(n: int, p: int, kind: str, block: int = 1) -> int:
+    """Largest per-processor element count along one axis (load-balance bound)."""
+    kind = kind.lower()
+    if kind == "block":
+        return block_size(n, p)
+    if kind == "cyclic":
+        return max(cyclic_local_count(q, n, p, block) for q in range(p)) if p > 0 else n
+    if kind in ("*", "collapsed"):
+        return collapsed_local_count(n)
+    raise ValueError(f"unknown distribution kind {kind!r}")
+
+
+def avg_local_count(n: int, p: int, kind: str) -> float:
+    """Average per-processor element count along one axis."""
+    kind = kind.lower()
+    if kind in ("*", "collapsed"):
+        return float(max(n, 0))
+    return n / p if p else float(n)
+
+
+def processor_factorizations(p: int, rank: int) -> list[tuple[int, ...]]:
+    """All ways to factor *p* processors into a grid of the given rank.
+
+    Used when a PROCESSORS directive gives only the total count, and by the
+    directive-selection experiments that sweep over processor-grid shapes.
+    """
+    if rank == 1:
+        return [(p,)]
+    results: list[tuple[int, ...]] = []
+
+    def rec(remaining: int, dims_left: int, prefix: tuple[int, ...]) -> None:
+        if dims_left == 1:
+            results.append(prefix + (remaining,))
+            return
+        for d in range(1, remaining + 1):
+            if remaining % d == 0:
+                rec(remaining // d, dims_left - 1, prefix + (d,))
+
+    rec(p, rank, ())
+    return results
+
+
+def default_grid_shape(p: int, rank: int) -> tuple[int, ...]:
+    """A near-square default processor grid shape (what the compiler picks by default)."""
+    if rank == 1:
+        return (p,)
+    best: tuple[int, ...] | None = None
+    best_score = math.inf
+    for shape in processor_factorizations(p, rank):
+        score = max(shape) - min(shape)
+        if score < best_score:
+            best_score = score
+            best = shape
+    assert best is not None
+    return best

@@ -1,0 +1,136 @@
+"""Abstract processor arrangements (the HPF PROCESSORS directive).
+
+A :class:`ProcessorGrid` is a rectilinear arrangement of abstract processors.
+The mapping of abstract processors to physical ranks is the usual row-major
+linearisation; the simulator then maps ranks to hypercube node labels (the
+implementation-dependent step the paper delegates to the target machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A named rectilinear grid of abstract processors."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("processor grid must have at least one dimension")
+        if any(extent <= 0 for extent in self.shape):
+            raise ValueError(f"invalid processor grid shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of abstract processors."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    def coords(self, proc: int) -> tuple[int, ...]:
+        """Row-major coordinates of linear rank *proc*."""
+        if not 0 <= proc < self.size:
+            raise ValueError(f"processor rank {proc} out of range for grid of size {self.size}")
+        coords = []
+        remainder = proc
+        for extent in reversed(self.shape):
+            coords.append(remainder % extent)
+            remainder //= extent
+        return tuple(reversed(coords))
+
+    def linear_rank(self, coords: tuple[int, ...]) -> int:
+        """Linear rank of grid coordinates (row-major)."""
+        if len(coords) != self.rank:
+            raise ValueError(f"expected {self.rank} coordinates, got {len(coords)}")
+        rank = 0
+        for coord, extent in zip(coords, self.shape):
+            if not 0 <= coord < extent:
+                raise ValueError(f"coordinate {coord} out of range for extent {extent}")
+            rank = rank * extent + coord
+        return rank
+
+    def all_coords(self) -> list[tuple[int, ...]]:
+        """All coordinates in linear-rank order."""
+        return [self.coords(p) for p in range(self.size)]
+
+    def all_ranks(self) -> range:
+        return range(self.size)
+
+    def neighbors(self, proc: int, axis: int) -> tuple[int | None, int | None]:
+        """Grid neighbours of *proc* along *axis* (lower, upper); None at boundaries."""
+        coords = list(self.coords(proc))
+        lower = upper = None
+        if coords[axis] > 0:
+            c = list(coords)
+            c[axis] -= 1
+            lower = self.linear_rank(tuple(c))
+        if coords[axis] < self.shape[axis] - 1:
+            c = list(coords)
+            c[axis] += 1
+            upper = self.linear_rank(tuple(c))
+        return lower, upper
+
+    def circular_neighbor(self, proc: int, axis: int, offset: int) -> int:
+        """Neighbour of *proc* at circular distance *offset* along *axis*."""
+        coords = list(self.coords(proc))
+        coords[axis] = (coords[axis] + offset) % self.shape[axis]
+        return self.linear_rank(tuple(coords))
+
+    def axis_peers(self, proc: int, axis: int) -> list[int]:
+        """All ranks that share every coordinate with *proc* except along *axis*."""
+        coords = list(self.coords(proc))
+        peers = []
+        for value in range(self.shape[axis]):
+            c = list(coords)
+            c[axis] = value
+            peers.append(self.linear_rank(tuple(c)))
+        return peers
+
+    def __iter__(self):
+        return iter(range(self.size))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"PROCESSORS {self.name}({dims})"
+
+
+@dataclass
+class ProcessorSet:
+    """The set of processor grids declared by a program (usually exactly one)."""
+
+    grids: dict[str, ProcessorGrid] = field(default_factory=dict)
+
+    def add(self, grid: ProcessorGrid) -> None:
+        self.grids[grid.name.lower()] = grid
+
+    def get(self, name: str) -> ProcessorGrid | None:
+        return self.grids.get(name.lower())
+
+    def default(self) -> ProcessorGrid | None:
+        """The first (and usually only) declared grid."""
+        if not self.grids:
+            return None
+        return next(iter(self.grids.values()))
+
+    def __len__(self) -> int:
+        return len(self.grids)
+
+
+def enumerate_subgrids(grid: ProcessorGrid) -> list[tuple[tuple[int, ...], int]]:
+    """Enumerate (coords, rank) pairs of a grid, in rank order (testing helper)."""
+    out = []
+    for coords in product(*(range(extent) for extent in grid.shape)):
+        out.append((coords, grid.linear_rank(coords)))
+    out.sort(key=lambda item: item[1])
+    return out

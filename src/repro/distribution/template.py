@@ -1,0 +1,106 @@
+"""HPF templates: abstract index spaces that data objects are aligned with.
+
+HPF uses a two-level mapping (§2 of the paper): array elements are first
+ALIGNed with a TEMPLATE, and the template is then DISTRIBUTEd onto a
+PROCESSORS arrangement.  A :class:`Template` is therefore just a named,
+shaped index space plus (once the DISTRIBUTE directive has been processed)
+one :class:`~repro.distribution.distribute.DimDistribution` per axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .distribute import DimDistribution
+from .processors import ProcessorGrid
+
+
+@dataclass
+class Template:
+    """A named abstract index space (the target of ALIGN directives)."""
+
+    name: str
+    shape: tuple[int, ...]
+    distributions: list[DimDistribution] = field(default_factory=list)
+    grid: Optional[ProcessorGrid] = None
+    # grid_axis[d] is the processor-grid axis that template axis d is mapped to,
+    # or None when the axis is collapsed ('*').
+    grid_axis: list[Optional[int]] = field(default_factory=list)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.grid is not None and any(
+            d.kind != "collapsed" for d in self.distributions
+        )
+
+    def describe(self) -> str:
+        """Human-readable description like ``T(BLOCK, *) onto P(2,2)``."""
+        if not self.distributions:
+            fmt = ", ".join("*" for _ in self.shape)
+        else:
+            fmt = ", ".join(d.describe() for d in self.distributions)
+        onto = f" onto {self.grid.name}{self.grid.shape}" if self.grid else ""
+        return f"{self.name}({fmt}){onto}"
+
+    def assign_distribution(
+        self,
+        distributions: list[DimDistribution],
+        grid: ProcessorGrid,
+    ) -> None:
+        """Record the DISTRIBUTE directive, mapping distributed axes to grid axes in order."""
+        if len(distributions) != self.rank:
+            raise ValueError(
+                f"template {self.name} has rank {self.rank} but DISTRIBUTE "
+                f"gives {len(distributions)} formats"
+            )
+        self.distributions = list(distributions)
+        self.grid = grid
+        self.grid_axis = []
+        next_axis = 0
+        for dist in distributions:
+            if dist.kind == "collapsed":
+                self.grid_axis.append(None)
+            else:
+                if next_axis >= grid.rank:
+                    raise ValueError(
+                        f"DISTRIBUTE of {self.name} needs more processor-grid axes "
+                        f"than {grid.name}{grid.shape} provides"
+                    )
+                self.grid_axis.append(next_axis)
+                next_axis += 1
+        # It is legal (and common) for the grid to have exactly as many axes as
+        # there are distributed template axes; a 1-D grid under a single
+        # distributed axis is the canonical case.
+
+    def procs_along(self, axis: int) -> int:
+        """Number of processors the given template axis is divided across."""
+        if self.grid is None:
+            return 1
+        gaxis = self.grid_axis[axis] if axis < len(self.grid_axis) else None
+        if gaxis is None:
+            return 1
+        return self.grid.shape[gaxis]
+
+
+@dataclass
+class TemplateSet:
+    """All templates declared by one program unit."""
+
+    templates: dict[str, Template] = field(default_factory=dict)
+
+    def add(self, template: Template) -> None:
+        self.templates[template.name.lower()] = template
+
+    def get(self, name: str) -> Optional[Template]:
+        return self.templates.get(name.lower())
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __iter__(self):
+        return iter(self.templates.values())

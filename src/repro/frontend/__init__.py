@@ -1,0 +1,73 @@
+"""HPF/Fortran 90D language frontend.
+
+Exports the lexer, parser, AST node classes, symbol table and the intrinsic
+catalogue.  This is the entry point of Phase 1 of the framework (§4.1 of the
+paper): a syntactically correct HPF/Fortran 90D program is parsed into an AST
+which the compiler pipeline then partitions, sequentialises and augments with
+communication.
+"""
+
+from . import ast_nodes as ast  # noqa: F401  (re-exported module alias)
+from .errors import (
+    CompilerError,
+    DirectiveError,
+    EvaluationError,
+    FrontendError,
+    InterpretationError,
+    LexerError,
+    ParserError,
+    ReproError,
+    SemanticError,
+    SimulationError,
+)
+from .intrinsics import (
+    IntrinsicClass,
+    IntrinsicInfo,
+    all_intrinsics,
+    intrinsic_class,
+    intrinsic_info,
+    is_elemental,
+    is_intrinsic,
+    is_reduction,
+    is_shift,
+)
+from .lexer import Token, TokenType, tokenize
+from .parser import Parser, parse_expression, parse_source
+from .source import LogicalLine, SourceFile, split_logical_lines
+from .symbols import Symbol, SymbolTable, eval_const_expr, try_eval_const
+
+__all__ = [
+    "ast",
+    "CompilerError",
+    "DirectiveError",
+    "EvaluationError",
+    "FrontendError",
+    "InterpretationError",
+    "LexerError",
+    "ParserError",
+    "ReproError",
+    "SemanticError",
+    "SimulationError",
+    "IntrinsicClass",
+    "IntrinsicInfo",
+    "all_intrinsics",
+    "intrinsic_class",
+    "intrinsic_info",
+    "is_elemental",
+    "is_intrinsic",
+    "is_reduction",
+    "is_shift",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_source",
+    "LogicalLine",
+    "SourceFile",
+    "split_logical_lines",
+    "Symbol",
+    "SymbolTable",
+    "eval_const_expr",
+    "try_eval_const",
+]

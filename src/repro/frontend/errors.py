@@ -1,0 +1,66 @@
+"""Error types raised by the HPF/Fortran 90D frontend and compiler.
+
+All frontend and compiler diagnostics carry a source line number so the
+output module can map metrics and errors back to the original program text,
+mirroring the per-line query capability of the paper's output parse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction library."""
+
+
+class FrontendError(ReproError):
+    """Base class for lexer / parser / semantic-analysis errors."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location += ")"
+        super().__init__(f"{message}{location}")
+
+
+class LexerError(FrontendError):
+    """Raised when the tokenizer encounters an unrecognised character sequence."""
+
+
+class ParserError(FrontendError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(FrontendError):
+    """Raised for declaration/typing/directive consistency violations."""
+
+
+class DirectiveError(SemanticError):
+    """Raised for malformed or inconsistent HPF compiler directives."""
+
+
+class CompilerError(ReproError):
+    """Raised by the Phase-1 compilation pipeline (partitioning, comm detection...)."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.message = message
+        self.line = line
+        suffix = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class InterpretationError(ReproError):
+    """Raised by the Phase-2 interpretation engine (e.g. unresolved critical variable)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the iPSC/860 execution simulator."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the sequential functional evaluator."""

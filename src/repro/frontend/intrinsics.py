@@ -1,0 +1,150 @@
+"""Catalogue of Fortran 90 / HPF intrinsic procedures recognised by the subset.
+
+The catalogue serves three distinct consumers:
+
+* the **parser** uses it to disambiguate ``name(args)`` between an array
+  reference and an intrinsic function call (Fortran syntax is identical for
+  both);
+* the **compiler** uses the classification to decide how a construct is
+  parallelised: *reduction* intrinsics become collective reduce operations,
+  *shift* intrinsics become nearest-neighbour communication, *elemental*
+  intrinsics stay inside local computation;
+* the **interpretation engine** charges each class against the matching SAU
+  parameters (elemental flop costs vs. benchmarked collective library costs —
+  §4.4 of the paper parameterises cshift/tshift/sum/product/maxloc from
+  benchmarking runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class IntrinsicClass(Enum):
+    ELEMENTAL = auto()      # applied pointwise: sqrt, exp, abs, ...
+    REDUCTION = auto()      # array -> scalar (or reduced rank): sum, product, maxval...
+    LOCATION = auto()       # maxloc / minloc
+    SHIFT = auto()          # cshift / eoshift / tshift: nearest-neighbour comm
+    TRANSFORM = auto()      # dot_product, matmul, transpose, spread, reshape
+    INQUIRY = auto()        # size, lbound, ubound, shape
+    CONVERSION = auto()     # real, int, dble, nint
+    OTHER = auto()
+
+
+@dataclass(frozen=True)
+class IntrinsicInfo:
+    """Static description of one intrinsic procedure."""
+
+    name: str
+    iclass: IntrinsicClass
+    min_args: int
+    max_args: int
+    flops: float = 1.0       # per-element floating point work (elemental / transform)
+    description: str = ""
+
+
+_CATALOGUE: dict[str, IntrinsicInfo] = {}
+
+
+def _register(name: str, iclass: IntrinsicClass, min_args: int, max_args: int,
+              flops: float = 1.0, description: str = "") -> None:
+    _CATALOGUE[name] = IntrinsicInfo(name, iclass, min_args, max_args, flops, description)
+
+
+# -- elemental math intrinsics (single-cycle-ish through several tens of flops)
+_register("sqrt", IntrinsicClass.ELEMENTAL, 1, 1, flops=12.0, description="square root")
+_register("exp", IntrinsicClass.ELEMENTAL, 1, 1, flops=20.0, description="exponential")
+_register("log", IntrinsicClass.ELEMENTAL, 1, 1, flops=20.0, description="natural log")
+_register("log10", IntrinsicClass.ELEMENTAL, 1, 1, flops=22.0, description="base-10 log")
+_register("sin", IntrinsicClass.ELEMENTAL, 1, 1, flops=18.0, description="sine")
+_register("cos", IntrinsicClass.ELEMENTAL, 1, 1, flops=18.0, description="cosine")
+_register("tan", IntrinsicClass.ELEMENTAL, 1, 1, flops=22.0, description="tangent")
+_register("atan", IntrinsicClass.ELEMENTAL, 1, 1, flops=22.0, description="arc tangent")
+_register("atan2", IntrinsicClass.ELEMENTAL, 2, 2, flops=25.0, description="two-argument arc tangent")
+_register("asin", IntrinsicClass.ELEMENTAL, 1, 1, flops=22.0)
+_register("acos", IntrinsicClass.ELEMENTAL, 1, 1, flops=22.0)
+_register("sinh", IntrinsicClass.ELEMENTAL, 1, 1, flops=24.0)
+_register("cosh", IntrinsicClass.ELEMENTAL, 1, 1, flops=24.0)
+_register("tanh", IntrinsicClass.ELEMENTAL, 1, 1, flops=24.0)
+_register("abs", IntrinsicClass.ELEMENTAL, 1, 1, flops=1.0, description="absolute value")
+_register("sign", IntrinsicClass.ELEMENTAL, 2, 2, flops=2.0, description="sign transfer")
+_register("mod", IntrinsicClass.ELEMENTAL, 2, 2, flops=4.0, description="remainder")
+_register("modulo", IntrinsicClass.ELEMENTAL, 2, 2, flops=4.0)
+_register("max", IntrinsicClass.ELEMENTAL, 2, 8, flops=1.0, description="elementwise maximum")
+_register("min", IntrinsicClass.ELEMENTAL, 2, 8, flops=1.0, description="elementwise minimum")
+_register("merge", IntrinsicClass.ELEMENTAL, 3, 3, flops=1.0, description="masked merge")
+
+# -- type conversion
+_register("real", IntrinsicClass.CONVERSION, 1, 2, flops=1.0)
+_register("dble", IntrinsicClass.CONVERSION, 1, 1, flops=1.0)
+_register("int", IntrinsicClass.CONVERSION, 1, 2, flops=1.0)
+_register("nint", IntrinsicClass.CONVERSION, 1, 1, flops=1.0)
+_register("float", IntrinsicClass.CONVERSION, 1, 1, flops=1.0)
+_register("aint", IntrinsicClass.CONVERSION, 1, 1, flops=1.0)
+
+# -- reductions (HPF parallel intrinsic library; collective over distributed dims)
+_register("sum", IntrinsicClass.REDUCTION, 1, 3, flops=1.0, description="global sum")
+_register("product", IntrinsicClass.REDUCTION, 1, 3, flops=1.0, description="global product")
+_register("maxval", IntrinsicClass.REDUCTION, 1, 3, flops=1.0, description="global maximum")
+_register("minval", IntrinsicClass.REDUCTION, 1, 3, flops=1.0, description="global minimum")
+_register("count", IntrinsicClass.REDUCTION, 1, 3, flops=1.0, description="count of .true. elements")
+_register("any", IntrinsicClass.REDUCTION, 1, 2, flops=1.0)
+_register("all", IntrinsicClass.REDUCTION, 1, 2, flops=1.0)
+
+# -- location reductions
+_register("maxloc", IntrinsicClass.LOCATION, 1, 3, flops=1.5, description="location of maximum")
+_register("minloc", IntrinsicClass.LOCATION, 1, 3, flops=1.5, description="location of minimum")
+
+# -- shifts (nearest neighbour communication on distributed arrays)
+_register("cshift", IntrinsicClass.SHIFT, 2, 3, flops=0.0, description="circular shift")
+_register("eoshift", IntrinsicClass.SHIFT, 2, 4, flops=0.0, description="end-off shift")
+_register("tshift", IntrinsicClass.SHIFT, 2, 3, flops=0.0, description="shift to temporary (Fortran 90D)")
+
+# -- transformational
+_register("dot_product", IntrinsicClass.TRANSFORM, 2, 2, flops=2.0, description="dot product")
+_register("matmul", IntrinsicClass.TRANSFORM, 2, 2, flops=2.0, description="matrix multiply")
+_register("transpose", IntrinsicClass.TRANSFORM, 1, 1, flops=0.0)
+_register("spread", IntrinsicClass.TRANSFORM, 3, 3, flops=0.0, description="broadcast along new dim")
+_register("reshape", IntrinsicClass.TRANSFORM, 2, 4, flops=0.0)
+
+# -- inquiry
+_register("size", IntrinsicClass.INQUIRY, 1, 2, flops=0.0)
+_register("lbound", IntrinsicClass.INQUIRY, 1, 2, flops=0.0)
+_register("ubound", IntrinsicClass.INQUIRY, 1, 2, flops=0.0)
+_register("shape", IntrinsicClass.INQUIRY, 1, 1, flops=0.0)
+
+
+def is_intrinsic(name: str) -> bool:
+    """True if *name* (case-insensitive) is a recognised intrinsic."""
+    return name.lower() in _CATALOGUE
+
+
+def intrinsic_info(name: str) -> IntrinsicInfo:
+    """Return the :class:`IntrinsicInfo` for *name*; raises ``KeyError`` if unknown."""
+    return _CATALOGUE[name.lower()]
+
+
+def intrinsic_class(name: str) -> IntrinsicClass | None:
+    """Return the class of *name*, or None if it is not an intrinsic."""
+    info = _CATALOGUE.get(name.lower())
+    return info.iclass if info else None
+
+
+def is_reduction(name: str) -> bool:
+    cls = intrinsic_class(name)
+    return cls in (IntrinsicClass.REDUCTION, IntrinsicClass.LOCATION)
+
+
+def is_shift(name: str) -> bool:
+    return intrinsic_class(name) is IntrinsicClass.SHIFT
+
+
+def is_elemental(name: str) -> bool:
+    cls = intrinsic_class(name)
+    return cls in (IntrinsicClass.ELEMENTAL, IntrinsicClass.CONVERSION)
+
+
+def all_intrinsics() -> dict[str, IntrinsicInfo]:
+    """Return a copy of the full catalogue (name -> info)."""
+    return dict(_CATALOGUE)

@@ -1,0 +1,201 @@
+"""Tokenizer for the HPF/Fortran 90D subset.
+
+The lexer operates on the *logical lines* produced by
+:mod:`repro.frontend.source` (comments stripped, continuations joined,
+directive lines flagged) and produces a flat token stream terminated by an
+``EOF`` token.  Statement boundaries are represented by ``NEWLINE`` tokens;
+directive lines start with a ``DIRECTIVE`` token so the parser can dispatch
+without re-scanning the raw text.
+
+Fortran is case-insensitive: identifiers and keywords are lower-cased; string
+literal contents are preserved verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from .errors import LexerError
+from .source import SourceFile
+
+
+class TokenType(Enum):
+    NAME = auto()
+    INTEGER = auto()
+    REAL = auto()
+    STRING = auto()
+    OP = auto()
+    NEWLINE = auto()
+    DIRECTIVE = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, line={self.line})"
+
+
+# Dotted logical/relational operators and literals.
+_DOTTED = {
+    ".and.": ".and.",
+    ".or.": ".or.",
+    ".not.": ".not.",
+    ".eqv.": ".eqv.",
+    ".neqv.": ".neqv.",
+    ".true.": ".true.",
+    ".false.": ".false.",
+    ".eq.": "==",
+    ".ne.": "/=",
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+}
+
+# Multi-character operators, longest first.
+_MULTI_OPS = ["**", "==", "/=", "<=", ">=", "::", "=>", "//"]
+_SINGLE_OPS = set("+-*/()=,<>:%")
+
+_NAME_RE = re.compile(r"[a-z][a-z0-9_]*", re.IGNORECASE)
+# Fortran real literals: 1.0, 1., .5, 1e-3, 1.0d0, 3.5E+10
+_NUMBER_RE = re.compile(
+    r"(\d+\.\d*|\.\d+|\d+)([edED][+-]?\d+)?"
+)
+_DOTTED_RE = re.compile(r"\.[a-z]+\.", re.IGNORECASE)
+
+
+def tokenize_line(text: str, line: int, *, is_directive: bool = False) -> list[Token]:
+    """Tokenize a single logical line into a list of tokens (no NEWLINE/EOF)."""
+    tokens: list[Token] = []
+    if is_directive:
+        tokens.append(Token(TokenType.DIRECTIVE, "!hpf$", line, 0))
+
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+
+        # String literals
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if text[j] == quote:
+                    if j + 1 < n and text[j + 1] == quote:  # doubled quote escape
+                        buf.append(quote)
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise LexerError("unterminated string literal", line, i + 1)
+            tokens.append(Token(TokenType.STRING, "".join(buf), line, i + 1))
+            i = j + 1
+            continue
+
+        # Dotted operators / logical literals (.and., .true., .ge., ...)
+        if ch == ".":
+            match = _DOTTED_RE.match(text, i)
+            if match:
+                word = match.group(0).lower()
+                if word in _DOTTED:
+                    mapped = _DOTTED[word]
+                    ttype = TokenType.OP if word not in (".true.", ".false.") else TokenType.NAME
+                    tokens.append(Token(ttype, mapped, line, i + 1))
+                    i = match.end()
+                    continue
+            # fall through: could be a real literal like .5
+
+        # Numbers (must check before single '.' operator handling)
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            match = _NUMBER_RE.match(text, i)
+            if not match:
+                raise LexerError(f"malformed number near {text[i:i+8]!r}", line, i + 1)
+            literal = match.group(0)
+            is_real = ("." in literal) or ("e" in literal.lower()) or ("d" in literal.lower())
+            ttype = TokenType.REAL if is_real else TokenType.INTEGER
+            tokens.append(Token(ttype, literal.lower().replace("d", "e"), line, i + 1))
+            i = match.end()
+            continue
+
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            match = _NAME_RE.match(text, i)
+            if not match:
+                raise LexerError(f"malformed identifier near {text[i:i+8]!r}", line, i + 1)
+            tokens.append(Token(TokenType.NAME, match.group(0).lower(), line, i + 1))
+            i = match.end()
+            continue
+
+        # Multi-character operators
+        matched = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, line, i + 1))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenType.OP, ch, line, i + 1))
+            i += 1
+            continue
+
+        if ch == "$" or ch == "!":
+            # stray characters inside directive bodies; skip defensively
+            i += 1
+            continue
+
+        raise LexerError(f"unexpected character {ch!r}", line, i + 1)
+
+    return tokens
+
+
+def tokenize(source: str | SourceFile, name: str = "<string>") -> list[Token]:
+    """Tokenize an entire HPF/Fortran 90D source unit.
+
+    Returns a flat token list where each logical line is followed by a
+    ``NEWLINE`` token; the stream is terminated by an ``EOF`` token.
+    """
+    src = source if isinstance(source, SourceFile) else SourceFile(text=source, name=name)
+    tokens: list[Token] = []
+    last_line = 1
+    for logical in src.logical_lines:
+        line_tokens = tokenize_line(logical.text, logical.line, is_directive=logical.is_directive)
+        if not line_tokens:
+            continue
+        tokens.extend(line_tokens)
+        tokens.append(Token(TokenType.NEWLINE, "\n", logical.line))
+        last_line = logical.line
+    tokens.append(Token(TokenType.EOF, "", last_line))
+    return tokens
+
+
+def iter_statements(tokens: list[Token]) -> Iterator[list[Token]]:
+    """Group a token stream into per-statement token lists (without NEWLINE/EOF)."""
+    current: list[Token] = []
+    for tok in tokens:
+        if tok.type in (TokenType.NEWLINE, TokenType.EOF):
+            if current:
+                yield current
+                current = []
+            continue
+        current.append(tok)
+    if current:
+        yield current

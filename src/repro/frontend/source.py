@@ -1,0 +1,156 @@
+"""Source-text handling for the HPF/Fortran 90D frontend.
+
+Responsibilities:
+
+* normalise line endings,
+* strip Fortran ``!`` comments while *preserving* HPF directive lines
+  (``!HPF$ ...``),
+* join continuation lines (trailing ``&``),
+* keep a mapping from logical (joined) lines back to physical line numbers so
+  every AST node, AAU and performance metric can be attributed to the original
+  source line (the paper's per-line query facility relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DIRECTIVE_PREFIXES = ("!hpf$", "chpf$", "*hpf$")
+
+
+@dataclass(frozen=True)
+class LogicalLine:
+    """A single logical statement line after comment stripping and continuation joining."""
+
+    text: str
+    line: int  # physical 1-based line number of the first physical line
+    is_directive: bool = False
+
+
+@dataclass
+class SourceFile:
+    """A pre-processed HPF/Fortran 90D source file."""
+
+    text: str
+    name: str = "<string>"
+    logical_lines: list[LogicalLine] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.logical_lines:
+            self.logical_lines = split_logical_lines(self.text)
+
+    @property
+    def num_physical_lines(self) -> int:
+        return len(self.text.splitlines())
+
+    def line_text(self, line: int) -> str:
+        """Return the physical source line ``line`` (1-based), or '' if out of range."""
+        lines = self.text.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
+
+
+def _strip_comment(line: str) -> tuple[str, bool]:
+    """Strip a trailing ``!`` comment, honouring string literals.
+
+    Returns ``(code, is_directive)``.  Directive lines (``!HPF$``) are returned
+    with the sentinel prefix removed and ``is_directive=True``.
+    """
+    stripped = line.lstrip()
+    lowered = stripped.lower()
+    for prefix in DIRECTIVE_PREFIXES:
+        if lowered.startswith(prefix):
+            return stripped[len(prefix):].strip(), True
+
+    out: list[str] = []
+    in_string: str | None = None
+    for ch in line:
+        if in_string:
+            out.append(ch)
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in ("'", '"'):
+            in_string = ch
+            out.append(ch)
+            continue
+        if ch == "!":
+            break
+        out.append(ch)
+    return "".join(out).rstrip(), False
+
+
+def split_logical_lines(text: str) -> list[LogicalLine]:
+    """Split *text* into logical lines with continuation joining.
+
+    A trailing ``&`` continues the statement on the next non-blank,
+    non-comment line.  A leading ``&`` on the continuation line is consumed
+    (free-form Fortran style).  Directive lines never continue.
+    """
+    physical = text.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+    logical: list[LogicalLine] = []
+
+    pending_text: str | None = None
+    pending_line = 0
+
+    for idx, raw in enumerate(physical, start=1):
+        code, is_directive = _strip_comment(raw)
+        if not code.strip():
+            continue
+
+        if pending_text is not None:
+            # We are inside a continuation.
+            chunk = code.strip()
+            if chunk.startswith("&"):
+                chunk = chunk[1:].lstrip()
+            if chunk.endswith("&"):
+                pending_text += " " + chunk[:-1].rstrip()
+                continue
+            pending_text += " " + chunk
+            logical.append(LogicalLine(text=pending_text, line=pending_line))
+            pending_text = None
+            continue
+
+        if is_directive:
+            logical.append(LogicalLine(text=code.strip(), line=idx, is_directive=True))
+            continue
+
+        chunk = code.strip()
+        if chunk.endswith("&"):
+            pending_text = chunk[:-1].rstrip()
+            pending_line = idx
+            continue
+
+        # Fortran also allows multiple statements separated by ';'.
+        for part in _split_semicolons(chunk):
+            if part.strip():
+                logical.append(LogicalLine(text=part.strip(), line=idx))
+
+    if pending_text is not None:
+        logical.append(LogicalLine(text=pending_text, line=pending_line))
+    return logical
+
+
+def _split_semicolons(line: str) -> list[str]:
+    """Split a statement line on ``;`` outside of string literals."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_string: str | None = None
+    for ch in line:
+        if in_string:
+            current.append(ch)
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in ("'", '"'):
+            in_string = ch
+            current.append(ch)
+            continue
+        if ch == ";":
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    parts.append("".join(current))
+    return parts

@@ -1,0 +1,26 @@
+"""Functional interpreter: sequential, vectorised execution of HPF programs.
+
+Used as the correctness oracle for the compiler + simulator path and as the
+environment's stand-alone functional-checking tool.
+"""
+
+from .evaluator import (
+    EvaluationResult,
+    ForallExecution,
+    FunctionalEvaluator,
+    evaluate_program,
+    execute_forall,
+)
+from .exprs import ExpressionEvaluator
+from .state import ArrayValue, ProgramState
+
+__all__ = [
+    "EvaluationResult",
+    "ForallExecution",
+    "FunctionalEvaluator",
+    "evaluate_program",
+    "execute_forall",
+    "ExpressionEvaluator",
+    "ArrayValue",
+    "ProgramState",
+]

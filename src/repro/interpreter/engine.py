@@ -1,0 +1,289 @@
+"""The interpretation algorithm (§3.3, §4.2 — the interpretation parse).
+
+The engine recursively applies the interpretation functions to the SAAG:
+leaf AAUs are charged via their interpretation function, serial loops multiply
+their body by the (critical-variable-resolved) trip count, conditionals select
+or weight their branches, and a global clock plus cumulative computation /
+communication / overhead metrics are maintained for the whole SAAG.
+
+The result object supports the queries the output module exposes: cumulative
+metrics, per-AAU metrics, sub-AAG metrics and per-source-line metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+
+from ..appmodel.aau import AAU, AAUType
+from ..appmodel.builder import build_saag
+from ..appmodel.machine_filter import FilterOptions, apply_machine_filter
+from ..appmodel.saag import SAAG
+from ..compiler.pipeline import CompiledProgram
+from ..compiler.spmd import LocalLoopNest, NodeDo, NodeDoWhile, NodeIf
+from ..system.ipsc860 import Machine
+from .functions import InterpretationContext, InterpreterOptions, interpret_leaf
+from .metrics import Metrics, MetricsTable
+from .overlap import apply_overlap
+
+
+@dataclass
+class InterpretationResult:
+    """Everything the interpretation parse produces for one (program, machine) pair."""
+
+    compiled: CompiledProgram
+    machine: Machine
+    saag: SAAG
+    table: MetricsTable
+    options: InterpreterOptions
+    wall_clock_seconds: float = 0.0    # how long the interpretation itself took
+
+    # -- headline numbers ------------------------------------------------------
+
+    @property
+    def total(self) -> Metrics:
+        return self.table.cumulative
+
+    @property
+    def predicted_time_us(self) -> float:
+        return self.table.cumulative.total
+
+    @property
+    def predicted_time_s(self) -> float:
+        return self.predicted_time_us * 1e-6
+
+    # -- queries -----------------------------------------------------------------
+
+    def metrics_for(self, aau_id: int) -> Metrics:
+        return self.table.total_for(aau_id)
+
+    def subtree_metrics(self, aau: AAU) -> Metrics:
+        return self.table.subtree_total(aau)
+
+    def per_line(self, line: int) -> Metrics:
+        """Cumulative metrics attributed to one physical source line."""
+        total = Metrics()
+        for aau in self.saag.at_line(line):
+            total += self.table.total_for(aau.id)
+        return total
+
+    def line_breakdown(self) -> dict[int, Metrics]:
+        """Metrics per source line, for the whole program."""
+        lines: dict[int, Metrics] = {}
+        for aau in self.saag.walk():
+            metrics = self.table.total_for(aau.id)
+            if metrics.total <= 0.0:
+                continue
+            existing = lines.setdefault(aau.line, Metrics())
+            existing += metrics
+        return lines
+
+    def breakdown_by_type(self) -> dict[str, Metrics]:
+        out: dict[str, Metrics] = {}
+        for aau in self.saag.walk():
+            metrics = self.table.total_for(aau.id)
+            if metrics.total <= 0.0:
+                continue
+            existing = out.setdefault(aau.type_name, Metrics())
+            existing += metrics
+        return out
+
+    def top_aaus(self, n: int = 10) -> list[tuple[AAU, Metrics]]:
+        scored = [
+            (aau, self.table.total_for(aau.id))
+            for aau in self.saag.walk()
+        ]
+        scored.sort(key=lambda pair: pair[1].total, reverse=True)
+        return scored[:n]
+
+
+class PerformanceInterpreter:
+    """Runs the interpretation algorithm over one compiled program."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        machine: Machine,
+        options: InterpreterOptions | None = None,
+        saag: SAAG | None = None,
+        filter_options: FilterOptions | None = None,
+    ):
+        self.compiled = compiled
+        self.machine = machine
+        self.options = options or InterpreterOptions()
+        if saag is None:
+            saag = build_saag(compiled, overrides=self.options.overrides)
+            apply_machine_filter(saag, compiled, machine, filter_options)
+        self.saag = saag
+        env = dict(compiled.mapping.env)
+        env.update(self.saag.critical_variables.resolved_env())
+        env.update({k.lower(): float(v) for k, v in self.options.overrides.items()})
+        self.ctx = InterpretationContext(
+            compiled=compiled, machine=machine, saag=self.saag,
+            options=self.options, env=env,
+        )
+        self.table = MetricsTable()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def interpret(self) -> InterpretationResult:
+        started = _time.perf_counter()
+        total = self._interpret_sequence(list(self.saag.root.children), multiplier=1.0)
+        startup = self.options.program_startup_us
+        if startup < 0:
+            from ..system.ipsc860 import PROGRAM_STARTUP_US
+            startup = PROGRAM_STARTUP_US
+        startup_metrics = Metrics(overhead=startup)
+        total = total + startup_metrics
+        self.table.record(self.saag.root.id, startup_metrics, 1.0)
+        self.table.cumulative = total
+        self.table.global_clock = total.total
+        elapsed = _time.perf_counter() - started
+        return InterpretationResult(
+            compiled=self.compiled,
+            machine=self.machine,
+            saag=self.saag,
+            table=self.table,
+            options=self.options,
+            wall_clock_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # recursion
+    # ------------------------------------------------------------------
+
+    def _interpret_sequence(self, aaus: list[AAU], multiplier: float) -> Metrics:
+        total = Metrics()
+        previous_computation = 0.0
+        for aau in aaus:
+            metrics = self._interpret_aau(aau, multiplier)
+            if aau.type in (AAUType.COMM, AAUType.SYNC) and self.options.overlap.enabled:
+                adjusted = apply_overlap(metrics, previous_computation, self.options.overlap)
+                saved = metrics.communication - adjusted.communication
+                if saved > 0:
+                    entry = self.table.get(aau.id)
+                    if entry is not None:
+                        entry.per_execution.communication = max(
+                            entry.per_execution.communication - saved, 0.0
+                        )
+                    metrics = adjusted
+            total += metrics
+            previous_computation = metrics.computation
+        return total
+
+    def _interpret_aau(self, aau: AAU, multiplier: float) -> Metrics:
+        node = aau.spmd_node
+        clock = self.table.global_clock
+
+        if isinstance(node, NodeDo):
+            return self._interpret_do(aau, node, multiplier)
+        if isinstance(node, NodeDoWhile):
+            return self._interpret_do_while(aau, node, multiplier)
+        if isinstance(node, NodeIf):
+            return self._interpret_if(aau, node, multiplier)
+        if node is None and aau.children:
+            # structural grouping AAU (e.g. an IF branch)
+            self.table.record(aau.id, Metrics(), multiplier, clock)
+            return self._interpret_sequence(aau.children, multiplier)
+
+        own = interpret_leaf(aau, self.ctx)
+        self.table.record(aau.id, own, multiplier, clock)
+        # LocalLoopNest children (the mask CondtD) are bookkeeping only.
+        if not isinstance(node, LocalLoopNest):
+            child_total = self._interpret_sequence(aau.children, multiplier) if aau.children \
+                else Metrics()
+        else:
+            child_total = Metrics()
+            for child in aau.children:
+                self.table.record(child.id, Metrics(), multiplier, clock)
+        return own + child_total
+
+    # -- serial DO loop -----------------------------------------------------------
+
+    def _interpret_do(self, aau: AAU, node: NodeDo, multiplier: float) -> Metrics:
+        ctx = self.ctx
+        proc = self.machine.processing
+        start = ctx.eval(node.start, 1.0)
+        end = ctx.eval(node.end, start)
+        step = ctx.eval(node.step, 1.0) or 1.0
+        trips = max(math.floor((end - start) / step) + 1, 0)
+
+        own = Metrics(overhead=proc.loop_startup_overhead
+                      + trips * (proc.loop_iteration_overhead + proc.int_op_time))
+        self.table.record(aau.id, own, multiplier, self.table.global_clock)
+
+        # Children see a representative (mid-range) value of the loop variable so
+        # bounds that depend on it (triangular loops) interpret to their average.
+        var = node.var.lower()
+        saved = ctx.env.get(var)
+        ctx.env[var] = (start + end) / 2.0
+        child_total = self._interpret_sequence(aau.children, multiplier * trips)
+        if saved is None:
+            ctx.env.pop(var, None)
+        else:
+            ctx.env[var] = saved
+
+        # child_total is the metrics of ONE execution of the loop body sequence;
+        # one execution of the loop runs the body `trips` times.
+        return own + child_total.scaled(trips)
+
+    # -- DO WHILE -------------------------------------------------------------------
+
+    def _interpret_do_while(self, aau: AAU, node: NodeDoWhile, multiplier: float) -> Metrics:
+        proc = self.machine.processing
+        trips = node.estimated_trips or self.options.while_trip_estimate
+        cond_cost = Metrics(overhead=trips * (proc.branch_time + 2 * proc.int_op_time))
+        self.table.record(aau.id, cond_cost, multiplier, self.table.global_clock)
+        child_total = self._interpret_sequence(aau.children, multiplier * trips)
+        return cond_cost + child_total.scaled(trips)
+
+    # -- IF construct ----------------------------------------------------------------
+
+    def _interpret_if(self, aau: AAU, node: NodeIf, multiplier: float) -> Metrics:
+        ctx = self.ctx
+        proc = self.machine.processing
+        own = Metrics(overhead=len(node.branches) * proc.conditional_overhead)
+        self.table.record(aau.id, own, multiplier, self.table.global_clock)
+
+        # Try to resolve the branch statically (deterministic conditional).
+        chosen: int | None = None
+        for index, (cond, _) in enumerate(node.branches):
+            value = ctx.eval(cond, None)
+            if value is None:
+                chosen = None
+                break
+            if value:
+                chosen = index
+                break
+        else:
+            chosen = len(node.branches)  # else branch (or nothing)
+
+        branch_aaus = aau.children
+        total = own
+        if chosen is not None:
+            for index, branch in enumerate(branch_aaus):
+                weight = 1.0 if index == chosen else 0.0
+                child = self._interpret_sequence([branch], multiplier * max(weight, 1e-12))
+                total += child.scaled(weight)
+        else:
+            weight = self.options.branch_probability
+            weights = [weight] * len(branch_aaus)
+            if weights:
+                weights[0] = max(weight, 1.0 - weight * (len(branch_aaus) - 1))
+            for branch, w in zip(branch_aaus, weights):
+                child = self._interpret_sequence([branch], multiplier * w)
+                total += child.scaled(w)
+        return total
+
+
+def interpret(
+    compiled: CompiledProgram,
+    machine: Machine,
+    options: InterpreterOptions | None = None,
+    saag: SAAG | None = None,
+) -> InterpretationResult:
+    """Convenience wrapper: run the full interpretation parse."""
+    return PerformanceInterpreter(compiled, machine, options=options, saag=saag).interpret()

@@ -1,0 +1,127 @@
+"""Performance metrics maintained by the interpretation parse.
+
+§4.2: *"Performance metrics maintained at each AAU are its computation,
+communication and overheads times, and the value of the global clock.  In
+addition, cumulative metrics are also maintained for the entire SAAG."*
+
+All times are in microseconds.  ``Metrics`` supports addition and scaling so
+the interpretation algorithm can combine children and multiply by loop trip
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Computation / communication / overhead breakdown (µs)."""
+
+    computation: float = 0.0
+    communication: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.communication + self.overhead
+
+    def __add__(self, other: "Metrics") -> "Metrics":
+        return Metrics(
+            computation=self.computation + other.computation,
+            communication=self.communication + other.communication,
+            overhead=self.overhead + other.overhead,
+        )
+
+    def __iadd__(self, other: "Metrics") -> "Metrics":
+        self.computation += other.computation
+        self.communication += other.communication
+        self.overhead += other.overhead
+        return self
+
+    def scaled(self, factor: float) -> "Metrics":
+        return Metrics(
+            computation=self.computation * factor,
+            communication=self.communication * factor,
+            overhead=self.overhead * factor,
+        )
+
+    def copy(self) -> "Metrics":
+        return Metrics(self.computation, self.communication, self.overhead)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "computation": self.computation,
+            "communication": self.communication,
+            "overhead": self.overhead,
+            "total": self.total,
+        }
+
+    def describe(self, unit: str = "us") -> str:
+        scale = {"us": 1.0, "ms": 1e-3, "s": 1e-6}[unit]
+        return (
+            f"comp {self.computation * scale:.3f}{unit}, "
+            f"comm {self.communication * scale:.3f}{unit}, "
+            f"ovhd {self.overhead * scale:.3f}{unit}, "
+            f"total {self.total * scale:.3f}{unit}"
+        )
+
+
+@dataclass
+class AAUMetrics:
+    """Metrics associated with one AAU during interpretation."""
+
+    aau_id: int
+    per_execution: Metrics = field(default_factory=Metrics)
+    executions: float = 0.0
+    clock_at_entry: float = 0.0   # value of the global clock when first interpreted
+
+    @property
+    def total(self) -> Metrics:
+        return self.per_execution.scaled(self.executions)
+
+    def describe(self) -> str:
+        return (
+            f"AAU {self.aau_id}: executed {self.executions:g}x, "
+            f"per execution {self.per_execution.describe()}"
+        )
+
+
+@dataclass
+class MetricsTable:
+    """Per-AAU metrics plus SAAG-level cumulative metrics."""
+
+    per_aau: dict[int, AAUMetrics] = field(default_factory=dict)
+    cumulative: Metrics = field(default_factory=Metrics)
+    global_clock: float = 0.0
+
+    def record(self, aau_id: int, per_execution: Metrics, executions: float,
+               clock_at_entry: float = 0.0) -> AAUMetrics:
+        entry = self.per_aau.get(aau_id)
+        if entry is None:
+            entry = AAUMetrics(aau_id=aau_id, per_execution=per_execution.copy(),
+                               executions=executions, clock_at_entry=clock_at_entry)
+            self.per_aau[aau_id] = entry
+        else:
+            # The same AAU interpreted again (e.g. on another loop level): merge.
+            total_prev = entry.per_execution.scaled(entry.executions)
+            total_new = per_execution.scaled(executions)
+            entry.executions += executions
+            if entry.executions > 0:
+                merged = total_prev + total_new
+                entry.per_execution = merged.scaled(1.0 / entry.executions)
+        return entry
+
+    def get(self, aau_id: int) -> AAUMetrics | None:
+        return self.per_aau.get(aau_id)
+
+    def total_for(self, aau_id: int) -> Metrics:
+        entry = self.per_aau.get(aau_id)
+        return entry.total if entry is not None else Metrics()
+
+    def subtree_total(self, aau) -> Metrics:
+        """Cumulative metrics for a branch of the AAG (sub-AAG query of §3.4)."""
+        result = Metrics()
+        for node in aau.walk():
+            result += self.total_for(node.id)
+        return result

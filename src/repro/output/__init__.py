@@ -1,0 +1,41 @@
+"""Output Module: profiles, per-line queries, ParaGraph-style traces, reports."""
+
+from .profile import (
+    PerformanceProfile,
+    ProfileEntry,
+    aau_profile,
+    line_profile,
+    phase_profile,
+    program_profile,
+)
+from .query import LineQueryResult, QueryInterface
+from .report import (
+    format_us,
+    render_bar_chart,
+    render_comparison,
+    render_profile,
+    render_series_chart,
+    render_table,
+)
+from .trace import InterpretationTrace, TraceEvent, generate_trace, merge_traces
+
+__all__ = [
+    "PerformanceProfile",
+    "ProfileEntry",
+    "aau_profile",
+    "line_profile",
+    "phase_profile",
+    "program_profile",
+    "LineQueryResult",
+    "QueryInterface",
+    "format_us",
+    "render_bar_chart",
+    "render_comparison",
+    "render_profile",
+    "render_series_chart",
+    "render_table",
+    "InterpretationTrace",
+    "TraceEvent",
+    "generate_trace",
+    "merge_traces",
+]

@@ -1,0 +1,134 @@
+"""Performance profiles (the first output type of §4.2's output parse).
+
+*"The first type is a generic performance profile of the entire application
+broken up into its communication, computation and overhead components.
+Similar measures for each individual AAU and for sub-graphs of the AAG are
+also available."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..appmodel.aau import AAU
+from ..interpreter.engine import InterpretationResult
+from ..interpreter.metrics import Metrics
+
+
+@dataclass
+class ProfileEntry:
+    """One row of a performance profile."""
+
+    label: str
+    metrics: Metrics
+    line: int = 0
+    aau_id: int | None = None
+
+    @property
+    def total(self) -> float:
+        return self.metrics.total
+
+
+@dataclass
+class PerformanceProfile:
+    """A named collection of profile rows plus the program-level summary."""
+
+    program: str
+    machine: str
+    nprocs: int
+    overall: Metrics
+    entries: list[ProfileEntry] = field(default_factory=list)
+
+    def sorted_entries(self) -> list[ProfileEntry]:
+        return sorted(self.entries, key=lambda e: e.total, reverse=True)
+
+    def top(self, n: int = 10) -> list[ProfileEntry]:
+        return self.sorted_entries()[:n]
+
+    def fraction(self, entry: ProfileEntry) -> float:
+        return entry.total / self.overall.total if self.overall.total > 0 else 0.0
+
+    def communication_fraction(self) -> float:
+        if self.overall.total <= 0:
+            return 0.0
+        return self.overall.communication / self.overall.total
+
+
+def program_profile(result: InterpretationResult) -> PerformanceProfile:
+    """The whole-application profile: one entry per top-level AAU."""
+    profile = PerformanceProfile(
+        program=result.compiled.name,
+        machine=result.machine.name,
+        nprocs=result.compiled.nprocs,
+        overall=result.total,
+    )
+    for aau in result.saag.root.children:
+        profile.entries.append(ProfileEntry(
+            label=aau.name,
+            metrics=result.subtree_metrics(aau),
+            line=aau.line,
+            aau_id=aau.id,
+        ))
+    return profile
+
+
+def aau_profile(result: InterpretationResult, aau: AAU) -> PerformanceProfile:
+    """Profile of a single AAU's sub-graph (a branch of the AAG)."""
+    profile = PerformanceProfile(
+        program=result.compiled.name,
+        machine=result.machine.name,
+        nprocs=result.compiled.nprocs,
+        overall=result.subtree_metrics(aau),
+    )
+    for child in aau.children:
+        profile.entries.append(ProfileEntry(
+            label=child.name,
+            metrics=result.subtree_metrics(child),
+            line=child.line,
+            aau_id=child.id,
+        ))
+    if not aau.children:
+        profile.entries.append(ProfileEntry(
+            label=aau.name, metrics=result.metrics_for(aau.id), line=aau.line, aau_id=aau.id,
+        ))
+    return profile
+
+
+def line_profile(result: InterpretationResult) -> PerformanceProfile:
+    """Profile keyed by source line (one row per line with non-zero cost)."""
+    profile = PerformanceProfile(
+        program=result.compiled.name,
+        machine=result.machine.name,
+        nprocs=result.compiled.nprocs,
+        overall=result.total,
+    )
+    for line, metrics in sorted(result.line_breakdown().items()):
+        text = result.compiled.source.line_text(line).strip() or f"line {line}"
+        profile.entries.append(ProfileEntry(label=text, metrics=metrics, line=line))
+    return profile
+
+
+def phase_profile(
+    result: InterpretationResult,
+    phases: dict[str, tuple[int, int]],
+) -> PerformanceProfile:
+    """Profile over user-defined application phases (line ranges).
+
+    ``phases`` maps a phase label to an inclusive (first_line, last_line)
+    range; this is how the Figure 6/7 stock-option-pricing breakdown is
+    produced (Phase 1 builds the price lattice, Phase 2 computes call prices).
+    """
+    profile = PerformanceProfile(
+        program=result.compiled.name,
+        machine=result.machine.name,
+        nprocs=result.compiled.nprocs,
+        overall=result.total,
+    )
+    line_metrics = result.line_breakdown()
+    for label, (first, last) in phases.items():
+        metrics = Metrics()
+        for line, value in line_metrics.items():
+            if first <= line <= last:
+                metrics += value
+        profile.entries.append(ProfileEntry(label=label, metrics=metrics, line=first))
+    return profile

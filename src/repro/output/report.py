@@ -1,0 +1,122 @@
+"""Text rendering of profiles, comparisons and paper-style tables/charts.
+
+The framework's GUI presented menus and graphs; this module provides the
+equivalent plain-text renderings used by the examples, the experiment
+harness (Tables / Figures) and the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..interpreter.metrics import Metrics
+from .profile import PerformanceProfile
+
+
+def format_us(value_us: float) -> str:
+    """Human-friendly time formatting."""
+    if value_us >= 1e6:
+        return f"{value_us / 1e6:.3f} s"
+    if value_us >= 1e3:
+        return f"{value_us / 1e3:.3f} ms"
+    return f"{value_us:.1f} us"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospaced table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_profile(profile: PerformanceProfile, top: int | None = None,
+                   title: str | None = None) -> str:
+    """Render a performance profile as a table with comp/comm/overhead columns."""
+    entries = profile.sorted_entries()
+    if top is not None:
+        entries = entries[:top]
+    rows = []
+    for entry in entries:
+        rows.append([
+            f"{entry.line}" if entry.line else "-",
+            entry.label[:48],
+            format_us(entry.metrics.computation),
+            format_us(entry.metrics.communication),
+            format_us(entry.metrics.overhead),
+            format_us(entry.total),
+            f"{profile.fraction(entry) * 100:.1f}%",
+        ])
+    table = render_table(
+        ["line", "construct", "comp", "comm", "ovhd", "total", "share"],
+        rows,
+        title=title or f"Performance profile: {profile.program} "
+                       f"({profile.nprocs} procs, {profile.machine})",
+    )
+    summary = (f"\noverall: comp {format_us(profile.overall.computation)}, "
+               f"comm {format_us(profile.overall.communication)}, "
+               f"ovhd {format_us(profile.overall.overhead)}, "
+               f"total {format_us(profile.overall.total)}")
+    return table + summary
+
+
+def render_bar_chart(
+    data: dict[str, float],
+    width: int = 48,
+    unit: str = "us",
+    title: str | None = None,
+) -> str:
+    """Horizontal ASCII bar chart (used for the Figure 7 / Figure 8 style plots)."""
+    if not data:
+        return "(no data)"
+    peak = max(data.values()) or 1.0
+    lines = [title] if title else []
+    label_width = max(len(k) for k in data)
+    for key, value in data.items():
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{key.ljust(label_width)} | {bar} {value:.1f} {unit}")
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    series: dict[str, dict[float, float]],
+    x_label: str = "problem size",
+    y_label: str = "time (s)",
+    title: str | None = None,
+) -> str:
+    """Render several (x → y) series as an aligned table (Figure 4/5 style)."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for name in series:
+            value = series[name].get(x)
+            row.append(f"{value:.6f}" if value is not None else "-")
+        rows.append(row)
+    heading = title or f"{y_label} vs {x_label}"
+    return render_table(headers, rows, title=heading)
+
+
+def render_comparison(
+    estimated: Metrics,
+    measured_total_us: float,
+    label: str = "",
+) -> str:
+    """One-line estimated-vs-measured comparison with the absolute error %."""
+    error = abs(estimated.total - measured_total_us) / measured_total_us * 100 \
+        if measured_total_us > 0 else float("nan")
+    prefix = f"{label}: " if label else ""
+    return (f"{prefix}estimated {format_us(estimated.total)} vs "
+            f"measured {format_us(measured_total_us)}  (abs error {error:.2f}%)")

@@ -1,0 +1,139 @@
+"""Interpretation trace generation (ParaGraph-style).
+
+The third output form of §4.2: *"the system can generate an interpretation
+trace which can be used as input to the ParaGraph visualization package."*
+ParaGraph consumes PICL-style event records; we emit a portable subset — one
+record per (processor, event, time) with begin/end markers for computation
+blocks and send/receive pairs for communication — plus a plain-text timeline
+renderer for environments without the visualiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..appmodel.aau import AAUType
+from ..interpreter.engine import InterpretationResult
+
+# PICL-like event type codes used by ParaGraph
+EVENT_COMPUTE_BEGIN = -3
+EVENT_COMPUTE_END = -4
+EVENT_SEND = -21
+EVENT_RECV = -22
+EVENT_OVERHEAD = -13
+
+
+@dataclass
+class TraceEvent:
+    """One trace record: (event type, timestamp µs, processor, length bytes)."""
+
+    event: int
+    time_us: float
+    processor: int
+    length: int = 0
+    tag: str = ""
+
+    def to_record(self) -> str:
+        """PICL-style whitespace-separated record (time in seconds)."""
+        return f"{self.event} {self.time_us * 1e-6:.9f} {self.processor} {self.length}"
+
+
+@dataclass
+class InterpretationTrace:
+    """A full trace for all processors."""
+
+    program: str
+    nprocs: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def sorted_events(self) -> list[TraceEvent]:
+        return sorted(self.events, key=lambda e: (e.time_us, e.processor, e.event))
+
+    def to_text(self) -> str:
+        """The trace file contents (header + one record per line)."""
+        lines = [f"# interpretation trace for {self.program} on {self.nprocs} processors"]
+        lines.extend(event.to_record() for event in self.sorted_events())
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_text())
+
+    def timeline(self, width: int = 64) -> str:
+        """A crude per-processor utilisation timeline (text renderer)."""
+        if not self.events:
+            return "(empty trace)"
+        horizon = max(e.time_us for e in self.events) or 1.0
+        rows = []
+        for proc in range(self.nprocs):
+            cells = [" "] * width
+            for event in self.events:
+                if event.processor != proc:
+                    continue
+                slot = min(int(event.time_us / horizon * (width - 1)), width - 1)
+                if event.event in (EVENT_SEND, EVENT_RECV):
+                    cells[slot] = "c"
+                elif event.event == EVENT_OVERHEAD:
+                    cells[slot] = "."
+                else:
+                    cells[slot] = "#"
+            rows.append(f"P{proc:<3d} |{''.join(cells)}|")
+        legend = "      # compute   c communicate   . overhead"
+        return "\n".join(rows) + "\n" + legend
+
+
+def generate_trace(result: InterpretationResult) -> InterpretationTrace:
+    """Build a ParaGraph-style trace from an interpretation result.
+
+    The interpretation is static, so every processor follows the same
+    loosely-synchronous schedule; the trace lays the AAUs out along the
+    interpreted global clock and replicates compute/communication events on
+    every processor (which is exactly what the visualiser needs to show the
+    alternating computation / communication structure).
+    """
+    nprocs = result.compiled.nprocs
+    trace = InterpretationTrace(program=result.compiled.name, nprocs=nprocs)
+
+    clock = 0.0
+    for aau in result.saag.walk():
+        entry = result.table.get(aau.id)
+        if entry is None:
+            continue
+        total = entry.total
+        if total.total <= 0:
+            continue
+        duration = total.total
+        begin, end = clock, clock + duration
+        if aau.type in (AAUType.COMM, AAUType.SYNC):
+            nbytes = 0
+            for comm_entry in result.saag.comm_table.for_aau(aau.id):
+                nbytes += int(comm_entry.bytes_per_proc)
+            for proc in range(nprocs):
+                trace.add(TraceEvent(EVENT_SEND, begin, proc, nbytes, aau.name))
+                trace.add(TraceEvent(EVENT_RECV, end, proc, nbytes, aau.name))
+        elif aau.type in (AAUType.ITER, AAUType.REDUCE, AAUType.SEQ, AAUType.COND):
+            event_type = EVENT_OVERHEAD if total.overhead >= total.computation \
+                else EVENT_COMPUTE_BEGIN
+            for proc in range(nprocs):
+                trace.add(TraceEvent(event_type, begin, proc, 0, aau.name))
+                if event_type == EVENT_COMPUTE_BEGIN:
+                    trace.add(TraceEvent(EVENT_COMPUTE_END, end, proc, 0, aau.name))
+        clock = end
+    return trace
+
+
+def merge_traces(traces: Iterable[InterpretationTrace], program: str = "merged") -> InterpretationTrace:
+    """Concatenate several traces end-to-end (used when composing experiments)."""
+    merged = InterpretationTrace(program=program, nprocs=max(t.nprocs for t in traces))
+    offset = 0.0
+    for trace in traces:
+        horizon = max((e.time_us for e in trace.events), default=0.0)
+        for event in trace.events:
+            merged.add(TraceEvent(event.event, event.time_us + offset, event.processor,
+                                  event.length, event.tag))
+        offset += horizon
+    return merged

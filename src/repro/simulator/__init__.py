@@ -1,0 +1,43 @@
+"""iPSC/860 execution simulator: the measurement substrate of the reproduction.
+
+Executes compiled SPMD node programs with a per-rank timing plane (dynamic
+node cost model + message-level hypercube network with link contention +
+seeded system noise) and a NumPy data plane identical to the functional
+interpreter, producing the "measured" times that the interpretation parse's
+estimates are validated against.
+"""
+
+from .collectives import allgather, allreduce, broadcast, shift_exchange, unstructured_gather
+from .events import EventQueue
+from .executor import CommStatistics, SimulatorOptions, SPMDExecutor
+from .hypercube import HypercubeTopology, cube_dimension, ecube_route, hamming_distance
+from .network import Message, Network, TransferResult
+from .node import IterationProfile, NodeCostModel
+from .noise import NoiseModel, NoiseOptions
+from .runtime import SimulationResult, simulate, simulate_repeated
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "broadcast",
+    "shift_exchange",
+    "unstructured_gather",
+    "EventQueue",
+    "CommStatistics",
+    "SimulatorOptions",
+    "SPMDExecutor",
+    "HypercubeTopology",
+    "cube_dimension",
+    "ecube_route",
+    "hamming_distance",
+    "Message",
+    "Network",
+    "TransferResult",
+    "IterationProfile",
+    "NodeCostModel",
+    "NoiseModel",
+    "NoiseOptions",
+    "SimulationResult",
+    "simulate",
+    "simulate_repeated",
+]

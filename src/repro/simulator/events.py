@@ -1,0 +1,67 @@
+"""A small discrete-event core used by the network simulation.
+
+Events are (time, sequence, callback) triples in a binary heap; ties are
+broken by insertion order so simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Deterministic discrete-event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* to run at absolute simulated time *time*."""
+        if time < self.now:
+            time = self.now
+        heapq.heappush(self._heap, _Event(time=time, seq=self._seq, callback=callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        self.schedule(self.now + max(delay, 0.0), callback)
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        event.callback()
+        self.processed += 1
+        return True
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or *max_events* is hit). Returns events processed."""
+        count = 0
+        while self._heap:
+            if max_events is not None and count >= max_events:
+                break
+            self.step()
+            count += 1
+        return count
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._seq = 0
+        self.now = 0.0
+        self.processed = 0

@@ -1,0 +1,594 @@
+"""Per-rank execution of the SPMD node program ("measured" times).
+
+The executor is the simulator's counterpart of running the compiled node
+program on the real machine.  It drives the compiled SPMD IR, keeping
+
+* one **data plane** — the program's arrays and scalars, evaluated with NumPy
+  through the functional evaluator (so simulated results are bit-identical to
+  the functional interpreter), and
+* one **timing plane** — a clock per rank, advanced by the dynamic node cost
+  model for local computation and by the message-level network model for
+  communication phases, with seeded system-load noise on top.
+
+Because the data plane executes the program for real, the timing plane sees
+the *actual* iteration counts, mask fractions, message sizes, trip counts and
+branch outcomes — precisely the dynamic information the static interpretation
+parse has to approximate.  The difference between the two is the prediction
+error the paper's Table 2 and Figures 4–5 quantify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler.pipeline import CompiledProgram
+from ..compiler.spmd import (
+    CommPhase,
+    CommSpec,
+    LocalLoopNest,
+    NodeDo,
+    NodeDoWhile,
+    NodeIf,
+    OwnerStmt,
+    ReductionNode,
+    SeqOverhead,
+    SerialStmt,
+    ShiftNode,
+    SPMDNode,
+)
+from ..distribution import ArrayDistribution
+from ..frontend import ast_nodes as ast
+from ..frontend.errors import SimulationError
+from ..functional.evaluator import FunctionalEvaluator, execute_forall
+from ..interpreter.expression_cost import OpCount, count_expr, count_statement_body
+from ..interpreter.metrics import Metrics
+from ..system.ipsc860 import PROGRAM_STARTUP_US, Machine
+from .collectives import allgather, allreduce, broadcast, shift_exchange, unstructured_gather
+from .network import Network
+from .node import IterationProfile, NodeCostModel
+from .noise import NoiseModel, NoiseOptions
+
+
+@dataclass
+class SimulatorOptions:
+    """User-controllable simulation parameters."""
+
+    noise: NoiseOptions = field(default_factory=NoiseOptions)
+    seed: int = 12345
+    max_while_iterations: int = 100_000
+    collective_software_overhead: float = 30.0   # matches the library call overhead
+    program_startup_us: float = PROGRAM_STARTUP_US   # node program load + initial barrier
+
+
+@dataclass
+class CommStatistics:
+    messages: int = 0
+    bytes: int = 0
+    operations: int = 0
+
+    def record(self, messages: int, nbytes: float) -> None:
+        self.messages += messages
+        self.bytes += int(nbytes)
+        self.operations += 1
+
+
+class SPMDExecutor:
+    """Executes one compiled program on the simulated machine."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        machine: Machine,
+        options: SimulatorOptions | None = None,
+        params: dict[str, float] | None = None,
+    ):
+        self.compiled = compiled
+        self.machine = machine
+        self.options = options or SimulatorOptions()
+        self.nprocs = compiled.nprocs
+        self.grid = compiled.mapping.grid
+
+        env = dict(compiled.mapping.env)
+        if params:
+            env.update({k.lower(): float(v) for k, v in params.items()})
+        # Data plane: execute the *normalised* program's declarations but drive
+        # control flow from the SPMD IR.
+        self.data = FunctionalEvaluator(compiled.normalized, compiled.symtable, params=env)
+        self.state = self.data.state
+        self.exprs = self.data.exprs
+
+        self.cost = NodeCostModel(machine)
+        self.network = Network(machine.communication, max(self.nprocs, 1))
+        self.noise = NoiseModel(seed=self.options.seed + machine.noise_seed,
+                                options=self.options.noise)
+
+        self.clocks = np.zeros(self.nprocs, dtype=np.float64)
+        self.totals = Metrics()
+        self.line_metrics: dict[int, Metrics] = {}
+        self.node_metrics: dict[int, Metrics] = {}   # keyed by id(spmd node)
+        self.comm_stats = CommStatistics()
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self.clocks += self.options.program_startup_us
+        self._execute_sequence(self.compiled.spmd.nodes)
+
+    @property
+    def elapsed_us(self) -> float:
+        return float(np.max(self.clocks)) if self.nprocs else 0.0
+
+    # ------------------------------------------------------------------
+    # charging helpers
+    # ------------------------------------------------------------------
+
+    def _charge(self, node: SPMDNode, category: str, per_rank: np.ndarray | float) -> None:
+        """Advance clocks and attribute time to the node's source line."""
+        if np.isscalar(per_rank):
+            per_rank = np.full(self.nprocs, float(per_rank))
+        per_rank = np.asarray(per_rank, dtype=np.float64)
+        self.clocks += per_rank
+        mean = float(np.mean(per_rank)) if per_rank.size else 0.0
+        metrics = Metrics(**{category: mean})
+        self.totals += metrics
+        line_entry = self.line_metrics.setdefault(node.line, Metrics())
+        line_entry += metrics
+        node_entry = self.node_metrics.setdefault(id(node), Metrics())
+        node_entry += metrics
+
+    def _set_clocks(self, node: SPMDNode, category: str, new_clocks: dict[int, float]) -> None:
+        """Move clocks to the given completion times, attributing the delta."""
+        delta = np.zeros(self.nprocs, dtype=np.float64)
+        for rank in range(self.nprocs):
+            target = new_clocks.get(rank, self.clocks[rank])
+            delta[rank] = max(target - self.clocks[rank], 0.0)
+        self._charge(node, category, delta)
+
+    # ------------------------------------------------------------------
+    # sequence / control flow
+    # ------------------------------------------------------------------
+
+    def _execute_sequence(self, nodes: list[SPMDNode]) -> None:
+        for node in nodes:
+            self._execute_node(node)
+
+    def _execute_node(self, node: SPMDNode) -> None:
+        self.statements_executed += 1
+        if isinstance(node, SeqOverhead):
+            self._exec_seq_overhead(node)
+        elif isinstance(node, CommPhase):
+            self._exec_comm_phase(node)
+        elif isinstance(node, LocalLoopNest):
+            self._exec_loop_nest(node)
+        elif isinstance(node, ReductionNode):
+            self._exec_reduction(node)
+        elif isinstance(node, ShiftNode):
+            self._exec_shift(node)
+        elif isinstance(node, OwnerStmt):
+            self._exec_owner_stmt(node)
+        elif isinstance(node, SerialStmt):
+            self._exec_serial(node)
+        elif isinstance(node, NodeDo):
+            self._exec_do(node)
+        elif isinstance(node, NodeDoWhile):
+            self._exec_do_while(node)
+        elif isinstance(node, NodeIf):
+            self._exec_if(node)
+        else:
+            raise SimulationError(f"cannot simulate SPMD node {type(node).__name__}")
+
+    def _exec_do(self, node: NodeDo) -> None:
+        start = int(self._scalar(node.start))
+        end = int(self._scalar(node.end))
+        step = int(self._scalar(node.step)) if node.step is not None else 1
+        if step == 0:
+            raise SimulationError("DO loop step must be non-zero", )
+        proc = self.machine.processing
+        value = start
+        while (step > 0 and value <= end) or (step < 0 and value >= end):
+            self.state.set_scalar(node.var, value)
+            self._charge(node, "overhead",
+                         proc.loop_iteration_overhead + proc.int_op_time)
+            self._execute_sequence(node.body)
+            value += step
+        self.state.set_scalar(node.var, value)
+
+    def _exec_do_while(self, node: NodeDoWhile) -> None:
+        proc = self.machine.processing
+        iterations = 0
+        while bool(np.all(self.exprs.eval(node.cond))):
+            iterations += 1
+            if iterations > self.options.max_while_iterations:
+                raise SimulationError("DO WHILE exceeded the simulation iteration limit")
+            self._charge(node, "overhead", proc.branch_time + 2 * proc.int_op_time)
+            self._execute_sequence(node.body)
+        self._charge(node, "overhead", proc.branch_time)
+
+    def _exec_if(self, node: NodeIf) -> None:
+        proc = self.machine.processing
+        self._charge(node, "overhead", proc.conditional_overhead)
+        for cond, body in node.branches:
+            if bool(np.all(self.exprs.eval(cond))):
+                self._execute_sequence(body)
+                return
+        self._execute_sequence(node.else_body)
+
+    # ------------------------------------------------------------------
+    # leaf nodes
+    # ------------------------------------------------------------------
+
+    def _exec_seq_overhead(self, node: SeqOverhead) -> None:
+        proc = self.machine.processing
+        items = max(node.items, 1)
+        if node.kind == "pack_parameters":
+            time = items * (12 * proc.int_op_time + 2 * proc.assignment_overhead)
+        elif node.kind == "adjust_bounds":
+            time = items * (8 * proc.int_op_time + proc.divide_time)
+        else:
+            time = items * 6 * proc.int_op_time
+        self._charge(node, "overhead", time)
+
+    def _exec_serial(self, node: SerialStmt) -> None:
+        stmt = node.stmt
+        if isinstance(stmt, (ast.ExitStmt, ast.CycleStmt, ast.StopStmt, ast.ContinueStmt)):
+            self._charge(node, "overhead", self.machine.processing.branch_time)
+            return
+        if isinstance(stmt, ast.PrintStmt):
+            self.data.exec_print(stmt)
+            self._charge(node, "overhead", 180.0 + 55.0 * max(len(stmt.items), 1))
+            return
+        if isinstance(stmt, ast.Assignment):
+            self.data.exec_assignment(stmt)
+            count = count_statement_body([stmt])
+            time = self.cost.scalar_statement_time(count)
+            self._charge(node, "computation", self.noise.compute(time))
+            return
+        if isinstance(stmt, ast.CallStmt):
+            self._charge(node, "computation", self.machine.processing.call_overhead)
+            return
+        # declarations or other inert statements
+        self._charge(node, "overhead", 0.0)
+
+    def _exec_owner_stmt(self, node: OwnerStmt) -> None:
+        stmt = node.stmt
+        dist = self.compiled.mapping.distribution_of(node.array)
+        proc = self.machine.processing
+
+        if node.comms:
+            self._exec_comm_specs(node, node.comms)
+
+        # ownership guard evaluated by every rank
+        guard = 4 * proc.int_op_time + proc.branch_time
+        per_rank = np.full(self.nprocs, guard)
+
+        owner = 0
+        if dist is not None and isinstance(stmt.target, ast.ArrayRef):
+            index = []
+            for axis, sub in enumerate(stmt.target.indices):
+                value = int(np.asarray(self.exprs.eval(sub)))
+                index.append(value - dist.lower_bounds[axis])
+            try:
+                owner = dist.owner_rank(tuple(index))
+            except Exception:
+                owner = 0
+        count = count_statement_body([stmt])
+        per_rank[owner] += self.noise.compute(self.cost.scalar_statement_time(count))
+        self._charge(node, "computation", per_rank)
+
+        self.data.exec_assignment(stmt)
+
+    # -- local loop nests ---------------------------------------------------------
+
+    def _exec_loop_nest(self, node: LocalLoopNest) -> None:
+        mapping = self.compiled.mapping
+        home_dist = mapping.distribution_of(node.home_array) if node.home_array else None
+        distributed = home_dist is not None and not home_dist.is_replicated
+
+        # Data plane: execute the forall (vectorised) and capture its shape.
+        forall = node.origin
+        if not isinstance(forall, ast.ForallStmt):
+            raise SimulationError("loop nest without a forall origin", )
+        record = execute_forall(forall, self.state, self.exprs)
+
+        if record.iterations == 0:
+            self._charge(node, "overhead",
+                         len(node.loops) * self.machine.processing.loop_startup_overhead)
+            return
+
+        count = count_statement_body(node.body, node.mask)
+        element_size = home_dist.element_size if home_dist is not None else 4
+        precision = self._precision(node.home_array)
+
+        # Timing plane: actual per-rank iteration counts and mask fractions.
+        per_rank = np.zeros(self.nprocs, dtype=np.float64)
+        for rank in range(self.nprocs):
+            selectors: list[np.ndarray] = []
+            iterations = 1.0
+            innermost_extent = 1.0
+            stride1 = False
+            for dim in node.loops:
+                values = record.triplet_ranges.get(dim.var.lower())
+                if values is None:
+                    continue
+                if distributed and dim.home_axis is not None and \
+                        dim.home_axis < len(home_dist.axes) and \
+                        home_dist.axes[dim.home_axis].is_distributed:
+                    owned = home_dist.local_indices(rank, dim.home_axis) + \
+                        home_dist.lower_bounds[dim.home_axis]
+                    selector = np.isin(values, owned)
+                else:
+                    selector = np.ones(len(values), dtype=bool)
+                selectors.append(selector)
+                dim_count = float(np.count_nonzero(selector))
+                iterations *= dim_count
+                if dim.home_axis == 0:
+                    stride1 = True
+                    innermost_extent = dim_count
+            if not stride1 and selectors:
+                innermost_extent = float(np.count_nonzero(selectors[-1]))
+
+            mask_fraction = None
+            if record.mask is not None and iterations > 0 and selectors:
+                sub_mask = record.mask[np.ix_(*selectors)]
+                mask_fraction = float(np.count_nonzero(sub_mask)) / max(sub_mask.size, 1)
+
+            profile = IterationProfile(
+                count=count,
+                precision=precision,
+                element_size=element_size,
+                local_elements=iterations,
+                innermost_extent=max(innermost_extent, 1.0),
+                stride1=stride1 or not distributed,
+                arrays_touched=max(len(count.arrays_touched), 1),
+                mask_fraction=mask_fraction,
+            )
+            per_rank[rank] = self.noise.compute(
+                self.cost.loop_nest_time(profile, depth=len(node.loops))
+            )
+
+        self._charge(node, "computation", per_rank)
+
+    # -- reductions -----------------------------------------------------------------
+
+    def _exec_reduction(self, node: ReductionNode) -> None:
+        # Data plane: the origin assignment computes the reduced value exactly.
+        if isinstance(node.origin, ast.Assignment):
+            self.data.exec_assignment(node.origin)
+
+        mapping = self.compiled.mapping
+        dist = mapping.distribution_of(node.home_array) if node.home_array else None
+        count = count_expr(node.source)
+        if node.second_source is not None:
+            count += count_expr(node.second_source)
+            count.flops += 1.0
+        if node.mask is not None:
+            count += count_expr(node.mask)
+        count.flops += 1.0
+
+        total_extent = self._reduction_extent(node, dist)
+        per_rank = np.zeros(self.nprocs, dtype=np.float64)
+        element_size = dist.element_size if dist is not None else 4
+        for rank in range(self.nprocs):
+            if dist is not None and not dist.is_replicated:
+                share = dist.local_size(rank) / max(dist.size, 1)
+                local = total_extent * share
+            else:
+                local = total_extent
+            profile = IterationProfile(
+                count=count,
+                precision=self._precision(node.home_array),
+                element_size=element_size,
+                local_elements=local,
+                innermost_extent=max(local, 1.0),
+                stride1=True,
+                arrays_touched=max(len(count.arrays_touched), 1),
+            )
+            per_rank[rank] = self.noise.compute(self.cost.loop_nest_time(profile, depth=1))
+        self._charge(node, "computation", per_rank)
+
+    def _reduction_extent(self, node: ReductionNode, dist: ArrayDistribution | None) -> float:
+        for ref in ast.expr_array_refs(node.source):
+            if not self.state.is_array(ref.name):
+                continue
+            value = self.exprs.eval(ref)
+            return float(np.asarray(value).size)
+        for sub in ast.walk_expr(node.source):
+            if isinstance(sub, ast.Var) and self.state.is_array(sub.name):
+                return float(self.state.array(sub.name).data.size)
+        if dist is not None:
+            return float(dist.size)
+        return 1.0
+
+    # -- shifts -----------------------------------------------------------------------
+
+    def _exec_shift(self, node: ShiftNode) -> None:
+        if isinstance(node.origin, ast.Assignment):
+            self.data.exec_assignment(node.origin)
+
+        dist = self.compiled.mapping.distribution_of(node.source)
+        proc = self.machine.processing
+        if dist is None:
+            self._charge(node, "computation", proc.call_overhead)
+            return
+
+        offset = abs(int(self._scalar(node.offset_expr, 1)))
+        # local copy cost per rank
+        copy_per_rank = np.zeros(self.nprocs)
+        for rank in range(self.nprocs):
+            local = dist.local_size(rank)
+            copy_per_rank[rank] = self.noise.compute(
+                local * (proc.assignment_overhead + self.machine.memory.hit_time * 2)
+            )
+        self._charge(node, "computation", copy_per_rank)
+
+        axis = node.axis if node.axis < len(dist.axes) else 0
+        axis_map = dist.axes[axis]
+        if not axis_map.is_distributed or axis_map.nprocs <= 1 or dist.grid is None:
+            return
+
+        pairs = []
+        sizes: dict[tuple[int, int], int] = {}
+        direction = 1 if offset >= 0 else -1
+        for rank in range(self.nprocs):
+            partner = dist.grid.circular_neighbor(rank, axis_map.grid_axis, direction)
+            if partner == rank:
+                continue
+            boundary = 1.0
+            for axis_no in range(dist.rank):
+                if axis_no == axis:
+                    boundary *= min(max(offset, 1), dist.axes[axis_no].local_count(
+                        self._axis_coord(dist, rank, axis_no)))
+                else:
+                    boundary *= max(dist.axes[axis_no].local_count(
+                        self._axis_coord(dist, rank, axis_no)), 1)
+            nbytes = int(boundary * dist.element_size)
+            pairs.append((rank, partner))
+            sizes[(rank, partner)] = nbytes
+            self.comm_stats.record(1, nbytes)
+
+        clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
+        done = shift_exchange(self.network, pairs, sizes, clocks,
+                              software_overhead=self.options.collective_software_overhead)
+        done = {r: self.noise.communication(t - clocks[r]) + clocks[r] for r, t in done.items()}
+        self._set_clocks(node, "communication", done)
+
+    def _axis_coord(self, dist: ArrayDistribution, rank: int, axis_no: int) -> int:
+        axis = dist.axes[axis_no]
+        if dist.grid is None or axis.grid_axis is None:
+            return 0
+        return dist.grid.coords(rank)[axis.grid_axis]
+
+    # -- communication phases --------------------------------------------------------
+
+    def _exec_comm_phase(self, node: CommPhase) -> None:
+        self._exec_comm_specs(node, node.comms)
+
+    def _exec_comm_specs(self, node: SPMDNode, specs: list[CommSpec]) -> None:
+        for spec in specs:
+            self._exec_comm_spec(node, spec)
+
+    def _exec_comm_spec(self, node: SPMDNode, spec: CommSpec) -> None:
+        comm = self.machine.communication
+        proc = self.machine.processing
+        dist = self.compiled.mapping.distribution_of(spec.array) if spec.array else None
+        clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
+        overhead = self.options.collective_software_overhead
+
+        if spec.kind == "shift" and dist is not None and dist.grid is not None:
+            axis = spec.axis if spec.axis is not None else 0
+            axis_map = dist.axes[axis] if axis < len(dist.axes) else None
+            if axis_map is None or not axis_map.is_distributed or axis_map.nprocs <= 1:
+                # boundary stays on-processor: a local copy only
+                elements = self._boundary_elements(dist, axis, abs(spec.offset) or 1, 0)
+                self._charge(node, "overhead",
+                             elements * (self.machine.memory.hit_time + proc.assignment_overhead))
+                return
+            direction = 1 if spec.offset >= 0 else -1
+            pairs = []
+            sizes: dict[tuple[int, int], int] = {}
+            for rank in range(self.nprocs):
+                partner = dist.grid.circular_neighbor(rank, axis_map.grid_axis, direction)
+                if partner == rank:
+                    continue
+                boundary = self._boundary_elements(dist, axis, abs(spec.offset) or 1, rank)
+                nbytes = int(boundary * spec.element_size)
+                pairs.append((rank, partner))
+                sizes[(rank, partner)] = nbytes
+                self.comm_stats.record(1, nbytes)
+            done = shift_exchange(self.network, pairs, sizes, clocks,
+                                  software_overhead=overhead)
+            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
+                    for r, t in done.items()}
+            self._set_clocks(node, "communication", done)
+            return
+
+        if spec.kind == "broadcast":
+            nbytes = max(int(self._spec_elements(spec, dist) * spec.element_size),
+                         spec.element_size)
+            ranks = list(range(self.nprocs))
+            done = broadcast(self.network, 0, ranks, nbytes, clocks,
+                             software_overhead=overhead)
+            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
+                    for r, t in done.items()}
+            self.comm_stats.record(max(self.nprocs - 1, 0), nbytes * max(self.nprocs - 1, 0))
+            self._set_clocks(node, "communication", done)
+            return
+
+        if spec.kind == "reduce":
+            nbytes = spec.element_size
+            ranks = list(range(self.nprocs))
+            done = allreduce(self.network, ranks, nbytes, clocks,
+                             combine_time=proc.flop_time_sp,
+                             software_overhead=overhead)
+            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
+                    for r, t in done.items()}
+            self.comm_stats.record(self.nprocs, nbytes * self.nprocs)
+            self._set_clocks(node, "communication", done)
+            return
+
+        if spec.kind in ("gather", "writeback"):
+            elements = self._spec_elements(spec, dist)
+            nbytes = int(elements * spec.element_size)
+            ranks = list(range(self.nprocs))
+            done = unstructured_gather(self.network, ranks, nbytes, clocks,
+                                       software_overhead=overhead)
+            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
+                    for r, t in done.items()}
+            self.comm_stats.record(self.nprocs * max(self.nprocs - 1, 1) // 2,
+                                   nbytes * max(self.nprocs - 1, 1))
+            self._set_clocks(node, "communication", done)
+            return
+
+        # unknown pattern: charge a barrier
+        stages = max(int(math.ceil(math.log2(max(self.nprocs, 2)))), 1)
+        self._charge(node, "communication", stages * comm.barrier_per_stage)
+
+    def _spec_elements(self, spec: CommSpec, dist: ArrayDistribution | None) -> float:
+        if dist is None:
+            return 1.0
+        if spec.kind == "broadcast":
+            if spec.axis is None:
+                return 1.0  # single off-processor element fetched by every node
+            total = 1.0
+            for axis_no, axis in enumerate(dist.axes):
+                if axis_no == spec.axis:
+                    continue
+                total *= max(axis.avg_local_count(), 1.0)
+            return total
+        return max(dist.avg_local_size(), 1.0)
+
+    def _boundary_elements(self, dist: ArrayDistribution, axis: int, offset: int,
+                           rank: int) -> float:
+        total = 1.0
+        for axis_no in range(dist.rank):
+            local = dist.axes[axis_no].local_count(self._axis_coord(dist, rank, axis_no))
+            if axis_no == axis:
+                total *= min(max(offset, 1), max(local, 1))
+            else:
+                total *= max(local, 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # misc helpers
+    # ------------------------------------------------------------------
+
+    def _scalar(self, expr: ast.Expr | None, default: float = 0.0) -> float:
+        if expr is None:
+            return default
+        value = self.exprs.eval(expr)
+        return float(np.asarray(value).reshape(()).item()) if isinstance(value, np.ndarray) \
+            else float(value)
+
+    def _precision(self, array: str | None) -> str:
+        if not array:
+            return "real"
+        sym = self.compiled.symtable.get(array)
+        if sym is not None and sym.type_name == "double":
+            return "double"
+        return "real"

@@ -1,0 +1,119 @@
+"""Message-level network simulation for the iPSC/860 Direct-Connect fabric.
+
+The unit of simulation is a :class:`Message` (source node, destination node,
+byte count, earliest start time).  Messages traverse their e-cube route; each
+undirected link can carry one message at a time, so concurrent messages that
+share a link serialise — this is the contention the static interpreter's
+analytic collective models do not capture.
+
+The simulation is driven by the discrete-event core in
+:mod:`repro.simulator.events` and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..system.comm_models import message_packets
+from ..system.sau import CommunicationComponent
+from .events import EventQueue
+from .hypercube import HypercubeTopology, link_id
+
+
+@dataclass
+class Message:
+    """One point-to-point message."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start_time: float = 0.0
+    tag: str = ""
+    # filled by the simulation
+    send_complete: float = 0.0
+    recv_complete: float = 0.0
+
+
+@dataclass
+class TransferResult:
+    """Result of simulating a batch of messages."""
+
+    messages: list[Message]
+    send_complete: dict[int, float] = field(default_factory=dict)   # per source node
+    recv_complete: dict[int, float] = field(default_factory=dict)   # per destination node
+    total_bytes: int = 0
+    max_link_busy: float = 0.0
+
+    def completion(self, node: int, default: float = 0.0) -> float:
+        """Time at which *node* has finished all its sends and receives."""
+        return max(self.send_complete.get(node, default), self.recv_complete.get(node, default))
+
+
+class Network:
+    """Simulates batches of messages over a hypercube partition."""
+
+    def __init__(self, comm: CommunicationComponent, num_nodes: int):
+        self.comm = comm
+        self.topology = HypercubeTopology(num_nodes)
+        self.num_nodes = num_nodes
+
+    # -- single message timing (no contention) ------------------------------------
+
+    def message_time(self, nbytes: int, hops: int = 1) -> float:
+        """Uncontended transit time of one message (matches the analytic model)."""
+        comm = self.comm
+        nbytes = max(int(nbytes), 0)
+        hops = max(int(hops), 1)
+        packets = message_packets(comm, nbytes)
+        return (
+            comm.latency(nbytes)
+            + nbytes * comm.per_byte
+            + (hops - 1) * comm.per_hop
+            + (packets - 1) * comm.per_packet_overhead
+        )
+
+    # -- batch simulation with link contention --------------------------------------
+
+    def transfer(self, messages: list[Message]) -> TransferResult:
+        """Simulate *messages* with link contention; fills per-message completions."""
+        result = TransferResult(messages=messages)
+        if not messages:
+            return result
+
+        queue = EventQueue()
+        link_free: dict[tuple[int, int], float] = {}
+        nic_free: dict[int, float] = {}
+
+        def start_message(msg: Message) -> None:
+            comm = self.comm
+            # The sending node's interface is serially reusable.
+            send_start = max(queue.now, nic_free.get(msg.src, 0.0))
+            launch = send_start + comm.latency(msg.nbytes)
+            occupancy = msg.nbytes * comm.per_byte + (
+                (message_packets(comm, msg.nbytes) - 1) * comm.per_packet_overhead
+            )
+            route = self.topology.route(msg.src, msg.dst)
+            arrival = launch
+            for hop_no, (a, b) in enumerate(route):
+                lid = link_id(a, b)
+                ready = max(arrival + (comm.per_hop if hop_no > 0 else 0.0),
+                            link_free.get(lid, 0.0))
+                free_at = ready + occupancy
+                link_free[lid] = free_at
+                result.max_link_busy = max(result.max_link_busy, free_at)
+                arrival = ready
+            if not route:  # self-message (local copy through the NIC)
+                arrival = launch
+            recv_done = arrival + occupancy
+            send_done = launch + occupancy * 0.5  # sender frees once data is streaming
+            nic_free[msg.src] = send_done
+            msg.send_complete = send_done
+            msg.recv_complete = recv_done
+            result.send_complete[msg.src] = max(result.send_complete.get(msg.src, 0.0), send_done)
+            result.recv_complete[msg.dst] = max(result.recv_complete.get(msg.dst, 0.0), recv_done)
+            result.total_bytes += msg.nbytes
+
+        for msg in sorted(messages, key=lambda m: (m.start_time, m.src, m.dst)):
+            queue.schedule(msg.start_time, lambda m=msg: start_message(m))
+        queue.run()
+        return result

@@ -1,0 +1,120 @@
+"""The simulation driver and its result object.
+
+``simulate`` plays the role of "running the application on the iPSC/860 and
+timing it": it executes the compiled SPMD program in the simulator and reports
+the measured execution time (max over node clocks), the computation /
+communication / overhead breakdown, per-source-line attribution and the final
+program state (for functional validation against the sequential evaluator).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler.pipeline import CompiledProgram
+from ..interpreter.metrics import Metrics
+from ..system.ipsc860 import Machine
+from .executor import CommStatistics, SimulatorOptions, SPMDExecutor
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    compiled: CompiledProgram
+    machine: Machine
+    options: SimulatorOptions
+    measured_time_us: float
+    per_rank_us: list[float]
+    totals: Metrics
+    line_metrics: dict[int, Metrics]
+    comm_stats: CommStatistics
+    printed: list[str] = field(default_factory=list)
+    array_checksum: float = 0.0
+    statements_executed: int = 0
+    wall_clock_seconds: float = 0.0
+    state: object | None = None
+
+    @property
+    def measured_time_s(self) -> float:
+        return self.measured_time_us * 1e-6
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of per-rank execution times (1.0 = perfectly balanced)."""
+        if not self.per_rank_us:
+            return 1.0
+        mean = float(np.mean(self.per_rank_us))
+        return float(np.max(self.per_rank_us)) / mean if mean > 0 else 1.0
+
+    def per_line(self, line: int) -> Metrics:
+        return self.line_metrics.get(line, Metrics())
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "computation": self.totals.computation,
+            "communication": self.totals.communication,
+            "overhead": self.totals.overhead,
+            "total": self.measured_time_us,
+        }
+
+
+def simulate(
+    compiled: CompiledProgram,
+    machine: Machine,
+    options: SimulatorOptions | None = None,
+    params: dict[str, float] | None = None,
+    keep_state: bool = False,
+) -> SimulationResult:
+    """Execute *compiled* on the simulated *machine* and return measured times."""
+    options = options or SimulatorOptions()
+    started = _time.perf_counter()
+    executor = SPMDExecutor(compiled, machine, options=options, params=params)
+    executor.run()
+    elapsed = _time.perf_counter() - started
+
+    measured = executor.noise.quantise(executor.elapsed_us)
+    return SimulationResult(
+        compiled=compiled,
+        machine=machine,
+        options=options,
+        measured_time_us=measured,
+        per_rank_us=[float(c) for c in executor.clocks],
+        totals=executor.totals,
+        line_metrics=executor.line_metrics,
+        comm_stats=executor.comm_stats,
+        printed=list(executor.state.printed),
+        array_checksum=executor.state.checksum(),
+        statements_executed=executor.statements_executed,
+        wall_clock_seconds=elapsed,
+        state=executor.state if keep_state else None,
+    )
+
+
+def simulate_repeated(
+    compiled: CompiledProgram,
+    machine: Machine,
+    repetitions: int = 3,
+    options: SimulatorOptions | None = None,
+    params: dict[str, float] | None = None,
+) -> tuple[float, list[SimulationResult]]:
+    """Average the measured time over several seeded runs (the paper averages 1000).
+
+    Returns (mean measured time in µs, individual results).
+    """
+    options = options or SimulatorOptions()
+    results = []
+    for rep in range(max(repetitions, 1)):
+        rep_options = SimulatorOptions(
+            noise=options.noise,
+            seed=options.seed + rep * 7919,
+            max_while_iterations=options.max_while_iterations,
+            collective_software_overhead=options.collective_software_overhead,
+            program_startup_us=options.program_startup_us,
+        )
+        results.append(simulate(compiled, machine, options=rep_options, params=params))
+    mean = float(np.mean([r.measured_time_us for r in results]))
+    return mean, results

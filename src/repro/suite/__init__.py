@@ -1,0 +1,42 @@
+"""The NPAC HPF/Fortran 90D Benchmark Suite (Table 1 of the paper).
+
+HPF/Fortran 90D sources for every validation application — six Livermore
+Fortran Kernels, the four Purdue Benchmarking Set kernels, PI, N-Body, the
+parallel stock-option pricing model, and the Laplace solver in its three
+distribution variants — plus a registry carrying the paper's problem-size
+sweeps and published prediction-error bounds.
+"""
+
+from . import apps, lfk, pbs
+from .laplace import (
+    LAPLACE_BLOCK_BLOCK,
+    LAPLACE_BLOCK_STAR,
+    LAPLACE_GRID_SHAPES,
+    LAPLACE_STAR_BLOCK,
+    laplace_source,
+)
+from .registry import (
+    SuiteEntry,
+    all_entries,
+    compile_entry,
+    entry_keys,
+    get_entry,
+    laplace_grid_shape,
+)
+
+__all__ = [
+    "apps",
+    "lfk",
+    "pbs",
+    "LAPLACE_BLOCK_BLOCK",
+    "LAPLACE_BLOCK_STAR",
+    "LAPLACE_GRID_SHAPES",
+    "LAPLACE_STAR_BLOCK",
+    "laplace_source",
+    "SuiteEntry",
+    "all_entries",
+    "compile_entry",
+    "entry_keys",
+    "get_entry",
+    "laplace_grid_shape",
+]

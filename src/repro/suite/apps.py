@@ -1,0 +1,110 @@
+"""The "real computational problems" of Table 1: PI, N-Body, and the parallel
+stock option pricing (Finance) model."""
+
+from __future__ import annotations
+
+PI_QUADRATURE = """
+      program pi
+!     Approximation of pi by the area under 4/(1+x*x) using n-point quadrature
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n) :: fx
+      real :: h, piest
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE fx(BLOCK) ONTO p
+      h = 1.0 / n
+      piest = 0.0
+      do l = 1, nsteps
+        forall (i = 1:n) fx(i) = 4.0 / (1.0 + ((i - 0.5) * h) ** 2)
+        piest = h * sum(fx)
+      end do
+      print *, piest
+      end program pi
+"""
+
+NBODY = """
+      program nbody
+!     Newtonian gravitational n-body simulation (all pairs, broadcast j-th body)
+      integer, parameter :: n = 128
+      integer, parameter :: nsteps = 1
+      real, dimension(n) :: x, y, z, pm
+      real, dimension(n) :: fx, fy, fz
+      real :: xj, yj, zj, mj, eps, g, dt
+      integer :: step, j
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE tpl(n)
+!HPF$ ALIGN x(i) WITH tpl(i)
+!HPF$ ALIGN y(i) WITH tpl(i)
+!HPF$ ALIGN z(i) WITH tpl(i)
+!HPF$ ALIGN pm(i) WITH tpl(i)
+!HPF$ ALIGN fx(i) WITH tpl(i)
+!HPF$ ALIGN fy(i) WITH tpl(i)
+!HPF$ ALIGN fz(i) WITH tpl(i)
+!HPF$ DISTRIBUTE tpl(BLOCK) ONTO p
+      eps = 0.01
+      g = 6.67e-2
+      dt = 0.001
+      forall (i = 1:n) x(i) = 0.37 * mod(1.0 * i, 17.0)
+      forall (i = 1:n) y(i) = 0.21 * mod(1.0 * i, 23.0)
+      forall (i = 1:n) z(i) = 0.11 * mod(1.0 * i, 29.0)
+      forall (i = 1:n) pm(i) = 1.0 + 0.01 * i
+      do step = 1, nsteps
+        forall (i = 1:n) fx(i) = 0.0
+        forall (i = 1:n) fy(i) = 0.0
+        forall (i = 1:n) fz(i) = 0.0
+        do j = 1, n
+          xj = x(j)
+          yj = y(j)
+          zj = z(j)
+          mj = pm(j)
+          forall (i = 1:n, i /= j) fx(i) = fx(i) + g * pm(i) * mj * (xj - x(i)) &
+              / (((x(i) - xj) ** 2 + (y(i) - yj) ** 2 + (z(i) - zj) ** 2 + eps) ** 1.5)
+          forall (i = 1:n, i /= j) fy(i) = fy(i) + g * pm(i) * mj * (yj - y(i)) &
+              / (((x(i) - xj) ** 2 + (y(i) - yj) ** 2 + (z(i) - zj) ** 2 + eps) ** 1.5)
+          forall (i = 1:n, i /= j) fz(i) = fz(i) + g * pm(i) * mj * (zj - z(i)) &
+              / (((x(i) - xj) ** 2 + (y(i) - yj) ** 2 + (z(i) - zj) ** 2 + eps) ** 1.5)
+        end do
+        forall (i = 1:n) x(i) = x(i) + dt * fx(i) / pm(i)
+        forall (i = 1:n) y(i) = y(i) + dt * fy(i) / pm(i)
+        forall (i = 1:n) z(i) = z(i) + dt * fz(i) / pm(i)
+      end do
+      print *, fx(1), fy(1), fz(1)
+      end program nbody
+"""
+
+FINANCE = """
+      program finance
+!     Parallel stock option pricing: a lattice of price paths is created with
+!     nearest-neighbour shifts (Phase 1), then call prices are computed locally
+!     with no communication (Phase 2).
+      integer, parameter :: n = 256
+      integer, parameter :: msteps = 16
+      real, dimension(n) :: s, c, sup
+      real :: s0, up, dn, strike, rate, tmat
+      integer :: step
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE tpl(n)
+!HPF$ ALIGN s(i) WITH tpl(i)
+!HPF$ ALIGN c(i) WITH tpl(i)
+!HPF$ ALIGN sup(i) WITH tpl(i)
+!HPF$ DISTRIBUTE tpl(BLOCK) ONTO p
+      s0 = 50.0
+      up = 1.02
+      dn = 0.985
+      strike = 51.0
+      rate = 0.05
+      tmat = 0.5
+!     Phase 1: create the (distributed) stock price lattice using shifts
+      forall (i = 1:n) s(i) = s0 * (1.0 + 0.0001 * i)
+      do step = 1, msteps
+        sup = cshift(s, 1)
+        forall (i = 1:n) s(i) = 0.5 * (s(i) * up + sup(i) * dn)
+      end do
+!     Phase 2: compute the call price of every lattice node (no communication)
+      forall (i = 1:n) c(i) = max(s(i) - strike, 0.0)
+      forall (i = 1:n) c(i) = c(i) * exp(-rate * tmat)
+      forall (i = 1:n) c(i) = c(i) * (1.0 + 0.5 * rate * tmat * (1.0 - rate * tmat))
+      print *, c(1), c(n)
+      end program finance
+"""

@@ -1,0 +1,70 @@
+"""Laplace solver (Jacobi iterations) — the directive-selection study workload.
+
+Three source variants differ only in their DISTRIBUTE directive (and the
+matching PROCESSORS arrangement), exactly as in Figure 3 of the paper:
+(BLOCK, BLOCK) on a 2-D processor grid, (BLOCK, *) on a 1-D grid, and
+(*, BLOCK) on a 1-D grid.
+"""
+
+from __future__ import annotations
+
+_LAPLACE_TEMPLATE = """
+      program laplace
+!     Laplace solver based on Jacobi iterations ({variant} distribution)
+      integer, parameter :: n = 64
+      integer, parameter :: maxiter = 10
+      real, dimension(n, n) :: u, unew, f
+      real :: err
+      integer :: iter
+!HPF$ PROCESSORS {processors}
+!HPF$ TEMPLATE t(n, n)
+!HPF$ ALIGN u(i, j) WITH t(i, j)
+!HPF$ ALIGN unew(i, j) WITH t(i, j)
+!HPF$ ALIGN f(i, j) WITH t(i, j)
+!HPF$ DISTRIBUTE t{distribute} ONTO p
+      forall (i = 1:n, j = 1:n) u(i, j) = 0.0
+      forall (i = 1:n, j = 1:n) unew(i, j) = 0.0
+      forall (i = 1:n, j = 1:n) f(i, j) = 0.0
+      forall (j = 1:n) u(1, j) = 1.0
+      forall (j = 1:n) u(n, j) = 0.5
+      do iter = 1, maxiter
+        forall (i = 2:n - 1, j = 2:n - 1) &
+          unew(i, j) = 0.25 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1) &
+                               - f(i, j))
+        err = sum(abs(unew(2:n - 1, 2:n - 1) - u(2:n - 1, 2:n - 1)))
+        forall (i = 2:n - 1, j = 2:n - 1) u(i, j) = unew(i, j)
+      end do
+      print *, err
+      end program laplace
+"""
+
+
+def laplace_source(variant: str) -> str:
+    """Return the Laplace solver source for one distribution variant.
+
+    ``variant`` is one of ``'block_block'``, ``'block_star'``, ``'star_block'``.
+    """
+    variants = {
+        "block_block": {"processors": "p(2, 2)", "distribute": "(BLOCK, BLOCK)",
+                        "variant": "(BLOCK,BLOCK)"},
+        "block_star": {"processors": "p(4)", "distribute": "(BLOCK, *)",
+                       "variant": "(BLOCK,*)"},
+        "star_block": {"processors": "p(4)", "distribute": "(*, BLOCK)",
+                       "variant": "(*,BLOCK)"},
+    }
+    if variant not in variants:
+        raise KeyError(f"unknown Laplace variant {variant!r}; "
+                       f"choose from {sorted(variants)}")
+    return _LAPLACE_TEMPLATE.format(**variants[variant])
+
+
+LAPLACE_BLOCK_BLOCK = laplace_source("block_block")
+LAPLACE_BLOCK_STAR = laplace_source("block_star")
+LAPLACE_STAR_BLOCK = laplace_source("star_block")
+
+#: Grid shapes used by the paper for the two system sizes of Figures 4 and 5.
+LAPLACE_GRID_SHAPES = {
+    "block_block": {4: (2, 2), 8: (2, 4)},
+    "block_star": {4: (4,), 8: (8,)},
+    "star_block": {4: (4,), 8: (8,)},
+}

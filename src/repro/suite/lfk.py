@@ -1,0 +1,177 @@
+"""Livermore Fortran Kernels (HPF/Fortran 90D versions) used in Table 1/2.
+
+The kernels implement the documented Livermore loop computations with the
+data-parallel structure the NPAC benchmark suite gave them: explicit HPF
+mapping directives, foralls for the vectorisable loops, and the awkward
+strided/indirect constructs (LFK 2, LFK 14) left in their compiler-taxing
+form — those are the entries the paper reports the largest prediction errors
+for.
+"""
+
+from __future__ import annotations
+
+LFK1_HYDRO = """
+      program lfk1
+!     Livermore Kernel 1 -- hydro fragment
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n) :: x, y
+      real, dimension(n + 11) :: z
+      real :: q, r, v
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE tpl(n + 11)
+!HPF$ ALIGN x(i) WITH tpl(i)
+!HPF$ ALIGN y(i) WITH tpl(i)
+!HPF$ ALIGN z(i) WITH tpl(i)
+!HPF$ DISTRIBUTE tpl(BLOCK) ONTO p
+      q = 0.5
+      r = 0.2
+      v = 0.1
+      forall (k = 1:n) y(k) = 0.001 * k
+      forall (k = 1:n + 11) z(k) = 0.0025 * k
+      do l = 1, nsteps
+        forall (k = 1:n) x(k) = q + y(k) * (r * z(k + 10) + v * z(k + 11))
+      end do
+      print *, x(1), x(n)
+      end program lfk1
+"""
+
+LFK2_ICCG = """
+      program lfk2
+!     Livermore Kernel 2 -- ICCG excerpt (incomplete Cholesky, conjugate gradient)
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 5
+      real, dimension(2 * n) :: x, v
+      integer :: l, ii, ipntp, ipnt
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE x(BLOCK) ONTO p
+!HPF$ DISTRIBUTE v(BLOCK) ONTO p
+      forall (k = 1:2 * n) x(k) = 0.001 * k
+      forall (k = 1:2 * n) v(k) = 0.0005 * k
+      do l = 1, nsteps
+        ii = n
+        ipntp = 0
+        do while (ii .gt. 1)
+          ipnt = ipntp
+          ipntp = ipntp + ii
+          ii = ii / 2
+          forall (k = 1:ii) x(ipntp + k) = x(ipnt + 2 * k) &
+              - v(ipnt + 2 * k) * x(ipnt + 2 * k - 1) &
+              - v(ipnt + 2 * k + 1) * x(ipnt + 2 * k + 1)
+        end do
+      end do
+      print *, x(ipntp + 1)
+      end program lfk2
+"""
+
+LFK3_INNER_PRODUCT = """
+      program lfk3
+!     Livermore Kernel 3 -- inner product
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n) :: x, z
+      real :: q
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE tpl(n)
+!HPF$ ALIGN x(i) WITH tpl(i)
+!HPF$ ALIGN z(i) WITH tpl(i)
+!HPF$ DISTRIBUTE tpl(BLOCK) ONTO p
+      forall (k = 1:n) x(k) = 0.001 * k
+      forall (k = 1:n) z(k) = 0.002 * k
+      q = 0.0
+      do l = 1, nsteps
+        q = q + sum(z * x)
+      end do
+      print *, q
+      end program lfk3
+"""
+
+LFK9_INTEGRATE_PREDICTORS = """
+      program lfk9
+!     Livermore Kernel 9 -- integrate predictors
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n, 13) :: px
+      real :: dm22, dm23, dm24, dm25, dm26, dm27, dm28, c0
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE px(BLOCK, *) ONTO p
+      dm22 = 0.2
+      dm23 = 0.3
+      dm24 = 0.4
+      dm25 = 0.5
+      dm26 = 0.6
+      dm27 = 0.7
+      dm28 = 0.8
+      c0 = 1.5
+      forall (i = 1:n, j = 1:13) px(i, j) = 0.0001 * i + 0.01 * j
+      do l = 1, nsteps
+        forall (i = 1:n) px(i, 1) = dm28 * px(i, 13) + dm27 * px(i, 12) &
+            + dm26 * px(i, 11) + dm25 * px(i, 10) + dm24 * px(i, 9) &
+            + dm23 * px(i, 8) + dm22 * px(i, 7) &
+            + c0 * (px(i, 5) + px(i, 6)) + px(i, 3)
+      end do
+      print *, px(1, 1), px(n, 1)
+      end program lfk9
+"""
+
+LFK14_PIC_1D = """
+      program lfk14
+!     Livermore Kernel 14 -- 1-D particle in cell (gather/scatter form)
+      integer, parameter :: n = 1024
+      integer, parameter :: ngrid = 256
+      integer, parameter :: nsteps = 5
+      real, dimension(n) :: xx, vx
+      integer, dimension(n) :: ix
+      real, dimension(ngrid) :: ex, rho
+      real :: flx, qcharge
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE xx(BLOCK) ONTO p
+!HPF$ DISTRIBUTE vx(BLOCK) ONTO p
+!HPF$ DISTRIBUTE ix(BLOCK) ONTO p
+!HPF$ DISTRIBUTE ex(BLOCK) ONTO p
+!HPF$ DISTRIBUTE rho(BLOCK) ONTO p
+      flx = 0.01
+      qcharge = 0.125
+      forall (k = 1:n) xx(k) = mod(0.37 * k, 1.0) * ngrid
+      forall (k = 1:n) vx(k) = 0.001 * k
+      forall (k = 1:ngrid) ex(k) = 0.5 * k
+      forall (k = 1:ngrid) rho(k) = 0.0
+      do l = 1, nsteps
+        forall (k = 1:n) ix(k) = int(mod(abs(xx(k)), real(ngrid))) + 1
+        forall (k = 1:n) vx(k) = vx(k) + ex(ix(k)) * flx
+        forall (k = 1:n) xx(k) = xx(k) + vx(k) * flx
+        forall (k = 1:n) rho(ix(k)) = rho(ix(k)) + qcharge
+      end do
+      print *, vx(1), rho(1)
+      end program lfk14
+"""
+
+LFK22_PLANCKIAN = """
+      program lfk22
+!     Livermore Kernel 22 -- Planckian distribution
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n) :: u, v, w, x, y
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE tpl(n)
+!HPF$ ALIGN u(i) WITH tpl(i)
+!HPF$ ALIGN v(i) WITH tpl(i)
+!HPF$ ALIGN w(i) WITH tpl(i)
+!HPF$ ALIGN x(i) WITH tpl(i)
+!HPF$ ALIGN y(i) WITH tpl(i)
+!HPF$ DISTRIBUTE tpl(BLOCK) ONTO p
+      forall (k = 1:n) u(k) = 0.5 + 0.001 * k
+      forall (k = 1:n) v(k) = 1.0 + 0.0005 * k
+      forall (k = 1:n) x(k) = 0.75 + 0.0001 * k
+      do l = 1, nsteps
+        forall (k = 1:n) y(k) = u(k) / v(k)
+        forall (k = 1:n, y(k) .lt. 20.0) w(k) = x(k) / (exp(y(k)) - 1.0)
+      end do
+      print *, w(1), w(n)
+      end program lfk22
+"""

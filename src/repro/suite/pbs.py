@@ -1,0 +1,87 @@
+"""Purdue Benchmarking Set kernels (HPF/Fortran 90D versions) used in Table 1/2."""
+
+from __future__ import annotations
+
+PBS1_TRAPEZOID = """
+      program pbs1
+!     PBS 1 -- trapezoidal rule estimate of the integral of f(x) = 4 / (1 + x*x)
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n) :: fx
+      real :: a, b, h, area
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE fx(BLOCK) ONTO p
+      a = 0.0
+      b = 1.0
+      h = (b - a) / (n - 1)
+      area = 0.0
+      do l = 1, nsteps
+        forall (i = 1:n) fx(i) = 4.0 / (1.0 + (a + (i - 1) * h) ** 2)
+        area = h * (sum(fx) - 0.5 * fx(1) - 0.5 * fx(n))
+      end do
+      print *, area
+      end program pbs1
+"""
+
+PBS2_EXPONENT_PRODUCT = """
+      program pbs2
+!     PBS 2 -- e = sum_i prod_j ( 1 + 0.5 ** (abs(i - j) + 0.001) )
+      integer, parameter :: n = 4096
+      integer, parameter :: m = 16
+      real, dimension(n) :: rowp
+      real :: e
+      integer :: j
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE rowp(BLOCK) ONTO p
+      forall (i = 1:n) rowp(i) = 1.0
+      do j = 1, m
+        forall (i = 1:n) rowp(i) = rowp(i) * (1.0 + 0.5 ** (abs(i - j) + 0.001))
+      end do
+      e = sum(rowp)
+      print *, e
+      end program pbs2
+"""
+
+PBS3_SUM_OF_PRODUCTS = """
+      program pbs3
+!     PBS 3 -- S = sum_i prod_j a(i, j)
+      integer, parameter :: n = 4096
+      integer, parameter :: m = 16
+      real, dimension(n, m) :: a
+      real, dimension(n) :: rowp
+      real :: s
+      integer :: j
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE tpl(n)
+!HPF$ ALIGN a(i, *) WITH tpl(i)
+!HPF$ ALIGN rowp(i) WITH tpl(i)
+!HPF$ DISTRIBUTE tpl(BLOCK) ONTO p
+      forall (i = 1:n, j = 1:m) a(i, j) = 1.0 + 0.5 / (real(i) + real(j))
+      forall (i = 1:n) rowp(i) = 1.0
+      do j = 1, m
+        forall (i = 1:n) rowp(i) = rowp(i) * a(i, j)
+      end do
+      s = sum(rowp)
+      print *, s
+      end program pbs3
+"""
+
+PBS4_SUM_OF_RECIPROCALS = """
+      program pbs4
+!     PBS 4 -- R = sum_i 1 / x(i)
+      integer, parameter :: n = 1024
+      integer, parameter :: nsteps = 10
+      real, dimension(n) :: x
+      real :: r
+      integer :: l
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE x(BLOCK) ONTO p
+      forall (i = 1:n) x(i) = 1.0 + 0.001 * i
+      r = 0.0
+      do l = 1, nsteps
+        r = r + sum(1.0 / x)
+      end do
+      print *, r
+      end program pbs4
+"""

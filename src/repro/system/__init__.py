@@ -1,0 +1,86 @@
+"""Systems Module: hierarchical machine characterisation (SAG / SAU).
+
+The machine is abstracted off-line into a System Abstraction Graph whose nodes
+(System Abstraction Units) export Processing, Memory, Communication/
+Synchronisation and I/O parameters.  The iPSC/860 abstraction used throughout
+the paper's evaluation is provided by :func:`ipsc860`.
+"""
+
+from .comm_models import (
+    allgather_time,
+    allreduce_time,
+    average_hypercube_hops,
+    barrier_time,
+    broadcast_time,
+    gather_time,
+    hypercube_dim,
+    message_packets,
+    p2p_time,
+    reduce_time,
+    scatter_time,
+    shift_exchange_time,
+    unstructured_gather_time,
+)
+from .host import ExperimentationCostModel, InterpretationWorkflow, MeasurementWorkflow
+from .intrinsic_costs import (
+    cshift_cost,
+    maxloc_cost,
+    product_cost,
+    reduction_cost,
+    sum_cost,
+    tshift_cost,
+)
+from .ipsc860 import (
+    CUBE_COMMUNICATION,
+    I860_MEMORY,
+    I860_PROCESSING,
+    Machine,
+    build_ipsc860_sag,
+    ipsc860,
+)
+from .sag import SAG, SAGLibrary
+from .sau import (
+    SAU,
+    CommunicationComponent,
+    IOComponent,
+    MemoryComponent,
+    ProcessingComponent,
+)
+
+__all__ = [
+    "allgather_time",
+    "allreduce_time",
+    "average_hypercube_hops",
+    "barrier_time",
+    "broadcast_time",
+    "gather_time",
+    "hypercube_dim",
+    "message_packets",
+    "p2p_time",
+    "reduce_time",
+    "scatter_time",
+    "shift_exchange_time",
+    "unstructured_gather_time",
+    "ExperimentationCostModel",
+    "InterpretationWorkflow",
+    "MeasurementWorkflow",
+    "cshift_cost",
+    "maxloc_cost",
+    "product_cost",
+    "reduction_cost",
+    "sum_cost",
+    "tshift_cost",
+    "CUBE_COMMUNICATION",
+    "I860_MEMORY",
+    "I860_PROCESSING",
+    "Machine",
+    "build_ipsc860_sag",
+    "ipsc860",
+    "SAG",
+    "SAGLibrary",
+    "SAU",
+    "CommunicationComponent",
+    "IOComponent",
+    "MemoryComponent",
+    "ProcessingComponent",
+]

@@ -1,0 +1,153 @@
+"""Analytic communication cost models for the iPSC/860 interconnect.
+
+These are the C/S parameters "exported" by the cube SAU in functional form:
+point-to-point message time and the hypercube collective algorithms used by
+the HPF/Fortran 90D run-time library (recursive-doubling broadcast, reduce,
+allgather), parameterised by the benchmarked latency / bandwidth / per-hop
+constants of :class:`~repro.system.sau.CommunicationComponent`.
+
+The same formulas are used by the interpretation engine (statically) and by
+the simulator's collective layer (per simulated operation), so any systematic
+difference between estimate and measurement comes from *dynamic* effects
+(actual sizes, contention, imbalance, jitter) rather than from two unrelated
+analytic models.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .sau import CommunicationComponent
+
+
+def message_packets(comm: CommunicationComponent, nbytes: int) -> int:
+    """Number of hardware packets a message of *nbytes* occupies."""
+    if nbytes <= 0:
+        return 1
+    return -(-nbytes // comm.packetization_bytes)
+
+
+def p2p_time(comm: CommunicationComponent, nbytes: int, hops: int = 1) -> float:
+    """Time (µs) for one point-to-point message of *nbytes* across *hops* links."""
+    nbytes = max(int(nbytes), 0)
+    hops = max(int(hops), 1)
+    startup = comm.latency(nbytes)
+    packets = message_packets(comm, nbytes)
+    return (
+        startup
+        + nbytes * comm.per_byte
+        + (hops - 1) * comm.per_hop
+        + (packets - 1) * comm.per_packet_overhead
+    )
+
+
+def average_hypercube_hops(p: int) -> float:
+    """Average hop distance between two random nodes of a p-node hypercube."""
+    if p <= 1:
+        return 1.0
+    dim = max(int(round(math.log2(p))), 1)
+    return max(dim / 2.0, 1.0)
+
+
+def hypercube_dim(p: int) -> int:
+    if p <= 1:
+        return 0
+    return int(math.ceil(math.log2(p)))
+
+
+def shift_exchange_time(comm: CommunicationComponent, nbytes: int, hops: int = 1) -> float:
+    """Nearest-neighbour boundary exchange (simultaneous send + receive).
+
+    The Direct-Connect hardware allows the send and the matching receive to be
+    largely overlapped, but the node CPU pays both protocol startups.
+    """
+    transit = p2p_time(comm, nbytes, hops)
+    return transit + 0.5 * comm.latency(nbytes)
+
+
+def broadcast_time(comm: CommunicationComponent, nbytes: int, p: int) -> float:
+    """Recursive-doubling broadcast to *p* nodes."""
+    if p <= 1:
+        return 0.0
+    stages = hypercube_dim(p)
+    return comm.collective_call_overhead + stages * p2p_time(comm, nbytes, hops=1)
+
+
+def reduce_time(
+    comm: CommunicationComponent, nbytes: int, p: int, combine_time_per_stage: float = 0.5
+) -> float:
+    """Recursive-halving reduction of *nbytes* (usually one scalar) over *p* nodes."""
+    if p <= 1:
+        return 0.0
+    stages = hypercube_dim(p)
+    return comm.collective_call_overhead + stages * (
+        p2p_time(comm, nbytes, hops=1) + combine_time_per_stage
+    )
+
+
+def allreduce_time(
+    comm: CommunicationComponent, nbytes: int, p: int, combine_time_per_stage: float = 0.5
+) -> float:
+    """Reduce-to-all (the HPF intrinsic library returns the result on every node)."""
+    if p <= 1:
+        return 0.0
+    stages = hypercube_dim(p)
+    return comm.collective_call_overhead + stages * (
+        p2p_time(comm, nbytes, hops=1) + combine_time_per_stage
+    )
+
+
+def allgather_time(comm: CommunicationComponent, nbytes_per_proc: int, p: int) -> float:
+    """Recursive-doubling allgather: each node ends with every node's block."""
+    if p <= 1:
+        return 0.0
+    total = comm.collective_call_overhead
+    block = max(int(nbytes_per_proc), 0)
+    for stage in range(hypercube_dim(p)):
+        total += p2p_time(comm, block * (2 ** stage), hops=1)
+    return total
+
+
+def gather_time(comm: CommunicationComponent, nbytes_per_proc: int, p: int) -> float:
+    """Gather to one node (tree algorithm); cost observed by the root."""
+    if p <= 1:
+        return 0.0
+    total = comm.collective_call_overhead
+    block = max(int(nbytes_per_proc), 0)
+    for stage in range(hypercube_dim(p)):
+        total += p2p_time(comm, block * (2 ** stage), hops=1)
+    return total
+
+
+def scatter_time(comm: CommunicationComponent, nbytes_per_proc: int, p: int) -> float:
+    """Scatter from one node; same tree as gather run in reverse."""
+    return gather_time(comm, nbytes_per_proc, p)
+
+
+def barrier_time(comm: CommunicationComponent, p: int) -> float:
+    """Dissemination barrier over *p* nodes."""
+    if p <= 1:
+        return 0.0
+    return hypercube_dim(p) * comm.barrier_per_stage
+
+
+def unstructured_gather_time(
+    comm: CommunicationComponent, nbytes_per_proc: int, p: int, hops: float | None = None
+) -> float:
+    """General gather of off-processor data (the GATHER_DATA runtime call).
+
+    Modelled as each node exchanging one block with every other node involved
+    in the communication pattern — the worst of the runtime library's
+    unstructured patterns — serialised at the node interface.
+    """
+    if p <= 1:
+        return 0.0
+    hop = hops if hops is not None else average_hypercube_hops(p)
+    block = max(int(nbytes_per_proc), 0)
+    peers = max(p - 1, 1)
+    # The runtime packs all destinations into at most log2(p) bulk messages.
+    stages = hypercube_dim(p)
+    per_stage_bytes = block * peers / max(stages, 1)
+    return comm.collective_call_overhead + stages * p2p_time(
+        comm, int(per_stage_bytes), hops=int(round(hop))
+    )

@@ -1,0 +1,83 @@
+"""SRM host characterisation and the experimentation-workflow cost model.
+
+Two things live here:
+
+* the abstraction of the iPSC/860 front end (SRM) and of the Sparcstation 1+
+  workstation on which the interpretive framework itself runs, and
+* the workflow model used by the usability experiment (Figure 8): measuring an
+  application variant on the real machine means edit → cross-compile → transfer
+  to the SRM → load onto the cube → run (repeated per experiment instance),
+  whereas interpretation means edit → interpret on the workstation.
+
+All workflow times are in **seconds** (they are minutes-scale quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MeasurementWorkflow:
+    """Per-step costs of obtaining one measured data point on the iPSC/860."""
+
+    edit_time_s: float = 120.0           # editing directives / sizes
+    cross_compile_time_s: float = 210.0  # HPF compile + f77 cross-compile + link
+    transfer_time_s: float = 95.0        # move executable to the SRM
+    load_time_s: float = 60.0            # getcube / load onto the i860 nodes
+    queue_wait_s: float = 240.0          # shared-resource wait (cube occupied)
+    run_overhead_s: float = 20.0         # per-run harness overhead
+
+    def time_per_configuration(self, runs: int, run_time_s: float,
+                               include_queue: bool = True) -> float:
+        """Wall-clock seconds to measure one (directive, size, procs) configuration."""
+        fixed = (
+            self.edit_time_s
+            + self.cross_compile_time_s
+            + self.transfer_time_s
+            + self.load_time_s
+            + (self.queue_wait_s if include_queue else 0.0)
+        )
+        return fixed + runs * (self.run_overhead_s + run_time_s)
+
+
+@dataclass(frozen=True)
+class InterpretationWorkflow:
+    """Per-step costs of obtaining one interpreted data point on a workstation."""
+
+    edit_time_s: float = 120.0           # same source edit as the measured path
+    interpretation_overhead_s: float = 90.0   # abstraction + interpretation parses
+    per_variation_s: float = 25.0        # changing parameters from the GUI
+
+    def time_per_configuration(self, variations: int = 1,
+                               interpret_time_s: float = 0.0) -> float:
+        return (
+            self.edit_time_s
+            + self.interpretation_overhead_s
+            + variations * (self.per_variation_s + interpret_time_s)
+        )
+
+
+@dataclass
+class ExperimentationCostModel:
+    """Compares the two experimentation workflows for a set of configurations."""
+
+    measurement: MeasurementWorkflow = field(default_factory=MeasurementWorkflow)
+    interpretation: InterpretationWorkflow = field(default_factory=InterpretationWorkflow)
+
+    def measured_minutes(self, configurations: int, runs_per_config: int,
+                         avg_run_time_s: float, include_queue: bool = True) -> float:
+        total = sum(
+            self.measurement.time_per_configuration(runs_per_config, avg_run_time_s,
+                                                    include_queue)
+            for _ in range(configurations)
+        )
+        return total / 60.0
+
+    def interpreted_minutes(self, configurations: int,
+                            interpret_time_s: float = 0.0) -> float:
+        total = sum(
+            self.interpretation.time_per_configuration(1, interpret_time_s)
+            for _ in range(configurations)
+        )
+        return total / 60.0

@@ -1,0 +1,91 @@
+"""Benchmark-style parameterisation of the HPF parallel intrinsic library.
+
+§4.4: *"Benchmarking runs were also used to parameterize the HPF parallel
+intrinsic library.  The intrinsics included circular shift (cshift), shift to
+temporary (tshift), global sum operation (sum), global product operation
+(product), and the maxloc operation"*.
+
+Each function below returns the time (µs) the library call costs one node,
+combining the local per-element work (processing component) with the
+collective communication (C/S component of the cube SAU).
+"""
+
+from __future__ import annotations
+
+from .comm_models import allreduce_time, shift_exchange_time
+from .sau import CommunicationComponent, ProcessingComponent
+
+
+def cshift_cost(
+    proc: ProcessingComponent,
+    comm: CommunicationComponent,
+    local_elements: float,
+    boundary_elements: float,
+    element_size: int,
+    nprocs_along_axis: int,
+    precision: str = "real",
+) -> float:
+    """Circular shift of a distributed array along one axis.
+
+    ``local_elements`` is the per-node block size (the local copy cost);
+    ``boundary_elements`` is the slab that actually crosses a processor
+    boundary.
+    """
+    copy_time = local_elements * (
+        proc.assignment_overhead + 2 * 0.5 * proc.flop_time(precision)
+    )
+    if nprocs_along_axis <= 1:
+        return copy_time
+    exchange = shift_exchange_time(comm, int(boundary_elements * element_size))
+    pack = boundary_elements * proc.int_op_time * 2.0
+    return copy_time + exchange + pack
+
+
+def tshift_cost(
+    proc: ProcessingComponent,
+    comm: CommunicationComponent,
+    local_elements: float,
+    boundary_elements: float,
+    element_size: int,
+    nprocs_along_axis: int,
+    precision: str = "real",
+) -> float:
+    """Shift-to-temporary: identical traffic to cshift, written to a fresh array."""
+    return cshift_cost(
+        proc, comm, local_elements, boundary_elements, element_size,
+        nprocs_along_axis, precision,
+    ) + local_elements * proc.assignment_overhead * 0.5
+
+
+def reduction_cost(
+    proc: ProcessingComponent,
+    comm: CommunicationComponent,
+    local_elements: float,
+    nprocs: int,
+    op: str = "sum",
+    precision: str = "real",
+    element_size: int = 4,
+) -> float:
+    """Global sum / product / max / min / maxloc of a distributed array."""
+    per_element = proc.flop_time(precision) + proc.loop_iteration_overhead
+    if op in ("maxloc", "minloc"):
+        per_element += proc.branch_time + proc.int_op_time
+    elif op in ("max", "min", "any", "all", "count"):
+        per_element = proc.branch_time + proc.loop_iteration_overhead
+    local = proc.loop_startup_overhead + local_elements * per_element
+    payload = element_size if op not in ("maxloc", "minloc") else element_size + 4
+    combine = allreduce_time(comm, payload, nprocs,
+                             combine_time_per_stage=proc.flop_time(precision))
+    return local + combine
+
+
+def sum_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4) -> float:
+    return reduction_cost(proc, comm, local_elements, nprocs, "sum", precision, element_size)
+
+
+def product_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4) -> float:
+    return reduction_cost(proc, comm, local_elements, nprocs, "product", precision, element_size)
+
+
+def maxloc_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4) -> float:
+    return reduction_cost(proc, comm, local_elements, nprocs, "maxloc", precision, element_size)

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerates every table and figure of the evaluation.
+
+* :mod:`accuracy`      — Table 2 (prediction accuracy sweep)
+* :mod:`directives`    — Figures 3, 4, 5 and the §5.2.1 directive-selection study
+* :mod:`debugging`     — Figures 6 & 7 (stock-option phase profile)
+* :mod:`usability`     — Figure 8 (experimentation-time comparison)
+* :mod:`forall_study`  — Figure 2 (abstraction of the forall statement)
+* :mod:`ablation`      — design-choice ablations A1/A2 (ours)
+"""
+
+from .ablation import AblationPoint, AblationReport, run_comm_sensitivity, run_model_ablation
+from .accuracy import (
+    AccuracyPoint,
+    AccuracyReport,
+    AccuracyRow,
+    measure_application,
+    run_accuracy_study,
+)
+from .debugging import DebuggingStudy, PhaseBreakdown, run_debugging_study
+from .directives import (
+    LAPLACE_VARIANTS,
+    VARIANT_LABELS,
+    DistributionIllustration,
+    LaplacePoint,
+    LaplaceStudy,
+    illustrate_distributions,
+    run_directive_selection,
+    run_laplace_study,
+)
+from .forall_study import FORALL_EXAMPLE_SOURCE, ForallAbstraction, run_forall_abstraction
+from .usability import UsabilityEntry, UsabilityStudy, run_usability_study
+
+__all__ = [
+    "AblationPoint",
+    "AblationReport",
+    "run_comm_sensitivity",
+    "run_model_ablation",
+    "AccuracyPoint",
+    "AccuracyReport",
+    "AccuracyRow",
+    "measure_application",
+    "run_accuracy_study",
+    "DebuggingStudy",
+    "PhaseBreakdown",
+    "run_debugging_study",
+    "LAPLACE_VARIANTS",
+    "VARIANT_LABELS",
+    "DistributionIllustration",
+    "LaplacePoint",
+    "LaplaceStudy",
+    "illustrate_distributions",
+    "run_directive_selection",
+    "run_laplace_study",
+    "FORALL_EXAMPLE_SOURCE",
+    "ForallAbstraction",
+    "run_forall_abstraction",
+    "UsabilityEntry",
+    "UsabilityStudy",
+    "run_usability_study",
+]

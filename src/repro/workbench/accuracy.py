@@ -1,0 +1,157 @@
+"""Experiment E2 — Table 2: accuracy of the performance prediction framework.
+
+For every application of the validation set, sweep the paper's problem sizes
+and system sizes (1–8 processors), obtain the interpreted (estimated) time and
+the simulated (measured) time, and report the minimum and maximum absolute
+error as a percentage of the measured time — the exact quantity Table 2
+tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..interpreter import interpret
+from ..output.report import render_table
+from ..simulator import SimulatorOptions, simulate
+from ..suite import all_entries, get_entry, laplace_grid_shape
+from ..system import ipsc860
+
+
+@dataclass
+class AccuracyPoint:
+    """One (application, problem size, system size) measurement."""
+
+    key: str
+    size: int
+    nprocs: int
+    estimated_us: float
+    measured_us: float
+
+    @property
+    def abs_error_pct(self) -> float:
+        if self.measured_us <= 0:
+            return float("nan")
+        return abs(self.estimated_us - self.measured_us) / self.measured_us * 100.0
+
+
+@dataclass
+class AccuracyRow:
+    """One row of Table 2."""
+
+    key: str
+    name: str
+    problem_sizes: tuple[int, int]
+    system_sizes: tuple[int, int]
+    min_error_pct: float
+    max_error_pct: float
+    paper_min_error_pct: float
+    paper_max_error_pct: float
+    points: list[AccuracyPoint] = field(default_factory=list)
+
+
+@dataclass
+class AccuracyReport:
+    """The full Table 2 reproduction."""
+
+    rows: list[AccuracyRow] = field(default_factory=list)
+
+    def worst_case_error(self) -> float:
+        return max((row.max_error_pct for row in self.rows), default=0.0)
+
+    def best_case_error(self) -> float:
+        return min((row.min_error_pct for row in self.rows), default=0.0)
+
+    def row(self, key: str) -> AccuracyRow:
+        for row in self.rows:
+            if row.key == key:
+                return row
+        raise KeyError(key)
+
+    def to_table(self) -> str:
+        rows = []
+        for row in self.rows:
+            rows.append([
+                row.name,
+                f"{row.problem_sizes[0]} - {row.problem_sizes[1]}",
+                f"{row.system_sizes[0]} - {row.system_sizes[1]}",
+                f"{row.min_error_pct:.2f}%",
+                f"{row.max_error_pct:.1f}%",
+                f"{row.paper_min_error_pct:.2f}%",
+                f"{row.paper_max_error_pct:.1f}%",
+            ])
+        return render_table(
+            ["Name", "Problem Sizes", "System Size", "Min Abs Error", "Max Abs Error",
+             "Paper Min", "Paper Max"],
+            rows,
+            title="Table 2: Accuracy of the Performance Prediction Framework "
+                  "(measured = iPSC/860 simulator)",
+        )
+
+
+def measure_application(
+    key: str,
+    sizes: Sequence[int] | None = None,
+    proc_counts: Iterable[int] = (1, 2, 4, 8),
+    simulator_options: SimulatorOptions | None = None,
+) -> AccuracyRow:
+    """Run the accuracy sweep for one application."""
+    entry = get_entry(key)
+    sizes = list(sizes if sizes is not None else entry.sizes)
+    proc_list = list(proc_counts)
+    points: list[AccuracyPoint] = []
+
+    for size in sizes:
+        for nprocs in proc_list:
+            grid_shape = None
+            if key.startswith("laplace_"):
+                grid_shape = laplace_grid_shape(key.replace("laplace_", ""), nprocs)
+            compiled = entry.compile(size, nprocs, grid_shape)
+            machine = ipsc860(nprocs)
+            estimate = interpret(compiled, machine,
+                                 options=entry.interpreter_options(size))
+            simulation = simulate(compiled, machine, options=simulator_options)
+            points.append(AccuracyPoint(
+                key=key, size=size, nprocs=nprocs,
+                estimated_us=estimate.predicted_time_us,
+                measured_us=simulation.measured_time_us,
+            ))
+
+    errors = [p.abs_error_pct for p in points]
+    return AccuracyRow(
+        key=key,
+        name=entry.name,
+        problem_sizes=(min(sizes), max(sizes)),
+        system_sizes=(min(proc_list), max(proc_list)),
+        min_error_pct=min(errors),
+        max_error_pct=max(errors),
+        paper_min_error_pct=entry.paper_min_error,
+        paper_max_error_pct=entry.paper_max_error,
+        points=points,
+    )
+
+
+def run_accuracy_study(
+    keys: Sequence[str] | None = None,
+    sizes_per_key: dict[str, Sequence[int]] | None = None,
+    proc_counts: Iterable[int] = (1, 2, 4, 8),
+    quick: bool = False,
+    simulator_options: SimulatorOptions | None = None,
+) -> AccuracyReport:
+    """Reproduce Table 2 (optionally on a reduced sweep with ``quick=True``)."""
+    entries = all_entries()
+    keys = list(keys if keys is not None else entries.keys())
+    report = AccuracyReport()
+    for key in keys:
+        entry = entries[key]
+        sizes = None
+        if sizes_per_key and key in sizes_per_key:
+            sizes = sizes_per_key[key]
+        elif quick:
+            sizes = entry.sizes[:2]
+        report.rows.append(measure_application(
+            key, sizes=sizes, proc_counts=proc_counts,
+            simulator_options=simulator_options,
+        ))
+    return report

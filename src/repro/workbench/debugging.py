@@ -1,0 +1,117 @@
+"""Experiment E6 — Figures 6 & 7: application performance debugging.
+
+The parallel stock-option pricing model is split into its two application
+phases (Phase 1 creates the distributed price lattice with shifts, Phase 2
+computes call prices with no communication) and the framework's per-phase
+computation / communication / overhead breakdown is produced — the bar chart
+of Figure 7 — from the interpreted metrics, with the simulated breakdown
+alongside for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interpreter import interpret
+from ..interpreter.metrics import Metrics
+from ..output.profile import phase_profile
+from ..output.report import render_bar_chart, render_table
+from ..simulator import simulate
+from ..suite import get_entry
+from ..system import ipsc860
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase comp/comm/overhead times (µs) for one run."""
+
+    label: str
+    estimated: Metrics
+    measured: Metrics
+
+
+@dataclass
+class DebuggingStudy:
+    """The Figure 6/7 performance-debugging experiment."""
+
+    application: str
+    nprocs: int
+    size: int
+    phases: list[PhaseBreakdown] = field(default_factory=list)
+
+    def phase(self, label: str) -> PhaseBreakdown:
+        for entry in self.phases:
+            if entry.label == label:
+                return entry
+        raise KeyError(label)
+
+    def dominant_phase(self) -> str:
+        return max(self.phases, key=lambda p: p.estimated.total).label
+
+    def communication_free_phases(self, threshold_fraction: float = 0.05) -> list[str]:
+        """Phases whose communication share is below *threshold_fraction*."""
+        out = []
+        for entry in self.phases:
+            total = entry.estimated.total
+            if total <= 0 or entry.estimated.communication / total < threshold_fraction:
+                out.append(entry.label)
+        return out
+
+    def to_chart(self) -> str:
+        data = {}
+        for entry in self.phases:
+            data[f"{entry.label} comp"] = entry.estimated.computation
+            data[f"{entry.label} comm"] = entry.estimated.communication
+            data[f"{entry.label} ovhd"] = entry.estimated.overhead
+        return render_bar_chart(
+            data, unit="us",
+            title=f"Stock Option Pricing - Interpreted Performance Profile "
+                  f"(Procs = {self.nprocs}; Size = {self.size})",
+        )
+
+    def to_table(self) -> str:
+        rows = []
+        for entry in self.phases:
+            rows.append([
+                entry.label,
+                f"{entry.estimated.computation:.0f}",
+                f"{entry.estimated.communication:.0f}",
+                f"{entry.estimated.overhead:.0f}",
+                f"{entry.measured.computation:.0f}",
+                f"{entry.measured.communication:.0f}",
+                f"{entry.measured.overhead:.0f}",
+            ])
+        return render_table(
+            ["phase", "est comp (us)", "est comm (us)", "est ovhd (us)",
+             "sim comp (us)", "sim comm (us)", "sim ovhd (us)"],
+            rows,
+            title=f"Financial model phase profile ({self.nprocs} procs, size {self.size})",
+        )
+
+
+def run_debugging_study(
+    size: int = 256,
+    nprocs: int = 4,
+    application: str = "finance",
+) -> DebuggingStudy:
+    """Reproduce the Figure 6/7 experiment (Procs = 4; Size = 256 in the paper)."""
+    entry = get_entry(application)
+    compiled = entry.compile(size, nprocs)
+    machine = ipsc860(nprocs)
+    estimate = interpret(compiled, machine, options=entry.interpreter_options(size))
+    simulation = simulate(compiled, machine)
+
+    phase_ranges = entry.phase_line_ranges()
+    study = DebuggingStudy(application=application, nprocs=nprocs, size=size)
+
+    est_profile = phase_profile(estimate, phase_ranges)
+    for label, (first, last) in phase_ranges.items():
+        est_metrics = next(e.metrics for e in est_profile.entries if e.label == label)
+        measured = Metrics()
+        for line, metrics in simulation.line_metrics.items():
+            if first <= line <= last:
+                measured += metrics
+        study.phases.append(PhaseBreakdown(label=label, estimated=est_metrics,
+                                           measured=measured))
+    study.phases.sort(key=lambda p: p.label)
+    return study

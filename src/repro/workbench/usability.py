@@ -1,0 +1,136 @@
+"""Experiment E7 — Figure 8: usability / cost-effectiveness of the framework.
+
+The paper compares the wall-clock cost of evaluating the three Laplace
+implementations by measurement on the iPSC/860 (edit, cross-compile, transfer,
+load, run — repeated per configuration, on a shared machine) against
+interpretation on a Sparcstation (edit once, vary parameters from the GUI).
+Interpretation took ≈10 minutes per implementation; measurement took between
+≈27 minutes and ≈1 hour.
+
+We reproduce the comparison with the workflow cost model of
+:mod:`repro.system.host`, feeding it (a) the simulated run time of each
+configuration for the measured path and (b) the *actual wall-clock time* our
+own interpretation parse takes for the interpreted path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..interpreter import interpret
+from ..output.report import render_bar_chart, render_table
+from ..simulator import simulate
+from ..suite import get_entry, laplace_grid_shape
+from ..system import ExperimentationCostModel, ipsc860
+from .directives import LAPLACE_VARIANTS, VARIANT_LABELS
+
+
+@dataclass
+class UsabilityEntry:
+    """Experimentation time for one Laplace implementation under both workflows."""
+
+    variant: str
+    label: str
+    interpreter_minutes: float
+    measurement_minutes: float
+    configurations: int
+    interpret_wall_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.interpreter_minutes <= 0:
+            return float("inf")
+        return self.measurement_minutes / self.interpreter_minutes
+
+
+@dataclass
+class UsabilityStudy:
+    """Figure 8: experimentation time, interpreter vs iPSC/860."""
+
+    entries: list[UsabilityEntry] = field(default_factory=list)
+    cost_model: ExperimentationCostModel = field(default_factory=ExperimentationCostModel)
+
+    def min_measurement_minutes(self) -> float:
+        return min(e.measurement_minutes for e in self.entries)
+
+    def max_measurement_minutes(self) -> float:
+        return max(e.measurement_minutes for e in self.entries)
+
+    def interpreter_always_cheaper(self) -> bool:
+        return all(e.interpreter_minutes < e.measurement_minutes for e in self.entries)
+
+    def to_chart(self) -> str:
+        data: dict[str, float] = {}
+        for entry in self.entries:
+            data[f"{entry.label} interpreter"] = entry.interpreter_minutes
+            data[f"{entry.label} iPSC/860"] = entry.measurement_minutes
+        return render_bar_chart(data, unit="min",
+                                title="Experimentation Time - Laplace Solver")
+
+    def to_table(self) -> str:
+        rows = []
+        for entry in self.entries:
+            rows.append([
+                entry.label,
+                entry.configurations,
+                f"{entry.interpreter_minutes:.1f}",
+                f"{entry.measurement_minutes:.1f}",
+                f"{entry.speedup:.1f}x",
+            ])
+        return render_table(
+            ["implementation", "configs", "interpreter (min)", "iPSC/860 (min)", "advantage"],
+            rows,
+            title="Figure 8: experimentation time per Laplace implementation",
+        )
+
+
+def run_usability_study(
+    sizes: Sequence[int] = (64, 128, 256),
+    nprocs: int = 4,
+    runs_per_configuration: int = 3,
+    variants: Sequence[str] = LAPLACE_VARIANTS,
+    include_queue_wait: bool = True,
+) -> UsabilityStudy:
+    """Reproduce Figure 8.
+
+    ``runs_per_configuration`` models how many timed executions the measured
+    workflow performs per configuration (the paper averaged many runs; even a
+    handful makes the measured path far slower than interpretation).
+    """
+    study = UsabilityStudy()
+    model = study.cost_model
+
+    for variant in variants:
+        entry = get_entry(f"laplace_{variant}")
+        grid_shape = laplace_grid_shape(variant, nprocs)
+        machine = ipsc860(nprocs)
+
+        interpret_wall = 0.0
+        simulated_run_times = []
+        for size in sizes:
+            compiled = entry.compile(size, nprocs, grid_shape)
+            result = interpret(compiled, machine, options=entry.interpreter_options(size))
+            interpret_wall += result.wall_clock_seconds
+            simulation = simulate(compiled, machine)
+            simulated_run_times.append(simulation.measured_time_s)
+
+        configurations = len(sizes)
+        avg_run_time_s = sum(simulated_run_times) / max(len(simulated_run_times), 1)
+
+        interpreter_minutes = model.interpreted_minutes(
+            configurations, interpret_time_s=interpret_wall / max(configurations, 1)
+        )
+        measurement_minutes = model.measured_minutes(
+            configurations, runs_per_configuration, avg_run_time_s,
+            include_queue=include_queue_wait,
+        )
+        study.entries.append(UsabilityEntry(
+            variant=variant,
+            label=VARIANT_LABELS[variant],
+            interpreter_minutes=interpreter_minutes,
+            measurement_minutes=measurement_minutes,
+            configurations=configurations,
+            interpret_wall_seconds=interpret_wall,
+        ))
+    return study

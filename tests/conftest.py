@@ -1,0 +1,110 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.compiler import compile_source  # noqa: E402
+from repro.system import ipsc860  # noqa: E402
+
+LAPLACE_SOURCE = """
+      program laplace
+      integer, parameter :: n = 32
+      integer, parameter :: maxiter = 4
+      real, dimension(n, n) :: u, unew, f
+      real :: err
+      integer :: iter
+!HPF$ PROCESSORS p(2, 2)
+!HPF$ TEMPLATE t(n, n)
+!HPF$ ALIGN u(i, j) WITH t(i, j)
+!HPF$ ALIGN unew(i, j) WITH t(i, j)
+!HPF$ ALIGN f(i, j) WITH t(i, j)
+!HPF$ DISTRIBUTE t(BLOCK, BLOCK) ONTO p
+      forall (i = 1:n, j = 1:n) u(i, j) = 0.0
+      forall (i = 1:n, j = 1:n) f(i, j) = 0.0
+      forall (j = 1:n) u(1, j) = 1.0
+      do iter = 1, maxiter
+        forall (i = 2:n - 1, j = 2:n - 1) &
+          unew(i, j) = 0.25 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1) &
+                               - f(i, j))
+        err = sum(abs(unew(2:n - 1, 2:n - 1) - u(2:n - 1, 2:n - 1)))
+        forall (i = 2:n - 1, j = 2:n - 1) u(i, j) = unew(i, j)
+      end do
+      print *, err
+      end program laplace
+"""
+
+STENCIL_1D_SOURCE = """
+      program stencil
+      integer, parameter :: n = 64
+      real, dimension(n) :: a, b
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE t(n)
+!HPF$ ALIGN a(i) WITH t(i)
+!HPF$ ALIGN b(i) WITH t(i)
+!HPF$ DISTRIBUTE t(BLOCK) ONTO p
+      forall (i = 1:n) a(i) = 0.5 * i
+      forall (i = 2:n - 1) b(i) = a(i - 1) + a(i) + a(i + 1)
+      print *, b(2)
+      end program stencil
+"""
+
+REDUCTION_SOURCE = """
+      program reduce
+      integer, parameter :: n = 64
+      real, dimension(n) :: x, y
+      real :: total
+!HPF$ PROCESSORS p(4)
+!HPF$ TEMPLATE t(n)
+!HPF$ ALIGN x(i) WITH t(i)
+!HPF$ ALIGN y(i) WITH t(i)
+!HPF$ DISTRIBUTE t(BLOCK) ONTO p
+      forall (i = 1:n) x(i) = 1.0
+      forall (i = 1:n) y(i) = 2.0
+      total = sum(x * y)
+      print *, total
+      end program reduce
+"""
+
+
+@pytest.fixture(scope="session")
+def laplace_source() -> str:
+    return LAPLACE_SOURCE
+
+
+@pytest.fixture(scope="session")
+def stencil_source() -> str:
+    return STENCIL_1D_SOURCE
+
+
+@pytest.fixture(scope="session")
+def reduction_source() -> str:
+    return REDUCTION_SOURCE
+
+
+@pytest.fixture(scope="session")
+def laplace_compiled():
+    return compile_source(LAPLACE_SOURCE, name="laplace", nprocs=4)
+
+
+@pytest.fixture(scope="session")
+def stencil_compiled():
+    return compile_source(STENCIL_1D_SOURCE, name="stencil", nprocs=4)
+
+
+@pytest.fixture(scope="session")
+def reduction_compiled():
+    return compile_source(REDUCTION_SOURCE, name="reduce", nprocs=4)
+
+
+@pytest.fixture(scope="session")
+def machine4():
+    return ipsc860(4)
+
+
+@pytest.fixture(scope="session")
+def machine8():
+    return ipsc860(8)

@@ -1,0 +1,222 @@
+"""Tests for the Application Module: AAU/AAG/SAAG, comm table, critical variables,
+machine-specific filter."""
+
+import pytest
+
+from repro.appmodel import (
+    AAUType,
+    build_aag,
+    build_saag,
+    identify_critical_variables,
+    resolve_critical_variables,
+    apply_machine_filter,
+)
+from repro.appmodel.machine_filter import FilterOptions
+from repro.compiler import compile_source
+from repro.frontend.parser import parse_source
+from repro.frontend.symbols import SymbolTable
+from repro.system import ipsc860
+
+
+class TestAAGConstruction:
+    def test_root_is_program_seq(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        assert aag.root.type is AAUType.SEQ
+        assert "laplace" in aag.root.name
+
+    def test_aau_ids_are_unique(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        ids = [aau.id for aau in aag.walk()]
+        assert len(ids) == len(set(ids))
+
+    def test_forall_becomes_iter_aau(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        iters = aag.by_type(AAUType.ITER)
+        assert len(iters) >= 4
+
+    def test_comm_phase_becomes_comm_aau(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        assert aag.by_type(AAUType.COMM)
+
+    def test_reduction_becomes_reduce_aau(self, reduction_compiled):
+        aag = build_aag(reduction_compiled)
+        reduces = aag.by_type(AAUType.REDUCE)
+        assert len(reduces) == 1
+        assert reduces[0].detail["op"] == "sum"
+
+    def test_masked_forall_gets_condtd_child(self):
+        cp = compile_source(
+            "      program t\n      real :: a(16), b(16)\n"
+            "!HPF$ PROCESSORS p(4)\n!HPF$ TEMPLATE tt(16)\n"
+            "!HPF$ ALIGN a(i) WITH tt(i)\n!HPF$ ALIGN b(i) WITH tt(i)\n"
+            "!HPF$ DISTRIBUTE tt(BLOCK) ONTO p\n"
+            "      forall (i = 1:16, b(i) > 0.0) a(i) = 1.0 / b(i)\n      end\n",
+            nprocs=4)
+        aag = build_aag(cp)
+        iters = aag.by_type(AAUType.ITER)
+        masked = [a for a in iters if a.detail.get("masked")]
+        assert masked
+        assert any(child.type is AAUType.COND for child in masked[0].children)
+
+    def test_serial_do_nests_children(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        serial_loops = [a for a in aag.by_type(AAUType.ITER)
+                        if a.detail.get("serial_loop")]
+        assert serial_loops
+        assert serial_loops[0].children
+
+    def test_line_index(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        stencil_line = next(a.line for a in aag.by_type(AAUType.ITER)
+                            if a.detail.get("home_array") == "unew")
+        assert aag.at_line(stencil_line)
+
+    def test_type_short_names(self):
+        assert AAUType.ITER.short() == "IterD"
+        assert AAUType.COND.short() == "CondtD"
+        assert AAUType.COMM.short() == "Comm"
+
+    def test_describe_is_printable(self, laplace_compiled):
+        aag = build_aag(laplace_compiled)
+        text = aag.describe()
+        assert "AAG" in text and "IterD" in text
+
+
+class TestSAAG:
+    def test_comm_table_populated(self, laplace_compiled):
+        saag = build_saag(laplace_compiled)
+        assert len(saag.comm_table) >= 2
+        kinds = {e.kind for e in saag.comm_table}
+        assert "shift" in kinds and "reduce" in kinds
+
+    def test_comm_table_sizes_positive(self, laplace_compiled):
+        saag = build_saag(laplace_compiled)
+        for entry in saag.comm_table:
+            assert entry.elements_per_proc >= 1.0
+            assert entry.bytes_per_proc >= entry.element_size or entry.kind == "reduce"
+
+    def test_comm_table_for_aau_lookup(self, laplace_compiled):
+        saag = build_saag(laplace_compiled)
+        entry = saag.comm_table.entries[0]
+        assert entry in saag.comm_table.for_aau(entry.aau_id)
+
+    def test_sync_edges_connect_comm_aaus(self, laplace_compiled):
+        saag = build_saag(laplace_compiled)
+        assert saag.edges
+        for edge in saag.edges:
+            assert saag.find(edge.source_id) is not None
+            assert saag.find(edge.target_id) is not None
+
+    def test_reduce_edge_present(self, reduction_compiled):
+        saag = build_saag(reduction_compiled)
+        assert any(e.kind == "reduce" for e in saag.edges)
+
+    def test_describe_includes_tables(self, laplace_compiled):
+        saag = build_saag(laplace_compiled)
+        text = saag.describe()
+        assert "communication table" in text
+        assert "critical variables" in text
+
+
+class TestCriticalVariables:
+    def test_loop_limits_identified(self, laplace_compiled):
+        report = identify_critical_variables(laplace_compiled.normalized)
+        assert "n" in report
+        assert "maxiter" in report
+
+    def test_parameters_resolved(self, laplace_compiled):
+        report = resolve_critical_variables(
+            laplace_compiled.normalized, laplace_compiled.symtable,
+            base_env=laplace_compiled.mapping.env)
+        assert report.get("n").value == 32
+        assert report.get("n").resolution == "parameter"
+        assert not report.unresolved() or all(v.name not in ("n", "maxiter")
+                                              for v in report.unresolved())
+
+    def test_user_override_wins(self, laplace_compiled):
+        report = resolve_critical_variables(
+            laplace_compiled.normalized, laplace_compiled.symtable,
+            overrides={"n": 128}, base_env=laplace_compiled.mapping.env)
+        assert report.get("n").value == 128
+        assert report.get("n").resolution == "user"
+
+    def test_traced_simple_definition(self):
+        program = parse_source(
+            "      program t\n      real :: a(64)\n      integer :: m\n"
+            "      m = 10\n      forall (i = 1:m) a(i) = 0.0\n      end\n")
+        table = SymbolTable.from_program(program)
+        report = resolve_critical_variables(program, table)
+        assert report.get("m").value == 10
+        assert report.get("m").resolution == "traced"
+
+    def test_unresolved_variable_reported(self):
+        program = parse_source(
+            "      program t\n      real :: a(64)\n      integer :: m\n"
+            "      do while (m > 0)\n        m = m - 1\n      end do\n      end\n")
+        table = SymbolTable.from_program(program)
+        report = resolve_critical_variables(program, table)
+        # m is loop-carried; it cannot be statically resolved (init value unknown)
+        assert "m" in report
+
+    def test_mask_and_condition_roles(self):
+        program = parse_source(
+            "      program t\n      real :: a(8)\n      real :: eps\n"
+            "      forall (i = 1:8, a(i) > eps) a(i) = 0.0\n"
+            "      if (eps > 0.0) then\n        eps = 0.0\n      end if\n      end\n")
+        report = identify_critical_variables(program)
+        roles = set(report.get("eps").roles)
+        assert "forall mask" in roles and "branch condition" in roles
+
+    def test_resolved_env_and_describe(self, laplace_compiled):
+        report = resolve_critical_variables(
+            laplace_compiled.normalized, laplace_compiled.symtable,
+            base_env=laplace_compiled.mapping.env)
+        env = report.resolved_env()
+        assert env["n"] == 32
+        assert "critical variables" in report.describe()
+
+
+class TestMachineFilter:
+    def test_sau_assignment(self, laplace_compiled, machine4):
+        saag = build_saag(laplace_compiled)
+        apply_machine_filter(saag, laplace_compiled, machine4)
+        for aau in saag.walk():
+            if aau.type in (AAUType.COMM, AAUType.SYNC):
+                assert aau.sau_name == "cube"
+            else:
+                assert aau.sau_name in ("node", "host")
+
+    def test_loop_nest_annotations(self, laplace_compiled, machine4):
+        saag = build_saag(laplace_compiled)
+        apply_machine_filter(saag, laplace_compiled, machine4)
+        annotated = [a for a in saag.by_type(AAUType.ITER)
+                     if "local_elements_max" in a.detail]
+        assert annotated
+        for aau in annotated:
+            assert aau.detail["element_size"] in (4, 8)
+            assert aau.detail["local_elements_max"] > 0
+
+    def test_stride1_annotation_follows_optimization_flag(self, laplace_compiled, machine4):
+        saag = build_saag(laplace_compiled)
+        apply_machine_filter(saag, laplace_compiled, machine4,
+                             FilterOptions(assume_stride1_innermost=False))
+        nests = [a for a in saag.by_type(AAUType.ITER) if "stride1_innermost" in a.detail]
+        assert nests and all(a.detail["stride1_innermost"] is False for a in nests)
+
+    def test_machine_name_recorded(self, laplace_compiled, machine4):
+        saag = build_saag(laplace_compiled)
+        apply_machine_filter(saag, laplace_compiled, machine4)
+        assert all(aau.detail.get("machine") == machine4.name for aau in saag.walk())
+
+
+class TestAAGByType:
+    def test_aag_type_query(self):
+        machine = ipsc860(4)
+        cp = compile_source(
+            "      program t\n      real :: a(16)\n      real :: s\n"
+            "!HPF$ PROCESSORS p(4)\n!HPF$ DISTRIBUTE a(BLOCK) ONTO p\n"
+            "      a = 1.0\n      s = sum(a)\n      print *, s\n      end\n", nprocs=4)
+        saag = build_saag(cp)
+        apply_machine_filter(saag, cp, machine)
+        types = {aau.type for aau in saag.walk()}
+        assert {AAUType.SEQ, AAUType.ITER, AAUType.REDUCE, AAUType.COMM} <= types

@@ -1,0 +1,335 @@
+"""Unit tests for the HPF/Fortran 90D parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParserError
+from repro.frontend.parser import parse_expression, parse_source
+
+
+def wrap(body: str) -> ast.Program:
+    return parse_source(f"      program t\n{body}\n      end program t\n")
+
+
+class TestDeclarations:
+    def test_simple_real_declaration(self):
+        prog = wrap("      real :: x, y")
+        decl = prog.declarations[0]
+        assert decl.type_name == "real"
+        assert [e.name for e in decl.entities] == ["x", "y"]
+
+    def test_integer_parameter_attribute(self):
+        prog = wrap("      integer, parameter :: n = 128")
+        decl = prog.declarations[0]
+        assert "parameter" in decl.attributes
+        assert isinstance(decl.entities[0].init, ast.Num)
+        assert decl.entities[0].init.value == 128
+
+    def test_dimension_attribute(self):
+        prog = wrap("      real, dimension(10, 20) :: a, b")
+        decl = prog.declarations[0]
+        assert len(decl.dimension) == 2
+        assert decl.entities[0].dims == []  # dims come from the DIMENSION attribute
+
+    def test_per_entity_dimensions(self):
+        prog = wrap("      real :: a(10), b(5, 5)")
+        decl = prog.declarations[0]
+        assert len(decl.entities[0].dims) == 1
+        assert len(decl.entities[1].dims) == 2
+
+    def test_explicit_bounds(self):
+        prog = wrap("      real :: a(0:9)")
+        dim = prog.declarations[0].entities[0].dims[0]
+        assert isinstance(dim.lower, ast.Num) and dim.lower.value == 0
+        assert dim.upper.value == 9
+
+    def test_double_precision(self):
+        prog = wrap("      double precision :: d(4)")
+        assert prog.declarations[0].type_name == "double"
+
+    def test_old_style_parameter_statement(self):
+        prog = wrap("      parameter (n = 64, m = 32)")
+        stmt = prog.declarations[0]
+        assert isinstance(stmt, ast.ParameterStmt)
+        assert [name for name, _ in stmt.assignments] == ["n", "m"]
+
+    def test_dimension_statement(self):
+        prog = wrap("      dimension a(10)")
+        assert prog.declarations[0].entities[0].name == "a"
+
+    def test_declaration_with_expression_bound(self):
+        prog = wrap("      integer, parameter :: n = 8\n      real :: z(n + 11)")
+        dim = prog.declarations[1].entities[0].dims[0]
+        assert isinstance(dim.upper, ast.BinOp)
+
+
+class TestDirectives:
+    SRC = """
+      program t
+      integer, parameter :: n = 16
+      real :: a(n, n)
+!HPF$ PROCESSORS p(2, 2)
+!HPF$ TEMPLATE tmpl(n, n)
+!HPF$ ALIGN a(i, j) WITH tmpl(i, j)
+!HPF$ DISTRIBUTE tmpl(BLOCK, CYCLIC) ONTO p
+      a(1, 1) = 0.0
+      end program t
+"""
+
+    def test_directive_kinds(self):
+        prog = parse_source(self.SRC)
+        kinds = [type(d).__name__ for d in prog.directives]
+        assert kinds == ["ProcessorsDirective", "TemplateDirective",
+                        "AlignDirective", "DistributeDirective"]
+
+    def test_processors_shape(self):
+        prog = parse_source(self.SRC)
+        proc = prog.directives[0]
+        assert proc.name == "p"
+        assert len(proc.shape) == 2
+
+    def test_align_dummies_and_target(self):
+        prog = parse_source(self.SRC)
+        align = prog.directives[2]
+        assert align.alignee == "a"
+        assert align.source_dummies == ["i", "j"]
+        assert align.target == "tmpl"
+        assert len(align.target_subscripts) == 2
+
+    def test_distribute_formats_and_onto(self):
+        prog = parse_source(self.SRC)
+        dist = prog.directives[3]
+        assert dist.target == "tmpl"
+        assert [fmt for fmt, _ in dist.dist_formats] == ["block", "cyclic"]
+        assert dist.onto == "p"
+
+    def test_distribute_star_and_cyclic_block(self):
+        prog = parse_source(
+            "      program t\n      real :: a(8, 8)\n"
+            "!HPF$ DISTRIBUTE a(*, CYCLIC(2)) ONTO q\n"
+            "!HPF$ PROCESSORS q(4)\n      end\n")
+        dist = [d for d in prog.directives if isinstance(d, ast.DistributeDirective)][0]
+        assert dist.dist_formats[0][0] == "*"
+        assert dist.dist_formats[1][0] == "cyclic"
+        assert dist.dist_formats[1][1].value == 2
+
+    def test_unknown_directive_ignored(self):
+        prog = parse_source("      program t\n!HPF$ INDEPENDENT\n      x = 1\n      end\n")
+        assert prog.directives == []
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        prog = wrap("      x = 2.5 * y")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.Assignment)
+        assert isinstance(stmt.target, ast.Var)
+
+    def test_array_element_assignment(self):
+        prog = wrap("      real :: a(10)\n      a(3) = 1.0")
+        stmt = prog.body[0]
+        assert isinstance(stmt.target, ast.ArrayRef)
+
+    def test_array_section_assignment(self):
+        prog = wrap("      real :: a(10)\n      a(2:9) = 0.0")
+        target = prog.body[0].target
+        assert isinstance(target.indices[0], ast.Section)
+
+    def test_forall_statement_form(self):
+        prog = wrap("      real :: a(10)\n      forall (i = 1:10) a(i) = i")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.ForallStmt)
+        assert len(stmt.triplets) == 1
+        assert stmt.mask is None
+        assert len(stmt.body) == 1
+
+    def test_forall_with_mask_and_two_indices(self):
+        prog = wrap("      real :: a(9, 9)\n"
+                    "      forall (i = 1:9, j = 1:9, i /= j) a(i, j) = 1.0")
+        stmt = prog.body[0]
+        assert len(stmt.triplets) == 2
+        assert isinstance(stmt.mask, ast.Compare)
+
+    def test_forall_construct_form(self):
+        prog = wrap("      real :: a(9), b(9)\n"
+                    "      forall (i = 2:8)\n"
+                    "        a(i) = b(i)\n"
+                    "        b(i) = a(i) + 1.0\n"
+                    "      end forall")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.ForallStmt)
+        assert len(stmt.body) == 2
+
+    def test_forall_with_stride(self):
+        prog = wrap("      real :: a(16)\n      forall (i = 1:16:2) a(i) = 0.0")
+        assert prog.body[0].triplets[0].step.value == 2
+
+    def test_where_statement(self):
+        prog = wrap("      real :: a(8), b(8)\n      where (a(1:8) > 0.0) b(1:8) = 1.0")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.WhereStmt)
+        assert len(stmt.body) == 1
+
+    def test_where_construct_with_elsewhere(self):
+        prog = wrap("      real :: a(8), b(8)\n"
+                    "      where (a(1:8) > 0.0)\n"
+                    "        b(1:8) = 1.0\n"
+                    "      elsewhere\n"
+                    "        b(1:8) = -1.0\n"
+                    "      end where")
+        stmt = prog.body[0]
+        assert len(stmt.body) == 1 and len(stmt.elsewhere) == 1
+
+    def test_do_loop(self):
+        prog = wrap("      do i = 1, 10, 2\n        x = x + i\n      end do")
+        loop = prog.body[0]
+        assert isinstance(loop, ast.DoLoop)
+        assert loop.var == "i"
+        assert loop.step.value == 2
+        assert len(loop.body) == 1
+
+    def test_do_while(self):
+        prog = wrap("      do while (x < 10.0)\n        x = x + 1.0\n      end do")
+        loop = prog.body[0]
+        assert isinstance(loop, ast.DoWhile)
+
+    def test_if_construct_with_else_if_and_else(self):
+        prog = wrap("      if (x > 0.0) then\n        y = 1.0\n"
+                    "      else if (x < 0.0) then\n        y = -1.0\n"
+                    "      else\n        y = 0.0\n      end if")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.IfBlock)
+        assert len(stmt.branches) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_single_line_if(self):
+        prog = wrap("      if (x > 0.0) y = 1.0")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.IfBlock)
+        assert len(stmt.branches) == 1
+        assert isinstance(stmt.branches[0][1][0], ast.Assignment)
+
+    def test_nested_constructs(self):
+        prog = wrap("      do i = 1, 4\n"
+                    "        if (i > 2) then\n"
+                    "          x = x + i\n"
+                    "        end if\n"
+                    "      end do")
+        loop = prog.body[0]
+        assert isinstance(loop.body[0], ast.IfBlock)
+
+    def test_print_statement(self):
+        prog = wrap("      print *, x, 'done'")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.PrintStmt)
+        assert len(stmt.items) == 2
+
+    def test_call_statement(self):
+        prog = wrap("      call setup(x, 3)")
+        stmt = prog.body[0]
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "setup" and len(stmt.args) == 2
+
+    @pytest.mark.parametrize("text, node_type", [
+        ("      exit", ast.ExitStmt),
+        ("      cycle", ast.CycleStmt),
+        ("      stop", ast.StopStmt),
+        ("      continue", ast.ContinueStmt),
+    ])
+    def test_simple_control_statements(self, text, node_type):
+        prog = wrap("      do i = 1, 2\n" + text + "\n      end do")
+        assert isinstance(prog.body[0].body[0], node_type)
+
+    def test_program_name(self):
+        prog = parse_source("      program demo\n      x = 1\n      end program demo\n")
+        assert prog.name == "demo"
+
+    def test_line_numbers_recorded(self):
+        prog = parse_source("      program t\n      x = 1\n      y = 2\n      end\n")
+        assert prog.body[0].line == 2
+        assert prog.body[1].line == 3
+
+    def test_all_statements_flattening(self, laplace_source):
+        prog = parse_source(laplace_source)
+        flat = prog.all_statements()
+        assert any(isinstance(s, ast.ForallStmt) for s in flat)
+        assert any(isinstance(s, ast.Assignment) for s in flat)
+
+
+class TestParserErrors:
+    def test_unterminated_do_raises(self):
+        with pytest.raises(ParserError):
+            parse_source("      program t\n      do i = 1, 3\n      x = 1\n")
+
+    def test_mismatched_end_raises(self):
+        with pytest.raises(ParserError):
+            parse_source("      program t\n      do i = 1, 3\n      end if\n      end\n")
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(ParserError):
+            parse_source("      program t\n      gibberish here\n      end\n")
+
+    def test_trailing_garbage_after_assignment_raises(self):
+        with pytest.raises(ParserError):
+            parse_source("      program t\n      x = 1 2\n      end\n")
+
+    def test_else_outside_if_raises(self):
+        with pytest.raises(ParserError):
+            parse_source("      program t\n      else\n      end\n")
+
+
+class TestExpressions:
+    def test_operator_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_power_is_right_associative_with_unary(self):
+        expr = parse_expression("2 ** -3")
+        assert expr.op == "**"
+        assert isinstance(expr.right, ast.UnaryOp)
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinOp) and expr.left.op == "+"
+
+    def test_relational_and_logical(self):
+        expr = parse_expression("a > 1 .and. b <= 2 .or. .not. c")
+        assert isinstance(expr, ast.Logical) and expr.op == ".or."
+        assert isinstance(expr.left, ast.Logical) and expr.left.op == ".and."
+        assert isinstance(expr.right, ast.UnaryOp) and expr.right.op == ".not."
+
+    def test_intrinsic_call_vs_array_ref(self):
+        call = parse_expression("sqrt(x)")
+        assert isinstance(call, ast.FuncCall)
+        ref = parse_expression("myarray(3)")
+        assert isinstance(ref, ast.ArrayRef)
+
+    def test_array_section_subscript(self):
+        expr = parse_expression("a(2:8:2, :)")
+        assert isinstance(expr.indices[0], ast.Section)
+        assert expr.indices[0].stride.value == 2
+        assert isinstance(expr.indices[1], ast.Section)
+        assert expr.indices[1].lo is None and expr.indices[1].hi is None
+
+    def test_nested_function_calls(self):
+        expr = parse_expression("max(abs(x), abs(y))")
+        assert expr.name == "max"
+        assert all(isinstance(a, ast.FuncCall) for a in expr.args)
+
+    def test_format_expr_round_trips_names(self):
+        expr = parse_expression("q + y(k) * (r * z(k + 10))")
+        text = ast.format_expr(expr)
+        for name in ("q", "y", "z", "k", "r"):
+            assert name in text
+
+    def test_expr_helpers(self):
+        expr = parse_expression("a(i) + b * c(j, k)")
+        assert ast.expr_variables(expr) >= {"b", "i", "j", "k"}
+        refs = ast.expr_array_refs(expr)
+        assert {r.name for r in refs} == {"a", "c"}
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(ParserError):
+            parse_expression("1 + 2 )")

@@ -1,0 +1,152 @@
+"""Unit tests for source pre-processing and the lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexerError
+from repro.frontend.lexer import Token, TokenType, iter_statements, tokenize, tokenize_line
+from repro.frontend.source import SourceFile, split_logical_lines
+
+
+class TestLogicalLines:
+    def test_blank_and_comment_lines_are_dropped(self):
+        lines = split_logical_lines("\n! pure comment\n   \n      x = 1\n")
+        assert len(lines) == 1
+        assert lines[0].text == "x = 1"
+        assert lines[0].line == 4
+
+    def test_trailing_comment_stripped(self):
+        lines = split_logical_lines("      x = 1   ! set x\n")
+        assert lines[0].text == "x = 1"
+
+    def test_comment_character_inside_string_preserved(self):
+        lines = split_logical_lines("      print *, 'a!b'\n")
+        assert "'a!b'" in lines[0].text
+
+    def test_continuation_joining(self):
+        src = "      x = 1 + &\n          2 + &\n          3\n"
+        lines = split_logical_lines(src)
+        assert len(lines) == 1
+        assert lines[0].text == "x = 1 + 2 + 3"
+        assert lines[0].line == 1
+
+    def test_leading_ampersand_on_continuation_is_consumed(self):
+        src = "      x = 1 + &\n     &    2\n"
+        lines = split_logical_lines(src)
+        assert lines[0].text == "x = 1 + 2"
+
+    def test_directive_lines_are_flagged(self):
+        lines = split_logical_lines("!HPF$ PROCESSORS P(4)\n      x = 1\n")
+        assert lines[0].is_directive
+        assert lines[0].text == "PROCESSORS P(4)"
+        assert not lines[1].is_directive
+
+    @pytest.mark.parametrize("prefix", ["!hpf$", "!HPF$", "CHPF$", "*HPF$"])
+    def test_all_directive_sentinels_recognised(self, prefix):
+        lines = split_logical_lines(f"{prefix} TEMPLATE T(10)\n")
+        assert lines[0].is_directive
+
+    def test_semicolon_splits_statements(self):
+        lines = split_logical_lines("      a = 1; b = 2\n")
+        assert [l.text for l in lines] == ["a = 1", "b = 2"]
+        assert lines[0].line == lines[1].line == 1
+
+    def test_source_file_line_text(self):
+        src = SourceFile(text="      program t\n      end\n")
+        assert src.line_text(1).strip() == "program t"
+        assert src.line_text(99) == ""
+        assert src.num_physical_lines == 2
+
+
+class TestLexer:
+    def test_simple_assignment_tokens(self):
+        tokens = tokenize_line("x = y + 1", 1)
+        kinds = [t.type for t in tokens]
+        assert kinds == [TokenType.NAME, TokenType.OP, TokenType.NAME,
+                         TokenType.OP, TokenType.INTEGER]
+
+    def test_case_insensitivity(self):
+        tokens = tokenize_line("ForAll (I = 1:N)", 3)
+        assert tokens[0].value == "forall"
+        assert tokens[2].value == "i"
+
+    @pytest.mark.parametrize("literal, expected_type", [
+        ("42", TokenType.INTEGER),
+        ("3.14", TokenType.REAL),
+        (".5", TokenType.REAL),
+        ("1e-3", TokenType.REAL),
+        ("2.5d0", TokenType.REAL),
+        ("1.", TokenType.REAL),
+    ])
+    def test_numeric_literals(self, literal, expected_type):
+        tokens = tokenize_line(f"x = {literal}", 1)
+        assert tokens[-1].type is expected_type
+
+    def test_double_precision_exponent_is_normalised(self):
+        tokens = tokenize_line("x = 2.5d0", 1)
+        assert tokens[-1].value == "2.5e0"
+
+    @pytest.mark.parametrize("dotted, mapped", [
+        (".and.", ".and."), (".or.", ".or."), (".not.", ".not."),
+        (".eq.", "=="), (".ne.", "/="), (".lt.", "<"),
+        (".le.", "<="), (".gt.", ">"), (".ge.", ">="),
+    ])
+    def test_dotted_operators(self, dotted, mapped):
+        tokens = tokenize_line(f"a {dotted} b", 1)
+        assert tokens[1].type is TokenType.OP
+        assert tokens[1].value == mapped
+
+    def test_logical_literals_are_names(self):
+        tokens = tokenize_line("flag = .true. .or. .false.", 1)
+        assert tokens[2].type is TokenType.NAME and tokens[2].value == ".true."
+        assert tokens[4].value == ".false."
+
+    @pytest.mark.parametrize("op", ["**", "==", "/=", "<=", ">=", "::"])
+    def test_multi_character_operators(self, op):
+        tokens = tokenize_line(f"a {op} b", 1)
+        assert tokens[1].value == op
+
+    def test_string_literal(self):
+        tokens = tokenize_line("print *, 'hello world'", 1)
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].value == "hello world"
+
+    def test_doubled_quote_escape(self):
+        tokens = tokenize_line("s = 'it''s'", 1)
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize_line("s = 'oops", 1)
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize_line("x = a @ b", 1)
+
+    def test_directive_line_starts_with_directive_token(self):
+        tokens = tokenize("!HPF$ DISTRIBUTE A(BLOCK) ONTO P\n")
+        assert tokens[0].type is TokenType.DIRECTIVE
+        assert tokens[1].value == "distribute"
+
+    def test_stream_ends_with_eof(self):
+        tokens = tokenize("      x = 1\n      y = 2\n")
+        assert tokens[-1].type is TokenType.EOF
+        newlines = [t for t in tokens if t.type is TokenType.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_iter_statements_groups_by_line(self):
+        tokens = tokenize("      x = 1\n      y = 2\n")
+        statements = list(iter_statements(tokens))
+        assert len(statements) == 2
+        assert statements[0][0].value == "x"
+        assert statements[1][0].value == "y"
+
+    def test_token_records_line_number(self):
+        tokens = tokenize("      x = 1\n\n      y = 2\n")
+        statements = list(iter_statements(tokens))
+        assert statements[0][0].line == 1
+        assert statements[1][0].line == 3
+
+    def test_token_repr_is_informative(self):
+        token = Token(TokenType.NAME, "abc", 7)
+        assert "abc" in repr(token) and "7" in repr(token)

@@ -1,0 +1,213 @@
+"""Tests for the functional interpreter (the correctness oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.errors import EvaluationError
+from repro.frontend.parser import parse_source
+from repro.functional import FunctionalEvaluator, evaluate_program
+
+
+def run(body: str, decls: str = "", params=None):
+    src = f"      program t\n{decls}\n{body}\n      end program t\n"
+    return evaluate_program(parse_source(src), params=params)
+
+
+class TestScalarExecution:
+    def test_scalar_assignment_and_print(self):
+        result = run("      x = 2.0\n      y = x ** 3\n      print *, y")
+        assert result.scalar("y") == pytest.approx(8.0)
+        assert result.printed == ["8"]
+
+    def test_integer_division_truncates(self):
+        result = run("      integer :: i\n      i = 7 / 2")
+        assert result.scalar("i") == 3
+
+    def test_do_loop_accumulation(self):
+        result = run("      s = 0.0\n      do i = 1, 10\n        s = s + i\n      end do")
+        assert result.scalar("s") == pytest.approx(55.0)
+
+    def test_do_loop_with_step_and_exit(self):
+        result = run("      s = 0.0\n      do i = 1, 100, 2\n"
+                     "        if (i > 10) exit\n        s = s + i\n      end do")
+        assert result.scalar("s") == pytest.approx(1 + 3 + 5 + 7 + 9)
+
+    def test_cycle_skips_iteration(self):
+        result = run("      s = 0.0\n      do i = 1, 5\n"
+                     "        if (i == 3) cycle\n        s = s + i\n      end do")
+        assert result.scalar("s") == pytest.approx(12.0)
+
+    def test_do_while(self):
+        result = run("      integer :: k\n      k = 16\n      c = 0.0\n"
+                     "      do while (k > 1)\n        k = k / 2\n        c = c + 1.0\n"
+                     "      end do")
+        assert result.scalar("c") == pytest.approx(4.0)
+
+    def test_if_elseif_else(self):
+        result = run("      x = -3.0\n      if (x > 0.0) then\n        s = 1.0\n"
+                     "      else if (x < 0.0) then\n        s = -1.0\n"
+                     "      else\n        s = 0.0\n      end if")
+        assert result.scalar("s") == -1.0
+
+    def test_stop_halts_program(self):
+        result = run("      x = 1.0\n      stop\n      x = 2.0")
+        assert result.scalar("x") == 1.0
+        assert result.state.stopped
+
+    def test_parameter_override(self):
+        result = run("      real :: a(n)\n      a = 2.0\n      s = sum(a)",
+                     decls="      integer, parameter :: n = 4", params={"n": 10})
+        assert result.scalar("s") == pytest.approx(20.0)
+
+
+class TestArrayExecution:
+    def test_whole_array_assignment(self):
+        result = run("      real :: a(5)\n      a = 3.0")
+        assert np.allclose(result.array("a"), 3.0)
+
+    def test_section_assignment(self):
+        result = run("      real :: a(10)\n      a = 0.0\n      a(3:7) = 1.0")
+        a = result.array("a")
+        assert a[2:7].sum() == 5.0 and a.sum() == 5.0
+
+    def test_strided_section(self):
+        result = run("      real :: a(10)\n      a = 0.0\n      a(1:10:2) = 1.0")
+        assert result.array("a").sum() == 5.0
+
+    def test_element_assignment_with_lower_bound(self):
+        result = run("      real :: a(0:4)\n      a = 0.0\n      a(0) = 7.0")
+        assert result.array("a")[0] == 7.0
+
+    def test_forall_basic(self):
+        result = run("      real :: a(6)\n      forall (i = 1:6) a(i) = i * i")
+        assert np.allclose(result.array("a"), [1, 4, 9, 16, 25, 36])
+
+    def test_forall_uses_old_values(self):
+        # x(2:9) = x(1:8) + x(3:10) must read the original x
+        result = run("      real :: x(10)\n      forall (i = 1:10) x(i) = i\n"
+                     "      x(2:9) = x(1:8) + x(3:10)")
+        expected = np.arange(1, 11, dtype=float)
+        expected[1:9] = np.arange(1, 9) + np.arange(3, 11)
+        assert np.allclose(result.array("x"), expected)
+
+    def test_forall_with_mask(self):
+        result = run("      real :: a(8)\n      forall (i = 1:8) a(i) = i - 4.5\n"
+                     "      forall (i = 1:8, a(i) > 0.0) a(i) = 0.0")
+        a = result.array("a")
+        assert (a <= 0).all()
+        assert a[0] == pytest.approx(-3.5)
+
+    def test_forall_two_dimensional(self):
+        result = run("      real :: m(3, 4)\n      forall (i = 1:3, j = 1:4) m(i, j) = 10 * i + j")
+        m = result.array("m")
+        assert m[0, 0] == 11 and m[2, 3] == 34
+
+    def test_forall_construct_multiple_statements(self):
+        result = run("      real :: a(5), b(5)\n"
+                     "      forall (i = 1:5)\n        a(i) = i\n        b(i) = 2 * i\n"
+                     "      end forall")
+        assert np.allclose(result.array("b"), 2 * result.array("a"))
+
+    def test_where_statement(self):
+        result = run("      real :: a(6), b(6)\n      forall (i = 1:6) a(i) = i - 3.5\n"
+                     "      b = 0.0\n      where (a(1:6) > 0.0) b(1:6) = 1.0")
+        assert result.array("b").sum() == 3.0
+
+    def test_where_elsewhere(self):
+        result = run("      real :: a(6), b(6)\n      forall (i = 1:6) a(i) = i - 3.5\n"
+                     "      where (a(1:6) > 0.0)\n        b(1:6) = 1.0\n"
+                     "      elsewhere\n        b(1:6) = -1.0\n      end where")
+        assert result.array("b").sum() == 0.0
+
+    def test_indirect_addressing(self):
+        result = run("      real :: a(5), g(5)\n      integer :: ix(5)\n"
+                     "      forall (i = 1:5) g(i) = 100.0 * i\n"
+                     "      forall (i = 1:5) ix(i) = 6 - i\n"
+                     "      forall (i = 1:5) a(i) = g(ix(i))")
+        assert np.allclose(result.array("a"), [500, 400, 300, 200, 100])
+
+
+class TestIntrinsicEvaluation:
+    def test_reductions(self):
+        result = run("      real :: a(4)\n      forall (i = 1:4) a(i) = i\n"
+                     "      s = sum(a)\n      p = product(a)\n      mx = maxval(a)\n"
+                     "      mn = minval(a)")
+        assert result.scalar("s") == 10.0
+        assert result.scalar("p") == 24.0
+        assert result.scalar("mx") == 4.0
+        assert result.scalar("mn") == 1.0
+
+    def test_masked_sum(self):
+        result = run("      real :: a(6)\n      forall (i = 1:6) a(i) = i\n"
+                     "      s = sum(a, a > 3.0)")
+        assert result.scalar("s") == pytest.approx(4 + 5 + 6)
+
+    def test_dot_product(self):
+        result = run("      real :: x(3), y(3)\n      x = 2.0\n"
+                     "      forall (i = 1:3) y(i) = i\n      d = dot_product(x, y)")
+        assert result.scalar("d") == pytest.approx(12.0)
+
+    def test_cshift(self):
+        result = run("      real :: a(5), b(5)\n      forall (i = 1:5) a(i) = i\n"
+                     "      b = cshift(a, 1)")
+        assert np.allclose(result.array("b"), [2, 3, 4, 5, 1])
+
+    def test_cshift_negative(self):
+        result = run("      real :: a(5), b(5)\n      forall (i = 1:5) a(i) = i\n"
+                     "      b = cshift(a, -1)")
+        assert np.allclose(result.array("b"), [5, 1, 2, 3, 4])
+
+    def test_eoshift_fills_boundary(self):
+        result = run("      real :: a(5), b(5)\n      forall (i = 1:5) a(i) = i\n"
+                     "      b = eoshift(a, 1, 0.0)")
+        assert np.allclose(result.array("b"), [2, 3, 4, 5, 0])
+
+    def test_maxloc(self):
+        result = run("      real :: a(5)\n      forall (i = 1:5) a(i) = abs(i - 3.2)\n"
+                     "      integer :: loc\n      loc = minloc(a)")
+        assert result.scalar("loc") == 3
+
+    def test_elemental_functions_on_arrays(self):
+        result = run("      real :: a(4), b(4)\n      forall (i = 1:4) a(i) = i\n"
+                     "      b = sqrt(a)\n      s = sum(b * b)")
+        assert result.scalar("s") == pytest.approx(10.0)
+
+    def test_merge_and_sign(self):
+        result = run("      x = merge(1.0, 2.0, 3 > 2)\n      y = sign(5.0, -1.0)")
+        assert result.scalar("x") == 1.0
+        assert result.scalar("y") == -5.0
+
+    def test_size_and_bounds(self):
+        result = run("      real :: a(3, 7)\n      n1 = size(a, 1)\n      n2 = size(a, 2)\n"
+                     "      n3 = size(a)")
+        assert result.scalar("n1") == 3
+        assert result.scalar("n2") == 7
+        assert result.scalar("n3") == 21
+
+
+class TestEvaluatorErrors:
+    def test_call_statement_unsupported(self):
+        with pytest.raises(EvaluationError):
+            run("      call external_routine(1)")
+
+    def test_unknown_intrinsic_raises(self):
+        with pytest.raises(EvaluationError):
+            run("      real :: a(3)\n      x = gamma(a)")
+
+    def test_array_value_to_scalar_raises(self):
+        with pytest.raises(EvaluationError):
+            run("      real :: a(3)\n      a = 1.0\n      x = a")
+
+    def test_runaway_while_loop_guarded(self):
+        program = parse_source(
+            "      program t\n      x = 1.0\n      do while (x > 0.0)\n"
+            "        x = x + 1.0\n      end do\n      end\n")
+        evaluator = FunctionalEvaluator(program, max_while_iterations=100)
+        with pytest.raises(EvaluationError):
+            evaluator.run()
+
+    def test_checksum_and_snapshot(self):
+        result = run("      real :: a(4)\n      a = 2.0")
+        assert result.state.checksum() == pytest.approx(8.0)
+        snap = result.state.snapshot()
+        assert np.allclose(snap["a"], 2.0)

@@ -1,0 +1,255 @@
+"""Tests for the interpretation engine: expression costs, memory model,
+metrics, and the interpretation algorithm's behaviour."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.frontend.parser import parse_expression, parse_source
+from repro.interpreter import (
+    InterpreterOptions,
+    MemoryModelOptions,
+    Metrics,
+    OverlapOptions,
+    apply_overlap,
+    count_assignment,
+    count_expr,
+    estimate_hit_ratio,
+    interpret,
+    iteration_time,
+    streaming_miss_ratio,
+    working_set_bytes,
+)
+from repro.system import ipsc860
+
+
+class TestExpressionCost:
+    def test_flop_counting(self):
+        count = count_expr(parse_expression("a + b * c - d"))
+        assert count.flops == pytest.approx(3.0)
+
+    def test_divide_counted_separately(self):
+        count = count_expr(parse_expression("a / b"))
+        assert count.divides == 1.0 and count.flops == 0.0
+
+    def test_array_reference_counts_memory_and_index_ops(self):
+        count = count_expr(parse_expression("x(i + 1, j)"))
+        assert count.mem_reads == 1.0
+        assert count.int_ops > 0
+        assert "x" in count.arrays_touched
+
+    def test_elemental_intrinsic_weighted(self):
+        cheap = count_expr(parse_expression("abs(x)"))
+        costly = count_expr(parse_expression("exp(x)"))
+        assert costly.flops > cheap.flops
+
+    def test_power_with_integer_exponent(self):
+        count = count_expr(parse_expression("x ** 2"))
+        assert 0 < count.flops < 5
+        general = count_expr(parse_expression("x ** 1.5"))
+        assert general.flops > count.flops
+
+    def test_assignment_counts_store(self):
+        stmt = parse_source(
+            "      program t\n      real :: a(8), b(8)\n      a(i) = b(i) + 1.0\n      end\n"
+        ).body[0]
+        count = count_assignment(stmt)
+        assert count.mem_writes == 1.0
+        assert count.mem_reads == 1.0
+
+    def test_compare_and_logical(self):
+        count = count_expr(parse_expression("a > b .and. c <= d"))
+        assert count.compares == 2.0
+        assert count.logicals == 1.0
+
+    def test_opcount_addition(self):
+        a = count_expr(parse_expression("x + y"))
+        b = count_expr(parse_expression("p(i) * q(i)"))
+        total = a + b
+        assert total.flops == a.flops + b.flops
+        assert total.arrays_touched == {"p", "q"}
+
+    def test_iteration_time_positive_and_monotone_in_miss_rate(self):
+        machine = ipsc860(4)
+        count = count_expr(parse_expression("a(i) + b(i) * c(i)"))
+        fast = iteration_time(count, machine.processing, machine.memory, hit_ratio=0.99)
+        slow = iteration_time(count, machine.processing, machine.memory, hit_ratio=0.10)
+        assert 0 < fast < slow
+
+    def test_double_precision_costs_more(self):
+        machine = ipsc860(4)
+        count = count_expr(parse_expression("a(i) * b(i) + c(i)"))
+        single = iteration_time(count, machine.processing, machine.memory, precision="real")
+        double = iteration_time(count, machine.processing, machine.memory, precision="double")
+        assert double > single
+
+
+class TestMemoryModel:
+    MEM = ipsc860(4).memory
+
+    def test_in_cache_working_set_gets_high_hit_ratio(self):
+        hit = estimate_hit_ratio(self.MEM, working_set_bytes(100, 2, 4), 4)
+        assert hit > 0.9
+
+    def test_streaming_working_set_lower_hit_ratio(self):
+        small = estimate_hit_ratio(self.MEM, 4 * 1024, 4)
+        huge = estimate_hit_ratio(self.MEM, 4 * 1024 * 1024, 4)
+        assert huge < small
+
+    def test_strided_access_misses_more(self):
+        big = 1024 * 1024
+        stride1 = estimate_hit_ratio(self.MEM, big, 4, stride1=True)
+        strided = estimate_hit_ratio(self.MEM, big, 4, stride1=False)
+        assert strided < stride1
+
+    def test_more_arrays_more_conflicts(self):
+        big = 256 * 1024
+        few = estimate_hit_ratio(self.MEM, big, 4, arrays_touched=1)
+        many = estimate_hit_ratio(self.MEM, big, 4, arrays_touched=6)
+        assert many <= few
+
+    def test_disabled_model_returns_default(self):
+        options = MemoryModelOptions(enabled=False, default_hit_ratio=0.42)
+        assert estimate_hit_ratio(self.MEM, 1e9, 4, options=options) == 0.42
+
+    def test_streaming_miss_ratio(self):
+        assert streaming_miss_ratio(4, self.MEM, stride1=True) == pytest.approx(4 / 32)
+        assert streaming_miss_ratio(4, self.MEM, stride1=False) == 1.0
+
+
+class TestMetricsAndOverlap:
+    def test_metrics_arithmetic(self):
+        a = Metrics(computation=10, communication=5, overhead=1)
+        b = Metrics(computation=2, communication=3, overhead=4)
+        total = a + b
+        assert total.total == 25
+        assert a.scaled(2.0).computation == 20
+        assert a.as_dict()["total"] == 16
+
+    def test_overlap_disabled_is_identity(self):
+        comm = Metrics(communication=100.0)
+        result = apply_overlap(comm, 1000.0, OverlapOptions(enabled=False))
+        assert result.communication == 100.0
+
+    def test_overlap_hides_fraction(self):
+        comm = Metrics(communication=100.0)
+        result = apply_overlap(comm, 1000.0, OverlapOptions(enabled=True, fraction=0.3))
+        assert result.communication == pytest.approx(70.0)
+
+    def test_overlap_limited_by_adjacent_computation(self):
+        comm = Metrics(communication=100.0)
+        result = apply_overlap(comm, 10.0, OverlapOptions(enabled=True, fraction=0.9))
+        assert result.communication == pytest.approx(90.0)
+
+
+class TestInterpretationEngine:
+    def test_prediction_is_positive_and_finite(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        assert result.predicted_time_us > 0
+        assert result.total.computation > 0
+        assert result.total.communication > 0
+
+    def test_prediction_scales_with_problem_size(self, laplace_source):
+        machine = ipsc860(4)
+        small = interpret(compile_source(laplace_source, nprocs=4, params={"n": 32}), machine)
+        large = interpret(compile_source(laplace_source, nprocs=4, params={"n": 128}), machine)
+        assert large.predicted_time_us > 2 * small.predicted_time_us
+
+    def test_computation_decreases_with_processors(self, laplace_source):
+        one = interpret(compile_source(laplace_source, nprocs=1, params={"n": 64}), ipsc860(1))
+        eight = interpret(compile_source(laplace_source, nprocs=8, params={"n": 64}), ipsc860(8))
+        assert eight.total.computation < one.total.computation
+        assert one.total.communication == pytest.approx(0.0)
+        assert eight.total.communication > 0
+
+    def test_loop_trip_count_scaling(self, laplace_source):
+        machine = ipsc860(4)
+        few = interpret(compile_source(laplace_source, nprocs=4,
+                                       params={"n": 64, "maxiter": 2}), machine)
+        many = interpret(compile_source(laplace_source, nprocs=4,
+                                        params={"n": 64, "maxiter": 8}), machine)
+        ratio = (many.predicted_time_us - 0) / max(few.predicted_time_us, 1)
+        assert 2.0 < ratio < 4.5     # roughly 4x the per-iteration work plus constants
+
+    def test_critical_variable_override_changes_prediction(self, laplace_compiled, machine4):
+        base = interpret(laplace_compiled, machine4)
+        stretched = interpret(laplace_compiled, machine4,
+                              options=InterpreterOptions(overrides={"maxiter": 16.0}))
+        assert stretched.predicted_time_us > base.predicted_time_us * 2
+
+    def test_per_line_metrics_sum_close_to_total(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        line_total = sum(m.total for m in result.line_breakdown().values())
+        assert line_total == pytest.approx(result.predicted_time_us, rel=0.05)
+
+    def test_hottest_line_is_the_stencil(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        lines = result.line_breakdown()
+        hottest = max(lines, key=lambda ln: lines[ln].total)
+        assert "unew(i, j)" in laplace_compiled.source.line_text(hottest) or \
+               "forall" in laplace_compiled.source.line_text(hottest)
+
+    def test_breakdown_by_type(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        by_type = result.breakdown_by_type()
+        assert "IterD" in by_type and by_type["IterD"].computation > 0
+        assert "Comm" in by_type and by_type["Comm"].communication > 0
+
+    def test_comm_table_entries_marked_interpreted(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        statuses = {e.status for e in result.saag.comm_table}
+        assert "interpreted" in statuses
+
+    def test_branch_resolution_static(self, machine4):
+        cp = compile_source(
+            "      program t\n      real :: a(16)\n      real :: big\n"
+            "!HPF$ PROCESSORS p(4)\n!HPF$ DISTRIBUTE a(BLOCK) ONTO p\n"
+            "      big = 1.0\n"
+            "      if (2 > 1) then\n        a = 1.0\n      else\n        a = 2.0\n      end if\n"
+            "      end\n", nprocs=4)
+        result = interpret(cp, machine4)
+        assert result.predicted_time_us > 0
+
+    def test_while_trip_estimate_option(self, machine4):
+        cp = compile_source(
+            "      program t\n      real :: a(16)\n      integer :: k\n"
+            "!HPF$ PROCESSORS p(4)\n!HPF$ DISTRIBUTE a(BLOCK) ONTO p\n"
+            "      k = 0\n      do while (k < 8)\n        a = a + 1.0\n        k = k + 1\n"
+            "      end do\n      end\n", nprocs=4)
+        short = interpret(cp, machine4, options=InterpreterOptions(while_trip_estimate=2))
+        long = interpret(cp, machine4, options=InterpreterOptions(while_trip_estimate=20))
+        assert long.predicted_time_us > short.predicted_time_us
+
+    def test_mask_fraction_option(self, machine4):
+        cp = compile_source(
+            "      program t\n      real :: a(1024), b(1024)\n"
+            "!HPF$ PROCESSORS p(4)\n!HPF$ TEMPLATE tt(1024)\n"
+            "!HPF$ ALIGN a(i) WITH tt(i)\n!HPF$ ALIGN b(i) WITH tt(i)\n"
+            "!HPF$ DISTRIBUTE tt(BLOCK) ONTO p\n"
+            "      forall (i = 1:1024, b(i) > 0.5) a(i) = exp(b(i))\n      end\n", nprocs=4)
+        all_true = interpret(cp, machine4, options=InterpreterOptions(mask_true_fraction=1.0))
+        half_true = interpret(cp, machine4, options=InterpreterOptions(mask_true_fraction=0.5))
+        assert all_true.predicted_time_us > half_true.predicted_time_us
+
+    def test_overlap_option_reduces_communication(self, laplace_compiled, machine4):
+        plain = interpret(laplace_compiled, machine4)
+        overlapped = interpret(
+            laplace_compiled, machine4,
+            options=InterpreterOptions(overlap=OverlapOptions(enabled=True, fraction=0.5)))
+        assert overlapped.total.communication <= plain.total.communication
+
+    def test_subtree_metrics_query(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        loop_aau = next(a for a in result.saag.walk()
+                        if a.detail.get("serial_loop"))
+        subtree = result.subtree_metrics(loop_aau)
+        assert 0 < subtree.total <= result.predicted_time_us
+
+    def test_top_aaus_sorted(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        top = result.top_aaus(5)
+        totals = [metrics.total for _, metrics in top]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_wall_clock_recorded(self, laplace_compiled, machine4):
+        result = interpret(laplace_compiled, machine4)
+        assert result.wall_clock_seconds > 0

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import ArrayDistribution, AxisMapping, DimDistribution, ProcessorGrid
+from repro.distribution import layout
+from repro.frontend.lexer import tokenize_line
+from repro.frontend.parser import parse_expression
+from repro.frontend.symbols import eval_const_expr
+from repro.simulator import EventQueue, Message, Network, ecube_route, hamming_distance
+from repro.system import CommunicationComponent, p2p_time
+
+common_settings = settings(max_examples=60, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# distribution algebra invariants
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(n=st.integers(1, 500), p=st.integers(1, 16))
+def test_block_ownership_is_a_partition(n, p):
+    """Every global index is owned by exactly one processor; counts sum to n."""
+    owners = [layout.block_owner(i, n, p) for i in range(n)]
+    assert all(0 <= o < p for o in owners)
+    counts = [layout.block_local_count(q, n, p) for q in range(p)]
+    assert sum(counts) == n
+    assert max(counts) - min(counts) <= layout.block_size(n, p)
+
+
+@common_settings
+@given(n=st.integers(1, 500), p=st.integers(1, 16))
+def test_block_global_local_bijection(n, p):
+    for i in range(0, n, max(n // 13, 1)):
+        owner = layout.block_owner(i, n, p)
+        local = layout.block_global_to_local(i, n, p)
+        assert layout.block_local_to_global(owner, local, n, p) == i
+        assert 0 <= local < layout.block_size(n, p)
+
+
+@common_settings
+@given(n=st.integers(1, 400), p=st.integers(1, 12), b=st.integers(1, 5))
+def test_cyclic_ownership_is_a_partition(n, p, b):
+    counts = [layout.cyclic_local_count(q, n, p, b) for q in range(p)]
+    assert sum(counts) == n
+    gathered = np.concatenate([layout.cyclic_local_indices(q, n, p, b) for q in range(p)])
+    assert sorted(gathered.tolist()) == list(range(n))
+
+
+@common_settings
+@given(n=st.integers(1, 300), p=st.integers(1, 12), b=st.integers(1, 4))
+def test_cyclic_round_trip(n, p, b):
+    step = max(n // 11, 1)
+    for i in range(0, n, step):
+        owner = layout.cyclic_owner(i, p, b)
+        local = layout.cyclic_global_to_local(i, p, b)
+        assert layout.cyclic_local_to_global(owner, local, p, b) == i
+
+
+@common_settings
+@given(
+    rows=st.integers(1, 40), cols=st.integers(1, 40),
+    p0=st.integers(1, 4), p1=st.integers(1, 4),
+    kind0=st.sampled_from(["block", "cyclic", "collapsed"]),
+    kind1=st.sampled_from(["block", "cyclic", "collapsed"]),
+)
+def test_array_distribution_local_sizes_sum_to_global(rows, cols, p0, p1, kind0, kind1):
+    grid = ProcessorGrid("p", (p0, p1))
+    axes = [
+        AxisMapping(extent=rows, dist=DimDistribution(kind0),
+                    nprocs=p0 if kind0 != "collapsed" else 1,
+                    grid_axis=0 if kind0 != "collapsed" else None),
+        AxisMapping(extent=cols, dist=DimDistribution(kind1),
+                    nprocs=p1 if kind1 != "collapsed" else 1,
+                    grid_axis=1 if kind1 != "collapsed" else None),
+    ]
+    dist = ArrayDistribution(name="a", shape=(rows, cols), axes=axes, grid=grid)
+    # summing local sizes over processors counts each element once per processor
+    # that replicates it (collapsed axes replicate along the unused grid axis)
+    replication = 1
+    if kind0 == "collapsed":
+        replication *= p0
+    if kind1 == "collapsed":
+        replication *= p1
+    total = sum(dist.local_size(r) for r in grid.all_ranks())
+    assert total == rows * cols * replication
+    # the owner of every element owns it locally
+    for i in range(0, rows, max(rows // 5, 1)):
+        for j in range(0, cols, max(cols // 5, 1)):
+            rank = dist.owner_rank((i, j))
+            assert i in dist.local_indices(rank, 0)
+            assert j in dist.local_indices(rank, 1)
+
+
+@common_settings
+@given(p=st.integers(1, 64), rank=st.integers(1, 3))
+def test_default_grid_shape_preserves_processor_count(p, rank):
+    shape = layout.default_grid_shape(p, rank)
+    total = 1
+    for extent in shape:
+        total *= extent
+    assert total == p and len(shape) == rank
+
+
+# ---------------------------------------------------------------------------
+# frontend robustness
+# ---------------------------------------------------------------------------
+
+
+_EXPR_NAMES = st.sampled_from(["a", "b", "x1", "zz"])
+
+
+@st.composite
+def _arith_expr(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(1, 99)))
+        if choice == 1:
+            return f"{draw(st.floats(0.1, 99.0, allow_nan=False)):.3f}"
+        return draw(_EXPR_NAMES)
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = draw(_arith_expr(depth=depth + 1))
+    right = draw(_arith_expr(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@common_settings
+@given(text=_arith_expr())
+def test_generated_expressions_parse_and_evaluate(text):
+    expr = parse_expression(text)
+    env = {"a": 1.5, "b": 2.5, "x1": 3.0, "zz": 4.0}
+    try:
+        value = eval_const_expr(expr, env)
+    except Exception as exc:  # division by zero is the only acceptable failure
+        assert "zero" in str(exc)
+        return
+    reference = eval(text.replace("/", "/"), {}, env)  # noqa: S307 - controlled input
+    assert value == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+
+@common_settings
+@given(text=st.text(alphabet="abcxyz0123456789+-*/()=., ", min_size=0, max_size=40))
+def test_lexer_never_crashes_unexpectedly(text):
+    """The lexer either tokenises or raises its own LexerError — nothing else."""
+    from repro.frontend.errors import LexerError
+
+    try:
+        tokens = tokenize_line(text, 1)
+    except LexerError:
+        return
+    assert all(token.line == 1 for token in tokens)
+
+
+# ---------------------------------------------------------------------------
+# simulator invariants
+# ---------------------------------------------------------------------------
+
+
+@common_settings
+@given(times=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=40))
+def test_event_queue_processes_in_nondecreasing_time(times):
+    queue = EventQueue()
+    seen = []
+    for t in times:
+        queue.schedule(t, lambda now=t: seen.append(queue.now))
+    queue.run()
+    assert len(seen) == len(times)
+    assert all(b >= a for a, b in zip(seen, seen[1:]))
+
+
+@common_settings
+@given(src=st.integers(0, 31), dst=st.integers(0, 31))
+def test_ecube_route_reaches_destination(src, dst):
+    route = ecube_route(src, dst)
+    assert len(route) == hamming_distance(src, dst)
+    current = src
+    for a, b in route:
+        assert a == current
+        assert hamming_distance(a, b) == 1
+        current = b
+    assert current == dst
+
+
+@common_settings
+@given(nbytes=st.integers(0, 1 << 16), hops=st.integers(1, 6))
+def test_p2p_time_monotone_and_at_least_latency(nbytes, hops):
+    comm = CommunicationComponent()
+    t = p2p_time(comm, nbytes, hops)
+    assert t >= comm.startup_latency
+    assert p2p_time(comm, nbytes + 1024, hops) > t - 1e-9
+    assert p2p_time(comm, nbytes, hops + 1) > t
+
+
+@common_settings
+@given(
+    sizes=st.lists(st.integers(1, 4096), min_size=1, max_size=6),
+    pairs=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=6),
+)
+def test_network_transfer_completions_are_consistent(sizes, pairs):
+    comm = CommunicationComponent()
+    network = Network(comm, 8)
+    messages = [Message(src=s, dst=d, nbytes=sizes[i % len(sizes)])
+                for i, (s, d) in enumerate(pairs) if s != d]
+    if not messages:
+        return
+    result = network.transfer(messages)
+    for msg in messages:
+        assert msg.recv_complete >= msg.start_time
+        assert msg.recv_complete >= comm.latency(msg.nbytes)
+        assert result.recv_complete[msg.dst] >= msg.start_time
+    assert result.total_bytes == sum(m.nbytes for m in messages)

@@ -1,0 +1,280 @@
+"""Tests for the simulator substrates: event queue, hypercube, network,
+collectives, node cost model and noise."""
+
+import numpy as np
+import pytest
+
+from repro.interpreter.expression_cost import OpCount
+from repro.simulator import (
+    EventQueue,
+    HypercubeTopology,
+    IterationProfile,
+    Message,
+    Network,
+    NodeCostModel,
+    NoiseModel,
+    NoiseOptions,
+    allgather,
+    allreduce,
+    broadcast,
+    cube_dimension,
+    ecube_route,
+    hamming_distance,
+    shift_exchange,
+    unstructured_gather,
+)
+from repro.system import CommunicationComponent, ipsc860
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(5.0, lambda: log.append("b"))
+        queue.schedule(1.0, lambda: log.append("a"))
+        queue.schedule(9.0, lambda: log.append("c"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+        assert queue.now == 9.0
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        log = []
+        for tag in ("x", "y", "z"):
+            queue.schedule(2.0, lambda t=tag: log.append(t))
+        queue.run()
+        assert log == ["x", "y", "z"]
+
+    def test_schedule_after_and_nested_scheduling(self):
+        queue = EventQueue()
+        log = []
+
+        def first():
+            log.append(queue.now)
+            queue.schedule_after(3.0, lambda: log.append(queue.now))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert log == [1.0, 4.0]
+
+    def test_past_events_clamped_to_now(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(10.0, lambda: queue.schedule(1.0, lambda: times.append(queue.now)))
+        queue.run()
+        assert times == [10.0]
+
+    def test_run_limit_and_reset(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.schedule(float(i), lambda: None)
+        assert queue.run(max_events=3) == 3
+        queue.reset()
+        assert queue.empty() and queue.now == 0.0
+
+
+class TestHypercube:
+    def test_dimension(self):
+        assert cube_dimension(1) == 0
+        assert cube_dimension(2) == 1
+        assert cube_dimension(8) == 3
+        assert cube_dimension(5) == 3
+
+    def test_route_length_equals_hamming_distance(self):
+        for src in range(8):
+            for dst in range(8):
+                assert len(ecube_route(src, dst)) == hamming_distance(src, dst)
+
+    def test_route_endpoints(self):
+        route = ecube_route(0, 7)
+        assert route[0][0] == 0 and route[-1][1] == 7
+        # consecutive hops chain together
+        for (a, b), (c, d) in zip(route, route[1:]):
+            assert b == c
+
+    def test_neighbors_within_partition(self):
+        topo = HypercubeTopology(6)
+        for node in topo.nodes():
+            for other in topo.neighbors(node):
+                assert other < 6
+                assert hamming_distance(node, other) == 1
+
+    def test_average_distance_of_8_cube(self):
+        topo = HypercubeTopology(8)
+        assert topo.average_distance() == pytest.approx(12.0 / 7.0, rel=1e-6)
+
+    def test_route_outside_partition_rejected(self):
+        with pytest.raises(ValueError):
+            HypercubeTopology(4).route(0, 5)
+
+
+class TestNetwork:
+    COMM = CommunicationComponent()
+
+    def test_single_message_matches_analytic_time(self):
+        network = Network(self.COMM, 8)
+        msg = Message(src=0, dst=1, nbytes=256, start_time=0.0)
+        result = network.transfer([msg])
+        assert msg.recv_complete == pytest.approx(
+            self.COMM.latency(256) + 256 * self.COMM.per_byte, rel=0.05)
+        assert result.completion(1) >= result.completion(0) * 0.5
+
+    def test_multi_hop_message_costs_more(self):
+        network = Network(self.COMM, 8)
+        near = Message(src=0, dst=1, nbytes=1024)
+        far = Message(src=0, dst=7, nbytes=1024)
+        network.transfer([near])
+        network.transfer([far])
+        assert far.recv_complete > near.recv_complete
+
+    def test_link_contention_serialises(self):
+        network = Network(self.COMM, 8)
+        # two messages that share the 0-1 link
+        a = Message(src=0, dst=1, nbytes=4096)
+        b = Message(src=0, dst=1, nbytes=4096)
+        result = network.transfer([a, b])
+        solo = Network(self.COMM, 8).transfer([Message(src=0, dst=1, nbytes=4096)])
+        assert result.completion(1) > solo.completion(1) * 1.5
+
+    def test_disjoint_messages_proceed_in_parallel(self):
+        network = Network(self.COMM, 8)
+        msgs = [Message(src=0, dst=1, nbytes=2048), Message(src=2, dst=3, nbytes=2048)]
+        result = network.transfer(msgs)
+        assert abs(msgs[0].recv_complete - msgs[1].recv_complete) < 1.0
+        assert result.total_bytes == 4096
+
+    def test_start_times_respected(self):
+        network = Network(self.COMM, 4)
+        msg = Message(src=0, dst=1, nbytes=64, start_time=500.0)
+        network.transfer([msg])
+        assert msg.recv_complete > 500.0
+
+    def test_empty_transfer(self):
+        network = Network(self.COMM, 4)
+        result = network.transfer([])
+        assert result.total_bytes == 0 and result.messages == []
+
+
+class TestCollectives:
+    COMM = CommunicationComponent()
+
+    def _network(self, p=8):
+        return Network(self.COMM, p)
+
+    def test_shift_exchange_advances_all_participants(self):
+        network = self._network(4)
+        clocks = {r: 0.0 for r in range(4)}
+        pairs = [(r, (r + 1) % 4) for r in range(4)]
+        done = shift_exchange(network, pairs, 512, clocks)
+        assert all(done[r] > 0 for r in range(4))
+        # a ring on a hypercube has one wrap-around pair that contends for links,
+        # so completions spread by at most a couple of message times
+        spread = max(done.values()) - min(done.values())
+        single_message = self.COMM.long_startup_latency + 512 * self.COMM.per_byte
+        assert spread < 2.5 * single_message
+
+    def test_broadcast_reaches_everyone_and_scales(self):
+        network = self._network(8)
+        clocks = {r: 0.0 for r in range(8)}
+        done8 = broadcast(network, 0, list(range(8)), 128, clocks)
+        done2 = broadcast(self._network(2), 0, [0, 1], 128, {0: 0.0, 1: 0.0})
+        assert max(done8.values()) > max(done2.values())
+        assert all(done8[r] > 0 for r in range(1, 8))
+
+    def test_allreduce_synchronises_ranks(self):
+        network = self._network(8)
+        clocks = {r: float(100 * r) for r in range(8)}
+        done = allreduce(network, list(range(8)), 8, clocks)
+        # everyone ends at least as late as the slowest starter
+        assert min(done.values()) >= 700.0
+
+    def test_allgather_grows_with_block_size(self):
+        network = self._network(8)
+        clocks = {r: 0.0 for r in range(8)}
+        small = max(allgather(network, list(range(8)), 64, clocks).values())
+        large = max(allgather(self._network(8), list(range(8)), 8192, clocks).values())
+        assert large > small
+
+    def test_unstructured_gather_adds_unpack_cost(self):
+        network = self._network(8)
+        clocks = {r: 0.0 for r in range(8)}
+        plain = max(allgather(network, list(range(8)), 1024, clocks).values())
+        gathered = max(unstructured_gather(self._network(8), list(range(8)), 1024,
+                                           clocks).values())
+        assert gathered > plain
+
+    def test_single_rank_collectives_are_noops(self):
+        network = self._network(1)
+        clocks = {0: 5.0}
+        assert allreduce(network, [0], 8, clocks)[0] >= 5.0
+        assert broadcast(network, 0, [0], 8, clocks)[0] >= 5.0
+
+
+class TestNodeCostModelAndNoise:
+    def _profile(self, **kwargs):
+        defaults = dict(count=OpCount(flops=4, mem_reads=3, mem_writes=1, int_ops=5),
+                        local_elements=1000.0, innermost_extent=100.0, stride1=True,
+                        arrays_touched=3)
+        defaults.update(kwargs)
+        return IterationProfile(**defaults)
+
+    def test_iteration_time_positive(self):
+        model = NodeCostModel(ipsc860(4))
+        assert model.iteration_time(self._profile()) > 0
+
+    def test_cache_resident_faster_than_streaming(self):
+        model = NodeCostModel(ipsc860(4))
+        small = model.loop_nest_time(self._profile(local_elements=100.0))
+        large = model.loop_nest_time(self._profile(local_elements=100000.0))
+        assert large / 1000.0 > small / 1.0 * 0.09  # per-element cost grows out of cache
+        assert model.hit_ratio(self._profile(local_elements=100.0)) > \
+            model.hit_ratio(self._profile(local_elements=100000.0))
+
+    def test_strided_access_slower(self):
+        model = NodeCostModel(ipsc860(4))
+        stride1 = model.hit_ratio(self._profile(local_elements=1e6, stride1=True))
+        strided = model.hit_ratio(self._profile(local_elements=1e6, stride1=False))
+        assert strided < stride1
+
+    def test_short_loop_penalty(self):
+        model = NodeCostModel(ipsc860(4))
+        short = model.iteration_time(self._profile(innermost_extent=2.0))
+        long = model.iteration_time(self._profile(innermost_extent=64.0))
+        assert short > long
+
+    def test_mixed_mask_penalty(self):
+        model = NodeCostModel(ipsc860(4))
+        pure = model.iteration_time(self._profile(mask_fraction=1.0))
+        mixed = model.iteration_time(self._profile(mask_fraction=0.5))
+        assert mixed > pure
+
+    def test_masked_nest_cheaper_when_mostly_false(self):
+        model = NodeCostModel(ipsc860(4))
+        mostly_false = model.loop_nest_time(self._profile(mask_fraction=0.05))
+        mostly_true = model.loop_nest_time(self._profile(mask_fraction=0.95))
+        assert mostly_false < mostly_true
+
+    def test_noise_is_deterministic_per_seed(self):
+        a = NoiseModel(seed=42)
+        b = NoiseModel(seed=42)
+        c = NoiseModel(seed=43)
+        seq_a = [a.compute(1000.0) for _ in range(5)]
+        seq_b = [b.compute(1000.0) for _ in range(5)]
+        seq_c = [c.compute(1000.0) for _ in range(5)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_noise_is_small_relative_perturbation(self):
+        noise = NoiseModel(seed=1)
+        values = np.array([noise.compute(10000.0) for _ in range(200)])
+        assert abs(values.mean() / 10000.0 - 1.0) < 0.02
+
+    def test_noise_disabled_is_identity(self):
+        noise = NoiseModel(seed=1, options=NoiseOptions(enabled=False))
+        assert noise.compute(123.0) == 123.0
+        assert noise.communication(55.0) == 55.0
+        assert noise.quantise(77.7) == 77.7
+
+    def test_quantisation(self):
+        noise = NoiseModel(seed=1, options=NoiseOptions(timer_resolution_us=10.0))
+        assert noise.quantise(123.4) == 120.0

@@ -1,0 +1,167 @@
+"""Tests for the benchmark suite registry and the experiment workbench."""
+
+import math
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.functional import evaluate_program
+from repro.interpreter import interpret
+from repro.simulator import simulate
+from repro.suite import all_entries, compile_entry, get_entry, laplace_grid_shape
+from repro.system import ipsc860
+from repro.workbench import (
+    illustrate_distributions,
+    measure_application,
+    run_comm_sensitivity,
+    run_debugging_study,
+    run_forall_abstraction,
+    run_laplace_study,
+    run_model_ablation,
+    run_usability_study,
+)
+
+ALL_KEYS = sorted(all_entries().keys())
+
+
+class TestSuiteRegistry:
+    def test_sixteen_entries(self):
+        assert len(ALL_KEYS) == 16
+
+    def test_table1_membership(self):
+        entries = all_entries()
+        assert sum(1 for e in entries.values() if e.category == "LFK") == 6
+        assert sum(1 for e in entries.values() if e.category == "PBS") == 4
+        names = {e.name for e in entries.values()}
+        assert {"PI", "N-Body", "Finance"} <= names
+        assert sum(1 for n in names if n.startswith("Laplace")) == 3
+
+    def test_get_entry_case_insensitive_and_unknown(self):
+        assert get_entry("LFK1").key == "lfk1"
+        with pytest.raises(KeyError):
+            get_entry("nosuch")
+
+    def test_paper_error_bands_recorded(self):
+        lfk2 = get_entry("lfk2")
+        assert lfk2.paper_max_error == pytest.approx(18.6)
+        assert get_entry("pi").paper_min_error == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_every_source_parses(self, key):
+        entry = get_entry(key)
+        program = parse_source(entry.source)
+        assert program.body
+        assert program.directives
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_every_entry_compiles_at_small_size(self, key):
+        entry = get_entry(key)
+        compiled = entry.compile(entry.sizes[0], nprocs=4)
+        assert compiled.nprocs == 4
+        assert compiled.mapping.distributed_arrays()
+        assert compiled.spmd.count_nodes().get("LocalLoopNest", 0) >= 1
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_every_entry_interprets_and_simulates(self, key):
+        entry = get_entry(key)
+        size = entry.sizes[0]
+        compiled = entry.compile(size, nprocs=4)
+        machine = ipsc860(4)
+        estimate = interpret(compiled, machine, options=entry.interpreter_options(size))
+        simulation = simulate(compiled, machine)
+        assert estimate.predicted_time_us > 0
+        assert simulation.measured_time_us > 0
+        error = abs(estimate.predicted_time_us - simulation.measured_time_us) \
+            / simulation.measured_time_us
+        assert error < 0.35, f"{key}: {error:.1%}"
+
+    def test_compile_entry_helper_uses_paper_grid(self):
+        compiled = compile_entry("laplace_block_block", size=16, nprocs=8)
+        assert compiled.mapping.grid.shape == (2, 4)
+        assert laplace_grid_shape("block_star", 8) == (8,)
+
+    def test_problem_size_override_changes_array_shapes(self):
+        entry = get_entry("lfk1")
+        compiled = entry.compile(512, nprocs=2)
+        assert compiled.mapping.distribution_of("x").shape == (512,)
+        assert compiled.mapping.distribution_of("z").shape == (523,)
+
+    def test_lfk14_extra_parameter(self):
+        entry = get_entry("lfk14")
+        params = entry.params_for(1024)
+        assert params["ngrid"] == 256
+
+    def test_lfk2_interpreter_hints(self):
+        entry = get_entry("lfk2")
+        options = entry.interpreter_options(1024)
+        assert options.while_trip_estimate == pytest.approx(math.log2(1024))
+        assert "ii" in options.overrides
+
+    def test_finance_phase_ranges(self):
+        ranges = get_entry("finance").phase_line_ranges()
+        assert set(ranges) == {"Phase 1", "Phase 2"}
+        assert ranges["Phase 1"][0] < ranges["Phase 2"][0]
+
+    def test_pi_functional_result_is_pi(self):
+        entry = get_entry("pi")
+        result = evaluate_program(parse_source(entry.source), params={"n": 2048})
+        assert float(result.printed[-1]) == pytest.approx(math.pi, abs=1e-3)
+
+    def test_pbs1_functional_result_is_pi(self):
+        entry = get_entry("pbs1")
+        result = evaluate_program(parse_source(entry.source), params={"n": 4096})
+        assert float(result.printed[-1]) == pytest.approx(math.pi, abs=1e-2)
+
+
+class TestWorkbench:
+    def test_measure_application_row(self):
+        row = measure_application("lfk3", sizes=(128,), proc_counts=(1, 4))
+        assert row.key == "lfk3"
+        assert len(row.points) == 2
+        assert 0 <= row.min_error_pct <= row.max_error_pct < 35.0
+
+    def test_laplace_study_small(self):
+        study = run_laplace_study(nprocs=4, sizes=(16, 32))
+        assert len(study.points) == 6
+        assert study.selection_agreement()
+        assert study.max_error_pct() < 10.0
+
+    def test_laplace_series_shapes(self):
+        study = run_laplace_study(nprocs=4, sizes=(16, 32))
+        measured = study.series("measured")
+        estimated = study.series("estimated")
+        assert len(measured) == 3 and len(estimated) == 3
+        assert all(len(points) == 2 for points in measured.values())
+
+    def test_distribution_illustrations(self):
+        maps = {ill.variant: ill.owner_map for ill in illustrate_distributions(n=4, nprocs=4)}
+        assert maps["block_star"][0] == [0, 0, 0, 0]
+        assert [row[0] for row in maps["star_block"]] == [0, 0, 0, 0]
+
+    def test_forall_abstraction_structure(self):
+        result = run_forall_abstraction(nprocs=4, n=32)
+        assert "IterD" in " ".join(result.aau_types)
+        assert result.has_mask_condition
+        assert not result.needs_final_communication
+
+    def test_debugging_study_small(self):
+        study = run_debugging_study(size=64, nprocs=4)
+        assert study.phase("Phase 2").estimated.communication == 0.0
+        assert study.phase("Phase 1").estimated.communication > 0.0
+
+    def test_usability_study_small(self):
+        study = run_usability_study(sizes=(16, 32), nprocs=4, runs_per_configuration=2)
+        assert study.interpreter_always_cheaper()
+        assert all(e.speedup > 1.5 for e in study.entries)
+
+    def test_model_ablation_small(self):
+        report = run_model_ablation(applications=(("lfk22", 512),), nprocs=4)
+        errors = report.errors_by_label()
+        assert "full model" in errors
+        assert all(value >= 0 for value in errors.values())
+
+    def test_comm_sensitivity_small(self):
+        report = run_comm_sensitivity(application="laplace_block_star", size=64, nprocs=4,
+                                      latency_scales=(1.0, 2.0), bandwidth_scales=(1.0,))
+        errors = report.errors_by_label()
+        assert errors["latency x2, bandwidth x1"] > errors["latency x1, bandwidth x1"]
