@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI / local verification: unit + integration tests plus a fast benchmark and
+# example smoke.  (The full tier-1 command, `PYTHONPATH=src python -m pytest
+# -x -q` from the repo root, additionally collects every benchmark in
+# benchmarks/; here the benchmark step is deliberately restricted to the fast
+# figure regenerations so CI stays quick.)
+#
+# Usage:  bash scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== unit + integration tests"
+python -m pytest tests -x -q
+
+echo "== benchmark smoke: regenerate Figure 2 (forall) and Figure 3 (distributions)"
+python -m pytest benchmarks -x -q -k "fig2 or fig3"
+
+echo "== example smoke: cross-machine sweep"
+python examples/machine_comparison.py > /dev/null
+
+echo "check.sh: all green"

@@ -63,7 +63,24 @@ from .distribution import (
 )
 
 # systems module --------------------------------------------------------------------
-from .system import SAG, SAU, Machine, ipsc860
+from .system import (
+    SAG,
+    SAU,
+    HypercubeTopology,
+    Machine,
+    MeshTopology,
+    SwitchedTopology,
+    Topology,
+    TopologyError,
+    cluster,
+    get_machine,
+    ipsc860,
+    machine_names,
+    make_topology,
+    paragon,
+    register_machine,
+    resolve_machine,
+)
 
 # application module -------------------------------------------------------------------
 from .appmodel import AAG, AAU, AAUType, SAAG, build_aag, build_saag
@@ -101,12 +118,17 @@ def predict(
     nprocs: int = 4,
     grid_shape: tuple[int, ...] | None = None,
     params: dict[str, float] | None = None,
-    machine: Machine | None = None,
+    machine: Machine | str | None = None,
     options: InterpreterOptions | None = None,
 ) -> InterpretationResult:
-    """One-call convenience: compile HPF source and interpret its performance."""
+    """One-call convenience: compile HPF source and interpret its performance.
+
+    ``machine`` accepts a :class:`Machine` instance or a registered machine
+    name (``"ipsc860"``, ``"paragon"``, ``"cluster"``, ...); the default is
+    the paper's iPSC/860.
+    """
     compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
-    target = machine or ipsc860(nprocs)
+    target = resolve_machine(machine, nprocs)
     return interpret(compiled, target, options=options)
 
 
@@ -116,12 +138,16 @@ def measure(
     nprocs: int = 4,
     grid_shape: tuple[int, ...] | None = None,
     params: dict[str, float] | None = None,
-    machine: Machine | None = None,
+    machine: Machine | str | None = None,
     options: SimulatorOptions | None = None,
 ) -> SimulationResult:
-    """One-call convenience: compile HPF source and run it in the simulator."""
+    """One-call convenience: compile HPF source and run it in the simulator.
+
+    ``machine`` accepts a :class:`Machine` instance or a registered machine
+    name (``"ipsc860"``, ``"paragon"``, ``"cluster"``, ...).
+    """
     compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
-    target = machine or ipsc860(nprocs)
+    target = resolve_machine(machine, nprocs)
     return simulate(compiled, target, options=options)
 
 
@@ -154,7 +180,19 @@ __all__ = [
     "SAG",
     "SAU",
     "Machine",
+    "Topology",
+    "TopologyError",
+    "HypercubeTopology",
+    "MeshTopology",
+    "SwitchedTopology",
+    "make_topology",
     "ipsc860",
+    "paragon",
+    "cluster",
+    "get_machine",
+    "register_machine",
+    "machine_names",
+    "resolve_machine",
     # appmodel
     "AAG",
     "AAU",

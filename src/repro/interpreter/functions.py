@@ -68,6 +68,10 @@ class InterpretationContext:
     def nprocs(self) -> int:
         return self.compiled.nprocs
 
+    def topology(self, nprocs: int | None = None):
+        """The machine's interconnect topology over *nprocs* nodes."""
+        return self.machine.topology(max(nprocs or self.nprocs, 1))
+
     def eval(self, expr: ast.Expr | None, default: float | None = None) -> float | None:
         if expr is None:
             return default
@@ -195,24 +199,28 @@ def _comm_spec_metrics(spec: CommSpec, ctx: InterpretationContext) -> Metrics:
         procs = nprocs
         if dist is not None and spec.axis is not None and spec.axis < len(dist.axes):
             procs = max(dist.axes[spec.axis].nprocs, 1)
-        time = comm_models.broadcast_time(comm, max(nbytes, spec.element_size), procs)
+        time = comm_models.broadcast_time(comm, max(nbytes, spec.element_size), procs,
+                                          topology=ctx.topology(procs))
         return Metrics(communication=time)
 
     if spec.kind == "reduce":
         time = comm_models.allreduce_time(
             comm, spec.element_size, nprocs,
             combine_time_per_stage=proc.flop_time_sp,
+            topology=ctx.topology(),
         )
         return Metrics(communication=time)
 
     if spec.kind in ("gather", "writeback"):
         procs = dist.nprocs if dist is not None else nprocs
-        time = comm_models.unstructured_gather_time(comm, nbytes, max(procs, 1))
+        time = comm_models.unstructured_gather_time(comm, nbytes, max(procs, 1),
+                                                    topology=ctx.topology(max(procs, 1)))
         pack = elements * 3 * proc.int_op_time
         return Metrics(communication=time, overhead=pack)
 
     # unknown pattern: charge a barrier as a safe over-approximation
-    return Metrics(communication=comm_models.barrier_time(comm, nprocs))
+    return Metrics(communication=comm_models.barrier_time(comm, nprocs,
+                                                          topology=ctx.topology()))
 
 
 def interpret_comm_phase(aau: AAU, ctx: InterpretationContext) -> Metrics:

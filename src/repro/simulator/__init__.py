@@ -1,16 +1,24 @@
-"""iPSC/860 execution simulator: the measurement substrate of the reproduction.
+"""Execution simulator: the measurement substrate of the reproduction.
 
 Executes compiled SPMD node programs with a per-rank timing plane (dynamic
-node cost model + message-level hypercube network with link contention +
-seeded system noise) and a NumPy data plane identical to the functional
-interpreter, producing the "measured" times that the interpretation parse's
-estimates are validated against.
+node cost model + message-level network with link contention + seeded system
+noise) and a NumPy data plane identical to the functional interpreter,
+producing the "measured" times that the interpretation parse's estimates are
+validated against.  The network routes over the target machine's pluggable
+:class:`~repro.system.topology.Topology` — iPSC/860 hypercube, Paragon-style
+2-D mesh, or switched cluster.
 """
 
 from .collectives import allgather, allreduce, broadcast, shift_exchange, unstructured_gather
 from .events import EventQueue
 from .executor import CommStatistics, SimulatorOptions, SPMDExecutor
-from .hypercube import HypercubeTopology, cube_dimension, ecube_route, hamming_distance
+from .hypercube import (
+    HypercubeTopology,
+    TopologyError,
+    cube_dimension,
+    ecube_route,
+    hamming_distance,
+)
 from .network import Message, Network, TransferResult
 from .node import IterationProfile, NodeCostModel
 from .noise import NoiseModel, NoiseOptions
@@ -27,6 +35,7 @@ __all__ = [
     "SimulatorOptions",
     "SPMDExecutor",
     "HypercubeTopology",
+    "TopologyError",
     "cube_dimension",
     "ecube_route",
     "hamming_distance",

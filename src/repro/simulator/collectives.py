@@ -2,24 +2,22 @@
 
 These are the simulator-side counterparts of the HPF/Fortran 90D run-time
 library's collective routines (the ones the paper parameterised by
-benchmarking): nearest-neighbour shift exchange, binomial-tree broadcast,
-recursive-doubling allreduce / allgather, and the unstructured gather used for
-irregular references.  Each routine takes the per-rank clocks at phase entry
-and returns the per-rank completion times.
+benchmarking): nearest-neighbour shift exchange, tree broadcast, pairwise
+allreduce / allgather, and the unstructured gather used for irregular
+references.  The stage structure of each collective comes from the network
+topology's own schedules (:meth:`Topology.broadcast_schedule` /
+:meth:`Topology.exchange_schedule` — binomial / recursive doubling on the
+hypercube and the switch, row–column trees on the mesh), the same schedules
+the analytic models in :mod:`repro.system.comm_models` price statically.
+Each routine takes the per-rank clocks at phase entry and returns the
+per-rank completion times.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Mapping, Sequence
 
 from .network import Message, Network
-
-
-def _stages(p: int) -> int:
-    if p <= 1:
-        return 0
-    return int(math.ceil(math.log2(p)))
 
 
 def _as_list(clocks: Mapping[int, float], ranks: Sequence[int]) -> dict[int, float]:
@@ -65,29 +63,26 @@ def broadcast(
     clocks: Mapping[int, float],
     software_overhead: float = 0.0,
 ) -> dict[int, float]:
-    """Binomial-tree broadcast from *root* to *ranks*."""
+    """Tree broadcast from *root* to *ranks* along the topology's schedule."""
     ranks = sorted(set(ranks))
     done = _as_list(clocks, ranks)
     if len(ranks) <= 1:
         return done
 
-    # order ranks with the root first; the tree works on positions
+    # order ranks with the root first; the schedule works on positions
     ordered = [root] + [r for r in ranks if r != root]
-    positions = {rank: pos for pos, rank in enumerate(ordered)}
+    schedule = network.topology.broadcast_schedule(len(ordered))
     have = {root: done[root] + software_overhead}
 
-    for stage in range(_stages(len(ordered))):
+    for stage_no, stage in enumerate(schedule):
         messages = []
-        senders = [r for r in have]
-        for sender in senders:
-            partner_pos = positions[sender] + (1 << stage)
-            if partner_pos >= len(ordered):
-                continue
-            receiver = ordered[partner_pos]
-            if receiver in have:
+        for sender_pos, receiver_pos in stage:
+            sender = ordered[sender_pos]
+            receiver = ordered[receiver_pos]
+            if sender not in have or receiver in have:
                 continue
             messages.append(Message(src=sender, dst=receiver, nbytes=nbytes,
-                                    start_time=have[sender], tag=f"bcast{stage}"))
+                                    start_time=have[sender], tag=f"bcast{stage_no}"))
         if not messages:
             continue
         result = network.transfer(messages)
@@ -101,6 +96,47 @@ def broadcast(
     return done
 
 
+def _pairwise_stages(
+    network: Network,
+    ranks: Sequence[int],
+    done: dict[int, float],
+    nbytes_for_stage,
+    tag: str,
+    post_exchange,
+) -> dict[int, float]:
+    """Drive the topology's pairwise-exchange schedule over *ranks*.
+
+    ``nbytes_for_stage(stage_no)`` sizes each stage's messages;
+    ``post_exchange(old, arrival)`` computes a rank's new clock from its
+    pre-stage clock and the arrival time of its partner's block.
+    """
+    p = len(ranks)
+    schedule = network.topology.exchange_schedule(p)
+    for stage_no, stage in enumerate(schedule):
+        nbytes = nbytes_for_stage(stage_no)
+        messages = []
+        partner_of: dict[int, int] = {}
+        for i, j in stage:
+            a, b = ranks[i], ranks[j]
+            partner_of[a] = b
+            partner_of[b] = a
+            messages.append(Message(src=a, dst=b, nbytes=nbytes,
+                                    start_time=done[a], tag=f"{tag}{stage_no}"))
+            messages.append(Message(src=b, dst=a, nbytes=nbytes,
+                                    start_time=done[b], tag=f"{tag}{stage_no}"))
+        if not messages:
+            continue
+        result = network.transfer(messages)
+        new_done = dict(done)
+        for rank in ranks:
+            if rank not in partner_of:
+                continue
+            arrival = result.recv_complete.get(rank, done[rank])
+            new_done[rank] = post_exchange(done[rank], arrival)
+        done = new_done
+    return done
+
+
 def allreduce(
     network: Network,
     ranks: Sequence[int],
@@ -109,36 +145,17 @@ def allreduce(
     combine_time: float = 0.5,
     software_overhead: float = 0.0,
 ) -> dict[int, float]:
-    """Recursive-doubling allreduce (result available on every rank)."""
+    """Pairwise-exchange allreduce (result available on every rank)."""
     ranks = sorted(set(ranks))
     done = {r: float(clocks.get(r, 0.0)) + software_overhead for r in ranks}
-    p = len(ranks)
-    if p <= 1:
+    if len(ranks) <= 1:
         return done
-    position = {rank: idx for idx, rank in enumerate(ranks)}
-
-    for stage in range(_stages(p)):
-        messages = []
-        partner_of = {}
-        for rank in ranks:
-            partner_pos = position[rank] ^ (1 << stage)
-            if partner_pos >= p:
-                partner_of[rank] = None
-                continue
-            partner = ranks[partner_pos]
-            partner_of[rank] = partner
-            messages.append(Message(src=rank, dst=partner, nbytes=nbytes,
-                                    start_time=done[rank], tag=f"allreduce{stage}"))
-        result = network.transfer(messages)
-        new_done = dict(done)
-        for rank in ranks:
-            partner = partner_of.get(rank)
-            if partner is None:
-                continue
-            arrival = result.recv_complete.get(rank, done[rank])
-            new_done[rank] = max(done[rank], arrival) + combine_time
-        done = new_done
-    return done
+    return _pairwise_stages(
+        network, ranks, done,
+        nbytes_for_stage=lambda stage: nbytes,
+        tag="allreduce",
+        post_exchange=lambda old, arrival: max(old, arrival) + combine_time,
+    )
 
 
 def allgather(
@@ -148,37 +165,17 @@ def allgather(
     clocks: Mapping[int, float],
     software_overhead: float = 0.0,
 ) -> dict[int, float]:
-    """Recursive-doubling allgather: block sizes double each stage."""
+    """Pairwise-exchange allgather: block sizes double each stage."""
     ranks = sorted(set(ranks))
     done = {r: float(clocks.get(r, 0.0)) + software_overhead for r in ranks}
-    p = len(ranks)
-    if p <= 1:
+    if len(ranks) <= 1:
         return done
-    position = {rank: idx for idx, rank in enumerate(ranks)}
-
-    for stage in range(_stages(p)):
-        block = nbytes_per_rank * (1 << stage)
-        messages = []
-        partner_of = {}
-        for rank in ranks:
-            partner_pos = position[rank] ^ (1 << stage)
-            if partner_pos >= p:
-                partner_of[rank] = None
-                continue
-            partner = ranks[partner_pos]
-            partner_of[rank] = partner
-            messages.append(Message(src=rank, dst=partner, nbytes=block,
-                                    start_time=done[rank], tag=f"allgather{stage}"))
-        result = network.transfer(messages)
-        new_done = dict(done)
-        for rank in ranks:
-            partner = partner_of.get(rank)
-            if partner is None:
-                continue
-            arrival = result.recv_complete.get(rank, done[rank])
-            new_done[rank] = max(done[rank], arrival)
-        done = new_done
-    return done
+    return _pairwise_stages(
+        network, ranks, done,
+        nbytes_for_stage=lambda stage: nbytes_per_rank * (1 << stage),
+        tag="allgather",
+        post_exchange=lambda old, arrival: max(old, arrival),
+    )
 
 
 def unstructured_gather(

@@ -59,7 +59,9 @@ class SimulatorOptions:
     noise: NoiseOptions = field(default_factory=NoiseOptions)
     seed: int = 12345
     max_while_iterations: int = 100_000
-    collective_software_overhead: float = 30.0   # matches the library call overhead
+    #: per-collective library software overhead; None means "use the machine's
+    #: benchmarked collective_call_overhead" (30 µs on the iPSC/860)
+    collective_software_overhead: float | None = None
     program_startup_us: float = PROGRAM_STARTUP_US   # node program load + initial barrier
 
 
@@ -101,9 +103,19 @@ class SPMDExecutor:
         self.exprs = self.data.exprs
 
         self.cost = NodeCostModel(machine)
-        self.network = Network(machine.communication, max(self.nprocs, 1))
+        num_nodes = max(self.nprocs, 1)
+        self.network = Network(machine.communication, num_nodes,
+                               topology=machine.topology(num_nodes))
         self.noise = NoiseModel(seed=self.options.seed + machine.noise_seed,
                                 options=self.options.noise)
+        # A single-rank "collective" never enters the messaging library, so it
+        # pays no software overhead (mirrors the analytic models' p=1 guard).
+        if self.nprocs <= 1:
+            self.collective_overhead = 0.0
+        elif self.options.collective_software_overhead is not None:
+            self.collective_overhead = self.options.collective_software_overhead
+        else:
+            self.collective_overhead = machine.communication.collective_call_overhead
 
         self.clocks = np.zeros(self.nprocs, dtype=np.float64)
         self.totals = Metrics()
@@ -454,7 +466,7 @@ class SPMDExecutor:
 
         clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
         done = shift_exchange(self.network, pairs, sizes, clocks,
-                              software_overhead=self.options.collective_software_overhead)
+                              software_overhead=self.collective_overhead)
         done = {r: self.noise.communication(t - clocks[r]) + clocks[r] for r, t in done.items()}
         self._set_clocks(node, "communication", done)
 
@@ -478,7 +490,7 @@ class SPMDExecutor:
         proc = self.machine.processing
         dist = self.compiled.mapping.distribution_of(spec.array) if spec.array else None
         clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
-        overhead = self.options.collective_software_overhead
+        overhead = self.collective_overhead
 
         if spec.kind == "shift" and dist is not None and dist.grid is not None:
             axis = spec.axis if spec.axis is not None else 0

@@ -1,108 +1,42 @@
-"""Hypercube topology and e-cube (dimension-ordered) routing.
+"""Hypercube topology and e-cube (dimension-ordered) routing — compat shim.
 
-The iPSC/860 interconnect is a binary hypercube with circuit-switched
-Direct-Connect routing: a message from node *s* to node *d* crosses one link
-per differing address bit, resolved in ascending dimension order.  Ranks are
-mapped to node labels identically (the implementation-dependent abstract→
-physical processor mapping of §2); non-power-of-two partitions simply use the
-first ``p`` labels of the enclosing cube.
+The canonical implementation now lives in :mod:`repro.system.topology`, where
+the hypercube is one of three pluggable interconnects (hypercube, 2-D mesh,
+switched cluster).  This module re-exports the hypercube pieces under their
+historical names so existing imports keep working.
+
+Non-power-of-two partitions are handled safely:
+:meth:`HypercubeTopology.route` never visits a node label ≥ ``num_nodes``
+(it falls back to clear-bits-then-set-bits dimension ordering when the
+classic ascending e-cube path would leave the partition), and out-of-range
+endpoints raise :class:`~repro.system.topology.TopologyError`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-
-
-def cube_dimension(num_nodes: int) -> int:
-    """Dimension of the smallest hypercube holding *num_nodes* nodes."""
-    if num_nodes <= 1:
-        return 0
-    return int(math.ceil(math.log2(num_nodes)))
-
-
-def hamming_distance(a: int, b: int) -> int:
-    return bin(a ^ b).count("1")
+from ..system.topology import (
+    HypercubeTopology,
+    TopologyError,
+    cube_dimension,
+    cube_neighbors,
+    ecube_route,
+    hamming_distance,
+    link_id,
+)
 
 
 def neighbors(node: int, num_nodes: int) -> list[int]:
     """Hypercube neighbours of *node* that exist in a *num_nodes* partition."""
-    dim = cube_dimension(num_nodes)
-    out = []
-    for d in range(dim):
-        other = node ^ (1 << d)
-        if other < num_nodes:
-            out.append(other)
-    return out
+    return cube_neighbors(node, num_nodes)
 
 
-def ecube_route(src: int, dst: int) -> list[tuple[int, int]]:
-    """E-cube route from *src* to *dst* as a list of directed link hops."""
-    route: list[tuple[int, int]] = []
-    current = src
-    diff = src ^ dst
-    dim = 0
-    while diff:
-        if diff & 1:
-            nxt = current ^ (1 << dim)
-            route.append((current, nxt))
-            current = nxt
-        diff >>= 1
-        dim += 1
-    return route
-
-
-def link_id(a: int, b: int) -> tuple[int, int]:
-    """Canonical (undirected) identifier of the link between adjacent nodes."""
-    return (a, b) if a < b else (b, a)
-
-
-@dataclass(frozen=True)
-class HypercubeTopology:
-    """A *num_nodes*-node partition of a binary hypercube."""
-
-    num_nodes: int
-
-    @property
-    def dimension(self) -> int:
-        return cube_dimension(self.num_nodes)
-
-    def nodes(self) -> range:
-        return range(self.num_nodes)
-
-    def neighbors(self, node: int) -> list[int]:
-        return neighbors(node, self.num_nodes)
-
-    def route(self, src: int, dst: int) -> list[tuple[int, int]]:
-        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
-            raise ValueError("route endpoints outside the partition")
-        return ecube_route(src, dst)
-
-    def hops(self, src: int, dst: int) -> int:
-        return hamming_distance(src, dst)
-
-    def links(self) -> set[tuple[int, int]]:
-        out: set[tuple[int, int]] = set()
-        for node in self.nodes():
-            for other in self.neighbors(node):
-                out.add(link_id(node, other))
-        return out
-
-    def average_distance(self) -> float:
-        if self.num_nodes <= 1:
-            return 0.0
-        total = 0
-        count = 0
-        for a in self.nodes():
-            for b in self.nodes():
-                if a != b:
-                    total += self.hops(a, b)
-                    count += 1
-        return total / count
-
-    def rank_to_node(self, rank: int) -> int:
-        """Abstract-processor rank → physical node label (identity mapping)."""
-        return rank
-
-    def node_to_rank(self, node: int) -> int:
-        return node
+__all__ = [
+    "HypercubeTopology",
+    "TopologyError",
+    "cube_dimension",
+    "cube_neighbors",
+    "ecube_route",
+    "hamming_distance",
+    "link_id",
+    "neighbors",
+]

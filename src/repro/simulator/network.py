@@ -1,10 +1,12 @@
-"""Message-level network simulation for the iPSC/860 Direct-Connect fabric.
+"""Message-level network simulation over a pluggable interconnect topology.
 
 The unit of simulation is a :class:`Message` (source node, destination node,
-byte count, earliest start time).  Messages traverse their e-cube route; each
-undirected link can carry one message at a time, so concurrent messages that
-share a link serialise — this is the contention the static interpreter's
-analytic collective models do not capture.
+byte count, earliest start time).  Messages traverse the route their
+:class:`~repro.system.topology.Topology` assigns them (e-cube on a hypercube,
+XY on a mesh, through the crossbar on a switched cluster); each link can
+carry one message at a time, so concurrent messages that share a link
+serialise — this is the contention the static interpreter's analytic
+collective models do not capture.
 
 The simulation is driven by the discrete-event core in
 :mod:`repro.simulator.events` and is fully deterministic.
@@ -13,11 +15,12 @@ The simulation is driven by the discrete-event core in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Hashable
 
 from ..system.comm_models import message_packets
 from ..system.sau import CommunicationComponent
+from ..system.topology import Topology, make_topology
 from .events import EventQueue
-from .hypercube import HypercubeTopology, link_id
 
 
 @dataclass
@@ -50,11 +53,13 @@ class TransferResult:
 
 
 class Network:
-    """Simulates batches of messages over a hypercube partition."""
+    """Simulates batches of messages over one interconnect partition."""
 
-    def __init__(self, comm: CommunicationComponent, num_nodes: int):
+    def __init__(self, comm: CommunicationComponent, num_nodes: int,
+                 topology: Topology | None = None):
         self.comm = comm
-        self.topology = HypercubeTopology(num_nodes)
+        self.topology = topology if topology is not None \
+            else make_topology("hypercube", max(num_nodes, 1))
         self.num_nodes = num_nodes
 
     # -- single message timing (no contention) ------------------------------------
@@ -81,7 +86,7 @@ class Network:
             return result
 
         queue = EventQueue()
-        link_free: dict[tuple[int, int], float] = {}
+        link_free: dict[Hashable, float] = {}
         nic_free: dict[int, float] = {}
 
         def start_message(msg: Message) -> None:
@@ -95,7 +100,7 @@ class Network:
             route = self.topology.route(msg.src, msg.dst)
             arrival = launch
             for hop_no, (a, b) in enumerate(route):
-                lid = link_id(a, b)
+                lid = self.topology.link_id(a, b)
                 ready = max(arrival + (comm.per_hop if hop_no > 0 else 0.0),
                             link_free.get(lid, 0.0))
                 free_at = ready + occupancy

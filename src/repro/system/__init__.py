@@ -2,10 +2,14 @@
 
 The machine is abstracted off-line into a System Abstraction Graph whose nodes
 (System Abstraction Units) export Processing, Memory, Communication/
-Synchronisation and I/O parameters.  The iPSC/860 abstraction used throughout
-the paper's evaluation is provided by :func:`ipsc860`.
+Synchronisation and I/O parameters, plus a structural interconnect
+:class:`~repro.system.topology.Topology`.  Three machine targets ship in the
+registry — the paper's iPSC/860 hypercube (:func:`ipsc860`), a Paragon-class
+2-D mesh (:func:`paragon`) and a switched workstation cluster
+(:func:`cluster`) — and :func:`get_machine` builds any of them by name.
 """
 
+from .cluster import SWITCH_COMMUNICATION, build_cluster_sag, cluster
 from .comm_models import (
     allgather_time,
     allreduce_time,
@@ -34,9 +38,18 @@ from .ipsc860 import (
     CUBE_COMMUNICATION,
     I860_MEMORY,
     I860_PROCESSING,
-    Machine,
     build_ipsc860_sag,
     ipsc860,
+)
+from .machine import Machine
+from .paragon import MESH_COMMUNICATION, build_paragon_sag, paragon
+from .registry import (
+    MachineSpec,
+    get_machine,
+    machine_names,
+    machine_specs,
+    register_machine,
+    resolve_machine,
 )
 from .sag import SAG, SAGLibrary
 from .sau import (
@@ -45,6 +58,15 @@ from .sau import (
     IOComponent,
     MemoryComponent,
     ProcessingComponent,
+)
+from .topology import (
+    HypercubeTopology,
+    MeshTopology,
+    SwitchedTopology,
+    Topology,
+    TopologyError,
+    make_topology,
+    near_square_shape,
 )
 
 __all__ = [
@@ -71,11 +93,23 @@ __all__ = [
     "sum_cost",
     "tshift_cost",
     "CUBE_COMMUNICATION",
+    "MESH_COMMUNICATION",
+    "SWITCH_COMMUNICATION",
     "I860_MEMORY",
     "I860_PROCESSING",
     "Machine",
     "build_ipsc860_sag",
+    "build_paragon_sag",
+    "build_cluster_sag",
     "ipsc860",
+    "paragon",
+    "cluster",
+    "MachineSpec",
+    "get_machine",
+    "machine_names",
+    "machine_specs",
+    "register_machine",
+    "resolve_machine",
     "SAG",
     "SAGLibrary",
     "SAU",
@@ -83,4 +117,11 @@ __all__ = [
     "IOComponent",
     "MemoryComponent",
     "ProcessingComponent",
+    "HypercubeTopology",
+    "MeshTopology",
+    "SwitchedTopology",
+    "Topology",
+    "TopologyError",
+    "make_topology",
+    "near_square_shape",
 ]

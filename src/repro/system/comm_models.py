@@ -1,16 +1,26 @@
-"""Analytic communication cost models for the iPSC/860 interconnect.
+"""Analytic communication cost models, parameterised by interconnect topology.
 
-These are the C/S parameters "exported" by the cube SAU in functional form:
-point-to-point message time and the hypercube collective algorithms used by
-the HPF/Fortran 90D run-time library (recursive-doubling broadcast, reduce,
-allgather), parameterised by the benchmarked latency / bandwidth / per-hop
-constants of :class:`~repro.system.sau.CommunicationComponent`.
+These are the C/S parameters "exported" by the partition SAU in functional
+form: point-to-point message time and the collective algorithms of the
+HPF/Fortran 90D run-time library, parameterised by the benchmarked latency /
+bandwidth / per-hop constants of
+:class:`~repro.system.sau.CommunicationComponent` **and** by the structural
+:class:`~repro.system.topology.Topology` of the target machine.
 
-The same formulas are used by the interpretation engine (statically) and by
-the simulator's collective layer (per simulated operation), so any systematic
-difference between estimate and measurement comes from *dynamic* effects
-(actual sizes, contention, imbalance, jitter) rather than from two unrelated
-analytic models.
+Each collective cost is computed from the *schedule* the topology exports
+(recursive doubling on the hypercube and the switch, row–column trees on the
+mesh): the cost of a stage is the worst uncontended point-to-point time of
+its pairs, at that pair's actual hop distance.  When no topology is given,
+the formulas fall back to the hypercube's structure (one-hop stages), which
+reproduces the original iPSC/860-only models exactly.
+
+The same schedules drive the simulator's collective layer (per simulated
+operation), so any systematic difference between estimate and measurement
+comes from *dynamic* effects (actual sizes, contention, imbalance, jitter)
+rather than from two unrelated analytic models.
+
+Degenerate inputs are explicitly guarded: single-node collectives and
+zero-byte payloads cost nothing, negative sizes and hop counts are clamped.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import math
 
 from .sau import CommunicationComponent
+from .topology import Stage, Topology, make_topology
 
 
 def message_packets(comm: CommunicationComponent, nbytes: int) -> int:
@@ -55,84 +66,156 @@ def hypercube_dim(p: int) -> int:
     return int(math.ceil(math.log2(p)))
 
 
+# ---------------------------------------------------------------------------
+# schedule helpers
+# ---------------------------------------------------------------------------
+
+
+def _stage_hops(topology: Topology | None, schedule_kind: str, p: int) -> list[int]:
+    """Worst-case hop distance of each stage of a collective on *topology*.
+
+    ``schedule_kind`` selects the broadcast tree or the pairwise-exchange
+    schedule.  Without a topology the hypercube structure is assumed: one
+    one-hop stage per doubling (the original iPSC/860 model).
+
+    Schedule entries are *positions* in the collective's rank list, not
+    physical node labels, so when only ``p`` of the topology's nodes take
+    part the stages are priced on a same-kind partition of exactly ``p``
+    nodes (where positions and labels coincide) rather than on the full
+    fabric.
+    """
+    if p <= 1:
+        return []
+    if topology is None:
+        return [1] * hypercube_dim(p)
+    if topology.num_nodes != p:
+        topology = make_topology(topology.kind, p)
+    schedule: list[Stage] = (
+        topology.broadcast_schedule(p) if schedule_kind == "broadcast"
+        else topology.exchange_schedule(p)
+    )
+    out: list[int] = []
+    for stage in schedule:
+        if stage:
+            out.append(max(topology.hops(a, b) for a, b in stage))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# point-to-point patterns
+# ---------------------------------------------------------------------------
+
+
 def shift_exchange_time(comm: CommunicationComponent, nbytes: int, hops: int = 1) -> float:
     """Nearest-neighbour boundary exchange (simultaneous send + receive).
 
-    The Direct-Connect hardware allows the send and the matching receive to be
+    The network hardware allows the send and the matching receive to be
     largely overlapped, but the node CPU pays both protocol startups.
     """
     transit = p2p_time(comm, nbytes, hops)
     return transit + 0.5 * comm.latency(nbytes)
 
 
-def broadcast_time(comm: CommunicationComponent, nbytes: int, p: int) -> float:
-    """Recursive-doubling broadcast to *p* nodes."""
-    if p <= 1:
+# ---------------------------------------------------------------------------
+# collectives
+# ---------------------------------------------------------------------------
+
+
+def broadcast_time(
+    comm: CommunicationComponent, nbytes: int, p: int,
+    topology: Topology | None = None,
+) -> float:
+    """Tree broadcast to *p* nodes over the topology's broadcast schedule."""
+    nbytes = max(int(nbytes), 0)
+    if p <= 1 or nbytes <= 0:
         return 0.0
-    stages = hypercube_dim(p)
-    return comm.collective_call_overhead + stages * p2p_time(comm, nbytes, hops=1)
+    stage_hops = _stage_hops(topology, "broadcast", p)
+    return comm.collective_call_overhead + sum(
+        p2p_time(comm, nbytes, hops=h) for h in stage_hops)
 
 
 def reduce_time(
-    comm: CommunicationComponent, nbytes: int, p: int, combine_time_per_stage: float = 0.5
+    comm: CommunicationComponent, nbytes: int, p: int,
+    combine_time_per_stage: float = 0.5,
+    topology: Topology | None = None,
 ) -> float:
-    """Recursive-halving reduction of *nbytes* (usually one scalar) over *p* nodes."""
-    if p <= 1:
+    """Tree reduction of *nbytes* (usually one scalar) over *p* nodes."""
+    nbytes = max(int(nbytes), 0)
+    if p <= 1 or nbytes <= 0:
         return 0.0
-    stages = hypercube_dim(p)
-    return comm.collective_call_overhead + stages * (
-        p2p_time(comm, nbytes, hops=1) + combine_time_per_stage
-    )
+    stage_hops = _stage_hops(topology, "broadcast", p)
+    return comm.collective_call_overhead + sum(
+        p2p_time(comm, nbytes, hops=h) + combine_time_per_stage for h in stage_hops)
 
 
 def allreduce_time(
-    comm: CommunicationComponent, nbytes: int, p: int, combine_time_per_stage: float = 0.5
+    comm: CommunicationComponent, nbytes: int, p: int,
+    combine_time_per_stage: float = 0.5,
+    topology: Topology | None = None,
 ) -> float:
     """Reduce-to-all (the HPF intrinsic library returns the result on every node)."""
-    if p <= 1:
+    nbytes = max(int(nbytes), 0)
+    if p <= 1 or nbytes <= 0:
         return 0.0
-    stages = hypercube_dim(p)
-    return comm.collective_call_overhead + stages * (
-        p2p_time(comm, nbytes, hops=1) + combine_time_per_stage
-    )
+    stage_hops = _stage_hops(topology, "exchange", p)
+    return comm.collective_call_overhead + sum(
+        p2p_time(comm, nbytes, hops=h) + combine_time_per_stage for h in stage_hops)
 
 
-def allgather_time(comm: CommunicationComponent, nbytes_per_proc: int, p: int) -> float:
+def allgather_time(
+    comm: CommunicationComponent, nbytes_per_proc: int, p: int,
+    topology: Topology | None = None,
+) -> float:
     """Recursive-doubling allgather: each node ends with every node's block."""
-    if p <= 1:
+    block = max(int(nbytes_per_proc), 0)
+    if p <= 1 or block <= 0:
         return 0.0
     total = comm.collective_call_overhead
-    block = max(int(nbytes_per_proc), 0)
-    for stage in range(hypercube_dim(p)):
-        total += p2p_time(comm, block * (2 ** stage), hops=1)
+    for stage, hops in enumerate(_stage_hops(topology, "exchange", p)):
+        total += p2p_time(comm, block * (2 ** stage), hops=hops)
     return total
 
 
-def gather_time(comm: CommunicationComponent, nbytes_per_proc: int, p: int) -> float:
+def gather_time(
+    comm: CommunicationComponent, nbytes_per_proc: int, p: int,
+    topology: Topology | None = None,
+) -> float:
     """Gather to one node (tree algorithm); cost observed by the root."""
-    if p <= 1:
+    block = max(int(nbytes_per_proc), 0)
+    if p <= 1 or block <= 0:
         return 0.0
     total = comm.collective_call_overhead
-    block = max(int(nbytes_per_proc), 0)
-    for stage in range(hypercube_dim(p)):
-        total += p2p_time(comm, block * (2 ** stage), hops=1)
+    for stage, hops in enumerate(_stage_hops(topology, "broadcast", p)):
+        total += p2p_time(comm, block * (2 ** stage), hops=hops)
     return total
 
 
-def scatter_time(comm: CommunicationComponent, nbytes_per_proc: int, p: int) -> float:
+def scatter_time(
+    comm: CommunicationComponent, nbytes_per_proc: int, p: int,
+    topology: Topology | None = None,
+) -> float:
     """Scatter from one node; same tree as gather run in reverse."""
-    return gather_time(comm, nbytes_per_proc, p)
+    return gather_time(comm, nbytes_per_proc, p, topology=topology)
 
 
-def barrier_time(comm: CommunicationComponent, p: int) -> float:
+def barrier_time(
+    comm: CommunicationComponent, p: int,
+    topology: Topology | None = None,
+) -> float:
     """Dissemination barrier over *p* nodes."""
     if p <= 1:
         return 0.0
-    return hypercube_dim(p) * comm.barrier_per_stage
+    if topology is None:
+        stages = hypercube_dim(p)
+    else:
+        stages = len(_stage_hops(topology, "exchange", p)) or hypercube_dim(p)
+    return stages * comm.barrier_per_stage
 
 
 def unstructured_gather_time(
-    comm: CommunicationComponent, nbytes_per_proc: int, p: int, hops: float | None = None
+    comm: CommunicationComponent, nbytes_per_proc: int, p: int,
+    hops: float | None = None,
+    topology: Topology | None = None,
 ) -> float:
     """General gather of off-processor data (the GATHER_DATA runtime call).
 
@@ -140,14 +223,19 @@ def unstructured_gather_time(
     in the communication pattern — the worst of the runtime library's
     unstructured patterns — serialised at the node interface.
     """
-    if p <= 1:
-        return 0.0
-    hop = hops if hops is not None else average_hypercube_hops(p)
     block = max(int(nbytes_per_proc), 0)
+    if p <= 1 or block <= 0:
+        return 0.0
+    if hops is None:
+        if topology is not None and topology.num_nodes > 1:
+            hops = max(topology.average_distance(), 1.0)
+        else:
+            hops = average_hypercube_hops(p)
+    hops = max(float(hops), 1.0)
     peers = max(p - 1, 1)
     # The runtime packs all destinations into at most log2(p) bulk messages.
     stages = hypercube_dim(p)
     per_stage_bytes = block * peers / max(stages, 1)
     return comm.collective_call_overhead + stages * p2p_time(
-        comm, int(per_stage_bytes), hops=int(round(hop))
+        comm, int(per_stage_bytes), hops=int(round(hops))
     )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from .comm_models import allreduce_time, shift_exchange_time
 from .sau import CommunicationComponent, ProcessingComponent
+from .topology import Topology
 
 
 def cshift_cost(
@@ -65,6 +66,7 @@ def reduction_cost(
     op: str = "sum",
     precision: str = "real",
     element_size: int = 4,
+    topology: Topology | None = None,
 ) -> float:
     """Global sum / product / max / min / maxloc of a distributed array."""
     per_element = proc.flop_time(precision) + proc.loop_iteration_overhead
@@ -75,17 +77,24 @@ def reduction_cost(
     local = proc.loop_startup_overhead + local_elements * per_element
     payload = element_size if op not in ("maxloc", "minloc") else element_size + 4
     combine = allreduce_time(comm, payload, nprocs,
-                             combine_time_per_stage=proc.flop_time(precision))
+                             combine_time_per_stage=proc.flop_time(precision),
+                             topology=topology)
     return local + combine
 
 
-def sum_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4) -> float:
-    return reduction_cost(proc, comm, local_elements, nprocs, "sum", precision, element_size)
+def sum_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4,
+             topology=None) -> float:
+    return reduction_cost(proc, comm, local_elements, nprocs, "sum", precision,
+                          element_size, topology)
 
 
-def product_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4) -> float:
-    return reduction_cost(proc, comm, local_elements, nprocs, "product", precision, element_size)
+def product_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4,
+                 topology=None) -> float:
+    return reduction_cost(proc, comm, local_elements, nprocs, "product", precision,
+                          element_size, topology)
 
 
-def maxloc_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4) -> float:
-    return reduction_cost(proc, comm, local_elements, nprocs, "maxloc", precision, element_size)
+def maxloc_cost(proc, comm, local_elements, nprocs, precision="real", element_size=4,
+                topology=None) -> float:
+    return reduction_cost(proc, comm, local_elements, nprocs, "maxloc", precision,
+                          element_size, topology)

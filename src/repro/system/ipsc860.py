@@ -16,8 +16,7 @@ experiments, not the absolute values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from .machine import Machine
 from .sag import SAG
 from .sau import (
     SAU,
@@ -26,6 +25,13 @@ from .sau import (
     MemoryComponent,
     ProcessingComponent,
 )
+
+__all__ = [
+    "Machine",
+    "PROGRAM_STARTUP_US",
+    "build_ipsc860_sag",
+    "ipsc860",
+]
 
 # Node-level components -------------------------------------------------------
 
@@ -116,65 +122,6 @@ HOST_CUBE_CHANNEL = CommunicationComponent(
 )
 
 
-@dataclass
-class Machine:
-    """A fully-characterised target machine handed to Phase 2 and the simulator."""
-
-    name: str
-    sag: SAG
-    num_nodes: int
-    noise_seed: int = 0
-    attributes: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def node(self) -> SAU:
-        return self.sag.node_sau()
-
-    @property
-    def cube(self) -> SAU:
-        return self.sag.cube_sau()
-
-    @property
-    def host(self) -> SAU | None:
-        return self.sag.host_sau()
-
-    @property
-    def processing(self) -> ProcessingComponent:
-        return self.node.processing
-
-    @property
-    def memory(self) -> MemoryComponent:
-        return self.node.memory
-
-    @property
-    def communication(self) -> CommunicationComponent:
-        return self.cube.communication
-
-    def scaled(self, *, flop_scale: float = 1.0, latency_scale: float = 1.0,
-               bandwidth_scale: float = 1.0, name: str | None = None) -> "Machine":
-        """A perturbed copy of this machine (for sensitivity/ablation studies)."""
-        node = self.node.with_processing(
-            flop_time_sp=self.processing.flop_time_sp * flop_scale,
-            flop_time_dp=self.processing.flop_time_dp * flop_scale,
-        )
-        cube = self.cube.with_communication(
-            startup_latency=self.communication.startup_latency * latency_scale,
-            long_startup_latency=self.communication.long_startup_latency * latency_scale,
-            per_byte=self.communication.per_byte / max(bandwidth_scale, 1e-9),
-        )
-        root = SAU(name="system", level="system",
-                   description=f"perturbed copy of {self.name}")
-        host = self.host
-        if host is not None:
-            root.add_child(host)
-        cube.children = [node]
-        cube.attributes = dict(self.cube.attributes)
-        root.add_child(cube)
-        sag = SAG(root=root, machine_name=name or f"{self.name}-scaled")
-        return Machine(name=sag.machine_name, sag=sag, num_nodes=self.num_nodes,
-                       noise_seed=self.noise_seed, attributes=dict(self.attributes))
-
-
 def build_ipsc860_sag(num_nodes: int = 8) -> SAG:
     """Build the SAG for an iPSC/860 configuration with *num_nodes* i860 nodes."""
     if num_nodes < 1:
@@ -230,4 +177,5 @@ def build_ipsc860_sag(num_nodes: int = 8) -> SAG:
 def ipsc860(num_nodes: int = 8, noise_seed: int = 0) -> Machine:
     """The standard target machine of the paper: an 8-node iPSC/860."""
     sag = build_ipsc860_sag(num_nodes)
-    return Machine(name=sag.machine_name, sag=sag, num_nodes=num_nodes, noise_seed=noise_seed)
+    return Machine(name=sag.machine_name, sag=sag, num_nodes=num_nodes,
+                   noise_seed=noise_seed, topology_kind="hypercube")

@@ -1,0 +1,86 @@
+"""The fully-characterised target machine handed to Phase 2 and the simulator.
+
+A :class:`Machine` bundles the off-line SAG/SAU parameter characterisation
+with the structural interconnect abstraction (:mod:`repro.system.topology`).
+Concrete machines (the iPSC/860 hypercube, the Paragon-class 2-D mesh, the
+switched cluster) are built by their own modules and made discoverable by
+name through :mod:`repro.system.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sag import SAG
+from .sau import (
+    SAU,
+    CommunicationComponent,
+    MemoryComponent,
+    ProcessingComponent,
+)
+from .topology import Topology, make_topology
+
+
+@dataclass
+class Machine:
+    """A fully-characterised target machine handed to Phase 2 and the simulator."""
+
+    name: str
+    sag: SAG
+    num_nodes: int
+    noise_seed: int = 0
+    topology_kind: str = "hypercube"
+    attributes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def node(self) -> SAU:
+        return self.sag.node_sau()
+
+    @property
+    def cube(self) -> SAU:
+        return self.sag.cube_sau()
+
+    @property
+    def host(self) -> SAU | None:
+        return self.sag.host_sau()
+
+    @property
+    def processing(self) -> ProcessingComponent:
+        return self.node.processing
+
+    @property
+    def memory(self) -> MemoryComponent:
+        return self.node.memory
+
+    @property
+    def communication(self) -> CommunicationComponent:
+        return self.cube.communication
+
+    def topology(self, num_nodes: int | None = None) -> Topology:
+        """The interconnect topology of a *num_nodes* partition of this machine."""
+        return make_topology(self.topology_kind, num_nodes or self.num_nodes)
+
+    def scaled(self, *, flop_scale: float = 1.0, latency_scale: float = 1.0,
+               bandwidth_scale: float = 1.0, name: str | None = None) -> "Machine":
+        """A perturbed copy of this machine (for sensitivity/ablation studies)."""
+        node = self.node.with_processing(
+            flop_time_sp=self.processing.flop_time_sp * flop_scale,
+            flop_time_dp=self.processing.flop_time_dp * flop_scale,
+        )
+        cube = self.cube.with_communication(
+            startup_latency=self.communication.startup_latency * latency_scale,
+            long_startup_latency=self.communication.long_startup_latency * latency_scale,
+            per_byte=self.communication.per_byte / max(bandwidth_scale, 1e-9),
+        )
+        root = SAU(name="system", level="system",
+                   description=f"perturbed copy of {self.name}")
+        host = self.host
+        if host is not None:
+            root.add_child(host)
+        cube.children = [node]
+        cube.attributes = dict(self.cube.attributes)
+        root.add_child(cube)
+        sag = SAG(root=root, machine_name=name or f"{self.name}-scaled")
+        return Machine(name=sag.machine_name, sag=sag, num_nodes=self.num_nodes,
+                       noise_seed=self.noise_seed, topology_kind=self.topology_kind,
+                       attributes=dict(self.attributes))

@@ -1,0 +1,112 @@
+"""Named registry of target-machine abstractions.
+
+The paper's framework treats the Systems Module as the only machine-specific
+part; everything downstream retargets by swapping the SAG/SAU parameter set
+and the interconnect topology.  This registry makes that swap a one-word
+change: ``get_machine("paragon", 8)`` anywhere a :class:`Machine` is
+expected, and ``repro.predict(..., machine="paragon")`` /
+``repro.measure(..., machine="cluster")`` for whole-study sweeps.
+
+Built-in machines:
+
+* ``ipsc860`` — 8-node-class Intel iPSC/860 binary hypercube (the paper's
+  evaluation target); aliases ``ipsc``, ``hypercube``.
+* ``paragon`` — Paragon-class i860 XP nodes on a 2-D wormhole mesh;
+  alias ``mesh``.
+* ``cluster`` — switched workstation cluster behind a central crossbar;
+  aliases ``delta``, ``switch``.
+
+User code can add its own with :func:`register_machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .cluster import cluster
+from .ipsc860 import ipsc860
+from .machine import Machine
+from .paragon import paragon
+
+MachineFactory = Callable[..., Machine]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One registered machine target."""
+
+    name: str
+    factory: MachineFactory
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+
+_MACHINES: dict[str, MachineSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_machine(
+    name: str,
+    factory: MachineFactory,
+    *,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+) -> None:
+    """Register *factory* (``(num_nodes, noise_seed) -> Machine``) under *name*."""
+    key = name.lower()
+    spec = MachineSpec(name=key, factory=factory,
+                       description=description, aliases=tuple(a.lower() for a in aliases))
+    _MACHINES[key] = spec
+    _ALIASES[key] = key
+    for alias in spec.aliases:
+        _ALIASES[alias] = key
+
+
+def machine_names() -> list[str]:
+    """Canonical names of every registered machine, sorted."""
+    return sorted(_MACHINES)
+
+
+def machine_specs() -> list[MachineSpec]:
+    return [_MACHINES[name] for name in machine_names()]
+
+
+def get_machine(name: str, nprocs: int = 8, noise_seed: int = 0) -> Machine:
+    """Build the registered machine *name* with an *nprocs*-node partition."""
+    key = _ALIASES.get(name.lower().replace("/", "").replace("-", "").replace(" ", ""))
+    if key is None:
+        key = _ALIASES.get(name.lower())
+    if key is None:
+        raise KeyError(
+            f"unknown machine {name!r}; registered: {machine_names()}")
+    return _MACHINES[key].factory(nprocs, noise_seed)
+
+
+def resolve_machine(machine: "Machine | str | None", nprocs: int,
+                    noise_seed: int = 0) -> Machine:
+    """Accept a Machine instance, a registered name, or None (iPSC/860 default)."""
+    if machine is None:
+        return get_machine("ipsc860", nprocs, noise_seed)
+    if isinstance(machine, str):
+        return get_machine(machine, nprocs, noise_seed)
+    return machine
+
+
+# -- built-in machines --------------------------------------------------------
+
+register_machine(
+    "ipsc860", ipsc860,
+    description="Intel iPSC/860 binary hypercube (Direct-Connect, e-cube routing)",
+    aliases=("ipsc", "ipsc/860", "hypercube"),
+)
+register_machine(
+    "paragon", paragon,
+    description="Paragon-class i860 XP nodes on a 2-D wormhole mesh (XY routing)",
+    aliases=("mesh",),
+)
+register_machine(
+    "cluster", cluster,
+    description="switched workstation cluster behind a central crossbar",
+    aliases=("delta", "switch"),
+)

@@ -37,15 +37,25 @@ class SAG:
         return self.root
 
     def cube_sau(self) -> SAU:
-        """The SAU describing the compute partition (interconnect parameters)."""
+        """The SAU describing the compute partition (interconnect parameters).
+
+        Named ``cube`` on the iPSC/860; other machines name it after their
+        fabric (``mesh``, ``switch``), so fall back to the first SAU at the
+        ``cluster`` level.
+        """
         cube = self.root.find("cube")
-        return cube if cube is not None else self.root
+        if cube is not None:
+            return cube
+        for sau in self.root.walk():
+            if sau.level == "cluster":
+                return sau
+        return self.root
 
     def host_sau(self) -> Optional[SAU]:
         return self.root.find("host")
 
     def num_nodes(self) -> int:
-        cube = self.root.find("cube")
+        cube = self.cube_sau()
         if cube is not None and "num_nodes" in cube.attributes:
             return int(cube.attributes["num_nodes"])
         return self.root.leaf_count()

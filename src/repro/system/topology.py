@@ -1,0 +1,555 @@
+"""Topology-agnostic interconnect abstraction of the Systems Module.
+
+The paper's framework is machine-retargetable: the Systems Module is the only
+machine-specific part, and the rest of the toolchain consumes the parameters
+it exports.  This module provides the *structural* half of that abstraction —
+how the compute nodes of a partition are wired together — as a small
+:class:`Topology` protocol with three implementations:
+
+* :class:`HypercubeTopology` — the iPSC/860 Direct-Connect binary hypercube
+  with dimension-ordered (e-cube) circuit-switched routing,
+* :class:`MeshTopology`      — a Paragon-style 2-D wormhole mesh with
+  deterministic XY (column-then-row) routing,
+* :class:`SwitchedTopology`  — a Delta/cluster-style crossbar where every
+  node pair is a constant number of hops apart through a central switch.
+
+Every consumer (the analytic communication models, the message-level network
+simulator, the collective algorithms) dispatches through the protocol, so a
+new machine only has to provide a topology and a SAU parameter set.
+
+Topologies also export the *collective schedules* the HPF runtime library
+would use on them (binomial/recursive-doubling trees on the cube and the
+switch, row–column trees on the mesh).  Both the static interpreter and the
+simulator consume the same schedule, so estimate-vs-measurement differences
+remain purely dynamic (contention, imbalance, jitter) rather than algorithmic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Hashable, Iterable, Protocol, runtime_checkable
+
+from ..frontend.errors import ReproError
+
+#: A directed traversal of one physical link, as an (origin, destination) pair
+#: of node labels.  The switch in a :class:`SwitchedTopology` appears as the
+#: pseudo-node :data:`SWITCH_NODE`.
+Hop = tuple[int, int]
+
+#: One stage of a collective schedule: (sender_position, receiver_position)
+#: pairs that communicate concurrently.  Positions index into the ordered rank
+#: list of the collective, not physical node labels.
+Stage = list[tuple[int, int]]
+
+#: Pseudo-node label of the central crossbar of a :class:`SwitchedTopology`.
+SWITCH_NODE = -1
+
+
+class TopologyError(ReproError, ValueError):
+    """Raised for nodes outside a partition or unroutable endpoint pairs."""
+
+
+@runtime_checkable
+class Topology(Protocol):
+    """Structural abstraction of one interconnect partition."""
+
+    num_nodes: int
+
+    @property
+    def kind(self) -> str: ...
+
+    def nodes(self) -> Iterable[int]: ...
+
+    def neighbors(self, node: int) -> list[int]: ...
+
+    def route(self, src: int, dst: int) -> list[Hop]: ...
+
+    def hops(self, src: int, dst: int) -> int: ...
+
+    def link_id(self, a: int, b: int) -> Hashable: ...
+
+    def links(self) -> set[Hashable]: ...
+
+    def diameter(self) -> int: ...
+
+    def bisection_links(self) -> int: ...
+
+    def average_distance(self) -> float: ...
+
+    def broadcast_schedule(self, p: int) -> list[Stage]: ...
+
+    def exchange_schedule(self, p: int) -> list[Stage]: ...
+
+
+# ---------------------------------------------------------------------------
+# shared machinery
+# ---------------------------------------------------------------------------
+
+
+class BaseTopology:
+    """Generic pieces shared by the concrete topologies."""
+
+    num_nodes: int
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def _check(self, node: int, role: str = "node") -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"unroutable {role} {node}: outside the {self.num_nodes}-node "
+                f"{self.kind} partition"
+            )
+
+    def link_id(self, a: int, b: int) -> Hashable:
+        """Canonical (undirected) identifier of the link between *a* and *b*."""
+        return (a, b) if a < b else (b, a)
+
+    def links(self) -> set[Hashable]:
+        out: set[Hashable] = set()
+        for node in self.nodes():
+            for other in self.neighbors(node):
+                out.add(self.link_id(node, other))
+        return out
+
+    def hops(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    def average_distance(self) -> float:
+        if self.num_nodes <= 1:
+            return 0.0
+        total = count = 0
+        for a in self.nodes():
+            for b in self.nodes():
+                if a != b:
+                    total += self.hops(a, b)
+                    count += 1
+        return total / count
+
+    def diameter(self) -> int:
+        if self.num_nodes <= 1:
+            return 0
+        return max(self.hops(a, b) for a in self.nodes() for b in self.nodes())
+
+    def bisection_links(self) -> int:
+        """Links crossing the label-halving cut of the partition."""
+        half = self.num_nodes // 2
+        if half == 0:
+            return 0
+        crossing = 0
+        for node in self.nodes():
+            for other in self.neighbors(node):
+                if node < half <= other:
+                    crossing += 1
+        return crossing
+
+    # -- collective schedules -------------------------------------------------
+
+    def broadcast_schedule(self, p: int) -> list[Stage]:
+        """Binomial broadcast tree over positions 0..p-1 (root at position 0)."""
+        stages: list[Stage] = []
+        span = 1
+        while span < p:
+            stage = [(i, i + span) for i in range(span) if i + span < p]
+            if stage:
+                stages.append(stage)
+            span <<= 1
+        return stages
+
+    def exchange_schedule(self, p: int) -> list[Stage]:
+        """Recursive-doubling pairwise-exchange stages over positions 0..p-1."""
+        stages: list[Stage] = []
+        span = 1
+        while span < p:
+            stage = []
+            for i in range(p):
+                j = i ^ span
+                if i < j < p:
+                    stage.append((i, j))
+            if stage:
+                stages.append(stage)
+            span <<= 1
+        return stages
+
+
+# ---------------------------------------------------------------------------
+# hypercube
+# ---------------------------------------------------------------------------
+
+
+def cube_dimension(num_nodes: int) -> int:
+    """Dimension of the smallest hypercube holding *num_nodes* nodes."""
+    if num_nodes <= 1:
+        return 0
+    return int(math.ceil(math.log2(num_nodes)))
+
+
+def hamming_distance(a: int, b: int) -> int:
+    return bin(a ^ b).count("1")
+
+
+def cube_neighbors(node: int, num_nodes: int) -> list[int]:
+    """Hypercube neighbours of *node* that exist in a *num_nodes* partition."""
+    dim = cube_dimension(num_nodes)
+    out = []
+    for d in range(dim):
+        other = node ^ (1 << d)
+        if other < num_nodes:
+            out.append(other)
+    return out
+
+
+def ecube_route(src: int, dst: int) -> list[Hop]:
+    """Classic e-cube route from *src* to *dst* (ascending dimension order)."""
+    route: list[Hop] = []
+    current = src
+    diff = src ^ dst
+    dim = 0
+    while diff:
+        if diff & 1:
+            nxt = current ^ (1 << dim)
+            route.append((current, nxt))
+            current = nxt
+        diff >>= 1
+        dim += 1
+    return route
+
+
+def link_id(a: int, b: int) -> tuple[int, int]:
+    """Canonical (undirected) identifier of the link between adjacent nodes."""
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class HypercubeTopology(BaseTopology):
+    """A *num_nodes*-node partition of a binary hypercube.
+
+    Non-power-of-two partitions use the first ``num_nodes`` labels of the
+    enclosing cube.  Routing is dimension-ordered; when the classic ascending
+    e-cube path would pass through a label outside the partition, the route
+    falls back to clearing the source's surplus address bits before setting
+    the destination's (every intermediate label then stays ≤ max(src, dst),
+    hence inside the partition), so ``route`` never visits a missing node.
+    """
+
+    num_nodes: int
+
+    @property
+    def kind(self) -> str:
+        return "hypercube"
+
+    @property
+    def dimension(self) -> int:
+        return cube_dimension(self.num_nodes)
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check(node)
+        return cube_neighbors(node, self.num_nodes)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        return hamming_distance(src, dst)
+
+    def route(self, src: int, dst: int) -> list[Hop]:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        route = ecube_route(src, dst)
+        if all(b < self.num_nodes for _, b in route):
+            return route
+        return self._partition_safe_route(src, dst)
+
+    def _partition_safe_route(self, src: int, dst: int) -> list[Hop]:
+        """Dimension-ordered route that clears bits before setting them."""
+        route: list[Hop] = []
+        current = src
+        for dim in range(self.dimension):          # clear src-only bits
+            bit = 1 << dim
+            if current & bit and not dst & bit:
+                nxt = current ^ bit
+                route.append((current, nxt))
+                current = nxt
+        for dim in range(self.dimension):          # set dst-only bits
+            bit = 1 << dim
+            if dst & bit and not current & bit:
+                nxt = current ^ bit
+                route.append((current, nxt))
+                current = nxt
+        return route
+
+    def diameter(self) -> int:
+        if self.num_nodes <= 1:
+            return 0
+        return max(hamming_distance(a, b)
+                   for a in self.nodes() for b in self.nodes())
+
+    def average_distance(self) -> float:
+        if self.num_nodes <= 1:
+            return 0.0
+        return _hypercube_average_distance(self.num_nodes)
+
+    def rank_to_node(self, rank: int) -> int:
+        """Abstract-processor rank → physical node label (identity mapping)."""
+        return rank
+
+    def node_to_rank(self, node: int) -> int:
+        return node
+
+
+@lru_cache(maxsize=None)
+def _hypercube_average_distance(p: int) -> float:
+    """Mean pairwise hop distance of a *p*-node hypercube partition."""
+    if p & (p - 1) == 0:           # full cube: closed form
+        dim = p.bit_length() - 1
+        return dim * p / (2.0 * (p - 1))
+    total = sum(hamming_distance(a, b)
+                for a in range(p) for b in range(p) if a != b)
+    return total / (p * (p - 1))
+
+
+# ---------------------------------------------------------------------------
+# 2-D mesh
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeshTopology(BaseTopology):
+    """A ``rows`` × ``cols`` 2-D mesh (non-toroidal) with XY wormhole routing.
+
+    Node labels are row-major: node ``r * cols + c`` sits at row *r*, column
+    *c*.  A message first travels along its row to the destination column,
+    then along that column — the deterministic, deadlock-free XY order of the
+    Paragon's wormhole routers.  All XY routes are minimal (Manhattan length).
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise TopologyError(f"invalid mesh shape {self.rows}x{self.cols}")
+
+    @property
+    def num_nodes(self) -> int:  # type: ignore[override]
+        return self.rows * self.cols
+
+    @property
+    def kind(self) -> str:
+        return "mesh"
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def coords(self, node: int) -> tuple[int, int]:
+        self._check(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        return row * self.cols + col
+
+    def neighbors(self, node: int) -> list[int]:
+        row, col = self.coords(node)
+        out = []
+        if col > 0:
+            out.append(self.node_at(row, col - 1))
+        if col < self.cols - 1:
+            out.append(self.node_at(row, col + 1))
+        if row > 0:
+            out.append(self.node_at(row - 1, col))
+        if row < self.rows - 1:
+            out.append(self.node_at(row + 1, col))
+        return out
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def route(self, src: int, dst: int) -> list[Hop]:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        (row, col), (drow, dcol) = self.coords(src), self.coords(dst)
+        route: list[Hop] = []
+        current = src
+        step = 1 if dcol > col else -1
+        while col != dcol:                        # X leg: along the row
+            col += step
+            nxt = self.node_at(row, col)
+            route.append((current, nxt))
+            current = nxt
+        step = 1 if drow > row else -1
+        while row != drow:                        # Y leg: along the column
+            row += step
+            nxt = self.node_at(row, col)
+            route.append((current, nxt))
+            current = nxt
+        return route
+
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+    def average_distance(self) -> float:
+        n = self.num_nodes
+        if n <= 1:
+            return 0.0
+        # closed form: sum of |Δr| (resp. |Δc|) over all ordered node pairs is
+        # cols² · rows(rows²-1)/3 (resp. rows² · cols(cols²-1)/3)
+        rows, cols = self.rows, self.cols
+        total = (cols * cols * rows * (rows * rows - 1)
+                 + rows * rows * cols * (cols * cols - 1)) / 3.0
+        return total / (n * (n - 1))
+
+    def bisection_links(self) -> int:
+        # cutting the longer dimension in half severs one link per cross line
+        if self.cols >= self.rows:
+            return self.rows if self.cols > 1 else 0
+        return self.cols if self.rows > 1 else 0
+
+    def broadcast_schedule(self, p: int) -> list[Stage]:
+        """Row–column tree: binomial along the root's row, then down columns."""
+        if p <= 1:
+            return []
+        rows, cols = (self.rows, self.cols) if p == self.num_nodes \
+            else near_square_shape(p)
+        stages: list[Stage] = []
+        span = 1
+        while span < cols:                        # row phase (row 0 only)
+            stage = [(c, c + span) for c in range(span)
+                     if c + span < cols and c + span < p]
+            if stage:
+                stages.append(stage)
+            span <<= 1
+        span = 1
+        while span < rows:                        # column phase (all columns)
+            stage = []
+            for col in range(cols):
+                for row in range(span):
+                    sender = row * cols + col
+                    receiver = (row + span) * cols + col
+                    if sender < p and receiver < p:
+                        stage.append((sender, receiver))
+            if stage:
+                stages.append(stage)
+            span <<= 1
+        return stages
+
+
+# ---------------------------------------------------------------------------
+# switched cluster
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwitchedTopology(BaseTopology):
+    """A cluster whose nodes all hang off one central crossbar switch.
+
+    Every node owns a dedicated up-link into the switch and a dedicated
+    down-link out of it, so any source-destination pair is exactly
+    ``switch_hops`` apart and disjoint pairs never contend inside the fabric
+    (contention only arises at a node's own ports).  This models Delta-class
+    service networks and switched workstation clusters.
+    """
+
+    num_nodes: int
+    switch_hops: int = 2
+
+    @property
+    def kind(self) -> str:
+        return "switch"
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check(node)
+        return [other for other in self.nodes() if other != node]
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        return 0 if src == dst else self.switch_hops
+
+    def route(self, src: int, dst: int) -> list[Hop]:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        if src == dst:
+            return []
+        return [(src, SWITCH_NODE), (SWITCH_NODE, dst)]
+
+    def link_id(self, a: int, b: int) -> Hashable:
+        if b == SWITCH_NODE:
+            return ("up", a)
+        if a == SWITCH_NODE:
+            return ("down", b)
+        return (a, b) if a < b else (b, a)
+
+    def links(self) -> set[Hashable]:
+        out: set[Hashable] = set()
+        for node in self.nodes():
+            out.add(("up", node))
+            out.add(("down", node))
+        return out
+
+    def diameter(self) -> int:
+        return 0 if self.num_nodes <= 1 else self.switch_hops
+
+    def average_distance(self) -> float:
+        return 0.0 if self.num_nodes <= 1 else float(self.switch_hops)
+
+    def bisection_links(self) -> int:
+        return self.num_nodes // 2
+
+
+# ---------------------------------------------------------------------------
+# factory
+# ---------------------------------------------------------------------------
+
+
+def near_square_shape(p: int) -> tuple[int, int]:
+    """Factor *p* into the most nearly square (rows, cols) with rows ≤ cols."""
+    p = max(int(p), 1)
+    rows = 1
+    for candidate in range(int(math.isqrt(p)), 0, -1):
+        if p % candidate == 0:
+            rows = candidate
+            break
+    return rows, p // rows
+
+
+_TOPOLOGY_ALIASES = {
+    "hypercube": "hypercube",
+    "cube": "hypercube",
+    "mesh": "mesh",
+    "mesh2d": "mesh",
+    "switch": "switch",
+    "switched": "switch",
+    "crossbar": "switch",
+}
+
+
+def make_topology(kind: str, num_nodes: int, *,
+                  shape: tuple[int, int] | None = None,
+                  switch_hops: int = 2) -> Topology:
+    """Build a topology of *kind* over *num_nodes* nodes.
+
+    ``shape`` overrides the near-square factorisation used for meshes.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"a partition needs at least one node, got {num_nodes}")
+    canonical = _TOPOLOGY_ALIASES.get(kind.lower())
+    if canonical is None:
+        raise TopologyError(
+            f"unknown topology kind {kind!r}; known: "
+            f"{sorted(set(_TOPOLOGY_ALIASES.values()))}")
+    if canonical == "hypercube":
+        return HypercubeTopology(num_nodes)
+    if canonical == "mesh":
+        rows, cols = shape if shape is not None else near_square_shape(num_nodes)
+        if rows * cols != num_nodes:
+            raise TopologyError(
+                f"mesh shape {rows}x{cols} does not hold {num_nodes} nodes")
+        return MeshTopology(rows, cols)
+    return SwitchedTopology(num_nodes, switch_hops=switch_hops)

@@ -6,6 +6,11 @@
 * :mod:`usability`     — Figure 8 (experimentation-time comparison)
 * :mod:`forall_study`  — Figure 2 (abstraction of the forall statement)
 * :mod:`ablation`      — design-choice ablations A1/A2 (ours)
+* :mod:`machines`      — cross-machine sweep over the machine registry (ours)
+
+Every study that touches a machine takes ``machine="ipsc860" | "paragon" |
+"cluster"`` (or a :class:`~repro.system.machine.Machine` instance), so each
+table/figure can be regenerated per target.
 """
 
 from .ablation import AblationPoint, AblationReport, run_comm_sensitivity, run_model_ablation
@@ -28,6 +33,7 @@ from .directives import (
     run_laplace_study,
 )
 from .forall_study import FORALL_EXAMPLE_SOURCE, ForallAbstraction, run_forall_abstraction
+from .machines import MachineComparison, MachinePoint, run_machine_comparison
 from .usability import UsabilityEntry, UsabilityStudy, run_usability_study
 
 __all__ = [
@@ -57,4 +63,7 @@ __all__ = [
     "UsabilityEntry",
     "UsabilityStudy",
     "run_usability_study",
+    "MachineComparison",
+    "MachinePoint",
+    "run_machine_comparison",
 ]

@@ -21,7 +21,7 @@ from ..interpreter import InterpreterOptions, MemoryModelOptions, interpret
 from ..output.report import render_table
 from ..simulator import simulate
 from ..suite import get_entry
-from ..system import ipsc860
+from ..system import Machine, resolve_machine
 
 
 @dataclass
@@ -76,14 +76,15 @@ _DEFAULT_APPS: tuple[tuple[str, int], ...] = (
 def run_model_ablation(
     applications: Sequence[tuple[str, int]] = _DEFAULT_APPS,
     nprocs: int = 4,
+    machine: str | Machine = "ipsc860",
 ) -> AblationReport:
     """A1: disable interpreter model components one at a time."""
     report = AblationReport(title="A1: interpreter fidelity ablation")
     for key, size in applications:
         entry = get_entry(key)
         compiled = entry.compile(size, nprocs)
-        machine = ipsc860(nprocs)
-        simulation = simulate(compiled, machine)
+        target = resolve_machine(machine, nprocs)
+        simulation = simulate(compiled, target)
 
         base_options = entry.interpreter_options(size)
         configurations: dict[str, InterpreterOptions] = {
@@ -97,7 +98,7 @@ def run_model_ablation(
             "mask assumed half true": replace(base_options, mask_true_fraction=0.5),
         }
         for label, options in configurations.items():
-            estimate = interpret(compiled, machine, options=options)
+            estimate = interpret(compiled, target, options=options)
             report.points.append(AblationPoint(
                 label=label, application=key, size=size, nprocs=nprocs,
                 estimated_us=estimate.predicted_time_us,
@@ -112,19 +113,20 @@ def run_comm_sensitivity(
     nprocs: int = 8,
     latency_scales: Sequence[float] = (0.5, 1.0, 2.0),
     bandwidth_scales: Sequence[float] = (0.5, 1.0, 2.0),
+    machine: str | Machine = "ipsc860",
 ) -> AblationReport:
     """A2: perturb the interpreter's communication abstraction only."""
     report = AblationReport(title="A2: communication-model sensitivity")
     entry = get_entry(application)
     compiled = entry.compile(size, nprocs)
-    reference_machine = ipsc860(nprocs)
+    reference_machine = resolve_machine(machine, nprocs)
     simulation = simulate(compiled, reference_machine)
 
     for latency_scale in latency_scales:
         for bandwidth_scale in bandwidth_scales:
             perturbed = reference_machine.scaled(
                 latency_scale=latency_scale, bandwidth_scale=bandwidth_scale,
-                name=f"ipsc860-l{latency_scale}-b{bandwidth_scale}",
+                name=f"{reference_machine.name}-l{latency_scale}-b{bandwidth_scale}",
             )
             estimate = interpret(compiled, perturbed,
                                  options=entry.interpreter_options(size))

@@ -16,7 +16,7 @@ from ..interpreter import interpret
 from ..output.report import render_table
 from ..simulator import SimulatorOptions, simulate
 from ..suite import all_entries, get_entry, laplace_grid_shape
-from ..system import ipsc860
+from ..system import Machine, resolve_machine
 
 
 @dataclass
@@ -95,8 +95,9 @@ def measure_application(
     sizes: Sequence[int] | None = None,
     proc_counts: Iterable[int] = (1, 2, 4, 8),
     simulator_options: SimulatorOptions | None = None,
+    machine: str | Machine = "ipsc860",
 ) -> AccuracyRow:
-    """Run the accuracy sweep for one application."""
+    """Run the accuracy sweep for one application on one target machine."""
     entry = get_entry(key)
     sizes = list(sizes if sizes is not None else entry.sizes)
     proc_list = list(proc_counts)
@@ -108,10 +109,10 @@ def measure_application(
             if key.startswith("laplace_"):
                 grid_shape = laplace_grid_shape(key.replace("laplace_", ""), nprocs)
             compiled = entry.compile(size, nprocs, grid_shape)
-            machine = ipsc860(nprocs)
-            estimate = interpret(compiled, machine,
+            target = resolve_machine(machine, nprocs)
+            estimate = interpret(compiled, target,
                                  options=entry.interpreter_options(size))
-            simulation = simulate(compiled, machine, options=simulator_options)
+            simulation = simulate(compiled, target, options=simulator_options)
             points.append(AccuracyPoint(
                 key=key, size=size, nprocs=nprocs,
                 estimated_us=estimate.predicted_time_us,
@@ -138,8 +139,13 @@ def run_accuracy_study(
     proc_counts: Iterable[int] = (1, 2, 4, 8),
     quick: bool = False,
     simulator_options: SimulatorOptions | None = None,
+    machine: str | Machine = "ipsc860",
 ) -> AccuracyReport:
-    """Reproduce Table 2 (optionally on a reduced sweep with ``quick=True``)."""
+    """Reproduce Table 2 (optionally on a reduced sweep with ``quick=True``).
+
+    Passing ``machine="paragon"`` / ``"cluster"`` re-runs the whole table on
+    another registered target, turning it into a cross-machine sweep.
+    """
     entries = all_entries()
     keys = list(keys if keys is not None else entries.keys())
     report = AccuracyReport()
@@ -152,6 +158,6 @@ def run_accuracy_study(
             sizes = entry.sizes[:2]
         report.rows.append(measure_application(
             key, sizes=sizes, proc_counts=proc_counts,
-            simulator_options=simulator_options,
+            simulator_options=simulator_options, machine=machine,
         ))
     return report

@@ -18,7 +18,7 @@ from ..output.profile import phase_profile
 from ..output.report import render_bar_chart, render_table
 from ..simulator import simulate
 from ..suite import get_entry
-from ..system import ipsc860
+from ..system import Machine, resolve_machine
 
 
 @dataclass
@@ -93,13 +93,14 @@ def run_debugging_study(
     size: int = 256,
     nprocs: int = 4,
     application: str = "finance",
+    machine: str | Machine = "ipsc860",
 ) -> DebuggingStudy:
     """Reproduce the Figure 6/7 experiment (Procs = 4; Size = 256 in the paper)."""
     entry = get_entry(application)
     compiled = entry.compile(size, nprocs)
-    machine = ipsc860(nprocs)
-    estimate = interpret(compiled, machine, options=entry.interpreter_options(size))
-    simulation = simulate(compiled, machine)
+    target = resolve_machine(machine, nprocs)
+    estimate = interpret(compiled, target, options=entry.interpreter_options(size))
+    simulation = simulate(compiled, target)
 
     phase_ranges = entry.phase_line_ranges()
     study = DebuggingStudy(application=application, nprocs=nprocs, size=size)

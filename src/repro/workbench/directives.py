@@ -19,7 +19,7 @@ from ..interpreter import interpret
 from ..output.report import render_series_chart, render_table
 from ..simulator import simulate
 from ..suite import get_entry, laplace_grid_shape
-from ..system import ipsc860
+from ..system import Machine, resolve_machine
 
 LAPLACE_VARIANTS = ("block_block", "block_star", "star_block")
 VARIANT_LABELS = {
@@ -159,6 +159,7 @@ def run_laplace_study(
     sizes: Sequence[int] = (16, 64, 128, 192, 256),
     variants: Iterable[str] = LAPLACE_VARIANTS,
     maxiter: int | None = None,
+    machine: str | Machine = "ipsc860",
 ) -> LaplaceStudy:
     """Reproduce Figure 4 (nprocs=4) or Figure 5 (nprocs=8)."""
     study = LaplaceStudy(nprocs=nprocs)
@@ -175,9 +176,9 @@ def run_laplace_study(
                                           grid_shape=grid_shape, params=params)
             else:
                 compiled = entry.compile(size, nprocs, grid_shape)
-            machine = ipsc860(nprocs)
-            estimate = interpret(compiled, machine, options=entry.interpreter_options(size))
-            simulation = simulate(compiled, machine)
+            target = resolve_machine(machine, nprocs)
+            estimate = interpret(compiled, target, options=entry.interpreter_options(size))
+            simulation = simulate(compiled, target)
             study.points.append(LaplacePoint(
                 variant=variant,
                 size=size,
@@ -192,6 +193,8 @@ def run_laplace_study(
 def run_directive_selection(
     sizes: Sequence[int] = (64, 128, 256),
     proc_counts: Iterable[int] = (4, 8),
+    machine: str | Machine = "ipsc860",
 ) -> dict[int, LaplaceStudy]:
     """The full §5.2.1 experiment: one study per system size."""
-    return {p: run_laplace_study(nprocs=p, sizes=sizes) for p in proc_counts}
+    return {p: run_laplace_study(nprocs=p, sizes=sizes, machine=machine)
+            for p in proc_counts}

@@ -22,7 +22,7 @@ from ..interpreter import interpret
 from ..output.report import render_bar_chart, render_table
 from ..simulator import simulate
 from ..suite import get_entry, laplace_grid_shape
-from ..system import ExperimentationCostModel, ipsc860
+from ..system import ExperimentationCostModel, Machine, resolve_machine
 from .directives import LAPLACE_VARIANTS, VARIANT_LABELS
 
 
@@ -91,6 +91,7 @@ def run_usability_study(
     runs_per_configuration: int = 3,
     variants: Sequence[str] = LAPLACE_VARIANTS,
     include_queue_wait: bool = True,
+    machine: str | Machine = "ipsc860",
 ) -> UsabilityStudy:
     """Reproduce Figure 8.
 
@@ -104,15 +105,15 @@ def run_usability_study(
     for variant in variants:
         entry = get_entry(f"laplace_{variant}")
         grid_shape = laplace_grid_shape(variant, nprocs)
-        machine = ipsc860(nprocs)
+        target = resolve_machine(machine, nprocs)
 
         interpret_wall = 0.0
         simulated_run_times = []
         for size in sizes:
             compiled = entry.compile(size, nprocs, grid_shape)
-            result = interpret(compiled, machine, options=entry.interpreter_options(size))
+            result = interpret(compiled, target, options=entry.interpreter_options(size))
             interpret_wall += result.wall_clock_seconds
-            simulation = simulate(compiled, machine)
+            simulation = simulate(compiled, target)
             simulated_run_times.append(simulation.measured_time_s)
 
         configurations = len(sizes)

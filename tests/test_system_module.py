@@ -156,6 +156,65 @@ class TestCommModels:
         assert large > small
 
 
+class TestCommModelDegenerateInputs:
+    """Satellite guards: zero-byte and single-node collectives cost nothing,
+    negative sizes and hop counts are clamped instead of corrupting costs."""
+
+    COMM = CommunicationComponent()
+
+    @pytest.mark.parametrize("func", [broadcast_time, allreduce_time, allgather_time,
+                                      gather_time, unstructured_gather_time])
+    def test_single_node_collectives_cost_zero(self, func):
+        assert func(self.COMM, 4096, 1) == 0.0
+        assert func(self.COMM, 4096, 0) == 0.0
+        assert func(self.COMM, 4096, -3) == 0.0
+
+    @pytest.mark.parametrize("func", [broadcast_time, allreduce_time, allgather_time,
+                                      gather_time, unstructured_gather_time])
+    def test_zero_byte_collectives_cost_zero(self, func):
+        assert func(self.COMM, 0, 8) == 0.0
+        assert func(self.COMM, -128, 8) == 0.0
+
+    def test_reduce_time_guards(self):
+        from repro.system import reduce_time
+        assert reduce_time(self.COMM, 0, 8) == 0.0
+        assert reduce_time(self.COMM, 8, 1) == 0.0
+
+    def test_barrier_single_node_is_free(self):
+        assert barrier_time(self.COMM, 1) == 0.0
+        assert barrier_time(self.COMM, 0) == 0.0
+
+    def test_negative_hops_clamped(self):
+        assert p2p_time(self.COMM, 256, hops=-4) == p2p_time(self.COMM, 256, hops=1)
+        assert shift_exchange_time(self.COMM, 256, hops=-1) == \
+            shift_exchange_time(self.COMM, 256, hops=1)
+
+    def test_negative_bytes_clamped(self):
+        assert p2p_time(self.COMM, -512) == p2p_time(self.COMM, 0)
+        assert message_packets(self.COMM, -1) == 1
+
+    def test_topology_aware_costs_match_legacy_on_hypercube(self):
+        """Passing the hypercube topology must reproduce the original model."""
+        from repro.system import HypercubeTopology
+        for p in (2, 4, 8):
+            topo = HypercubeTopology(p)
+            assert broadcast_time(self.COMM, 512, p, topology=topo) == \
+                pytest.approx(broadcast_time(self.COMM, 512, p))
+            assert allreduce_time(self.COMM, 8, p, topology=topo) == \
+                pytest.approx(allreduce_time(self.COMM, 8, p))
+            assert allgather_time(self.COMM, 256, p, topology=topo) == \
+                pytest.approx(allgather_time(self.COMM, 256, p))
+
+    def test_mesh_and_switch_collectives_cost_more_per_stage_distance(self):
+        """Multi-hop stages surface in the topology-aware collective costs."""
+        from repro.system import MeshTopology, SwitchedTopology
+        flat = broadcast_time(self.COMM, 512, 8)
+        mesh = broadcast_time(self.COMM, 512, 8, topology=MeshTopology(2, 4))
+        switch = broadcast_time(self.COMM, 512, 8, topology=SwitchedTopology(8))
+        assert mesh >= flat        # one two-hop row stage on the 2x4 mesh
+        assert switch > flat       # every stage crosses the switch (2 hops)
+
+
 class TestIntrinsicCosts:
     PROC = ProcessingComponent()
     COMM = CommunicationComponent()
