@@ -1,0 +1,105 @@
+"""CI campaign smoke: a small design-space sweep with a persistent store.
+
+Runs one predict-mode campaign (2 Laplace distributions x 3 sizes x
+3 system sizes x 2 machines), asserts the subsystem end to end — non-empty
+store, rendering best-config table, 100% store hits on an immediate re-run —
+and persists the store under ``benchmarks/results/`` so the *next* revision
+can compare against this one.  When a previous store is present, every
+freshly evaluated point is diffed against it and drift is reported (and
+tolerated: a deliberate model change is supposed to move the numbers; the
+diff is the record that it did).
+
+Usage:  PYTHONPATH=src python scripts/campaign_smoke.py [store-path]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.explore import (  # noqa: E402
+    ResultStore,
+    ScenarioSpace,
+    best_config_table,
+    run_campaign,
+)
+from repro.output.report import render_table  # noqa: E402
+
+DEFAULT_STORE = os.path.join(os.path.dirname(__file__), "..",
+                             "benchmarks", "results", "smoke_campaign.jsonl")
+
+SMOKE_SPACE = ScenarioSpace(
+    apps=("laplace_block_star", "laplace_star_block"),
+    sizes=(16, 32, 64),
+    proc_counts=(2, 4, 8),
+    machines=("ipsc860", "torus-cluster"),
+)
+
+DRIFT_TOLERANCE_PCT = 0.01      # predictions are analytic: exact in practice
+
+
+def main() -> int:
+    store_path = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(DEFAULT_STORE)
+    had_previous = os.path.exists(store_path)
+    previous = {r.key: r for r in ResultStore(store_path)} if had_previous else {}
+
+    # evaluate fresh (no store) so a previous run can be compared against
+    fresh = run_campaign(SMOKE_SPACE, name="ci-smoke", mode="predict")
+    expected = len(SMOKE_SPACE.expand())
+    assert len(fresh.results) == expected, \
+        f"smoke campaign produced {len(fresh.results)} of {expected} points"
+
+    drifted = []
+    for result in fresh.results:
+        prior = previous.get(result.key)
+        if prior is None or prior.estimated_us in (None, 0):
+            continue
+        delta_pct = abs(result.estimated_us - prior.estimated_us) \
+            / prior.estimated_us * 100.0
+        if delta_pct > DRIFT_TOLERANCE_PCT:
+            drifted.append((result, prior, delta_pct))
+
+    # persist; only drifted records are superseded so an unchanged model
+    # leaves the committed store byte-identical
+    drifted_keys = {r.key for r, _, _ in drifted}
+    store = ResultStore(store_path)
+    for result in fresh.results:
+        store.add(result, replace=result.key in drifted_keys)
+    assert len(store) > 0, "smoke store is empty"
+
+    table = best_config_table(fresh.results,
+                              title="CI smoke: best configuration per scenario")
+    assert table.strip(), "best-config table did not render"
+    print(table)
+    print()
+
+    if had_previous:
+        if drifted:
+            rows = [[r.point.label(), f"{prior.estimated_us:.1f}",
+                     f"{r.estimated_us:.1f}", f"{delta:.3f}%"]
+                    for r, prior, delta in drifted]
+            print(render_table(
+                ["scenario", "previous (us)", "current (us)", "drift"],
+                rows, title="prediction drift vs previous run"))
+        else:
+            compared = sum(1 for r in fresh.results if r.key in previous)
+            print(f"no prediction drift vs previous run "
+                  f"({compared}/{len(fresh.results)} points compared)")
+    else:
+        print(f"no previous store at {store_path}; baseline written")
+    print()
+
+    # resume check: a re-run must be served entirely from the store
+    rerun = run_campaign(SMOKE_SPACE, name="ci-smoke-rerun", mode="predict",
+                         store=ResultStore(store_path))
+    assert rerun.evaluated == 0 and rerun.store_hits == len(fresh.results), \
+        f"re-run evaluated {rerun.evaluated} points instead of hitting the store"
+    print(f"store: {len(store)} records at {store_path}; "
+          f"re-run hit the store for all {rerun.store_hits} points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

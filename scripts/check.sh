@@ -20,4 +20,7 @@ python -m pytest benchmarks -x -q -k "fig2 or fig3"
 echo "== example smoke: cross-machine sweep"
 python examples/machine_comparison.py > /dev/null
 
+echo "== campaign smoke: design-space sweep + persistent store"
+python scripts/campaign_smoke.py
+
 echo "check.sh: all green"

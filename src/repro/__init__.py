@@ -72,6 +72,7 @@ from .system import (
     SwitchedTopology,
     Topology,
     TopologyError,
+    TorusTopology,
     cluster,
     get_machine,
     ipsc860,
@@ -80,6 +81,7 @@ from .system import (
     paragon,
     register_machine,
     resolve_machine,
+    torus_cluster,
 )
 
 # application module -------------------------------------------------------------------
@@ -110,6 +112,18 @@ from .output import (
 
 # benchmark suite ---------------------------------------------------------------------------
 from .suite import all_entries, compile_entry, get_entry
+
+# design-space exploration ------------------------------------------------------------------
+from .explore import (
+    Campaign,
+    CampaignRun,
+    ResultStore,
+    ScenarioPoint,
+    ScenarioResult,
+    ScenarioSpace,
+    campaign_report,
+    run_campaign,
+)
 
 
 def predict(
@@ -185,10 +199,12 @@ __all__ = [
     "HypercubeTopology",
     "MeshTopology",
     "SwitchedTopology",
+    "TorusTopology",
     "make_topology",
     "ipsc860",
     "paragon",
     "cluster",
+    "torus_cluster",
     "get_machine",
     "register_machine",
     "machine_names",
@@ -224,6 +240,15 @@ __all__ = [
     "all_entries",
     "compile_entry",
     "get_entry",
+    # design-space exploration
+    "Campaign",
+    "CampaignRun",
+    "ResultStore",
+    "ScenarioPoint",
+    "ScenarioResult",
+    "ScenarioSpace",
+    "campaign_report",
+    "run_campaign",
     # convenience
     "predict",
     "measure",

@@ -1,0 +1,86 @@
+"""Design-space exploration: declarative campaigns over the predictor.
+
+The paper's interpretive framework exists so that HPF application design —
+directives, problem size, system size, target machine — can be *tuned
+without running the program* (§1; §5.2's directive-selection study is the
+canonical example).  This subsystem turns that workflow into an engine:
+
+* :mod:`~repro.explore.space`    — declarative :class:`ScenarioSpace`
+  (machine × topology shape × directives × problem size × nprocs) expanding
+  to validity-filtered :class:`ScenarioPoint` s,
+* :mod:`~repro.explore.campaign` — :func:`run_campaign`: parallel, memoised
+  evaluation with exhaustive, random-sampling and hill-climbing strategies,
+* :mod:`~repro.explore.store`    — the persistent, schema-versioned,
+  content-addressed :class:`ResultStore` (JSONL) that lets campaigns resume
+  and results accumulate across revisions,
+* :mod:`~repro.explore.report`   — best-config tables, Pareto frontiers and
+  error-band summaries rendered through the Output Module.
+
+>>> from repro.explore import ScenarioSpace, ResultStore, run_campaign
+>>> space = ScenarioSpace(apps=("laplace_block_star",), sizes=(64, 128),
+...                       proc_counts=(2, 4, 8), machines=("ipsc860", "paragon"))
+>>> run = run_campaign(space, store=ResultStore("results.jsonl"))
+>>> print(run.best().point.label())
+"""
+
+from .campaign import (
+    EXECUTORS,
+    MODES,
+    STRATEGIES,
+    Campaign,
+    CampaignRun,
+    evaluate_point,
+    resolve_campaign_machine,
+    run_campaign,
+)
+from .report import (
+    best_config_table,
+    campaign_report,
+    error_table,
+    pareto_frontier,
+    pareto_table,
+)
+from .space import (
+    ProgramSpec,
+    ScenarioError,
+    ScenarioPoint,
+    ScenarioSpace,
+    laplace_design_space,
+)
+from .store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    ScenarioResult,
+    StoreError,
+    StoreSchemaError,
+    program_sha,
+    scenario_key,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "MODES",
+    "STRATEGIES",
+    "Campaign",
+    "CampaignRun",
+    "evaluate_point",
+    "resolve_campaign_machine",
+    "run_campaign",
+    "best_config_table",
+    "campaign_report",
+    "error_table",
+    "pareto_frontier",
+    "pareto_table",
+    "ProgramSpec",
+    "ScenarioError",
+    "ScenarioPoint",
+    "ScenarioSpace",
+    "laplace_design_space",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "ScenarioResult",
+    "StoreError",
+    "StoreSchemaError",
+    "program_sha",
+    "scenario_key",
+]

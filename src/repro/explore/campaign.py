@@ -1,0 +1,341 @@
+"""Campaign runner: evaluate a scenario space through the predictor.
+
+A campaign is the executable form of the paper's design-tuning workflow: take
+a declarative :class:`~repro.explore.space.ScenarioSpace`, evaluate each
+point through ``repro.predict`` (the interpretation parse) and/or
+``repro.measure`` (the execution simulator), and collect the results for
+ranking and reporting.  Three search strategies are provided, in the spirit
+of ArchGym's exploration harnesses around fast cost models:
+
+* ``grid``      — exhaustive sweep of every valid point,
+* ``random``    — seeded uniform sampling of the space (``samples`` points),
+* ``hillclimb`` — greedy local search: start somewhere, evaluate all
+  one-axis neighbours, move to the best improvement, stop at a local
+  optimum; the visited trajectory is recorded ArchGym-style.
+
+Points are evaluated **in parallel** through :mod:`concurrent.futures` and
+**memoised** twice: within a run (duplicate points are evaluated once) and
+across runs through the optional persistent
+:class:`~repro.explore.store.ResultStore` — a re-run of a finished campaign
+touches the store only.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from random import Random
+from typing import Callable, Sequence
+
+from ..compiler import compile_source
+from ..interpreter import interpret
+from ..simulator import SimulatorOptions, simulate
+from ..suite import get_entry
+from ..system import Machine, get_machine, resolve_machine
+from .space import ProgramSpec, ScenarioError, ScenarioPoint, ScenarioSpace
+from .store import ResultStore, ScenarioResult
+
+STRATEGIES = ("grid", "random", "hillclimb")
+MODES = ("predict", "measure", "both")
+EXECUTORS = ("thread", "process", "serial")
+
+#: ``(point) -> Machine`` override used by workbench presets that receive a
+#: pre-built Machine instance instead of a registry name.
+MachineResolver = Callable[[ScenarioPoint], Machine]
+
+
+def resolve_campaign_machine(
+    machine: Machine | str,
+) -> tuple[str, MachineResolver | None]:
+    """Campaign-facing (machine name, resolver) for a name or an instance.
+
+    Registry names need no resolver; a pre-built :class:`Machine` rides along
+    as a resolver closure and contributes its ``name`` to scenario hashing.
+    """
+    if isinstance(machine, str):
+        return machine, None
+    return machine.name, lambda point: resolve_machine(machine, point.nprocs)
+
+
+@lru_cache(maxsize=256)
+def _compile_cached(source: str, name: str, nprocs: int,
+                    grid_shape: tuple[int, ...] | None,
+                    params_items: tuple[tuple[str, float], ...]):
+    """Compilation depends on everything but the machine, so cross-machine
+    sweeps reuse one compile per (program, size, nprocs, layout) cell."""
+    return compile_source(source, name=name, nprocs=nprocs,
+                          grid_shape=grid_shape, params=dict(params_items))
+
+
+def evaluate_point(
+    point: ScenarioPoint,
+    mode: str = "predict",
+    program: ProgramSpec | None = None,
+    machine_resolver: MachineResolver | None = None,
+    simulator_options: SimulatorOptions | None = None,
+) -> ScenarioResult:
+    """Compile and evaluate one scenario point (the campaign worker).
+
+    Top-level and closure-free in its default configuration, so it can run
+    under a :class:`~concurrent.futures.ProcessPoolExecutor` as well as the
+    default thread pool.
+    """
+    if mode not in MODES:
+        raise ScenarioError(f"unknown campaign mode {mode!r}; known: {MODES}")
+    if program is not None:
+        source, name = program.source, program.key
+        params = program.params_for(point.size)
+        options = None
+    else:
+        entry = get_entry(point.app)
+        source, name = entry.source, entry.key
+        params = entry.params_for(point.size)
+        options = entry.interpreter_options(point.size)
+    params.update({k: v for k, v in point.params})
+
+    compiled = _compile_cached(source, name, point.nprocs, point.grid_shape,
+                               tuple(sorted(params.items())))
+    if machine_resolver is not None:
+        machine = machine_resolver(point)
+    else:
+        machine = get_machine(point.machine, point.nprocs,
+                              topology_shape=point.topology_shape)
+
+    estimated = measured = None
+    comp = comm = ovhd = 0.0
+    if mode in ("predict", "both"):
+        estimate = interpret(compiled, machine, options=options)
+        estimated = estimate.predicted_time_us
+        comp = estimate.total.computation
+        comm = estimate.total.communication
+        ovhd = estimate.total.overhead
+    if mode in ("measure", "both"):
+        measured = simulate(compiled, machine,
+                            options=simulator_options).measured_time_us
+
+    return ScenarioResult(
+        point=point, mode=mode,
+        estimated_us=estimated, measured_us=measured,
+        comp_us=comp, comm_us=comm, ovhd_us=ovhd,
+        grid_shape=tuple(compiled.mapping.grid.shape),
+        program_source=program.source if program is not None else None,
+    )
+
+
+@dataclass
+class CampaignRun:
+    """Everything one campaign execution produced."""
+
+    name: str
+    space: ScenarioSpace
+    mode: str
+    strategy: str
+    results: list[ScenarioResult] = field(default_factory=list)
+    rejected: list[tuple[ScenarioPoint, str]] = field(default_factory=list)
+    store_hits: int = 0
+    evaluated: int = 0
+    trajectory: list[ScenarioResult] = field(default_factory=list)   # hillclimb
+
+    @property
+    def points(self) -> list[ScenarioPoint]:
+        return [r.point for r in self.results]
+
+    def best(self, objective: Callable[[ScenarioResult], float] | None = None,
+             ) -> ScenarioResult:
+        if not self.results:
+            raise ScenarioError(f"campaign {self.name!r} produced no results")
+        key = objective if objective is not None else (lambda r: r.objective_us)
+        return min(self.results, key=key)
+
+    def result_for(self, point: ScenarioPoint) -> ScenarioResult:
+        for result in self.results:
+            if result.point == point:
+                return result
+        raise KeyError(point)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, declarative sweep: space + evaluation mode + search strategy.
+
+    The workbench studies are thin presets over Campaigns; user code builds
+    its own and calls :meth:`run`.
+    """
+
+    name: str
+    space: ScenarioSpace
+    mode: str = "predict"
+    strategy: str = "grid"
+    samples: int | None = None            # random strategy
+    max_steps: int = 32                   # hillclimb strategy
+    seed: int = 0
+
+    def run(self, store: ResultStore | None = None, **kwargs) -> CampaignRun:
+        return run_campaign(self.space, name=self.name, mode=self.mode,
+                            strategy=self.strategy, samples=self.samples,
+                            max_steps=self.max_steps, seed=self.seed,
+                            store=store, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# evaluation with memoisation + parallelism
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_points(
+    points: Sequence[ScenarioPoint],
+    *,
+    mode: str,
+    space: ScenarioSpace,
+    store: ResultStore | None,
+    machine_resolver: MachineResolver | None,
+    simulator_options: SimulatorOptions | None,
+    max_workers: int | None,
+    executor: str,
+    memo: dict[ScenarioPoint, ScenarioResult],
+) -> tuple[list[ScenarioResult], int, int]:
+    """Evaluate *points* (deduplicated, store-memoised, in parallel).
+
+    Returns (results in input order, persistent-store hits, fresh
+    evaluations).  In-run memo revisits (duplicate points, hill-climb
+    re-encounters) are free dedup and count as neither.
+    """
+    unique: list[ScenarioPoint] = []
+    seen: set[ScenarioPoint] = set()
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            unique.append(point)
+
+    hits = 0
+    todo: list[ScenarioPoint] = []
+    for point in unique:
+        if point in memo:
+            continue
+        program = space.program_for(point.app)
+        cached = store.get_point(point, mode,
+                                 program.source if program else None) \
+            if store is not None else None
+        if cached is not None:
+            memo[point] = cached
+            hits += 1
+        else:
+            todo.append(point)
+
+    if todo:
+        def job(point: ScenarioPoint) -> ScenarioResult:
+            return evaluate_point(point, mode=mode,
+                                  program=space.program_for(point.app),
+                                  machine_resolver=machine_resolver,
+                                  simulator_options=simulator_options)
+
+        if executor == "serial" or len(todo) == 1:
+            fresh = [job(point) for point in todo]
+        elif executor == "process":
+            # the worker must be closure-free to pickle
+            if machine_resolver is not None:
+                raise ScenarioError(
+                    "executor='process' cannot ship a machine_resolver "
+                    "closure; use the default thread executor")
+            args = [(point, mode, space.program_for(point.app), None,
+                     simulator_options) for point in todo]
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                fresh = list(pool.map(_evaluate_star, args))
+        else:
+            workers = max_workers or min(8, len(todo))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(job, todo))
+        for point, result in zip(todo, fresh):
+            memo[point] = result
+            if store is not None:
+                store.add(result)
+
+    return [memo[point] for point in points], hits, len(todo)
+
+
+def _evaluate_star(args) -> ScenarioResult:
+    return evaluate_point(*args)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(
+    space: ScenarioSpace,
+    *,
+    name: str = "campaign",
+    mode: str = "predict",
+    strategy: str = "grid",
+    store: ResultStore | None = None,
+    samples: int | None = None,
+    max_steps: int = 32,
+    seed: int = 0,
+    where: Callable[[ScenarioPoint], bool] | None = None,
+    objective: Callable[[ScenarioResult], float] | None = None,
+    machine_resolver: MachineResolver | None = None,
+    simulator_options: SimulatorOptions | None = None,
+    max_workers: int | None = None,
+    executor: str = "thread",
+) -> CampaignRun:
+    """Evaluate *space* under one search strategy; the subsystem's front door.
+
+    ``store`` enables cross-run memoisation and persistence; ``executor`` is
+    ``"thread"`` (default), ``"process"`` or ``"serial"``.
+    """
+    if strategy not in STRATEGIES:
+        raise ScenarioError(
+            f"unknown campaign strategy {strategy!r}; known: {STRATEGIES}")
+    if mode not in MODES:
+        raise ScenarioError(f"unknown campaign mode {mode!r}; known: {MODES}")
+    if executor not in EXECUTORS:
+        raise ScenarioError(
+            f"unknown campaign executor {executor!r}; known: {EXECUTORS}")
+
+    points, rejected = space.expand_with_rejects(where)
+    run = CampaignRun(name=name, space=space, mode=mode, strategy=strategy,
+                      rejected=rejected)
+    if not points:
+        return run
+
+    memo: dict[ScenarioPoint, ScenarioResult] = {}
+    evaluate = lambda batch: _evaluate_points(  # noqa: E731
+        batch, mode=mode, space=space, store=store,
+        machine_resolver=machine_resolver, simulator_options=simulator_options,
+        max_workers=max_workers, executor=executor, memo=memo)
+    score = objective if objective is not None else (lambda r: r.objective_us)
+
+    if strategy == "grid":
+        run.results, run.store_hits, run.evaluated = evaluate(points)
+        return run
+
+    rng = Random(seed)
+    if strategy == "random":
+        count = min(samples if samples is not None else max(len(points) // 2, 1),
+                    len(points))
+        chosen = rng.sample(points, count)
+        run.results, run.store_hits, run.evaluated = evaluate(chosen)
+        return run
+
+    # greedy hill-climb over the one-axis neighbour graph
+    current = rng.choice(points)
+    [current_result], hits, fresh = evaluate([current])
+    run.store_hits += hits
+    run.evaluated += fresh
+    run.trajectory.append(current_result)
+    for _ in range(max_steps):
+        neighbours = space.neighbors(current, points)
+        if not neighbours:
+            break
+        results, hits, fresh = evaluate(neighbours)
+        run.store_hits += hits
+        run.evaluated += fresh
+        best = min(results, key=score)
+        if score(best) >= score(current_result):
+            break                                   # local optimum
+        current, current_result = best.point, best
+        run.trajectory.append(current_result)
+    run.results = list(memo.values())
+    return run

@@ -1,0 +1,162 @@
+"""Reporting over campaign results: best configs, Pareto fronts, error bands.
+
+Renders through the Output Module's plain-text tables
+(:mod:`repro.output.report`), so campaign reports look like the rest of the
+workbench's paper-style tables.  Three views cover the design-tuning
+questions of §5.2:
+
+* :func:`best_config_table` — for each (application, problem size), which
+  (machine, nprocs, layout) the campaign ranks best, and by how much,
+* :func:`pareto_table` / :func:`pareto_frontier` — the time-vs-processors
+  trade-off: configurations not dominated in both cost and parallelism,
+* :func:`error_table` — estimated-vs-simulated error bands per application,
+  the campaign-level restatement of Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Sequence
+
+from ..output.report import format_us, render_table
+from .campaign import CampaignRun
+from .store import ScenarioResult
+
+Objective = Callable[[ScenarioResult], float]
+
+
+def _score(objective: Objective | None) -> Objective:
+    return objective if objective is not None else (lambda r: r.objective_us)
+
+
+def _config_label(result: ScenarioResult) -> str:
+    point = result.point
+    label = f"{point.machine} p={point.nprocs}"
+    if point.topology_shape:
+        label += " " + "x".join(str(d) for d in point.topology_shape)
+    return label
+
+
+def best_config_table(
+    results: Iterable[ScenarioResult],
+    objective: Objective | None = None,
+    title: str = "Best configuration per (application, problem size)",
+) -> str:
+    """One row per (app, size): the winning configuration and its margin."""
+    score = _score(objective)
+    groups: dict[tuple[str, int], list[ScenarioResult]] = defaultdict(list)
+    for result in results:
+        groups[(result.point.app, result.point.size)].append(result)
+
+    rows = []
+    for (app, size), members in sorted(groups.items()):
+        ranked = sorted(members, key=score)
+        best = ranked[0]
+        margin = ""
+        if len(ranked) > 1 and score(best) > 0:
+            margin = f"{(score(ranked[1]) / score(best) - 1.0) * 100.0:.0f}%"
+        rows.append([
+            app, size, _config_label(best),
+            format_us(score(best)),
+            margin or "-",
+            len(members),
+        ])
+    return render_table(
+        ["application", "size", "best config", "time", "runner-up gap", "configs"],
+        rows, title=title)
+
+
+def pareto_frontier(
+    results: Iterable[ScenarioResult],
+    objective: Objective | None = None,
+) -> list[ScenarioResult]:
+    """Configurations not dominated in (nprocs, time).
+
+    A point is dominated when another uses no more processors *and* is no
+    slower (with at least one strict improvement) — the classic time-vs-
+    resources frontier of a scaling study.
+    """
+    score = _score(objective)
+    pool = [r for r in results if score(r) == score(r)]   # drop NaNs
+    frontier = []
+    for candidate in pool:
+        dominated = False
+        for other in pool:
+            if other is candidate:
+                continue
+            no_worse = (other.point.nprocs <= candidate.point.nprocs
+                        and score(other) <= score(candidate))
+            better = (other.point.nprocs < candidate.point.nprocs
+                      or score(other) < score(candidate))
+            if no_worse and better:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda r: (r.point.nprocs, score(r)))
+
+
+def pareto_table(
+    results: Iterable[ScenarioResult],
+    objective: Objective | None = None,
+    title: str = "Pareto frontier: execution time vs processors",
+) -> str:
+    score = _score(objective)
+    rows = []
+    for result in pareto_frontier(results, objective):
+        point = result.point
+        rows.append([
+            point.app, point.size, point.nprocs, _config_label(result),
+            format_us(score(result)),
+        ])
+    if not rows:
+        return title + "\n(no undominated points)"
+    return render_table(["application", "size", "p", "config", "time"],
+                        rows, title=title)
+
+
+def error_table(
+    results: Iterable[ScenarioResult],
+    title: str = "Estimated vs simulated: absolute error per application",
+) -> str:
+    """Min/mean/max |estimate - measurement| bands, Table 2 style."""
+    groups: dict[str, list[float]] = defaultdict(list)
+    for result in results:
+        error = result.abs_error_pct
+        if error == error:                # skip NaN (predict-only results)
+            groups[result.point.app].append(error)
+    rows = []
+    for app, errors in sorted(groups.items()):
+        rows.append([
+            app, len(errors),
+            f"{min(errors):.2f}%",
+            f"{sum(errors) / len(errors):.2f}%",
+            f"{max(errors):.1f}%",
+        ])
+    if not rows:
+        return title + "\n(no simulated points)"
+    return render_table(["application", "points", "min err", "mean err", "max err"],
+                        rows, title=title)
+
+
+def campaign_report(run: CampaignRun, objective: Objective | None = None) -> str:
+    """The composite text report of one campaign run."""
+    head = (f"Campaign {run.name!r}: strategy={run.strategy} mode={run.mode} "
+            f"results={len(run.results)} evaluated={run.evaluated} "
+            f"store-hits={run.store_hits} rejected={len(run.rejected)}")
+    sections = [head, best_config_table(run.results, objective),
+                pareto_table(run.results, objective)]
+    errors = error_table(run.results)
+    if "(no simulated points)" not in errors:
+        sections.append(errors)
+    if run.trajectory:
+        steps = " -> ".join(
+            f"{r.point.label()} [{format_us(_score(objective)(r))}]"
+            for r in run.trajectory)
+        sections.append("hill-climb trajectory: " + steps)
+    if run.rejected:
+        shown = ", ".join(f"{p.label()} ({reason})"
+                          for p, reason in run.rejected[:4])
+        more = "" if len(run.rejected) <= 4 else f" … +{len(run.rejected) - 4} more"
+        sections.append("rejected points: " + shown + more)
+    return "\n\n".join(sections)

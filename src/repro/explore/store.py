@@ -1,0 +1,267 @@
+"""Persistent, append-only result store for exploration campaigns.
+
+Campaigns over the interpretive predictor are cheap but not free, and their
+whole value is *comparison* — across directives, machines, problem sizes, and
+(because the store file lives in the repository) across revisions of the
+framework itself.  The :class:`ResultStore` is a JSONL file:
+
+* **schema-versioned** — the first line is a header record naming the format
+  and schema version; opening a file with an incompatible schema raises
+  :class:`StoreSchemaError` instead of silently misreading it,
+* **append-only** — every evaluated point is appended as one self-contained
+  JSON record; an interrupted campaign leaves at most one torn trailing line,
+  which loading tolerates, so campaigns resume where they stopped,
+* **content-addressed** — records are keyed by a SHA-256 hash of the
+  canonical scenario (plus evaluation mode and, for ad-hoc programs, the
+  source text), so the same scenario always maps to the same key, across
+  processes and across PRs, and a re-run hits the store instead of
+  re-evaluating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..frontend.errors import ReproError
+from .space import ScenarioPoint
+
+#: Bump when the record layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+STORE_FORMAT = "repro-result-store"
+
+
+class StoreError(ReproError):
+    """Raised for unreadable or inconsistent result-store files."""
+
+
+class StoreSchemaError(StoreError):
+    """Raised when a store file's schema version is not supported."""
+
+
+def program_sha(source: str) -> str:
+    """Short content hash of an ad-hoc program's HPF source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def scenario_key(scenario: Mapping, mode: str, program_source: str | None = None,
+                 *, source_sha: str | None = None) -> str:
+    """Stable content hash of one (scenario, evaluation mode) pair.
+
+    ``program_source`` is the HPF text of an ad-hoc (non-suite) program
+    (``source_sha`` passes its precomputed hash instead, e.g. when reloading
+    a store record); suite applications are identified by their registry key
+    alone so results persist across framework revisions.
+    """
+    payload: dict = {"mode": mode, "scenario": dict(scenario)}
+    if program_source is not None:
+        source_sha = program_sha(program_source)
+    if source_sha is not None:
+        payload["program_sha"] = source_sha
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """The evaluation of one scenario point.
+
+    ``estimated_us`` comes from the interpretation parse (Phase 2),
+    ``measured_us`` from the execution simulator; either may be absent
+    depending on the campaign mode.  The computation/communication/overhead
+    split of the estimate is kept so reports can explain *why* a
+    configuration wins, not only that it does.
+    """
+
+    point: ScenarioPoint
+    mode: str
+    estimated_us: float | None = None
+    measured_us: float | None = None
+    comp_us: float = 0.0
+    comm_us: float = 0.0
+    ovhd_us: float = 0.0
+    grid_shape: tuple[int, ...] = ()
+    program_source: str | None = None     # ad-hoc programs only
+    source_sha: str | None = None         # persisted stand-in for the source
+
+    @property
+    def key(self) -> str:
+        sha = self.source_sha
+        if sha is None and self.program_source is not None:
+            sha = program_sha(self.program_source)
+        return scenario_key(self.point.scenario_dict(), self.mode,
+                            source_sha=sha)
+
+    @property
+    def objective_us(self) -> float:
+        """The quantity campaigns minimise: measured when present, else estimated."""
+        if self.measured_us is not None:
+            return self.measured_us
+        if self.estimated_us is not None:
+            return self.estimated_us
+        return float("nan")
+
+    @property
+    def abs_error_pct(self) -> float:
+        if self.measured_us is None or self.estimated_us is None or self.measured_us <= 0:
+            return float("nan")
+        return abs(self.estimated_us - self.measured_us) / self.measured_us * 100.0
+
+    def to_record(self) -> dict:
+        sha = self.source_sha
+        if sha is None and self.program_source is not None:
+            sha = program_sha(self.program_source)
+        return {
+            "key": self.key,
+            "mode": self.mode,
+            "scenario": self.point.scenario_dict(),
+            "program_sha": sha,
+            "result": {
+                "estimated_us": self.estimated_us,
+                "measured_us": self.measured_us,
+                "comp_us": self.comp_us,
+                "comm_us": self.comm_us,
+                "ovhd_us": self.ovhd_us,
+                "grid_shape": list(self.grid_shape),
+            },
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "ScenarioResult":
+        result = record.get("result", {})
+        return cls(
+            point=ScenarioPoint.from_scenario_dict(record["scenario"]),
+            mode=str(record.get("mode", "predict")),
+            estimated_us=result.get("estimated_us"),
+            measured_us=result.get("measured_us"),
+            comp_us=float(result.get("comp_us", 0.0)),
+            comm_us=float(result.get("comm_us", 0.0)),
+            ovhd_us=float(result.get("ovhd_us", 0.0)),
+            grid_shape=tuple(result.get("grid_shape", ())),
+            source_sha=record.get("program_sha"),
+        )
+
+
+class ResultStore:
+    """JSONL-backed store of :class:`ScenarioResult` records, keyed by content.
+
+    >>> store = ResultStore("results.jsonl")
+    >>> store.add(result)            # appended and indexed
+    >>> store.get_point(point, "predict")   # hit on any later run
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._index: dict[str, ScenarioResult] = {}
+        self._load_or_create()
+
+    # -- loading ------------------------------------------------------------
+
+    def _load_or_create(self) -> None:
+        if not os.path.exists(self.path):
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"format": STORE_FORMAT,
+                                     "schema": STORE_SCHEMA_VERSION}) + "\n")
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            content = fh.read()
+        lines = content.splitlines()
+        if not lines:
+            raise StoreError(f"{self.path}: empty file is not a result store")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{self.path}: unreadable store header: {exc}") from exc
+        if header.get("format") != STORE_FORMAT:
+            raise StoreError(
+                f"{self.path}: not a {STORE_FORMAT} file (format "
+                f"{header.get('format')!r})")
+        if header.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"{self.path}: store schema {header.get('schema')!r} is not "
+                f"supported (this build reads schema {STORE_SCHEMA_VERSION}); "
+                f"move the file aside or migrate it")
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):      # torn final line: interrupted run
+                    self._truncate_torn_tail(content, line)
+                    break
+                raise StoreError(
+                    f"{self.path}:{lineno}: corrupt record mid-file") from None
+            result = ScenarioResult.from_record(record)
+            self._index[str(record.get("key", result.key))] = result
+
+    def _truncate_torn_tail(self, content: str, torn_line: str) -> None:
+        """Cut an interrupted append off the file so later appends stay clean.
+
+        Without the repair, the next ``add`` would concatenate its record onto
+        the torn fragment, producing a corrupt *mid-file* line that poisons
+        every later load.
+        """
+        fragment = torn_line + ("\n" if content.endswith("\n") else "")
+        keep = len(content.encode("utf-8")) - len(fragment.encode("utf-8"))
+        with open(self.path, "r+", encoding="utf-8") as fh:
+            fh.truncate(max(keep, 0))
+
+    # -- writing ------------------------------------------------------------
+
+    def add(self, result: ScenarioResult, replace: bool = False) -> bool:
+        """Append *result*; returns True when a record was written.
+
+        Existing keys are skipped (the store is a memo table) unless
+        ``replace`` is set, in which case a superseding record is appended —
+        load order makes the last record win.
+        """
+        key = result.key
+        if key in self._index and not replace:
+            return False
+        line = json.dumps(result.to_record(), sort_keys=True) + "\n"
+        with open(self.path, "a+b") as fh:
+            # never land on a line that lost its newline (e.g. a final record
+            # whose terminator was cut): two records on one line would read as
+            # a torn tail on the next load and both would be dropped
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write(line.encode("utf-8"))
+            fh.flush()
+        self._index[key] = result
+        return True
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, key: str) -> ScenarioResult | None:
+        return self._index.get(key)
+
+    def get_point(self, point: ScenarioPoint, mode: str,
+                  program_source: str | None = None) -> ScenarioResult | None:
+        return self._index.get(
+            scenario_key(point.scenario_dict(), mode, program_source))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[ScenarioResult]:
+        return iter(self._index.values())
+
+    def keys(self) -> list[str]:
+        return list(self._index)
+
+    def results(self) -> list[ScenarioResult]:
+        return list(self._index.values())

@@ -3,10 +3,11 @@
 The machine is abstracted off-line into a System Abstraction Graph whose nodes
 (System Abstraction Units) export Processing, Memory, Communication/
 Synchronisation and I/O parameters, plus a structural interconnect
-:class:`~repro.system.topology.Topology`.  Three machine targets ship in the
+:class:`~repro.system.topology.Topology`.  Four machine targets ship in the
 registry — the paper's iPSC/860 hypercube (:func:`ipsc860`), a Paragon-class
-2-D mesh (:func:`paragon`) and a switched workstation cluster
-(:func:`cluster`) — and :func:`get_machine` builds any of them by name.
+2-D mesh (:func:`paragon`), a switched workstation cluster (:func:`cluster`)
+and a T3D-class 2-D torus (:func:`torus_cluster`) — and :func:`get_machine`
+builds any of them by name.
 """
 
 from .cluster import SWITCH_COMMUNICATION, build_cluster_sag, cluster
@@ -60,14 +61,18 @@ from .sau import (
     ProcessingComponent,
 )
 from .topology import (
+    SHAPED_KINDS,
     HypercubeTopology,
     MeshTopology,
     SwitchedTopology,
     Topology,
     TopologyError,
+    TorusTopology,
     make_topology,
     near_square_shape,
+    ring_distance,
 )
+from .torus_cluster import TORUS_COMMUNICATION, build_torus_cluster_sag, torus_cluster
 
 __all__ = [
     "allgather_time",
@@ -95,15 +100,18 @@ __all__ = [
     "CUBE_COMMUNICATION",
     "MESH_COMMUNICATION",
     "SWITCH_COMMUNICATION",
+    "TORUS_COMMUNICATION",
     "I860_MEMORY",
     "I860_PROCESSING",
     "Machine",
     "build_ipsc860_sag",
     "build_paragon_sag",
     "build_cluster_sag",
+    "build_torus_cluster_sag",
     "ipsc860",
     "paragon",
     "cluster",
+    "torus_cluster",
     "MachineSpec",
     "get_machine",
     "machine_names",
@@ -120,8 +128,11 @@ __all__ = [
     "HypercubeTopology",
     "MeshTopology",
     "SwitchedTopology",
+    "TorusTopology",
     "Topology",
     "TopologyError",
+    "SHAPED_KINDS",
     "make_topology",
     "near_square_shape",
+    "ring_distance",
 ]

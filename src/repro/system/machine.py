@@ -30,6 +30,10 @@ class Machine:
     num_nodes: int
     noise_seed: int = 0
     topology_kind: str = "hypercube"
+    #: optional (rows, cols) override for shaped interconnects (mesh, torus);
+    #: applied only to partitions the shape exactly tiles — subpartitions fall
+    #: back to the near-square factorisation
+    topology_shape: tuple[int, int] | None = None
     attributes: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -58,7 +62,11 @@ class Machine:
 
     def topology(self, num_nodes: int | None = None) -> Topology:
         """The interconnect topology of a *num_nodes* partition of this machine."""
-        return make_topology(self.topology_kind, num_nodes or self.num_nodes)
+        nodes = num_nodes or self.num_nodes
+        shape = self.topology_shape
+        if shape is not None and shape[0] * shape[1] != nodes:
+            shape = None
+        return make_topology(self.topology_kind, nodes, shape=shape)
 
     def scaled(self, *, flop_scale: float = 1.0, latency_scale: float = 1.0,
                bandwidth_scale: float = 1.0, name: str | None = None) -> "Machine":
@@ -83,4 +91,5 @@ class Machine:
         sag = SAG(root=root, machine_name=name or f"{self.name}-scaled")
         return Machine(name=sag.machine_name, sag=sag, num_nodes=self.num_nodes,
                        noise_seed=self.noise_seed, topology_kind=self.topology_kind,
+                       topology_shape=self.topology_shape,
                        attributes=dict(self.attributes))

@@ -15,8 +15,12 @@ Built-in machines:
   alias ``mesh``.
 * ``cluster`` — switched workstation cluster behind a central crossbar;
   aliases ``delta``, ``switch``.
+* ``torus-cluster`` — T3D-class nodes on a 2-D wraparound torus;
+  aliases ``torus``, ``t3d``.
 
-User code can add its own with :func:`register_machine`.
+User code can add its own with :func:`register_machine`.  Machines on shaped
+interconnects (mesh, torus) additionally accept a ``topology_shape=(rows,
+cols)`` override, the registry-level face of ``make_topology(..., shape=)``.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from .cluster import cluster
 from .ipsc860 import ipsc860
 from .machine import Machine
 from .paragon import paragon
+from .topology import SHAPED_KINDS, TopologyError
+from .torus_cluster import torus_cluster
 
 MachineFactory = Callable[..., Machine]
 
@@ -72,15 +78,34 @@ def machine_specs() -> list[MachineSpec]:
     return [_MACHINES[name] for name in machine_names()]
 
 
-def get_machine(name: str, nprocs: int = 8, noise_seed: int = 0) -> Machine:
-    """Build the registered machine *name* with an *nprocs*-node partition."""
+def get_machine(name: str, nprocs: int = 8, noise_seed: int = 0,
+                topology_shape: tuple[int, int] | None = None) -> Machine:
+    """Build the registered machine *name* with an *nprocs*-node partition.
+
+    ``topology_shape`` pins the (rows, cols) layout of a shaped interconnect
+    (mesh, torus) instead of the near-square default; a shape that does not
+    tile *nprocs* nodes, or a shape on an unshaped interconnect, raises
+    :class:`~repro.system.topology.TopologyError`.
+    """
     key = _ALIASES.get(name.lower().replace("/", "").replace("-", "").replace(" ", ""))
     if key is None:
         key = _ALIASES.get(name.lower())
     if key is None:
         raise KeyError(
             f"unknown machine {name!r}; registered: {machine_names()}")
-    return _MACHINES[key].factory(nprocs, noise_seed)
+    machine = _MACHINES[key].factory(nprocs, noise_seed)
+    if topology_shape is not None:
+        rows, cols = topology_shape
+        if machine.topology_kind not in SHAPED_KINDS:
+            raise TopologyError(
+                f"machine {key!r} has a {machine.topology_kind} interconnect, "
+                f"which does not take a (rows, cols) shape")
+        if rows * cols != nprocs:
+            raise TopologyError(
+                f"{machine.topology_kind} shape {rows}x{cols} does not hold "
+                f"{nprocs} nodes ({rows}*{cols} = {rows * cols})")
+        machine.topology_shape = (rows, cols)
+    return machine
 
 
 def resolve_machine(machine: "Machine | str | None", nprocs: int,
@@ -109,4 +134,9 @@ register_machine(
     "cluster", cluster,
     description="switched workstation cluster behind a central crossbar",
     aliases=("delta", "switch"),
+)
+register_machine(
+    "torus-cluster", torus_cluster,
+    description="T3D-class nodes on a 2-D wraparound torus (shortest-way XY routing)",
+    aliases=("torus", "t3d"),
 )

@@ -10,6 +10,8 @@ how the compute nodes of a partition are wired together — as a small
   with dimension-ordered (e-cube) circuit-switched routing,
 * :class:`MeshTopology`      — a Paragon-style 2-D wormhole mesh with
   deterministic XY (column-then-row) routing,
+* :class:`TorusTopology`     — a 2-D wraparound mesh (T3D-class torus) with
+  XY routing that takes the shorter way around each ring,
 * :class:`SwitchedTopology`  — a Delta/cluster-style crossbar where every
   node pair is a constant number of hops apart through a central switch.
 
@@ -441,6 +443,94 @@ class MeshTopology(BaseTopology):
 
 
 # ---------------------------------------------------------------------------
+# 2-D torus
+# ---------------------------------------------------------------------------
+
+
+def ring_distance(a: int, b: int, size: int) -> int:
+    """Hop distance between positions *a* and *b* on a *size*-node ring."""
+    d = abs(a - b) % size
+    return min(d, size - d)
+
+
+@dataclass(frozen=True)
+class TorusTopology(MeshTopology):
+    """A ``rows`` × ``cols`` 2-D torus: a mesh whose rows and columns wrap.
+
+    Same row-major labelling and deterministic XY order as the mesh, but every
+    row and every column closes into a ring and each leg takes the shorter way
+    around its ring, so all routes are minimal.  Degenerate rings (size 1 or 2)
+    collapse to the mesh links — wrap links that would duplicate a direct link
+    are not doubled.
+    """
+
+    @property
+    def kind(self) -> str:
+        return "torus"
+
+    def neighbors(self, node: int) -> list[int]:
+        row, col = self.coords(node)
+        out: list[int] = []
+        for r, c in ((row, (col - 1) % self.cols), (row, (col + 1) % self.cols),
+                     ((row - 1) % self.rows, col), ((row + 1) % self.rows, col)):
+            other = self.node_at(r, c)
+            if other != node and other not in out:
+                out.append(other)
+        return out
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        return ring_distance(r1, r2, self.rows) + ring_distance(c1, c2, self.cols)
+
+    @staticmethod
+    def _ring_step(pos: int, dpos: int, size: int) -> int:
+        """Signed step (+1/-1) of the shorter way around a *size*-node ring."""
+        forward = (dpos - pos) % size
+        backward = (pos - dpos) % size
+        return 1 if forward <= backward else -1
+
+    def route(self, src: int, dst: int) -> list[Hop]:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        (row, col), (drow, dcol) = self.coords(src), self.coords(dst)
+        route: list[Hop] = []
+        current = src
+        step = self._ring_step(col, dcol, self.cols)
+        while col != dcol:                        # X leg: around the row ring
+            col = (col + step) % self.cols
+            nxt = self.node_at(row, col)
+            route.append((current, nxt))
+            current = nxt
+        step = self._ring_step(row, drow, self.rows)
+        while row != drow:                        # Y leg: around the column ring
+            row = (row + step) % self.rows
+            nxt = self.node_at(row, col)
+            route.append((current, nxt))
+            current = nxt
+        return route
+
+    def diameter(self) -> int:
+        return self.rows // 2 + self.cols // 2
+
+    def average_distance(self) -> float:
+        n = self.num_nodes
+        if n <= 1:
+            return 0.0
+
+        def ring_total(size: int) -> int:
+            return size * sum(min(d, size - d) for d in range(1, size))
+
+        total = (self.cols * self.cols * ring_total(self.rows)
+                 + self.rows * self.rows * ring_total(self.cols))
+        return total / (n * (n - 1))
+
+    def bisection_links(self) -> int:
+        # the wrap links double the mesh cut (unless they collapse onto the
+        # direct links), so count crossings of the label-halving cut directly
+        return BaseTopology.bisection_links(self)
+
+
+# ---------------------------------------------------------------------------
 # switched cluster
 # ---------------------------------------------------------------------------
 
@@ -524,10 +614,16 @@ _TOPOLOGY_ALIASES = {
     "cube": "hypercube",
     "mesh": "mesh",
     "mesh2d": "mesh",
+    "torus": "torus",
+    "torus2d": "torus",
+    "wrapmesh": "torus",
     "switch": "switch",
     "switched": "switch",
     "crossbar": "switch",
 }
+
+#: Topology kinds that accept a (rows, cols) ``shape=`` override.
+SHAPED_KINDS = ("mesh", "torus")
 
 
 def make_topology(kind: str, num_nodes: int, *,
@@ -535,7 +631,8 @@ def make_topology(kind: str, num_nodes: int, *,
                   switch_hops: int = 2) -> Topology:
     """Build a topology of *kind* over *num_nodes* nodes.
 
-    ``shape`` overrides the near-square factorisation used for meshes.
+    ``shape`` overrides the near-square factorisation used for meshes and
+    tori; a shape whose product is not *num_nodes* raises :class:`TopologyError`.
     """
     if num_nodes < 1:
         raise TopologyError(f"a partition needs at least one node, got {num_nodes}")
@@ -546,10 +643,12 @@ def make_topology(kind: str, num_nodes: int, *,
             f"{sorted(set(_TOPOLOGY_ALIASES.values()))}")
     if canonical == "hypercube":
         return HypercubeTopology(num_nodes)
-    if canonical == "mesh":
+    if canonical in SHAPED_KINDS:
         rows, cols = shape if shape is not None else near_square_shape(num_nodes)
         if rows * cols != num_nodes:
             raise TopologyError(
-                f"mesh shape {rows}x{cols} does not hold {num_nodes} nodes")
-        return MeshTopology(rows, cols)
+                f"{canonical} shape {rows}x{cols} does not hold {num_nodes} nodes"
+                f" ({rows}*{cols} = {rows * cols})")
+        cls = MeshTopology if canonical == "mesh" else TorusTopology
+        return cls(rows, cols)
     return SwitchedTopology(num_nodes, switch_hops=switch_hops)

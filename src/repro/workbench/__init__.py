@@ -9,8 +9,13 @@
 * :mod:`machines`      — cross-machine sweep over the machine registry (ours)
 
 Every study that touches a machine takes ``machine="ipsc860" | "paragon" |
-"cluster"`` (or a :class:`~repro.system.machine.Machine` instance), so each
-table/figure can be regenerated per target.
+"cluster" | "torus-cluster"`` (or a :class:`~repro.system.machine.Machine`
+instance), so each table/figure can be regenerated per target.
+
+The sweep studies are thin presets over the design-space exploration
+subsystem (:mod:`repro.explore`): each exposes a ``*_campaign()`` builder
+returning the declarative :class:`~repro.explore.campaign.Campaign`, and the
+``run_*`` entry points accept a ``store=`` for persistent memoisation.
 """
 
 from .ablation import AblationPoint, AblationReport, run_comm_sensitivity, run_model_ablation
@@ -29,11 +34,23 @@ from .directives import (
     LaplacePoint,
     LaplaceStudy,
     illustrate_distributions,
+    laplace_study_campaign,
     run_directive_selection,
     run_laplace_study,
 )
-from .forall_study import FORALL_EXAMPLE_SOURCE, ForallAbstraction, run_forall_abstraction
-from .machines import MachineComparison, MachinePoint, run_machine_comparison
+from .forall_study import (
+    FORALL_EXAMPLE_SOURCE,
+    ForallAbstraction,
+    forall_scaling_campaign,
+    run_forall_abstraction,
+    run_forall_scaling,
+)
+from .machines import (
+    MachineComparison,
+    MachinePoint,
+    machine_comparison_campaign,
+    run_machine_comparison,
+)
 from .usability import UsabilityEntry, UsabilityStudy, run_usability_study
 
 __all__ = [
@@ -55,15 +72,19 @@ __all__ = [
     "LaplacePoint",
     "LaplaceStudy",
     "illustrate_distributions",
+    "laplace_study_campaign",
     "run_directive_selection",
     "run_laplace_study",
     "FORALL_EXAMPLE_SOURCE",
     "ForallAbstraction",
+    "forall_scaling_campaign",
     "run_forall_abstraction",
+    "run_forall_scaling",
     "UsabilityEntry",
     "UsabilityStudy",
     "run_usability_study",
     "MachineComparison",
     "MachinePoint",
+    "machine_comparison_campaign",
     "run_machine_comparison",
 ]

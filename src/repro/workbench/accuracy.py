@@ -5,6 +5,11 @@ and system sizes (1–8 processors), obtain the interpreted (estimated) time and
 the simulated (measured) time, and report the minimum and maximum absolute
 error as a percentage of the measured time — the exact quantity Table 2
 tabulates.
+
+The sweep itself is a preset over the design-space exploration subsystem:
+each application row is one ``mode="both"`` campaign over (problem size ×
+system size), so the study inherits parallel evaluation and (optionally)
+persistent memoisation through a :class:`~repro.explore.store.ResultStore`.
 """
 
 from __future__ import annotations
@@ -12,11 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..interpreter import interpret
+from ..explore import ResultStore, ScenarioSpace, resolve_campaign_machine, run_campaign
 from ..output.report import render_table
-from ..simulator import SimulatorOptions, simulate
-from ..suite import all_entries, get_entry, laplace_grid_shape
-from ..system import Machine, resolve_machine
+from ..simulator import SimulatorOptions
+from ..suite import all_entries, get_entry
+from ..system import Machine
 
 
 @dataclass
@@ -96,28 +101,28 @@ def measure_application(
     proc_counts: Iterable[int] = (1, 2, 4, 8),
     simulator_options: SimulatorOptions | None = None,
     machine: str | Machine = "ipsc860",
+    store: ResultStore | None = None,
 ) -> AccuracyRow:
-    """Run the accuracy sweep for one application on one target machine."""
+    """Run the accuracy sweep for one application on one target machine.
+
+    The sweep is one ``mode="both"`` campaign; a pre-built :class:`Machine`
+    instance is threaded through as a campaign-level machine resolver.
+    """
     entry = get_entry(key)
     sizes = list(sizes if sizes is not None else entry.sizes)
     proc_list = list(proc_counts)
-    points: list[AccuracyPoint] = []
 
-    for size in sizes:
-        for nprocs in proc_list:
-            grid_shape = None
-            if key.startswith("laplace_"):
-                grid_shape = laplace_grid_shape(key.replace("laplace_", ""), nprocs)
-            compiled = entry.compile(size, nprocs, grid_shape)
-            target = resolve_machine(machine, nprocs)
-            estimate = interpret(compiled, target,
-                                 options=entry.interpreter_options(size))
-            simulation = simulate(compiled, target, options=simulator_options)
-            points.append(AccuracyPoint(
-                key=key, size=size, nprocs=nprocs,
-                estimated_us=estimate.predicted_time_us,
-                measured_us=simulation.measured_time_us,
-            ))
+    machine_name, machine_resolver = resolve_campaign_machine(machine)
+    space = ScenarioSpace(apps=(key,), sizes=tuple(sizes),
+                          proc_counts=tuple(proc_list),
+                          machines=(machine_name,))
+    run = run_campaign(space, name=f"accuracy:{key}", mode="both",
+                       simulator_options=simulator_options,
+                       machine_resolver=machine_resolver, store=store)
+    points = [AccuracyPoint(
+        key=key, size=result.point.size, nprocs=result.point.nprocs,
+        estimated_us=result.estimated_us, measured_us=result.measured_us,
+    ) for result in run.results]
 
     errors = [p.abs_error_pct for p in points]
     return AccuracyRow(
@@ -140,11 +145,13 @@ def run_accuracy_study(
     quick: bool = False,
     simulator_options: SimulatorOptions | None = None,
     machine: str | Machine = "ipsc860",
+    store: ResultStore | None = None,
 ) -> AccuracyReport:
     """Reproduce Table 2 (optionally on a reduced sweep with ``quick=True``).
 
     Passing ``machine="paragon"`` / ``"cluster"`` re-runs the whole table on
-    another registered target, turning it into a cross-machine sweep.
+    another registered target, turning it into a cross-machine sweep; a
+    ``store`` memoises every (application, size, nprocs) cell persistently.
     """
     entries = all_entries()
     keys = list(keys if keys is not None else entries.keys())
@@ -158,6 +165,6 @@ def run_accuracy_study(
             sizes = entry.sizes[:2]
         report.rows.append(measure_application(
             key, sizes=sizes, proc_counts=proc_counts,
-            simulator_options=simulator_options, machine=machine,
+            simulator_options=simulator_options, machine=machine, store=store,
         ))
     return report

@@ -11,15 +11,14 @@ selection without ever running on the machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from ..distribution import ArrayDistribution
-from ..interpreter import interpret
+from ..explore import Campaign, ResultStore, ScenarioSpace, resolve_campaign_machine
 from ..output.report import render_series_chart, render_table
-from ..simulator import simulate
 from ..suite import get_entry, laplace_grid_shape
-from ..system import Machine, resolve_machine
+from ..system import Machine
 
 LAPLACE_VARIANTS = ("block_block", "block_star", "star_block")
 VARIANT_LABELS = {
@@ -154,39 +153,59 @@ class LaplaceStudy:
         )
 
 
+def laplace_study_campaign(
+    nprocs: int = 4,
+    sizes: Sequence[int] = (16, 64, 128, 192, 256),
+    variants: Iterable[str] = LAPLACE_VARIANTS,
+    maxiter: int | None = None,
+) -> Campaign:
+    """The §5.2.1 directive-selection question as a declarative campaign.
+
+    The three DISTRIBUTE/ALIGN alternatives are the ``apps`` axis; a
+    ``maxiter`` override rides along as a compile-time parameter set.
+    """
+    return Campaign(
+        name=f"laplace-directives:p{nprocs}",
+        space=ScenarioSpace(
+            apps=tuple(f"laplace_{v}" for v in variants),
+            sizes=tuple(sizes),
+            proc_counts=(nprocs,),
+            param_sets=((("maxiter", float(maxiter)),),) if maxiter is not None
+            else ((),),
+        ),
+        mode="both",
+    )
+
+
 def run_laplace_study(
     nprocs: int = 4,
     sizes: Sequence[int] = (16, 64, 128, 192, 256),
     variants: Iterable[str] = LAPLACE_VARIANTS,
     maxiter: int | None = None,
     machine: str | Machine = "ipsc860",
+    store: ResultStore | None = None,
 ) -> LaplaceStudy:
-    """Reproduce Figure 4 (nprocs=4) or Figure 5 (nprocs=8)."""
-    study = LaplaceStudy(nprocs=nprocs)
-    for variant in variants:
-        entry = get_entry(f"laplace_{variant}")
-        grid_shape = laplace_grid_shape(variant, nprocs)
-        for size in sizes:
-            if maxiter is not None:
-                from ..compiler import compile_source
+    """Reproduce Figure 4 (nprocs=4) or Figure 5 (nprocs=8).
 
-                params = entry.params_for(size)
-                params["maxiter"] = float(maxiter)
-                compiled = compile_source(entry.source, name=entry.key, nprocs=nprocs,
-                                          grid_shape=grid_shape, params=params)
-            else:
-                compiled = entry.compile(size, nprocs, grid_shape)
-            target = resolve_machine(machine, nprocs)
-            estimate = interpret(compiled, target, options=entry.interpreter_options(size))
-            simulation = simulate(compiled, target)
-            study.points.append(LaplacePoint(
-                variant=variant,
-                size=size,
-                nprocs=nprocs,
-                grid_shape=compiled.mapping.grid.shape,
-                estimated_s=estimate.predicted_time_s,
-                measured_s=simulation.measured_time_s,
-            ))
+    One ``mode="both"`` campaign over (directive variant × problem size); the
+    paper's processor-grid shapes attach per variant during space expansion.
+    """
+    campaign = laplace_study_campaign(nprocs, sizes, variants, maxiter)
+    machine_name, machine_resolver = resolve_campaign_machine(machine)
+    campaign = replace(campaign,
+                       space=replace(campaign.space, machines=(machine_name,)))
+    run = campaign.run(store=store, machine_resolver=machine_resolver)
+
+    study = LaplaceStudy(nprocs=nprocs)
+    for result in run.results:
+        study.points.append(LaplacePoint(
+            variant=result.point.app.replace("laplace_", ""),
+            size=result.point.size,
+            nprocs=result.point.nprocs,
+            grid_shape=tuple(result.grid_shape),
+            estimated_s=result.estimated_us * 1e-6,
+            measured_s=result.measured_us * 1e-6,
+        ))
     return study
 
 
@@ -194,7 +213,8 @@ def run_directive_selection(
     sizes: Sequence[int] = (64, 128, 256),
     proc_counts: Iterable[int] = (4, 8),
     machine: str | Machine = "ipsc860",
+    store: ResultStore | None = None,
 ) -> dict[int, LaplaceStudy]:
     """The full §5.2.1 experiment: one study per system size."""
-    return {p: run_laplace_study(nprocs=p, sizes=sizes, machine=machine)
+    return {p: run_laplace_study(nprocs=p, sizes=sizes, machine=machine, store=store)
             for p in proc_counts}

@@ -9,15 +9,22 @@ communication level, local computation level, final communication level) and
 then abstracted by Phase 2 into ``Seq → Comm → IterD ( CondtD )``.  This module
 compiles exactly that statement and reports both structures so the example,
 test and benchmark can verify the shapes.
+
+:func:`run_forall_scaling` extends the figure into a campaign preset: the
+same kernel swept over (problem size × nprocs × machine) through the
+design-space exploration subsystem, with the kernel shipped as an ad-hoc
+:class:`~repro.explore.space.ProgramSpec` rather than a suite entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..appmodel import AAUType, build_saag
 from ..compiler import CommPhase, LocalLoopNest, SeqOverhead, compile_source
 from ..compiler.pipeline import CompiledProgram
+from ..explore import Campaign, CampaignRun, ProgramSpec, ResultStore, ScenarioSpace
 
 FORALL_EXAMPLE_SOURCE = """
       program figure2
@@ -101,3 +108,40 @@ def run_forall_abstraction(nprocs: int = 4, n: int = 64) -> ForallAbstraction:
             if aau.type is AAUType.COND:
                 result.has_mask_condition = True
     return result
+
+
+def forall_scaling_campaign(
+    ns: Sequence[int] = (32, 64, 128),
+    proc_counts: Sequence[int] = (2, 4, 8),
+    machines: Sequence[str] = ("ipsc860", "paragon", "torus-cluster"),
+) -> Campaign:
+    """The Figure 2 kernel as a (size × nprocs × machine) campaign preset."""
+    return Campaign(
+        name="forall-scaling:figure2",
+        space=ScenarioSpace(
+            apps=("figure2",),
+            sizes=tuple(ns),
+            proc_counts=tuple(proc_counts),
+            machines=tuple(machines),
+            programs=(ProgramSpec(
+                key="figure2",
+                source=FORALL_EXAMPLE_SOURCE,
+                description="masked stencil forall of the paper's Figure 2",
+            ),),
+        ),
+        mode="predict",
+    )
+
+
+def run_forall_scaling(
+    ns: Sequence[int] = (32, 64, 128),
+    proc_counts: Sequence[int] = (2, 4, 8),
+    machines: Sequence[str] = ("ipsc860", "paragon", "torus-cluster"),
+    store: ResultStore | None = None,
+) -> CampaignRun:
+    """Predict how the Figure 2 forall scales across sizes, procs, machines.
+
+    Ad-hoc programs are content-hashed by source text, so edits to the kernel
+    never collide with stale store entries.
+    """
+    return forall_scaling_campaign(ns, proc_counts, machines).run(store=store)

@@ -5,6 +5,12 @@ Module is the only machine-specific part of the framework, the same compiled
 program can be predicted *and* "measured" (simulated) on every registered
 machine — the paper's design-tuning workflow extended from "which directives"
 to "which machine".
+
+Since the design-space exploration subsystem landed, this study is a thin
+preset over :mod:`repro.explore`: :func:`machine_comparison_campaign` builds
+the declarative space and :func:`run_machine_comparison` runs it (optionally
+against a persistent :class:`~repro.explore.store.ResultStore`) before
+shaping the results into the study's table.
 """
 
 from __future__ import annotations
@@ -12,11 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..interpreter import interpret
+from ..explore import Campaign, ResultStore, ScenarioSpace, run_campaign
 from ..output.report import render_table
-from ..simulator import simulate
-from ..suite import get_entry, laplace_grid_shape
-from ..system import get_machine, machine_names
+from ..suite import get_entry
+from ..system import machine_names
 
 
 @dataclass
@@ -86,39 +91,53 @@ class MachineComparison:
         )
 
 
+def machine_comparison_campaign(
+    key: str = "laplace_block_star",
+    size: int | None = None,
+    proc_counts: Iterable[int] = (2, 4, 8, 16),
+    machines: Sequence[str] | None = None,
+    simulate_too: bool = False,
+) -> Campaign:
+    """The cross-machine study as a declarative campaign preset."""
+    entry = get_entry(key)
+    size = size if size is not None else entry.sizes[0]
+    return Campaign(
+        name=f"machine-comparison:{key}",
+        space=ScenarioSpace(
+            apps=(key,),
+            sizes=(size,),
+            proc_counts=tuple(proc_counts),
+            machines=tuple(machines if machines is not None else machine_names()),
+        ),
+        mode="both" if simulate_too else "predict",
+    )
+
+
 def run_machine_comparison(
     key: str = "laplace_block_star",
     size: int | None = None,
     proc_counts: Iterable[int] = (2, 4, 8, 16),
     machines: Sequence[str] | None = None,
     simulate_too: bool = False,
+    store: ResultStore | None = None,
 ) -> MachineComparison:
     """Sweep one suite application across every registered machine.
 
     With ``simulate_too`` the simulator runs as well and each point carries
     the predicted-vs-simulated error; prediction alone is orders of magnitude
-    faster and is what a design-time sweep would use.
+    faster and is what a design-time sweep would use.  ``store`` persists and
+    memoises every evaluated point.
     """
-    entry = get_entry(key)
-    size = size if size is not None else entry.sizes[0]
-    machines = list(machines if machines is not None else machine_names())
-    comparison = MachineComparison(key=key, size=size)
-
-    for nprocs in proc_counts:
-        grid_shape = None
-        if key.startswith("laplace_"):
-            grid_shape = laplace_grid_shape(key.replace("laplace_", ""), nprocs)
-        compiled = entry.compile(size, nprocs, grid_shape)
-        for name in machines:
-            machine = get_machine(name, nprocs)
-            estimate = interpret(compiled, machine,
-                                 options=entry.interpreter_options(size))
-            measured = None
-            if simulate_too:
-                measured = simulate(compiled, machine).measured_time_us
-            comparison.points.append(MachinePoint(
-                machine=name, key=key, size=size, nprocs=nprocs,
-                estimated_us=estimate.predicted_time_us,
-                measured_us=measured,
-            ))
+    campaign = machine_comparison_campaign(key, size, proc_counts, machines,
+                                           simulate_too)
+    run = campaign.run(store=store)
+    comparison = MachineComparison(key=key, size=campaign.space.sizes[0])
+    for result in run.results:
+        point = result.point
+        comparison.points.append(MachinePoint(
+            machine=point.machine, key=point.app, size=point.size,
+            nprocs=point.nprocs,
+            estimated_us=result.estimated_us,
+            measured_us=result.measured_us,
+        ))
     return comparison

@@ -1,0 +1,462 @@
+"""Tests for the design-space exploration subsystem (`repro.explore`):
+scenario spaces with validity filtering, the persistent content-addressed
+result store (round-trip, resume, hash stability, schema rejection), the
+campaign strategies (grid / random / hill-climb) with parallel evaluation and
+store memoisation, the report renderers, and the campaign-backed workbench
+presets."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    Campaign,
+    ProgramSpec,
+    ResultStore,
+    ScenarioError,
+    ScenarioPoint,
+    ScenarioSpace,
+    ScenarioResult,
+    StoreError,
+    StoreSchemaError,
+    best_config_table,
+    campaign_report,
+    error_table,
+    evaluate_point,
+    laplace_design_space,
+    pareto_frontier,
+    pareto_table,
+    run_campaign,
+    scenario_key,
+)
+from repro.explore.store import STORE_FORMAT, STORE_SCHEMA_VERSION
+from repro.workbench import (
+    forall_scaling_campaign,
+    laplace_study_campaign,
+    machine_comparison_campaign,
+    run_forall_scaling,
+    run_laplace_study,
+    run_machine_comparison,
+)
+
+SMALL_SPACE = ScenarioSpace(
+    apps=("laplace_block_star",),
+    sizes=(16,),
+    proc_counts=(2, 4),
+    machines=("ipsc860",),
+)
+
+
+def small_result(nprocs=2, estimated=1000.0, measured=None) -> ScenarioResult:
+    return ScenarioResult(
+        point=ScenarioPoint(app="laplace_block_star", size=16, nprocs=nprocs),
+        mode="predict" if measured is None else "both",
+        estimated_us=estimated, measured_us=measured,
+        comp_us=600.0, comm_us=300.0, ovhd_us=100.0, grid_shape=(nprocs,),
+    )
+
+
+class TestScenarioSpace:
+    def test_cardinality_and_expansion(self):
+        space = ScenarioSpace(apps=("lfk1", "lfk3"), sizes=(128, 512),
+                              proc_counts=(2, 4, 8), machines=("ipsc860", "paragon"))
+        assert space.cardinality() == 24
+        points = space.expand()
+        assert len(points) == 24
+        assert len(set(points)) == 24          # hashable and distinct
+
+    def test_scalar_axes_coerced(self):
+        space = ScenarioSpace(apps="lfk1", sizes=128, proc_counts=4)
+        assert space.expand() == [
+            ScenarioPoint(app="lfk1", size=128, nprocs=4, machine="ipsc860")]
+
+    def test_single_shape_pair_coerced(self):
+        space = ScenarioSpace(apps=("lfk1",), sizes=(128,), proc_counts=(8,),
+                              machines=("paragon",), topology_shapes=(2, 4))
+        assert space.topology_shapes == ((2, 4),)
+
+    def test_malformed_param_sets_get_a_clear_error(self):
+        with pytest.raises(ScenarioError, match="param_sets"):
+            ScenarioSpace(apps=("lfk1",), sizes=(128,), proc_counts=(4,),
+                          param_sets=(("maxiter", 3.0),))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpace(apps=(), sizes=(16,), proc_counts=(2,))
+
+    def test_unknown_app_rejected_up_front(self):
+        with pytest.raises(KeyError):
+            ScenarioSpace(apps=("nosuch",), sizes=(16,), proc_counts=(2,)).expand()
+
+    def test_laplace_points_carry_paper_grid_shapes(self):
+        space = ScenarioSpace(apps=("laplace_block_star",), sizes=(16,),
+                              proc_counts=(8,))
+        [point] = space.expand()
+        assert point.grid_shape == (8,)
+
+    def test_shape_filtering(self):
+        space = ScenarioSpace(
+            apps=("lfk1",), sizes=(128,), proc_counts=(4, 8),
+            machines=("paragon", "cluster"),
+            topology_shapes=(None, (2, 4)),
+        )
+        valid, rejects = space.expand_with_rejects()
+        # shapes only attach to the mesh machine at nprocs=8
+        shaped = [p for p in valid if p.topology_shape is not None]
+        assert [(p.machine, p.nprocs) for p in shaped] == [("paragon", 8)]
+        reasons = {reason for _, reason in rejects}
+        assert any("does not hold" in reason for reason in reasons)
+        assert any("takes no (rows, cols) shape" in reason for reason in reasons)
+
+    def test_where_predicate_records_rejects(self):
+        valid, rejects = SMALL_SPACE.expand_with_rejects(
+            where=lambda p: p.nprocs > 2)
+        assert [p.nprocs for p in valid] == [4]
+        assert rejects[0][1] == "excluded by where-predicate"
+
+    def test_neighbors_differ_in_exactly_one_axis(self):
+        space = laplace_design_space(sizes=(64, 128), proc_counts=(2, 4),
+                                     machines=("ipsc860", "paragon"))
+        points = space.expand()
+        point = points[0]
+        for other in space.neighbors(point, points):
+            differing = sum((other.app != point.app, other.size != point.size,
+                             other.nprocs != point.nprocs,
+                             other.machine != point.machine))
+            assert differing == 1
+
+    def test_point_round_trips_through_scenario_dict(self):
+        point = ScenarioPoint(app="lfk1", size=128, nprocs=8, machine="paragon",
+                              topology_shape=(2, 4), params=(("maxiter", 5.0),))
+        assert ScenarioPoint.from_scenario_dict(point.scenario_dict()) == point
+
+
+class TestScenarioKey:
+    def test_stable_across_processes_and_runs(self):
+        # pinned golden: the canonicalisation (sort_keys, separators, sha256
+        # prefix) is a persistence contract — changing it orphans every
+        # existing store file, so a change here must be deliberate
+        point = ScenarioPoint(app="lfk1", size=128, nprocs=4)
+        assert scenario_key(point.scenario_dict(), "predict") == \
+            "63a698444328e432d0e3"
+
+    def test_mode_and_shape_and_params_change_the_key(self):
+        point = ScenarioPoint(app="lfk1", size=128, nprocs=4)
+        base = scenario_key(point.scenario_dict(), "predict")
+        assert scenario_key(point.scenario_dict(), "both") != base
+        shaped = ScenarioPoint(app="lfk1", size=128, nprocs=4,
+                               machine="paragon", topology_shape=(2, 2))
+        assert scenario_key(shaped.scenario_dict(), "predict") != base
+        assert scenario_key(point.scenario_dict(), "predict",
+                            program_source="x = 1") != base
+
+    def test_key_is_independent_of_result_values(self):
+        a = small_result(estimated=1.0)
+        b = small_result(estimated=99.0)
+        assert a.key == b.key
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        result = small_result(measured=1100.0)
+        assert store.add(result)
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        got = reloaded.get_point(result.point, "both")
+        assert got.estimated_us == result.estimated_us
+        assert got.measured_us == result.measured_us
+        assert got.point == result.point
+        assert got.grid_shape == result.grid_shape
+
+    def test_add_is_idempotent_unless_replace(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        assert store.add(small_result(estimated=1.0))
+        assert not store.add(small_result(estimated=2.0))
+        assert store.get_point(small_result().point, "predict").estimated_us == 1.0
+        assert store.add(small_result(estimated=3.0), replace=True)
+        assert ResultStore(store.path).get_point(
+            small_result().point, "predict").estimated_us == 3.0
+
+    def test_resume_after_partial_campaign(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add(small_result(nprocs=2))
+        # interruption mid-append leaves a torn trailing line
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn-rec')
+        resumed = ResultStore(path)
+        assert len(resumed) == 1
+        run = run_campaign(SMALL_SPACE, store=resumed, mode="predict")
+        assert run.store_hits + run.evaluated == 2
+
+    def test_torn_tail_is_repaired_so_later_appends_stay_clean(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add(small_result(nprocs=2))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn-rec')
+        resumed = ResultStore(path)
+        resumed.add(small_result(nprocs=4))     # must not land on the torn line
+        reloaded = ResultStore(path)            # and the file must stay loadable
+        assert len(reloaded) == 2
+        assert reloaded.get_point(small_result(nprocs=4).point, "predict")
+
+    def test_append_repairs_a_lost_final_newline(self, tmp_path):
+        # a complete final record missing only its newline must not have the
+        # next append concatenated onto it (which would read as a torn tail
+        # on the following load and silently drop both records)
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add(small_result(nprocs=2))
+        with open(path, "rb+") as fh:
+            fh.seek(-1, 2)
+            fh.truncate()                       # strip the trailing "\n"
+        fresh = ResultStore(path)
+        assert len(fresh) == 1
+        fresh.add(small_result(nprocs=4))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.get_point(small_result(nprocs=2).point, "predict")
+        assert reloaded.get_point(small_result(nprocs=4).point, "predict")
+
+    def test_corrupt_mid_file_rejected(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+        store.add(small_result())
+        with pytest.raises(StoreError):
+            ResultStore(path)
+
+    def test_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"format": STORE_FORMAT,
+                                 "schema": STORE_SCHEMA_VERSION + 1}) + "\n")
+        with pytest.raises(StoreSchemaError):
+            ResultStore(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(StoreError):
+            ResultStore(path)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(StoreError):
+            ResultStore(empty)
+
+
+class TestEvaluatePoint:
+    def test_predict_only(self):
+        result = evaluate_point(ScenarioPoint(app="lfk1", size=128, nprocs=4))
+        assert result.estimated_us > 0
+        assert result.measured_us is None
+        assert result.comp_us > 0
+        assert result.grid_shape == (4,)
+
+    def test_both_matches_direct_pipeline(self):
+        from repro import interpret, simulate
+        from repro.suite import get_entry
+        from repro.system import get_machine
+
+        point = ScenarioPoint(app="lfk3", size=128, nprocs=4, machine="paragon")
+        result = evaluate_point(point, mode="both")
+        entry = get_entry("lfk3")
+        compiled = entry.compile(128, 4)
+        machine = get_machine("paragon", 4)
+        est = interpret(compiled, machine, options=entry.interpreter_options(128))
+        sim = simulate(compiled, machine)
+        assert result.estimated_us == pytest.approx(est.predicted_time_us)
+        assert result.measured_us == pytest.approx(sim.measured_time_us)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ScenarioError):
+            evaluate_point(ScenarioPoint(app="lfk1", size=128, nprocs=4),
+                           mode="guess")
+
+    def test_topology_shape_reaches_the_machine(self):
+        shaped = evaluate_point(ScenarioPoint(
+            app="laplace_block_block", size=16, nprocs=8,
+            machine="paragon", topology_shape=(1, 8)))
+        default = evaluate_point(ScenarioPoint(
+            app="laplace_block_block", size=16, nprocs=8, machine="paragon"))
+        assert shaped.estimated_us != default.estimated_us
+
+
+class TestCampaignAcceptance:
+    """The issue's acceptance scenario: one run_campaign call sweeping
+    (3 machines x 2 distributions x 3 sizes x 3 nprocs), in parallel, with
+    every point persisted and a re-run served entirely from the store."""
+
+    SPACE = ScenarioSpace(
+        apps=("laplace_block_star", "laplace_star_block"),
+        sizes=(16, 32, 64),
+        proc_counts=(2, 4, 8),
+        machines=("ipsc860", "paragon", "torus-cluster"),
+    )
+
+    def test_full_sweep_persists_and_resumes(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        run = run_campaign(self.SPACE, store=store, mode="predict",
+                           max_workers=4)
+        total = 2 * 3 * 3 * 3
+        assert len(run.results) == total
+        assert run.evaluated == total and run.store_hits == 0
+        assert len(store) == total                   # every point persisted
+
+        rerun = run_campaign(self.SPACE, store=ResultStore(store.path),
+                             mode="predict")
+        assert rerun.store_hits == total             # 100% hits...
+        assert rerun.evaluated == 0                  # ...no re-evaluation
+        for first, second in zip(run.results, rerun.results):
+            assert first.point == second.point
+            assert first.estimated_us == second.estimated_us
+
+    def test_parallel_matches_serial(self):
+        space = ScenarioSpace(apps=("lfk3",), sizes=(128, 512),
+                              proc_counts=(2, 4), machines=("ipsc860", "cluster"))
+        parallel = run_campaign(space, max_workers=4)
+        serial = run_campaign(space, executor="serial")
+        for a, b in zip(parallel.results, serial.results):
+            assert a.point == b.point
+            assert a.estimated_us == b.estimated_us
+
+    def test_duplicate_points_evaluated_once(self):
+        run = run_campaign(SMALL_SPACE)
+        rerun_same_memo = run_campaign(SMALL_SPACE)
+        assert run.evaluated == rerun_same_memo.evaluated == 2
+
+
+class TestStrategies:
+    SPACE = laplace_design_space(sizes=(16, 32), proc_counts=(2, 4, 8),
+                                 machines=("ipsc860", "paragon", "torus-cluster"))
+
+    def test_random_sampling_is_seeded_subset(self):
+        first = run_campaign(self.SPACE, strategy="random", samples=6, seed=11)
+        second = run_campaign(self.SPACE, strategy="random", samples=6, seed=11)
+        assert len(first.results) == 6
+        assert [r.point for r in first.results] == [r.point for r in second.results]
+        pool = set(self.SPACE.expand())
+        assert all(r.point in pool for r in first.results)
+
+    def test_hillclimb_improves_monotonically(self):
+        run = run_campaign(self.SPACE, strategy="hillclimb", seed=7)
+        objectives = [r.objective_us for r in run.trajectory]
+        assert objectives == sorted(objectives, reverse=True)
+        assert run.trajectory[-1].objective_us <= run.trajectory[0].objective_us
+        # hill-climb explores a subset of the grid
+        assert run.evaluated <= len(self.SPACE.expand())
+
+    def test_store_hits_mean_the_store_not_memo_revisits(self, tmp_path):
+        # without a store, re-encountered neighbours are free memo dedup
+        run = run_campaign(self.SPACE, strategy="hillclimb", seed=7)
+        assert run.store_hits == 0
+        # with a pre-populated store, hits reflect persistent lookups
+        store = ResultStore(tmp_path / "hc.jsonl")
+        run_campaign(self.SPACE, store=store)
+        climb = run_campaign(self.SPACE, strategy="hillclimb", seed=7,
+                             store=ResultStore(store.path))
+        assert climb.evaluated == 0
+        assert climb.store_hits == len(climb.results)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ScenarioError):
+            run_campaign(SMALL_SPACE, strategy="annealing")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ScenarioError):
+            run_campaign(SMALL_SPACE, executor="processes")
+
+
+class TestReports:
+    def run(self):
+        return run_campaign(ScenarioSpace(
+            apps=("laplace_block_star",), sizes=(16,), proc_counts=(2, 4, 8),
+            machines=("ipsc860", "torus-cluster")), mode="predict")
+
+    def test_best_config_table_renders(self):
+        run = self.run()
+        table = best_config_table(run.results)
+        assert "laplace_block_star" in table
+        assert "best config" in table
+
+    def test_pareto_frontier_is_undominated(self):
+        run = self.run()
+        frontier = pareto_frontier(run.results)
+        assert frontier
+        for member in frontier:
+            for other in run.results:
+                assert not (other.point.nprocs < member.point.nprocs
+                            and other.objective_us < member.objective_us)
+        assert "Pareto" in pareto_table(run.results)
+
+    def test_error_table_needs_simulated_points(self):
+        run = self.run()
+        assert "(no simulated points)" in error_table(run.results)
+        both = run_campaign(SMALL_SPACE, mode="both")
+        table = error_table(both.results)
+        assert "laplace_block_star" in table and "%" in table
+
+    def test_campaign_report_composes(self):
+        run = self.run()
+        report = campaign_report(run)
+        assert "strategy=grid" in report
+        assert "Best configuration" in report
+
+
+class TestAdHocPrograms:
+    def test_forall_scaling_runs_without_suite_entry(self):
+        run = run_forall_scaling(ns=(32,), proc_counts=(2, 4),
+                                 machines=("ipsc860",))
+        assert len(run.results) == 2
+        assert all(r.estimated_us > 0 for r in run.results)
+
+    def test_program_source_feeds_the_content_hash(self, tmp_path):
+        campaign = forall_scaling_campaign(ns=(32,), proc_counts=(2,),
+                                           machines=("ipsc860",))
+        store = ResultStore(tmp_path / "adhoc.jsonl")
+        first = campaign.run(store=store)
+        assert first.evaluated == 1
+        second = campaign.run(store=ResultStore(store.path))
+        assert second.store_hits == 1 and second.evaluated == 0
+
+    def test_adhoc_results_keep_their_key_through_a_reload(self, tmp_path):
+        # the program sha is persisted, so a loaded record's recomputed .key
+        # matches the key it is stored under (campaign_smoke relies on this)
+        campaign = forall_scaling_campaign(ns=(32,), proc_counts=(2,),
+                                           machines=("ipsc860",))
+        store = ResultStore(tmp_path / "adhoc.jsonl")
+        campaign.run(store=store)
+        reloaded = ResultStore(store.path)
+        for key, result in zip(reloaded.keys(), reloaded.results()):
+            assert result.key == key
+
+
+class TestWorkbenchPresets:
+    def test_machine_comparison_preset_shape(self):
+        campaign = machine_comparison_campaign("laplace_block_star", 64,
+                                               proc_counts=(2, 4))
+        assert campaign.mode == "predict"
+        assert campaign.space.proc_counts == (2, 4)
+        comparison = run_machine_comparison(
+            "laplace_block_star", 64, proc_counts=(2, 4),
+            machines=("ipsc860", "paragon"))
+        assert comparison.machines() == ["ipsc860", "paragon"]
+        assert comparison.best_machine(4) in ("ipsc860", "paragon")
+
+    def test_laplace_preset_carries_maxiter_param(self):
+        campaign = laplace_study_campaign(nprocs=4, sizes=(16,), maxiter=3)
+        assert campaign.space.param_sets == ((("maxiter", 3.0),),)
+
+    def test_study_results_flow_through_store(self, tmp_path):
+        store = ResultStore(tmp_path / "study.jsonl")
+        first = run_laplace_study(nprocs=4, sizes=(16,), store=store)
+        assert len(store) == 3
+        again = run_laplace_study(nprocs=4, sizes=(16,),
+                                  store=ResultStore(store.path))
+        for a, b in zip(first.points, again.points):
+            assert a.estimated_s == b.estimated_s
+            assert a.measured_s == b.measured_s

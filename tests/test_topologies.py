@@ -18,12 +18,14 @@ from repro.system import (
     SwitchedTopology,
     Topology,
     TopologyError,
+    TorusTopology,
     get_machine,
     machine_names,
     make_topology,
     near_square_shape,
     register_machine,
     resolve_machine,
+    ring_distance,
 )
 from repro.system.topology import SWITCH_NODE
 
@@ -35,6 +37,10 @@ ALL_TOPOLOGIES = [
     MeshTopology(1, 5),
     MeshTopology(2, 4),
     MeshTopology(3, 3),
+    TorusTopology(1, 5),
+    TorusTopology(2, 4),
+    TorusTopology(3, 4),
+    TorusTopology(4, 4),
     SwitchedTopology(3),
     SwitchedTopology(8),
 ]
@@ -210,16 +216,99 @@ class TestMakeTopology:
         assert make_topology("hypercube", 8).kind == "hypercube"
         assert make_topology("cube", 8).kind == "hypercube"
         assert make_topology("mesh", 8).kind == "mesh"
+        assert make_topology("torus", 8).kind == "torus"
+        assert make_topology("wrapmesh", 8).kind == "torus"
         assert make_topology("crossbar", 8).kind == "switch"
         assert make_topology("switched", 8).kind == "switch"
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(TopologyError):
-            make_topology("torus", 8)
+            make_topology("dragonfly", 8)
 
     def test_empty_partition_rejected(self):
         with pytest.raises(TopologyError):
             make_topology("mesh", 0)
+
+    def test_torus_shape_validated(self):
+        assert make_topology("torus", 12, shape=(3, 4)).shape == (3, 4)
+        with pytest.raises(TopologyError):
+            make_topology("torus", 8, shape=(3, 3))
+
+
+class TestTorusTopology:
+    def test_wrap_links_present(self):
+        topo = TorusTopology(4, 4)
+        assert topo.node_at(0, 3) in topo.neighbors(topo.node_at(0, 0))
+        assert topo.node_at(3, 0) in topo.neighbors(topo.node_at(0, 0))
+
+    def test_hops_take_shorter_way_around(self):
+        topo = TorusTopology(4, 4)
+        assert topo.hops(topo.node_at(0, 0), topo.node_at(0, 3)) == 1
+        assert topo.hops(topo.node_at(0, 0), topo.node_at(3, 3)) == 2
+        assert ring_distance(0, 3, 4) == 1
+
+    def test_diameter_half_of_mesh(self):
+        assert TorusTopology(4, 4).diameter() == 4
+        assert MeshTopology(4, 4).diameter() == 6
+
+    def test_bisection_doubles_mesh(self):
+        # wrap links double the label-halving cut when the rings are > 2 long
+        assert TorusTopology(4, 4).bisection_links() == 8
+        assert MeshTopology(4, 4).bisection_links() == 4
+
+    def test_degenerate_rings_collapse_to_mesh_links(self):
+        # 2-rings: the wrap link would duplicate the direct link
+        topo = TorusTopology(2, 2)
+        for node in topo.nodes():
+            assert len(topo.neighbors(node)) == 2
+        line = TorusTopology(1, 4)
+        assert set(line.neighbors(0)) == {1, 3}
+
+    def test_average_distance_closed_form_matches_enumeration(self):
+        topo = TorusTopology(3, 4)
+        brute = sum(topo.hops(a, b) for a in topo.nodes() for b in topo.nodes()
+                    if a != b) / (12 * 11)
+        assert topo.average_distance() == pytest.approx(brute)
+
+    def test_torus_cluster_machine_registered(self):
+        machine = get_machine("torus-cluster", 8)
+        assert machine.topology_kind == "torus"
+        assert machine.topology().kind == "torus"
+        assert get_machine("torus", 8).name == machine.name
+        assert get_machine("t3d", 8).name == machine.name
+        assert "torus-cluster" in machine_names()
+
+    def test_topology_shape_threads_through_machine(self):
+        machine = get_machine("torus-cluster", 8, topology_shape=(2, 4))
+        assert machine.topology().shape == (2, 4)
+        # subpartitions the shape does not tile fall back to near-square
+        assert machine.topology(4).shape == (2, 2)
+        scaled = machine.scaled(flop_scale=2.0)
+        assert scaled.topology_shape == (2, 4)
+
+    def test_bad_shapes_rejected_with_topology_error(self):
+        with pytest.raises(TopologyError):
+            get_machine("torus-cluster", 8, topology_shape=(3, 3))
+        with pytest.raises(TopologyError):
+            get_machine("paragon", 8, topology_shape=(2, 3))
+        with pytest.raises(TopologyError):
+            get_machine("cluster", 8, topology_shape=(2, 4))
+
+    @pytest.mark.parametrize("key, size", [
+        ("lfk1", 1024),
+        ("laplace_block_star", 64),
+    ])
+    def test_prediction_error_within_paper_band(self, key, size):
+        entry = get_entry(key)
+        errors = []
+        for nprocs in (1, 4, 8):
+            compiled = entry.compile(size, nprocs)
+            machine = get_machine("torus-cluster", nprocs)
+            est = interpret(compiled, machine, options=entry.interpreter_options(size))
+            sim = simulate(compiled, machine)
+            errors.append(abs(est.predicted_time_us - sim.measured_time_us)
+                          / sim.measured_time_us * 100.0)
+        assert max(errors) < 20.0, f"torus-cluster/{key}: {errors}"
 
 
 class TestMachineRegistry:
