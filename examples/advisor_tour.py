@@ -1,0 +1,72 @@
+"""Tour of the performance advisor.
+
+The paper's framework predicts; the advisor *recommends*.  Four stops:
+
+1. diagnose-only: walk the interpreted metrics of the stock-option pricing
+   model into located findings (the Figure 6/7 "Phase 1 shift communication"
+   bottleneck, found automatically),
+2. the full loop on the finance model: ``repro.advise`` proposes ranked
+   configuration changes with predicted speedups and a simulator-
+   corroborated confidence grade,
+3. the §5.2.1 directive question: started on the worst Laplace distribution,
+   the advisor's swap-distribution recommendation re-derives the choice the
+   exhaustive Figure 4/5 sweep would make,
+4. a genetic refinement pass: recombinations of the mutation axes (machine x
+   nprocs at once) that no single edit reaches — all persisted to a
+   ResultStore, so a re-run costs nothing.
+
+Run with:  PYTHONPATH=src python examples/advisor_tour.py
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import advise, get_machine, interpret  # noqa: E402
+from repro.advisor import diagnose  # noqa: E402
+from repro.explore import ResultStore  # noqa: E402
+from repro.suite import get_entry  # noqa: E402
+from repro.workbench import run_advisor_study  # noqa: E402
+
+
+def main() -> None:
+    # -- 1. diagnosis only: the Figure 6/7 bottleneck, located automatically --
+    entry = get_entry("finance")
+    compiled = entry.compile(256, 4)
+    result = interpret(compiled, get_machine("ipsc860", 4),
+                       options=entry.interpreter_options(256))
+    print("== findings for the stock-option pricing model (n=256, p=4)")
+    for finding in diagnose(result, entry):
+        print("  -", finding.describe())
+    print()
+
+    # -- 2. the full loop: ranked, explained, simulator-checked ---------------
+    store_path = os.path.join(tempfile.mkdtemp(prefix="repro-advisor-"),
+                              "advisor.jsonl")
+    store = ResultStore(store_path)
+    report = advise("finance", size=256, nprocs=4, store=store, simulate_top=2)
+    print("== advise('finance')")
+    print(report.render())
+    print()
+
+    # -- 3. the advisor re-derives the paper's directive selection ------------
+    study = run_advisor_study(size=64, nprocs=4, store=store)
+    print("== directive selection, advisor vs exhaustive sweep")
+    print(study.to_table())
+    print(f"advisor agrees with the sweep: {study.agrees}")
+    print()
+
+    # -- 4. genetic refinement finds multi-axis recombinations ----------------
+    refined = advise("laplace_block_star", size=100, nprocs=8, store=store,
+                     simulate_top=0, refine="genetic")
+    print("== advise(..., refine='genetic')")
+    print(refined.to_table(n=5))
+    best = refined.best()
+    print(f"best: {best.explanation()}")
+    print(f"\nstore: {len(store)} scenario evaluations persisted at {store_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""CI advisor smoke: a bounded advise() run against the persistent CI store.
+
+Runs the advisor on the two golden applications (the Laplace directive
+question and the stock-option pricing model) with a small candidate budget,
+asserting the subsystem end to end: findings are produced, the top
+recommendation measurably improves the predicted time, and every candidate
+evaluation lands in the same ``benchmarks/results/`` store the campaign
+smoke persists to — so advisor scenarios accumulate next to the campaign
+scenarios and a re-run is served from the store.
+
+Drift safety: the advisor re-interprets its baseline on every run and
+compares it against the stored record; after a deliberate predictor change
+it bypasses the stale store, re-evaluates every candidate fresh and
+supersedes the old records (``report.store_refreshed``), so the committed
+store lines move with the predictor instead of being frozen at the first
+commit.
+
+Usage:  PYTHONPATH=src python scripts/advisor_smoke.py [store-path]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import advise  # noqa: E402
+from repro.explore import ResultStore  # noqa: E402
+
+DEFAULT_STORE = os.path.join(os.path.dirname(__file__), "..",
+                             "benchmarks", "results", "smoke_campaign.jsonl")
+
+#: (target, size, nprocs) golden scenarios; budget bounds the candidate count.
+SCENARIOS = (
+    ("laplace_block_block", 64, 4),
+    ("finance", 256, 4),
+)
+BUDGET = 12
+
+
+def main() -> int:
+    store_path = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(DEFAULT_STORE)
+    store = ResultStore(store_path)
+    before = len(store)
+
+    for target, size, nprocs in SCENARIOS:
+        report = advise(target, size=size, nprocs=nprocs, store=store,
+                        budget=BUDGET, simulate_top=0)
+        assert report.findings, f"{target}: the advisor produced no findings"
+        assert report.recommendations, \
+            f"{target}: the advisor found no improving candidate"
+        best = report.best()
+        assert best.result.objective_us < report.baseline.objective_us, \
+            f"{target}: top recommendation does not improve the predicted time"
+        assert best.finding.kind, f"{target}: recommendation lost its finding"
+        refreshed = " [store refreshed: predictor changed]" \
+            if report.store_refreshed else ""
+        print(f"{target}: {len(report.findings)} findings, best "
+              f"{best.mutation.label()} at {best.predicted_speedup:.2f}x "
+              f"({report.candidates_evaluated} evaluated, "
+              f"{report.store_hits} store hits){refreshed}")
+
+    print(f"store: {len(store)} records at {store_path} "
+          f"({len(store) - before} new this run)")
+
+    # a re-run must be served from the store: no fresh evaluations at all
+    for target, size, nprocs in SCENARIOS:
+        rerun = advise(target, size=size, nprocs=nprocs, store=store,
+                       budget=BUDGET, simulate_top=0)
+        assert rerun.candidates_evaluated == 0, \
+            f"{target}: re-run evaluated {rerun.candidates_evaluated} " \
+            f"candidates instead of hitting the store"
+    print("re-run served entirely from the store")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

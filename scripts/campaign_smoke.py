@@ -24,8 +24,9 @@ from repro.explore import (  # noqa: E402
     ScenarioSpace,
     best_config_table,
     run_campaign,
+    store_diff,
+    store_diff_table,
 )
-from repro.output.report import render_table  # noqa: E402
 
 DEFAULT_STORE = os.path.join(os.path.dirname(__file__), "..",
                              "benchmarks", "results", "smoke_campaign.jsonl")
@@ -43,7 +44,7 @@ DRIFT_TOLERANCE_PCT = 0.01      # predictions are analytic: exact in practice
 def main() -> int:
     store_path = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(DEFAULT_STORE)
     had_previous = os.path.exists(store_path)
-    previous = {r.key: r for r in ResultStore(store_path)} if had_previous else {}
+    previous = list(ResultStore(store_path)) if had_previous else []
 
     # evaluate fresh (no store) so a previous run can be compared against
     fresh = run_campaign(SMOKE_SPACE, name="ci-smoke", mode="predict")
@@ -51,19 +52,16 @@ def main() -> int:
     assert len(fresh.results) == expected, \
         f"smoke campaign produced {len(fresh.results)} of {expected} points"
 
-    drifted = []
-    for result in fresh.results:
-        prior = previous.get(result.key)
-        if prior is None or prior.estimated_us in (None, 0):
-            continue
-        delta_pct = abs(result.estimated_us - prior.estimated_us) \
-            / prior.estimated_us * 100.0
-        if delta_pct > DRIFT_TOLERANCE_PCT:
-            drifted.append((result, prior, delta_pct))
+    # cross-store regression diff, joined on the content-addressed key; the
+    # CI store also accumulates advisor-smoke scenarios, so restrict the old
+    # side to this campaign's own keys (otherwise they read as "removed")
+    fresh_keys = {r.key for r in fresh.results}
+    previous = [r for r in previous if r.key in fresh_keys]
+    diff = store_diff(previous, fresh.results, tolerance_pct=DRIFT_TOLERANCE_PCT)
 
     # persist; only drifted records are superseded so an unchanged model
     # leaves the committed store byte-identical
-    drifted_keys = {r.key for r, _, _ in drifted}
+    drifted_keys = {new.key for _, new, _ in diff.drifted}
     store = ResultStore(store_path)
     for result in fresh.results:
         store.add(result, replace=result.key in drifted_keys)
@@ -76,20 +74,15 @@ def main() -> int:
     print()
 
     if had_previous:
-        if drifted:
-            rows = [[r.point.label(), f"{prior.estimated_us:.1f}",
-                     f"{r.estimated_us:.1f}", f"{delta:.3f}%"]
-                    for r, prior, delta in drifted]
-            print(render_table(
-                ["scenario", "previous (us)", "current (us)", "drift"],
-                rows, title="prediction drift vs previous run"))
-        else:
-            compared = sum(1 for r in fresh.results if r.key in previous)
-            print(f"no prediction drift vs previous run "
-                  f"({compared}/{len(fresh.results)} points compared)")
+        print(store_diff_table(diff=diff,
+                               title="prediction drift vs previous run"))
     else:
         print(f"no previous store at {store_path}; baseline written")
     print()
+
+    # a second smoke store (e.g. a scratch path) diffs cleanly store-vs-store
+    # through the same report; here we only assert the join is well-formed
+    assert diff.compared + len(diff.added) == len(fresh.results)
 
     # resume check: a re-run must be served entirely from the store
     rerun = run_campaign(SMOKE_SPACE, name="ci-smoke-rerun", mode="predict",

@@ -23,4 +23,7 @@ python examples/machine_comparison.py > /dev/null
 echo "== campaign smoke: design-space sweep + persistent store"
 python scripts/campaign_smoke.py
 
+echo "== advisor smoke: bounded advise() run against the persistent store"
+python scripts/advisor_smoke.py
+
 echo "check.sh: all green"

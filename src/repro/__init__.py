@@ -66,6 +66,7 @@ from .distribution import (
 from .system import (
     SAG,
     SAU,
+    FatTreeTopology,
     HypercubeTopology,
     Machine,
     MeshTopology,
@@ -74,6 +75,7 @@ from .system import (
     TopologyError,
     TorusTopology,
     cluster,
+    cm5,
     get_machine,
     ipsc860,
     machine_names,
@@ -124,6 +126,9 @@ from .explore import (
     campaign_report,
     run_campaign,
 )
+
+# performance advisor -----------------------------------------------------------------------
+from .advisor import AdvisorReport, Finding, Recommendation, advise, diagnose
 
 
 def predict(
@@ -196,6 +201,7 @@ __all__ = [
     "Machine",
     "Topology",
     "TopologyError",
+    "FatTreeTopology",
     "HypercubeTopology",
     "MeshTopology",
     "SwitchedTopology",
@@ -205,6 +211,7 @@ __all__ = [
     "paragon",
     "cluster",
     "torus_cluster",
+    "cm5",
     "get_machine",
     "register_machine",
     "machine_names",
@@ -249,6 +256,12 @@ __all__ = [
     "ScenarioSpace",
     "campaign_report",
     "run_campaign",
+    # performance advisor
+    "AdvisorReport",
+    "Finding",
+    "Recommendation",
+    "advise",
+    "diagnose",
     # convenience
     "predict",
     "measure",

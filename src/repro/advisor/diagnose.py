@@ -1,0 +1,197 @@
+"""Bottleneck diagnosis over the interpreted SAAG and its metrics.
+
+The paper's framework stops at *showing* the user a profile (Figures 6 & 7:
+per-phase computation / communication / overhead bars); this module walks the
+same interpreted metrics tree — cumulative breakdown, per-AAU and per-line
+metrics, per-phase profiles, the static load-imbalance estimate — and turns
+what it finds into structured :class:`Finding` s: a severity, a located cause
+("Phase 1 shift comm dominates at p=4 under laplace_block_star") and the
+mutation kinds (:mod:`repro.advisor.mutations`) that attack it.
+
+Findings are *diagnoses*, not recommendations: the search layer
+(:mod:`repro.advisor.search`) evaluates the mutations each finding suggests
+and only what measurably improves the predicted time becomes a
+recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interpreter.engine import InterpretationResult
+from ..output.profile import phase_profile
+from ..suite.registry import SuiteEntry
+
+#: Diagnosis thresholds: share of predicted time (or ratio, for imbalance)
+#: above which a finding is emitted.
+COMM_SHARE_THRESHOLD = 0.25
+OVERHEAD_SHARE_THRESHOLD = 0.30
+IMBALANCE_THRESHOLD = 1.10
+HOTSPOT_SHARE_THRESHOLD = 0.15
+COMPUTE_SHARE_THRESHOLD = 0.45
+
+#: Finding kinds, in the vocabulary the mutation generator understands.
+KINDS = ("comm-bound", "phase-comm", "comm-hotspot", "overhead-bound",
+         "load-imbalance", "compute-bound")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed bottleneck with its located cause.
+
+    ``severity`` is the fraction of the predicted time the finding implicates
+    (for load imbalance: the fraction lost to the slowest rank), so findings
+    from different rules rank on one scale.  ``suggests`` names the mutation
+    kinds worth trying against it.
+    """
+
+    kind: str
+    severity: float
+    message: str
+    phase: str | None = None
+    line: int | None = None
+    metric_us: float = 0.0
+    suggests: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        where = ""
+        if self.phase:
+            where = f" [{self.phase}]"
+        elif self.line:
+            where = f" [line {self.line}]"
+        return f"{self.kind}{where} ({self.severity * 100.0:.0f}%): {self.message}"
+
+
+def _context_label(result: InterpretationResult) -> str:
+    compiled = result.compiled
+    return (f"p={compiled.nprocs} on {result.machine.name} "
+            f"under {compiled.name}")
+
+
+def diagnose(
+    result: InterpretationResult,
+    entry: SuiteEntry | None = None,
+    *,
+    comm_threshold: float = COMM_SHARE_THRESHOLD,
+    overhead_threshold: float = OVERHEAD_SHARE_THRESHOLD,
+    imbalance_threshold: float = IMBALANCE_THRESHOLD,
+) -> list[Finding]:
+    """Walk the interpreted metrics and emit findings, most severe first.
+
+    ``entry`` (the suite registry entry, when the program has one) supplies
+    the application-phase line ranges of the Figure 6/7 breakdown, which
+    turn whole-program findings into phase-located ones.
+    """
+    total = result.total
+    total_us = total.total
+    if total_us <= 0:
+        return []
+    findings: list[Finding] = []
+    context = _context_label(result)
+
+    # -- whole-program balance ------------------------------------------------
+    comm_share = total.communication / total_us
+    ovhd_share = total.overhead / total_us
+    comp_share = total.computation / total_us
+
+    if comm_share >= comm_threshold:
+        findings.append(Finding(
+            kind="comm-bound",
+            severity=comm_share,
+            metric_us=total.communication,
+            message=(f"communication takes {comm_share * 100.0:.0f}% of the "
+                     f"predicted time {context}; a different distribution, "
+                     f"interconnect or layout can shrink it"),
+            suggests=("swap-distribution", "retarget-machine",
+                      "reshape-topology", "reduce-nprocs"),
+        ))
+
+    if ovhd_share >= overhead_threshold:
+        findings.append(Finding(
+            kind="overhead-bound",
+            severity=ovhd_share,
+            metric_us=total.overhead,
+            message=(f"runtime overheads (startup, loop/guard bookkeeping) "
+                     f"take {ovhd_share * 100.0:.0f}% of the predicted time "
+                     f"{context}; the problem is too small for this "
+                     f"configuration"),
+            suggests=("reduce-nprocs", "retarget-machine"),
+        ))
+
+    imbalance = result.load_imbalance
+    if imbalance >= imbalance_threshold:
+        lost = (1.0 - 1.0 / imbalance) * comp_share
+        findings.append(Finding(
+            kind="load-imbalance",
+            severity=lost,
+            metric_us=total.computation - total.balanced,
+            message=(f"static load imbalance {imbalance:.2f}x {context}: the "
+                     f"block partition leaves the slowest rank "
+                     f"{(imbalance - 1.0) * 100.0:.0f}% more iterations than "
+                     f"the mean; a processor count or layout that divides the "
+                     f"extents evens it out"),
+            suggests=("change-nprocs", "reshape-topology", "swap-distribution"),
+        ))
+
+    # -- phase-located communication (the Figure 6/7 walk) --------------------
+    phase_ranges = entry.phase_line_ranges() if entry is not None else {}
+    if phase_ranges:
+        profile = phase_profile(result, phase_ranges)
+        for prof_entry in profile.entries:
+            phase_total = prof_entry.metrics.total
+            if phase_total <= 0:
+                continue
+            phase_comm_share = prof_entry.metrics.communication / phase_total
+            share_of_program = prof_entry.metrics.communication / total_us
+            if phase_comm_share >= comm_threshold and share_of_program >= 0.10:
+                findings.append(Finding(
+                    kind="phase-comm",
+                    severity=share_of_program,
+                    phase=prof_entry.label,
+                    line=prof_entry.line,
+                    metric_us=prof_entry.metrics.communication,
+                    message=(f"{prof_entry.label} communication dominates "
+                             f"({phase_comm_share * 100.0:.0f}% of the phase, "
+                             f"{share_of_program * 100.0:.0f}% of the program) "
+                             f"{context}"),
+                    suggests=("swap-distribution", "retarget-machine",
+                              "reshape-topology"),
+                ))
+
+    # -- the single worst communication line ----------------------------------
+    comm_lines = [(line, metrics)
+                  for line, metrics in result.line_breakdown().items()
+                  if metrics.communication > 0]
+    if comm_lines:
+        line, metrics = max(comm_lines, key=lambda item: item[1].communication)
+        share = metrics.communication / total_us
+        if share >= HOTSPOT_SHARE_THRESHOLD:
+            text = result.compiled.source.line_text(line).strip()
+            constructs = sorted({a.type_name for a in result.saag.at_line(line)
+                                 if a.type_name in ("Comm", "Sync", "Reduce")})
+            what = "/".join(constructs) or "Comm"
+            findings.append(Finding(
+                kind="comm-hotspot",
+                severity=share,
+                line=line,
+                metric_us=metrics.communication,
+                message=(f"{what} at line {line} ({text!r}) alone carries "
+                         f"{share * 100.0:.0f}% of the predicted time "
+                         f"{context}"),
+                suggests=("swap-distribution", "retarget-machine"),
+            ))
+
+    # -- healthy compute-dominated programs want more parallelism -------------
+    if comp_share >= COMPUTE_SHARE_THRESHOLD:
+        findings.append(Finding(
+            kind="compute-bound",
+            severity=comp_share * 0.5,   # an opportunity, not a pathology
+            metric_us=total.computation,
+            message=(f"computation takes {comp_share * 100.0:.0f}% of the "
+                     f"predicted time {context}; the program still scales — "
+                     f"more processors or a faster node should pay off"),
+            suggests=("scale-nprocs", "retarget-machine"),
+        ))
+
+    findings.sort(key=lambda f: f.severity, reverse=True)
+    return findings

@@ -1,0 +1,187 @@
+"""Candidate scenario edits the advisor proposes against a diagnosis.
+
+A :class:`Mutation` is one typed, human-readable edit of a
+:class:`~repro.explore.space.ScenarioPoint`: swap the DISTRIBUTE/ALIGN
+directive set for a registered alternative, change the processor count,
+retarget the machine, or pin a different (rows, cols) layout on a shaped
+interconnect.  Each mutation carries the :class:`~repro.advisor.diagnose.
+Finding` that motivated it, so a recommendation can always be traced back to
+the diagnosis that produced it.
+
+Directive swaps work on *alternate groups*: sets of suite keys that are the
+same program under different directives (the three Laplace distributions ship
+as the built-in group, exactly the §5.2.1 choice).  User code can register
+its own groups with :func:`register_directive_alternates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..explore.space import ScenarioPoint, default_grid_shape
+from ..system import SHAPED_KINDS, get_machine, machine_names, near_square_shape
+from .diagnose import Finding
+
+#: Suite keys that are the same application under different directive sets.
+_ALTERNATE_GROUPS: list[tuple[str, ...]] = [
+    ("laplace_block_block", "laplace_block_star", "laplace_star_block"),
+]
+
+#: Largest processor count a scale-up mutation will propose.
+DEFAULT_MAX_NPROCS = 64
+
+
+def register_directive_alternates(group: tuple[str, ...]) -> None:
+    """Register *group* as interchangeable directive alternatives.
+
+    Every key must name a suite entry (or a ProgramSpec the caller sweeps);
+    the advisor will propose swapping any member for any other.
+    """
+    if len(group) < 2:
+        raise ValueError("an alternates group needs at least two members")
+    _ALTERNATE_GROUPS.append(tuple(group))
+
+
+def directive_alternates(app: str) -> tuple[str, ...]:
+    """The registered directive alternatives for *app* (excluding itself)."""
+    out: list[str] = []
+    for group in _ALTERNATE_GROUPS:
+        if app in group:
+            out.extend(member for member in group if member != app)
+    return tuple(dict.fromkeys(out))
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One candidate edit of a scenario, traced to its motivating finding."""
+
+    kind: str
+    description: str
+    rationale: str
+    target: ScenarioPoint
+    finding: Finding
+
+    def label(self) -> str:
+        return f"{self.kind}: {self.description}"
+
+
+def _retarget(point: ScenarioPoint, machine: str) -> ScenarioPoint:
+    # a pinned layout belongs to the old interconnect; drop it on retarget
+    return replace(point, machine=machine, topology_shape=None)
+
+
+def _with_nprocs(point: ScenarioPoint, nprocs: int) -> ScenarioPoint:
+    return replace(point, nprocs=nprocs, topology_shape=None,
+                   grid_shape=default_grid_shape(point.app, nprocs))
+
+
+def _factor_pairs(n: int) -> list[tuple[int, int]]:
+    out = []
+    for rows in range(1, n + 1):
+        if n % rows == 0:
+            out.append((rows, n // rows))
+    return out
+
+
+def generate_mutations(
+    point: ScenarioPoint,
+    findings: list[Finding],
+    *,
+    machines: tuple[str, ...] | None = None,
+    max_nprocs: int = DEFAULT_MAX_NPROCS,
+    allow_reshape: bool = True,
+) -> list[Mutation]:
+    """All distinct candidate mutations the findings suggest, in severity order.
+
+    ``machines`` bounds the retarget pool (default: every registered machine);
+    ``max_nprocs`` bounds scale-up proposals.  ``allow_reshape=False``
+    suppresses topology-layout proposals — the advisor does this when the
+    baseline machine is an unregistered :class:`Machine` instance, whose
+    layout the registry cannot rebuild.  Candidates are deduplicated on
+    their target point — the first (most severe) finding to propose a target
+    keeps it, so every mutation is traced to the strongest motivation.
+    """
+    machine_pool = tuple(machines) if machines is not None \
+        else tuple(machine_names())
+    seen: set[ScenarioPoint] = {point}
+    out: list[Mutation] = []
+
+    def propose(kind: str, description: str, rationale: str,
+                target: ScenarioPoint, finding: Finding) -> None:
+        if target in seen:
+            return
+        seen.add(target)
+        out.append(Mutation(kind=kind, description=description,
+                            rationale=rationale, target=target,
+                            finding=finding))
+
+    for finding in findings:
+        for suggestion in finding.suggests:
+            if suggestion == "swap-distribution":
+                for alternate in directive_alternates(point.app):
+                    propose(
+                        "swap-distribution",
+                        f"{point.app} -> {alternate}",
+                        "a different DISTRIBUTE/ALIGN choice changes which "
+                        "dimension communicates",
+                        replace(point, app=alternate,
+                                grid_shape=default_grid_shape(alternate,
+                                                              point.nprocs)),
+                        finding)
+
+            elif suggestion == "retarget-machine":
+                for machine in machine_pool:
+                    if machine == point.machine:
+                        continue
+                    propose(
+                        "retarget-machine",
+                        f"{point.machine} -> {machine}",
+                        "a different interconnect class shifts the "
+                        "computation/communication balance",
+                        _retarget(point, machine),
+                        finding)
+
+            elif suggestion in ("scale-nprocs", "reduce-nprocs",
+                                "change-nprocs"):
+                candidates: list[int] = []
+                if suggestion in ("scale-nprocs", "change-nprocs"):
+                    candidates += [point.nprocs * 2, point.nprocs * 4]
+                if suggestion in ("reduce-nprocs", "change-nprocs"):
+                    candidates += [point.nprocs // 2]
+                for nprocs in candidates:
+                    if nprocs < 1 or nprocs > max_nprocs or nprocs == point.nprocs:
+                        continue
+                    direction = "more parallelism amortises the serial and " \
+                        "per-node costs" if nprocs > point.nprocs else \
+                        "fewer nodes cut the communication and overhead bill"
+                    propose(
+                        "change-nprocs",
+                        f"p={point.nprocs} -> p={nprocs}",
+                        direction,
+                        _with_nprocs(point, nprocs),
+                        finding)
+
+            elif suggestion == "reshape-topology":
+                if not allow_reshape:
+                    continue
+                try:
+                    kind = get_machine(point.machine, 2).topology_kind
+                except KeyError:
+                    continue    # unregistered machine: no layout to rebuild
+                if kind not in SHAPED_KINDS:
+                    continue
+                # an unpinned layout is the near-square default, so proposing
+                # that shape would just re-evaluate the baseline
+                current = point.topology_shape or near_square_shape(point.nprocs)
+                for shape in _factor_pairs(point.nprocs):
+                    if shape == current:
+                        continue
+                    propose(
+                        "reshape-topology",
+                        f"layout {shape[0]}x{shape[1]} on {point.machine}",
+                        "a layout matched to the communication pattern "
+                        "shortens the hot paths",
+                        replace(point, topology_shape=shape),
+                        finding)
+
+    return out

@@ -1,0 +1,121 @@
+"""Ranked recommendations and their plain-text rendering.
+
+A :class:`Recommendation` joins one evaluated mutation to its baseline: the
+predicted speedup, a confidence grade (how well the interpreted ranking is
+corroborated by the execution simulator, when the advisor spent simulation
+budget on it) and a one-line explanation tracing back to the originating
+:class:`~repro.advisor.diagnose.Finding`.  :class:`AdvisorReport` is the
+object :func:`repro.advise` returns; ``render()`` produces the findings
+section and the ranked table through the Output Module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..explore.store import ScenarioResult
+from ..output.report import format_us, render_table
+from .diagnose import Finding
+from .mutations import Mutation
+
+#: Confidence grades, strongest first.
+CONFIDENCES = ("high", "medium", "low", "interpreted-only")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One evaluated mutation, ranked against the baseline scenario."""
+
+    mutation: Mutation
+    result: ScenarioResult
+    baseline: ScenarioResult
+    confidence: str = "interpreted-only"
+
+    @property
+    def finding(self) -> Finding:
+        return self.mutation.finding
+
+    @property
+    def predicted_speedup(self) -> float:
+        candidate = self.result.objective_us
+        base = self.baseline.objective_us
+        return base / candidate if candidate > 0 else float("nan")
+
+    @property
+    def improves(self) -> bool:
+        return self.predicted_speedup > 1.0
+
+    def explanation(self) -> str:
+        """One line: diagnosis -> edit -> expected effect."""
+        return (f"{self.finding.kind}: {self.mutation.description} — "
+                f"{self.mutation.rationale}; predicted "
+                f"{format_us(self.baseline.objective_us)} -> "
+                f"{format_us(self.result.objective_us)} "
+                f"({self.predicted_speedup:.2f}x)")
+
+
+@dataclass
+class AdvisorReport:
+    """Everything one ``repro.advise`` call produced."""
+
+    target: str
+    baseline: ScenarioResult
+    findings: list[Finding] = field(default_factory=list)
+    recommendations: list[Recommendation] = field(default_factory=list)
+    candidates_evaluated: int = 0
+    store_hits: int = 0
+    #: True when the result store disagreed with the fresh baseline (it
+    #: predated a predictor change) and was bypassed and superseded.
+    store_refreshed: bool = False
+
+    def best(self) -> Recommendation:
+        if not self.recommendations:
+            raise ValueError(
+                f"the advisor found no improving candidate for {self.target!r}")
+        return self.recommendations[0]
+
+    def top(self, n: int = 5) -> list[Recommendation]:
+        return self.recommendations[:n]
+
+    # -- rendering ------------------------------------------------------------
+
+    def findings_text(self) -> str:
+        if not self.findings:
+            return "no bottleneck findings (the configuration looks healthy)"
+        return "\n".join("  - " + finding.describe() for finding in self.findings)
+
+    def to_table(self, n: int = 10) -> str:
+        rows = []
+        for rank, rec in enumerate(self.top(n), start=1):
+            rows.append([
+                rank,
+                rec.mutation.kind,
+                rec.mutation.description,
+                format_us(rec.result.objective_us),
+                f"{rec.predicted_speedup:.2f}x",
+                rec.confidence,
+                rec.finding.kind,
+            ])
+        if not rows:
+            return "(no improving candidates found)"
+        return render_table(
+            ["#", "mutation", "edit", "predicted", "speedup", "confidence",
+             "finding"],
+            rows,
+            title=f"Recommendations for {self.baseline.point.label()} "
+                  f"(baseline {format_us(self.baseline.objective_us)})")
+
+    def render(self) -> str:
+        head = (f"Advisor report for {self.target!r}: "
+                f"{len(self.findings)} findings, "
+                f"{len(self.recommendations)} improving candidates "
+                f"({self.candidates_evaluated} evaluated, "
+                f"{self.store_hits} store hits)")
+        if self.store_refreshed:
+            head += ("\nnote: the result store predated a predictor change; "
+                     "stale records were re-evaluated and superseded")
+        sections = [head, "findings:\n" + self.findings_text(), self.to_table()]
+        if self.recommendations:
+            sections.append("top recommendation: "
+                            + self.best().explanation())
+        return "\n\n".join(sections)

@@ -29,22 +29,29 @@ from .campaign import (
     STRATEGIES,
     Campaign,
     CampaignRun,
+    compile_scenario,
     evaluate_point,
+    evaluate_points,
     resolve_campaign_machine,
+    resolve_executor,
     run_campaign,
 )
 from .report import (
+    StoreDiff,
     best_config_table,
     campaign_report,
     error_table,
     pareto_frontier,
     pareto_table,
+    store_diff,
+    store_diff_table,
 )
 from .space import (
     ProgramSpec,
     ScenarioError,
     ScenarioPoint,
     ScenarioSpace,
+    default_grid_shape,
     laplace_design_space,
 )
 from .store import (
@@ -63,18 +70,25 @@ __all__ = [
     "STRATEGIES",
     "Campaign",
     "CampaignRun",
+    "compile_scenario",
     "evaluate_point",
+    "evaluate_points",
     "resolve_campaign_machine",
+    "resolve_executor",
     "run_campaign",
+    "StoreDiff",
     "best_config_table",
     "campaign_report",
     "error_table",
     "pareto_frontier",
     "pareto_table",
+    "store_diff",
+    "store_diff_table",
     "ProgramSpec",
     "ScenarioError",
     "ScenarioPoint",
     "ScenarioSpace",
+    "default_grid_shape",
     "laplace_design_space",
     "STORE_SCHEMA_VERSION",
     "ResultStore",

@@ -4,24 +4,37 @@ A campaign is the executable form of the paper's design-tuning workflow: take
 a declarative :class:`~repro.explore.space.ScenarioSpace`, evaluate each
 point through ``repro.predict`` (the interpretation parse) and/or
 ``repro.measure`` (the execution simulator), and collect the results for
-ranking and reporting.  Three search strategies are provided, in the spirit
+ranking and reporting.  Five search strategies are provided, in the spirit
 of ArchGym's exploration harnesses around fast cost models:
 
 * ``grid``      — exhaustive sweep of every valid point,
 * ``random``    — seeded uniform sampling of the space (``samples`` points),
 * ``hillclimb`` — greedy local search: start somewhere, evaluate all
   one-axis neighbours, move to the best improvement, stop at a local
-  optimum; the visited trajectory is recorded ArchGym-style.
+  optimum; the visited trajectory is recorded ArchGym-style,
+* ``genetic``   — a small generational GA: tournament selection, per-axis
+  crossover (derived fields rebuilt), one-axis mutation, elitism; the best
+  point of each generation is recorded on the trajectory,
+* ``anneal``    — simulated annealing over the one-axis neighbour graph
+  with a geometric temperature schedule and Metropolis acceptance.
+
+All strategies are deterministic for a fixed ``seed``.
 
 Points are evaluated **in parallel** through :mod:`concurrent.futures` and
 **memoised** twice: within a run (duplicate points are evaluated once) and
 across runs through the optional persistent
 :class:`~repro.explore.store.ResultStore` — a re-run of a finished campaign
-touches the store only.
+touches the store only.  The default ``executor="auto"`` runs predict-only
+campaigns on a thread pool (interpretation is cheap and releases the GIL
+poorly but briefly) and switches to a :class:`ProcessPoolExecutor` when
+every point requests the execution simulator (``mode`` of ``measure`` /
+``both``), whose per-rank python loops otherwise serialise on the GIL.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -36,9 +49,9 @@ from ..system import Machine, get_machine, resolve_machine
 from .space import ProgramSpec, ScenarioError, ScenarioPoint, ScenarioSpace
 from .store import ResultStore, ScenarioResult
 
-STRATEGIES = ("grid", "random", "hillclimb")
+STRATEGIES = ("grid", "random", "hillclimb", "genetic", "anneal")
 MODES = ("predict", "measure", "both")
-EXECUTORS = ("thread", "process", "serial")
+EXECUTORS = ("auto", "thread", "process", "serial")
 
 #: ``(point) -> Machine`` override used by workbench presets that receive a
 #: pre-built Machine instance instead of a registry name.
@@ -68,6 +81,29 @@ def _compile_cached(source: str, name: str, nprocs: int,
                           grid_shape=grid_shape, params=dict(params_items))
 
 
+def compile_scenario(point: ScenarioPoint, program: ProgramSpec | None = None):
+    """(compiled program, interpreter options) for one scenario point.
+
+    The single compile path every scenario evaluation goes through — the
+    campaign worker and the advisor's baseline diagnosis share it, so the
+    program/params/options resolution can never diverge between them.
+    Compilation is cached per (program, size, nprocs, layout) cell.
+    """
+    if program is not None:
+        source, name = program.source, program.key
+        params = program.params_for(point.size)
+        options = None
+    else:
+        entry = get_entry(point.app)
+        source, name = entry.source, entry.key
+        params = entry.params_for(point.size)
+        options = entry.interpreter_options(point.size)
+    params.update({k: v for k, v in point.params})
+    compiled = _compile_cached(source, name, point.nprocs, point.grid_shape,
+                               tuple(sorted(params.items())))
+    return compiled, options
+
+
 def evaluate_point(
     point: ScenarioPoint,
     mode: str = "predict",
@@ -83,19 +119,7 @@ def evaluate_point(
     """
     if mode not in MODES:
         raise ScenarioError(f"unknown campaign mode {mode!r}; known: {MODES}")
-    if program is not None:
-        source, name = program.source, program.key
-        params = program.params_for(point.size)
-        options = None
-    else:
-        entry = get_entry(point.app)
-        source, name = entry.source, entry.key
-        params = entry.params_for(point.size)
-        options = entry.interpreter_options(point.size)
-    params.update({k: v for k, v in point.params})
-
-    compiled = _compile_cached(source, name, point.nprocs, point.grid_shape,
-                               tuple(sorted(params.items())))
+    compiled, options = compile_scenario(point, program)
     if machine_resolver is not None:
         machine = machine_resolver(point)
     else:
@@ -183,24 +207,98 @@ class Campaign:
 # ---------------------------------------------------------------------------
 
 
-def _evaluate_points(
+#: ``(app key) -> ProgramSpec | None`` lookup for ad-hoc (non-suite) programs.
+ProgramResolver = Callable[[str], "ProgramSpec | None"]
+
+#: ``"auto"`` only pays the process-pool start-up when it has at least this
+#: many fresh evaluations to amortise it over.
+PROCESS_AUTO_MIN_BATCH = 4
+
+
+def resolve_executor(executor: str, mode: str,
+                     machine_resolver: MachineResolver | None) -> str:
+    """Resolve ``"auto"`` to a concrete executor for this campaign.
+
+    Simulation-heavy campaigns (every point runs the execution simulator,
+    i.e. ``mode`` of ``measure`` / ``both``) default to the process pool —
+    the simulator's per-rank python loops hold the GIL, so threads buy
+    nothing there.  A ``machine_resolver`` closure cannot cross a process
+    boundary and pins auto back to threads.
+
+    Auto only picks the pool on fork-start platforms: forked workers inherit
+    runtime registrations (:func:`~repro.system.registry.register_machine`,
+    ad-hoc directive-alternate groups) from the parent, whereas spawn-start
+    workers (macOS/Windows default) re-import the package without them and
+    would fail on any runtime-registered name.  An explicit
+    ``executor="process"`` is honoured on every platform.
+    """
+    if executor != "auto":
+        return executor
+    if mode in ("measure", "both") and machine_resolver is None \
+            and _fork_start_method():
+        return "process"
+    return "thread"
+
+
+def _fork_start_method() -> bool:
+    """Whether worker processes would be plain forks of this process.
+
+    Probes with ``allow_none=True`` so a library call never fixes the
+    application's start method as a side effect; an unset method is resolved
+    to the platform default (fork on Linux before Python 3.14, spawn/
+    forkserver elsewhere) without touching multiprocessing state.
+    """
+    import sys
+    try:
+        start = multiprocessing.get_start_method(allow_none=True)
+    except Exception:           # unusual interpreter with no multiprocessing
+        return False
+    if start is None:
+        return sys.platform.startswith("linux") and sys.version_info < (3, 14)
+    return start == "fork"
+
+
+def evaluate_points(
     points: Sequence[ScenarioPoint],
     *,
-    mode: str,
-    space: ScenarioSpace,
-    store: ResultStore | None,
-    machine_resolver: MachineResolver | None,
-    simulator_options: SimulatorOptions | None,
-    max_workers: int | None,
-    executor: str,
-    memo: dict[ScenarioPoint, ScenarioResult],
+    mode: str = "predict",
+    store: ResultStore | None = None,
+    program_for: ProgramResolver | None = None,
+    machine_resolver: MachineResolver | None = None,
+    simulator_options: SimulatorOptions | None = None,
+    max_workers: int | None = None,
+    executor: str = "auto",
+    memo: dict[ScenarioPoint, ScenarioResult] | None = None,
 ) -> tuple[list[ScenarioResult], int, int]:
     """Evaluate *points* (deduplicated, store-memoised, in parallel).
 
-    Returns (results in input order, persistent-store hits, fresh
-    evaluations).  In-run memo revisits (duplicate points, hill-climb
-    re-encounters) are free dedup and count as neither.
+    The space-less face of the campaign engine: callers that already hold
+    concrete :class:`ScenarioPoint` s (the performance advisor's mutation
+    candidates, ad-hoc scripts) share the same dedup / store / parallelism
+    machinery the strategies run on.  Returns (results in input order,
+    persistent-store hits, fresh evaluations).  In-run ``memo`` revisits
+    (duplicate points, hill-climb re-encounters) are free dedup and count
+    as neither; a seeded memo entry only satisfies a request of the same
+    evaluation ``mode``.
     """
+    if mode not in MODES:
+        raise ScenarioError(f"unknown campaign mode {mode!r}; known: {MODES}")
+    if executor not in EXECUTORS:
+        raise ScenarioError(
+            f"unknown campaign executor {executor!r}; known: {EXECUTORS}")
+    auto = executor == "auto"
+    executor = resolve_executor(executor, mode, machine_resolver)
+    if executor == "process" and machine_resolver is not None:
+        # rejected up front — not only when a big-enough cold batch happens
+        # to reach the pool — so the contract does not depend on store warmth
+        raise ScenarioError(
+            "executor='process' cannot ship a machine_resolver closure; "
+            "use the default thread executor")
+    if program_for is None:
+        program_for = lambda app: None          # noqa: E731
+    if memo is None:
+        memo = {}
+
     unique: list[ScenarioPoint] = []
     seen: set[ScenarioPoint] = set()
     for point in points:
@@ -211,9 +309,13 @@ def _evaluate_points(
     hits = 0
     todo: list[ScenarioPoint] = []
     for point in unique:
-        if point in memo:
+        cached_memo = memo.get(point)
+        if cached_memo is not None and cached_memo.mode == mode:
             continue
-        program = space.program_for(point.app)
+        # a memo entry from another mode is not an answer to this one (the
+        # store keys by mode; the in-run memo must too) — evaluate and let
+        # the fresh result take the slot
+        program = program_for(point.app)
         cached = store.get_point(point, mode,
                                  program.source if program else None) \
             if store is not None else None
@@ -224,21 +326,23 @@ def _evaluate_points(
             todo.append(point)
 
     if todo:
+        # auto-chosen process pools must earn their start-up cost; explicit
+        # executor="process" is honoured regardless
+        if auto and executor == "process" and len(todo) < PROCESS_AUTO_MIN_BATCH:
+            executor = "thread"
+
         def job(point: ScenarioPoint) -> ScenarioResult:
             return evaluate_point(point, mode=mode,
-                                  program=space.program_for(point.app),
+                                  program=program_for(point.app),
                                   machine_resolver=machine_resolver,
                                   simulator_options=simulator_options)
 
         if executor == "serial" or len(todo) == 1:
             fresh = [job(point) for point in todo]
         elif executor == "process":
-            # the worker must be closure-free to pickle
-            if machine_resolver is not None:
-                raise ScenarioError(
-                    "executor='process' cannot ship a machine_resolver "
-                    "closure; use the default thread executor")
-            args = [(point, mode, space.program_for(point.app), None,
+            # the worker is closure-free (no machine_resolver — rejected
+            # above) so the argument tuples pickle
+            args = [(point, mode, program_for(point.app), None,
                      simulator_options) for point in todo]
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 fresh = list(pool.map(_evaluate_star, args))
@@ -273,17 +377,33 @@ def run_campaign(
     samples: int | None = None,
     max_steps: int = 32,
     seed: int = 0,
+    population: int = 8,
+    generations: int = 6,
+    mutation_rate: float = 0.3,
+    temperature: float | None = None,
+    cooling: float = 0.85,
     where: Callable[[ScenarioPoint], bool] | None = None,
     objective: Callable[[ScenarioResult], float] | None = None,
     machine_resolver: MachineResolver | None = None,
     simulator_options: SimulatorOptions | None = None,
     max_workers: int | None = None,
-    executor: str = "thread",
+    executor: str = "auto",
+    memo: dict[ScenarioPoint, ScenarioResult] | None = None,
 ) -> CampaignRun:
     """Evaluate *space* under one search strategy; the subsystem's front door.
 
-    ``store`` enables cross-run memoisation and persistence; ``executor`` is
-    ``"thread"`` (default), ``"process"`` or ``"serial"``.
+    ``store`` enables cross-run memoisation and persistence.  ``executor`` is
+    ``"auto"`` (default: process pool when every point simulates, threads
+    otherwise), ``"thread"``, ``"process"`` or ``"serial"``.  ``population`` /
+    ``generations`` / ``mutation_rate`` tune the ``genetic`` strategy;
+    ``temperature`` / ``cooling`` / ``max_steps`` tune ``anneal``.  Every
+    strategy is deterministic for a fixed ``seed``.  ``memo`` pre-seeds the
+    in-run result cache with already-evaluated points (the advisor threads
+    its targeted-mutation results into its refinement campaign this way);
+    seeded entries count as neither store hits nor fresh evaluations.  The
+    trajectory strategies (hillclimb/genetic/anneal) report every memo entry
+    in ``run.results``; grid/random report exactly the evaluated batch, so
+    unvisited seeds stay out of their results.
     """
     if strategy not in STRATEGIES:
         raise ScenarioError(
@@ -300,15 +420,23 @@ def run_campaign(
     if not points:
         return run
 
-    memo: dict[ScenarioPoint, ScenarioResult] = {}
-    evaluate = lambda batch: _evaluate_points(  # noqa: E731
-        batch, mode=mode, space=space, store=store,
-        machine_resolver=machine_resolver, simulator_options=simulator_options,
-        max_workers=max_workers, executor=executor, memo=memo)
+    memo = dict(memo) if memo is not None else {}
+
+    def evaluate(batch: Sequence[ScenarioPoint]
+                 ) -> tuple[list[ScenarioResult], int, int]:
+        results, hits, fresh = evaluate_points(
+            batch, mode=mode, store=store, program_for=space.program_for,
+            machine_resolver=machine_resolver,
+            simulator_options=simulator_options,
+            max_workers=max_workers, executor=executor, memo=memo)
+        run.store_hits += hits
+        run.evaluated += fresh
+        return results, hits, fresh
+
     score = objective if objective is not None else (lambda r: r.objective_us)
 
     if strategy == "grid":
-        run.results, run.store_hits, run.evaluated = evaluate(points)
+        run.results, _, _ = evaluate(points)
         return run
 
     rng = Random(seed)
@@ -316,26 +444,116 @@ def run_campaign(
         count = min(samples if samples is not None else max(len(points) // 2, 1),
                     len(points))
         chosen = rng.sample(points, count)
-        run.results, run.store_hits, run.evaluated = evaluate(chosen)
+        run.results, _, _ = evaluate(chosen)
         return run
 
-    # greedy hill-climb over the one-axis neighbour graph
+    if strategy == "hillclimb":
+        _run_hillclimb(run, space, points, rng, evaluate, score, max_steps)
+    elif strategy == "genetic":
+        _run_genetic(run, space, points, rng, evaluate, score,
+                     population=population, generations=generations,
+                     mutation_rate=mutation_rate)
+    else:
+        _run_anneal(run, space, points, rng, evaluate, score,
+                    max_steps=max_steps, temperature=temperature,
+                    cooling=cooling)
+    run.results = list(memo.values())
+    return run
+
+
+def _run_hillclimb(run, space, points, rng, evaluate, score, max_steps):
+    """Greedy hill-climb over the one-axis neighbour graph."""
     current = rng.choice(points)
-    [current_result], hits, fresh = evaluate([current])
-    run.store_hits += hits
-    run.evaluated += fresh
+    [current_result], _, _ = evaluate([current])
     run.trajectory.append(current_result)
     for _ in range(max_steps):
         neighbours = space.neighbors(current, points)
         if not neighbours:
             break
-        results, hits, fresh = evaluate(neighbours)
-        run.store_hits += hits
-        run.evaluated += fresh
+        results, _, _ = evaluate(neighbours)
         best = min(results, key=score)
         if score(best) >= score(current_result):
             break                                   # local optimum
         current, current_result = best.point, best
         run.trajectory.append(current_result)
-    run.results = list(memo.values())
-    return run
+
+
+def _crossover(rng: Random, a: ScenarioPoint, b: ScenarioPoint,
+               space: ScenarioSpace, pool: set[ScenarioPoint]) -> ScenarioPoint:
+    """Per-axis recombination of two parents, closed over the valid pool.
+
+    Each design axis is inherited from either parent with probability 1/2;
+    derived fields (the Laplace processor-grid shapes) are rebuilt for the
+    recombined (app, nprocs).  A child that falls outside the valid pool
+    (e.g. a topology shape that no longer tiles the inherited nprocs)
+    degrades to parent *a*, so the search never leaves the space.
+    """
+    pick = lambda x, y: x if rng.random() < 0.5 else y   # noqa: E731
+    child = space.rebuild_point(
+        app=pick(a.app, b.app),
+        size=pick(a.size, b.size),
+        nprocs=pick(a.nprocs, b.nprocs),
+        machine=pick(a.machine, b.machine),
+        topology_shape=pick(a.topology_shape, b.topology_shape),
+        params=pick(a.params, b.params),
+    )
+    return child if child in pool else a
+
+
+def _tournament(rng: Random, scored: list[ScenarioResult], score,
+                k: int = 2) -> ScenarioResult:
+    contenders = [scored[rng.randrange(len(scored))] for _ in range(k)]
+    return min(contenders, key=score)
+
+
+def _run_genetic(run, space, points, rng, evaluate, score, *,
+                 population, generations, mutation_rate):
+    """Generational GA: tournament selection, crossover, mutation, elitism."""
+    pool = set(points)
+    pop_size = min(max(population, 2), len(points))
+    current = rng.sample(points, pop_size)
+    scored, _, _ = evaluate(current)
+    best = min(scored, key=score)
+    run.trajectory.append(best)
+    for _ in range(generations):
+        next_gen = [best.point]                     # elitism
+        while len(next_gen) < pop_size:
+            parent_a = _tournament(rng, scored, score)
+            parent_b = _tournament(rng, scored, score)
+            child = _crossover(rng, parent_a.point, parent_b.point, space, pool)
+            if rng.random() < mutation_rate:
+                neighbours = space.neighbors(child, points)
+                if neighbours:
+                    child = neighbours[rng.randrange(len(neighbours))]
+            next_gen.append(child)
+        scored, _, _ = evaluate(next_gen)
+        generation_best = min(scored, key=score)
+        if score(generation_best) < score(best):
+            best = generation_best
+        run.trajectory.append(best)
+
+
+def _run_anneal(run, space, points, rng, evaluate, score, *,
+                max_steps, temperature, cooling):
+    """Simulated annealing with Metropolis acceptance over one-axis moves.
+
+    The starting temperature defaults to 10% of the initial objective, so
+    early uphill moves of that order are accepted with probability ~1/e and
+    the schedule is scale-free across problem sizes.
+    """
+    current = rng.choice(points)
+    [current_result], _, _ = evaluate([current])
+    t = temperature if temperature is not None \
+        else max(score(current_result) * 0.1, 1e-9)
+    run.trajectory.append(current_result)
+    for _ in range(max_steps):
+        neighbours = space.neighbors(current, points)
+        if not neighbours:
+            break
+        candidate = neighbours[rng.randrange(len(neighbours))]
+        [candidate_result], _, _ = evaluate([candidate])
+        delta = score(candidate_result) - score(current_result)
+        if delta <= 0 or rng.random() < math.exp(-delta / max(t, 1e-12)):
+            current, current_result = candidate, candidate_result
+            run.trajectory.append(current_result)
+        t *= cooling

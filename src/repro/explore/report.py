@@ -10,12 +10,17 @@ questions of §5.2:
 * :func:`pareto_table` / :func:`pareto_frontier` — the time-vs-processors
   trade-off: configurations not dominated in both cost and parallelism,
 * :func:`error_table` — estimated-vs-simulated error bands per application,
-  the campaign-level restatement of Table 2.
+  the campaign-level restatement of Table 2,
+* :func:`store_diff` / :func:`store_diff_table` — cross-store regression
+  diffs: two stores (e.g. the committed CI store and a fresh run, or two
+  framework revisions) joined on the content-addressed scenario key, with
+  per-scenario drift percentages and added/removed records.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..output.report import format_us, render_table
@@ -137,6 +142,149 @@ def error_table(
         return title + "\n(no simulated points)"
     return render_table(["application", "points", "min err", "mean err", "max err"],
                         rows, title=title)
+
+
+@dataclass(frozen=True)
+class StoreDiff:
+    """The join of two result stores on the content-addressed scenario key.
+
+    ``drifted`` holds (old, new, drift %) for scenarios present on both sides
+    whose objective moved by more than the tolerance; ``unchanged`` counts
+    the matched records inside tolerance.  ``added`` / ``removed`` are
+    records only one side holds (a new axis value, a retired scenario).
+    """
+
+    drifted: list[tuple[ScenarioResult, ScenarioResult, float]]
+    unchanged: int
+    added: list[ScenarioResult]
+    removed: list[ScenarioResult]
+
+    @property
+    def compared(self) -> int:
+        return self.unchanged + len(self.drifted)
+
+    def summary(self) -> str:
+        return (f"{self.compared} scenarios compared: {len(self.drifted)} "
+                f"drifted, {self.unchanged} unchanged, {len(self.added)} "
+                f"added, {len(self.removed)} removed")
+
+
+def _field_pairs(old: ScenarioResult, new: ScenarioResult):
+    return (("est", old.estimated_us, new.estimated_us),
+            ("sim", old.measured_us, new.measured_us))
+
+
+def _worst_drift(old: ScenarioResult, new: ScenarioResult
+                 ) -> tuple[float, str, str, str] | None:
+    """(drift %, field label, previous, current) of the worst-drifting field.
+
+    The single source of the comparison rules for both the drift *gate*
+    (:func:`store_diff`) and the drift *table*, so they can never disagree
+    about which field triggered.  Both the estimate and the measurement are
+    compared, so a simulator change that moves measurements without moving
+    estimates (the usual shape of a ``mode="both"`` regression) is still
+    drift.  A field whose old side held a value but whose new side lost it
+    (None or 0) is an infinite drift — a regression that nulls a number out
+    must not pass the gate as "unchanged".  Returns None when no field is
+    comparable.
+    """
+    worst = None
+    for label, stored, current in _field_pairs(old, new):
+        if stored in (None, 0):
+            continue                    # nothing to compare against
+        if current in (None, 0):        # the value vanished
+            return (float("inf"), label, f"{stored:.1f}", "lost")
+        pct = abs(current - stored) / stored * 100.0
+        if worst is None or pct > worst[0]:
+            worst = (pct, label, f"{stored:.1f}", f"{current:.1f}")
+    return worst
+
+
+def _drift_pct(old: ScenarioResult, new: ScenarioResult) -> float | None:
+    worst = _worst_drift(old, new)
+    return worst[0] if worst is not None else None
+
+
+def _drift_row(old: ScenarioResult, new: ScenarioResult
+               ) -> tuple[str, str, str]:
+    worst = _worst_drift(old, new)
+    if worst is None:
+        return "-", "-", "-"
+    return worst[1], worst[2], worst[3]
+
+
+def store_diff(
+    old: Iterable[ScenarioResult],
+    new: Iterable[ScenarioResult],
+    tolerance_pct: float = 0.01,
+) -> StoreDiff:
+    """Regression diff of two stores (or any two result collections).
+
+    Records are joined on :attr:`ScenarioResult.key` — the SHA-256 content
+    hash of (scenario, mode, program source) — so the comparison is stable
+    across processes, store files and framework revisions; only the
+    *numbers* are diffed, never the identity.
+    """
+    old_by_key = {r.key: r for r in old}
+    new_by_key = {r.key: r for r in new}
+
+    drifted: list[tuple[ScenarioResult, ScenarioResult, float]] = []
+    unchanged = 0
+    for key, new_result in new_by_key.items():
+        old_result = old_by_key.get(key)
+        if old_result is None:
+            continue
+        drift_pct = _drift_pct(old_result, new_result)
+        if drift_pct is None:
+            unchanged += 1              # no comparable fields on both sides
+        elif drift_pct > tolerance_pct:
+            drifted.append((old_result, new_result, drift_pct))
+        else:
+            unchanged += 1
+
+    added = [r for k, r in new_by_key.items() if k not in old_by_key]
+    removed = [r for k, r in old_by_key.items() if k not in new_by_key]
+    drifted.sort(key=lambda item: item[2], reverse=True)
+    return StoreDiff(drifted=drifted, unchanged=unchanged,
+                     added=added, removed=removed)
+
+
+def store_diff_table(
+    old: Iterable[ScenarioResult] = (),
+    new: Iterable[ScenarioResult] = (),
+    tolerance_pct: float = 0.01,
+    title: str = "Store diff: drift vs previous results",
+    max_rows: int = 20,
+    *,
+    diff: StoreDiff | None = None,
+) -> str:
+    """Rendered regression table of :func:`store_diff`, worst drift first.
+
+    Pass ``diff=`` to render an already-computed :class:`StoreDiff` instead
+    of re-joining ``old`` and ``new``.
+    """
+    if diff is None:
+        diff = store_diff(old, new, tolerance_pct)
+    if not diff.drifted:
+        return f"{title}\n{diff.summary()}"
+    rows = []
+    for old_result, new_result, drift_pct in diff.drifted[:max_rows]:
+        field, previous, current = _drift_row(old_result, new_result)
+        rows.append([
+            new_result.point.label(),
+            new_result.mode,
+            field,
+            previous,
+            current,
+            "value lost" if drift_pct == float("inf") else f"{drift_pct:.3f}%",
+        ])
+    table = render_table(
+        ["scenario", "mode", "field", "previous (us)", "current (us)", "drift"],
+        rows, title=title)
+    more = len(diff.drifted) - max_rows
+    if more > 0:
+        table += f"\n… +{more} more drifted scenarios"
+    return table + "\n" + diff.summary()
 
 
 def campaign_report(run: CampaignRun, objective: Objective | None = None) -> str:

@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..frontend.errors import ReproError
 from ..suite import get_entry
-from ..suite.registry import laplace_grid_shape
+from ..suite.registry import default_grid_shape
 from ..system import SHAPED_KINDS, get_machine
 
 #: One extra compile-time parameter assignment, e.g. ``("maxiter", 40.0)``.
@@ -214,12 +214,10 @@ class ScenarioSpace:
         for app, size, nprocs, machine, shape, params in itertools.product(
                 self.apps, self.sizes, self.proc_counts, self.machines,
                 self.topology_shapes, self.param_sets):
-            grid_shape = None
-            if app.startswith("laplace_"):
-                grid_shape = laplace_grid_shape(app.replace("laplace_", ""), nprocs)
             point = ScenarioPoint(app=app, size=size, nprocs=nprocs,
                                   machine=machine, topology_shape=shape,
-                                  grid_shape=grid_shape, params=params)
+                                  grid_shape=default_grid_shape(app, nprocs),
+                                  params=params)
             if shape is not None:
                 kind = kind_of(machine)
                 if kind not in SHAPED_KINDS:
@@ -269,6 +267,22 @@ class ScenarioSpace:
             if differs == 1:
                 out.append(other)
         return out
+
+    def rebuild_point(self, *, app: str, size: int, nprocs: int,
+                      machine: str, topology_shape: tuple[int, int] | None,
+                      params: tuple[ParamItem, ...]) -> ScenarioPoint:
+        """A ScenarioPoint from per-axis values, with the derived fields redone.
+
+        Axis recombination (the genetic strategy's crossover, the advisor's
+        mutations) cannot splice stored points directly because ``grid_shape``
+        is a *derived* field tied to (app, nprocs); this rebuilds it the same
+        way :meth:`expand_with_rejects` does.  The result is **not** validity
+        filtered — check membership against an expanded pool.
+        """
+        return ScenarioPoint(app=app, size=size, nprocs=nprocs,
+                             machine=machine, topology_shape=topology_shape,
+                             grid_shape=default_grid_shape(app, nprocs),
+                             params=params)
 
 
 def laplace_design_space(

@@ -53,6 +53,18 @@ class InterpretationResult:
     def predicted_time_s(self) -> float:
         return self.predicted_time_us * 1e-6
 
+    @property
+    def load_imbalance(self) -> float:
+        """Static critical-path/mean-rank computation ratio (1.0 = balanced).
+
+        The interpretation-parse counterpart of the simulator's per-rank
+        ``load_imbalance``: block partitions whose extents do not divide by
+        the processor count, and owner-computes scalar statements, push it
+        above 1.0.  The performance advisor (:mod:`repro.advisor`) turns
+        values above its threshold into load-imbalance findings.
+        """
+        return self.table.cumulative.imbalance
+
     # -- queries -----------------------------------------------------------------
 
     def metrics_for(self, aau_id: int) -> Metrics:

@@ -167,7 +167,10 @@ def interpret_owner_stmt(aau: AAU, ctx: InterpretationContext) -> Metrics:
     compute = iteration_time(count, proc, memory, hit_ratio=0.95,
                              include_loop_overhead=False)
     guard = 4 * proc.int_op_time + proc.branch_time
-    metrics = Metrics(computation=compute, overhead=guard)
+    # only the owner computes while the other ranks idle at the guard, so the
+    # mean-rank computation is 1/p of the critical-path charge
+    metrics = Metrics(computation=compute, overhead=guard,
+                      balanced_computation=compute / max(ctx.nprocs, 1))
     for spec in node.comms:
         metrics += _comm_spec_metrics(spec, ctx)
     return metrics
@@ -365,7 +368,8 @@ def interpret_loop_nest(aau: AAU, ctx: InterpretationContext) -> Metrics:
     distributed = home_dist is not None and not home_dist.is_replicated
 
     # --- local iteration count (static, owner computes) -----------------------
-    local_iterations = 1.0
+    local_iterations = 1.0      # the slowest rank: ceil(trips / procs) per axis
+    mean_iterations = 1.0       # the perfectly-even split: trips / procs
     global_iterations = 1.0
     for dim in node.loops:
         trips = _trip_count(ctx, dim.lo, dim.hi, dim.step)
@@ -373,7 +377,12 @@ def interpret_loop_nest(aau: AAU, ctx: InterpretationContext) -> Metrics:
         procs_along = 1
         if distributed and dim.home_axis is not None and dim.home_axis < len(home_dist.axes):
             procs_along = max(home_dist.axes[dim.home_axis].nprocs, 1)
-        local_iterations *= math.ceil(trips / procs_along) if procs_along > 1 else trips
+        if procs_along > 1:
+            local_iterations *= math.ceil(trips / procs_along)
+            mean_iterations *= trips / procs_along
+        else:
+            local_iterations *= trips
+            mean_iterations *= trips
 
     # --- per-iteration cost ------------------------------------------------------
     count = count_statement_body(node.body, node.mask)
@@ -406,7 +415,8 @@ def interpret_loop_nest(aau: AAU, ctx: InterpretationContext) -> Metrics:
     if node.mask is not None:
         overhead += proc.conditional_overhead  # the guard's setup
 
-    metrics = Metrics(computation=compute, overhead=overhead)
+    metrics = Metrics(computation=compute, overhead=overhead,
+                      balanced_computation=mean_iterations * per_iteration)
 
     # Mask CondtD child bookkeeping: charge the conditional-evaluation share to it.
     for child in aau.children:

@@ -16,24 +16,50 @@ from dataclasses import dataclass, field
 
 @dataclass
 class Metrics:
-    """Computation / communication / overhead breakdown (µs)."""
+    """Computation / communication / overhead breakdown (µs).
+
+    ``computation`` is the *critical-path* (slowest-rank) computation time the
+    loosely-synchronous model charges; ``balanced_computation`` is the
+    mean-rank computation time the same work would cost if it were spread
+    perfectly evenly.  The ratio of the two (:attr:`imbalance`) is the static
+    load-imbalance estimate the performance advisor diagnoses from — the
+    interpretation-parse analogue of the simulator's
+    ``SimulationResult.load_imbalance``.  A value of ``0.0`` means "not
+    tracked" and is read as perfectly balanced; the field is excluded from
+    equality so existing golden comparisons are unaffected.
+    """
 
     computation: float = 0.0
     communication: float = 0.0
     overhead: float = 0.0
+    balanced_computation: float = field(default=0.0, compare=False)
 
     @property
     def total(self) -> float:
         return self.computation + self.communication + self.overhead
+
+    @property
+    def balanced(self) -> float:
+        """Mean-rank computation time (falls back to the critical path)."""
+        return self.balanced_computation if self.balanced_computation > 0.0 \
+            else self.computation
+
+    @property
+    def imbalance(self) -> float:
+        """Critical-path / mean-rank computation (1.0 = perfectly balanced)."""
+        balanced = self.balanced
+        return self.computation / balanced if balanced > 0.0 else 1.0
 
     def __add__(self, other: "Metrics") -> "Metrics":
         return Metrics(
             computation=self.computation + other.computation,
             communication=self.communication + other.communication,
             overhead=self.overhead + other.overhead,
+            balanced_computation=self.balanced + other.balanced,
         )
 
     def __iadd__(self, other: "Metrics") -> "Metrics":
+        self.balanced_computation = self.balanced + other.balanced
         self.computation += other.computation
         self.communication += other.communication
         self.overhead += other.overhead
@@ -44,10 +70,12 @@ class Metrics:
             computation=self.computation * factor,
             communication=self.communication * factor,
             overhead=self.overhead * factor,
+            balanced_computation=self.balanced_computation * factor,
         )
 
     def copy(self) -> "Metrics":
-        return Metrics(self.computation, self.communication, self.overhead)
+        return Metrics(self.computation, self.communication, self.overhead,
+                       balanced_computation=self.balanced_computation)
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -55,6 +83,7 @@ class Metrics:
             "communication": self.communication,
             "overhead": self.overhead,
             "total": self.total,
+            "imbalance": self.imbalance,
         }
 
     def describe(self, unit: str = "us") -> str:

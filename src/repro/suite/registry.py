@@ -254,6 +254,19 @@ def laplace_grid_shape(variant: str, nprocs: int) -> tuple[int, ...] | None:
     return shapes.get(nprocs)
 
 
+def default_grid_shape(app: str, nprocs: int) -> tuple[int, ...] | None:
+    """The processor-grid shape scenarios attach for *app* by default.
+
+    The Laplace variants pin the paper's per-directive grid shapes; every
+    other application uses the compiler's default factorisation (``None``).
+    The single authority for this derivation — :func:`compile_entry`, the
+    exploration subsystem and the advisor's mutations all route through it.
+    """
+    if app.startswith("laplace_"):
+        return laplace_grid_shape(app.replace("laplace_", ""), nprocs)
+    return None
+
+
 def compile_entry(
     key: str,
     size: int | None = None,
@@ -263,6 +276,6 @@ def compile_entry(
     """Compile one suite program at a given problem and system size."""
     entry = get_entry(key)
     size = size if size is not None else entry.sizes[0]
-    if grid_shape is None and key.startswith("laplace_"):
-        grid_shape = laplace_grid_shape(key.replace("laplace_", ""), nprocs)
+    if grid_shape is None:
+        grid_shape = default_grid_shape(entry.key, nprocs)
     return entry.compile(size, nprocs, grid_shape)

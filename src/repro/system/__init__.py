@@ -3,14 +3,15 @@
 The machine is abstracted off-line into a System Abstraction Graph whose nodes
 (System Abstraction Units) export Processing, Memory, Communication/
 Synchronisation and I/O parameters, plus a structural interconnect
-:class:`~repro.system.topology.Topology`.  Four machine targets ship in the
+:class:`~repro.system.topology.Topology`.  Five machine targets ship in the
 registry — the paper's iPSC/860 hypercube (:func:`ipsc860`), a Paragon-class
-2-D mesh (:func:`paragon`), a switched workstation cluster (:func:`cluster`)
-and a T3D-class 2-D torus (:func:`torus_cluster`) — and :func:`get_machine`
-builds any of them by name.
+2-D mesh (:func:`paragon`), a switched workstation cluster (:func:`cluster`),
+a T3D-class 2-D torus (:func:`torus_cluster`) and a CM-5-class fat tree
+(:func:`cm5`) — and :func:`get_machine` builds any of them by name.
 """
 
 from .cluster import SWITCH_COMMUNICATION, build_cluster_sag, cluster
+from .cm5 import FAT_TREE_COMMUNICATION, build_cm5_sag, cm5
 from .comm_models import (
     allgather_time,
     allreduce_time,
@@ -46,6 +47,7 @@ from .machine import Machine
 from .paragon import MESH_COMMUNICATION, build_paragon_sag, paragon
 from .registry import (
     MachineSpec,
+    canonical_machine_name,
     get_machine,
     machine_names,
     machine_specs,
@@ -62,6 +64,7 @@ from .sau import (
 )
 from .topology import (
     SHAPED_KINDS,
+    FatTreeTopology,
     HypercubeTopology,
     MeshTopology,
     SwitchedTopology,
@@ -101,6 +104,7 @@ __all__ = [
     "MESH_COMMUNICATION",
     "SWITCH_COMMUNICATION",
     "TORUS_COMMUNICATION",
+    "FAT_TREE_COMMUNICATION",
     "I860_MEMORY",
     "I860_PROCESSING",
     "Machine",
@@ -108,11 +112,14 @@ __all__ = [
     "build_paragon_sag",
     "build_cluster_sag",
     "build_torus_cluster_sag",
+    "build_cm5_sag",
     "ipsc860",
     "paragon",
     "cluster",
     "torus_cluster",
+    "cm5",
     "MachineSpec",
+    "canonical_machine_name",
     "get_machine",
     "machine_names",
     "machine_specs",
@@ -125,6 +132,7 @@ __all__ = [
     "IOComponent",
     "MemoryComponent",
     "ProcessingComponent",
+    "FatTreeTopology",
     "HypercubeTopology",
     "MeshTopology",
     "SwitchedTopology",

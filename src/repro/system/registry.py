@@ -17,6 +17,8 @@ Built-in machines:
   aliases ``delta``, ``switch``.
 * ``torus-cluster`` — T3D-class nodes on a 2-D wraparound torus;
   aliases ``torus``, ``t3d``.
+* ``cm5`` — CM-5-class SPARC nodes on a 4-ary data-network fat tree;
+  aliases ``cm-5``, ``fattree``, ``fat-tree``.
 
 User code can add its own with :func:`register_machine`.  Machines on shaped
 interconnects (mesh, torus) additionally accept a ``topology_shape=(rows,
@@ -29,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .cluster import cluster
+from .cm5 import cm5
 from .ipsc860 import ipsc860
 from .machine import Machine
 from .paragon import paragon
@@ -78,6 +81,18 @@ def machine_specs() -> list[MachineSpec]:
     return [_MACHINES[name] for name in machine_names()]
 
 
+def canonical_machine_name(name: str) -> str:
+    """The canonical registry key for *name* (case/punctuation-insensitive,
+    aliases resolved); raises :class:`KeyError` for unknown machines."""
+    key = _ALIASES.get(name.lower().replace("/", "").replace("-", "").replace(" ", ""))
+    if key is None:
+        key = _ALIASES.get(name.lower())
+    if key is None:
+        raise KeyError(
+            f"unknown machine {name!r}; registered: {machine_names()}")
+    return key
+
+
 def get_machine(name: str, nprocs: int = 8, noise_seed: int = 0,
                 topology_shape: tuple[int, int] | None = None) -> Machine:
     """Build the registered machine *name* with an *nprocs*-node partition.
@@ -87,12 +102,7 @@ def get_machine(name: str, nprocs: int = 8, noise_seed: int = 0,
     tile *nprocs* nodes, or a shape on an unshaped interconnect, raises
     :class:`~repro.system.topology.TopologyError`.
     """
-    key = _ALIASES.get(name.lower().replace("/", "").replace("-", "").replace(" ", ""))
-    if key is None:
-        key = _ALIASES.get(name.lower())
-    if key is None:
-        raise KeyError(
-            f"unknown machine {name!r}; registered: {machine_names()}")
+    key = canonical_machine_name(name)
     machine = _MACHINES[key].factory(nprocs, noise_seed)
     if topology_shape is not None:
         rows, cols = topology_shape
@@ -139,4 +149,10 @@ register_machine(
     "torus-cluster", torus_cluster,
     description="T3D-class nodes on a 2-D wraparound torus (shortest-way XY routing)",
     aliases=("torus", "t3d"),
+)
+register_machine(
+    "cm5", cm5,
+    description="CM-5-class SPARC nodes on a 4-ary data-network fat tree "
+                "(doubling link capacity, control-network barriers)",
+    aliases=("cm-5", "fattree", "fat-tree"),
 )

@@ -531,6 +531,178 @@ class TorusTopology(MeshTopology):
 
 
 # ---------------------------------------------------------------------------
+# fat tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FatTreeTopology(BaseTopology):
+    """A CM-5-class fat tree: compute nodes at the leaves of an *arity*-ary
+    switch tree whose link capacity grows toward the root.
+
+    Compute nodes carry labels ``0 .. num_nodes-1``; switches are pseudo-nodes
+    with negative labels (one per (level, group, channel) triple).  A message
+    climbs to the lowest switch level whose *arity*-ary group contains both
+    endpoints and descends again, so the hop count is ``2 * merge_level`` —
+    nodes in the same leaf group are 2 hops apart, the diameter is
+    ``2 * levels``.
+
+    The "fatness" is modelled the way the CM-5 data network built it: above
+    the leaf switches each group connects to multiple *parallel* parent
+    switches (channel count doubling per level, capped at
+    ``max_channel_width``), and a route picks its channel deterministically
+    from ``(src + dst)``.  Disjoint message pairs therefore spread across the
+    parallel upper links, which is exactly the contention relief a fat tree
+    buys; the network simulator sees it through distinct link ids.
+
+    Collective schedules stay the binomial / recursive-doubling defaults; the
+    CM-5's dedicated control network shows up in the machine parameter set
+    (cheap barriers), not in the data-network structure.
+    """
+
+    num_nodes: int
+    arity: int = 4
+    max_channel_width: int = 4
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise TopologyError(
+                f"a fat tree needs at least one node, got {self.num_nodes}")
+        if self.arity < 2:
+            raise TopologyError(f"fat-tree arity must be >= 2, got {self.arity}")
+
+    @property
+    def kind(self) -> str:
+        return "fattree"
+
+    @property
+    def levels(self) -> int:
+        """Switch levels between a leaf and the root (>= 1).
+
+        Computed by integer doubling, not ``math.log`` — float error on exact
+        powers (e.g. ``log(125, 5) = 3.0000000000000004``) would overstate
+        the level count and desynchronise it from :meth:`merge_level`.
+        """
+        levels = 1
+        capacity = self.arity
+        while capacity < self.num_nodes:
+            capacity *= self.arity
+            levels += 1
+        return levels
+
+    def _width(self, level: int) -> int:
+        """Parallel switch channels at *level* (1 at the leaves, doubling up)."""
+        return min(2 ** (level - 1), self.max_channel_width)
+
+    def _switch(self, level: int, group: int, channel: int) -> int:
+        """Negative pseudo-node label of one (level, group, channel) switch."""
+        base = 0
+        for l in range(1, level):
+            groups = -(-self.num_nodes // self.arity ** l)
+            base += groups * self._width(l)
+        return -(1 + base + group * self._width(level) + channel)
+
+    def merge_level(self, src: int, dst: int) -> int:
+        """Lowest switch level whose group contains both endpoints."""
+        level = 1
+        while src // self.arity ** level != dst // self.arity ** level:
+            level += 1
+        return level
+
+    def neighbors(self, node: int) -> list[int]:
+        """Compute nodes sharing *node*'s leaf switch (the 2-hop peers)."""
+        self._check(node)
+        group = node // self.arity
+        lo = group * self.arity
+        hi = min(lo + self.arity, self.num_nodes)
+        return [other for other in range(lo, hi) if other != node]
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        if src == dst:
+            return 0
+        return 2 * self.merge_level(src, dst)
+
+    def route(self, src: int, dst: int) -> list[Hop]:
+        self._check(src, "source")
+        self._check(dst, "destination")
+        if src == dst:
+            return []
+        top = self.merge_level(src, dst)
+        channel_seed = src + dst
+        path = [src]
+        for level in range(1, top + 1):            # climb the source side
+            path.append(self._switch(level, src // self.arity ** level,
+                                     channel_seed % self._width(level)))
+        for level in range(top - 1, 0, -1):        # descend the destination side
+            path.append(self._switch(level, dst // self.arity ** level,
+                                     channel_seed % self._width(level)))
+        path.append(dst)
+        return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def links(self) -> set[Hashable]:
+        out: set[Hashable] = set()
+        for a in self.nodes():
+            for b in self.nodes():
+                if a != b:
+                    out.update(self.link_id(x, y) for x, y in self.route(a, b))
+        return out
+
+    def diameter(self) -> int:
+        if self.num_nodes <= 1:
+            return 0
+        return 2 * self.merge_level(0, self.num_nodes - 1)
+
+    def average_distance(self) -> float:
+        # called on the interpretation hot path (unstructured gathers price
+        # their hop count from it), so use the cached closed form rather
+        # than BaseTopology's all-pairs walk
+        return _fattree_average_distance(self.num_nodes, self.arity)
+
+    def bisection_links(self) -> int:
+        """Parallel root-level links available to the label-halving cut."""
+        half = self.num_nodes // 2
+        if half == 0:
+            return 0
+        top = self.levels
+        if top == 1:
+            return half                     # one switch: the cut severs node links
+        subtree = self.arity ** (top - 1)
+        lower_groups = max(half // subtree, 1)
+        return lower_groups * self._width(top)
+
+
+@lru_cache(maxsize=None)
+def _fattree_average_distance(n: int, arity: int) -> float:
+    """Mean pairwise hop distance of an *n*-leaf, *arity*-ary fat tree.
+
+    Ordered pairs are binned by merge level: the pairs whose endpoints share
+    a level-``l`` group but no level-``l-1`` group are exactly ``2 * l`` hops
+    apart.  Same-group pair counts have a closed form per level, so this is
+    O(levels) instead of the O(n² log n) all-pairs walk.
+    """
+    if n <= 1:
+        return 0.0
+
+    def same_group_pairs(level: int) -> int:
+        size = arity ** level
+        full, remainder = divmod(n, size)
+        return full * size * (size - 1) + remainder * (remainder - 1)
+
+    total_pairs = n * (n - 1)
+    total_hops = 0
+    previous = 0                    # same_group_pairs(0): none (a != b)
+    level = 1
+    while previous < total_pairs:
+        current = same_group_pairs(level)
+        total_hops += (current - previous) * 2 * level
+        previous = current
+        level += 1
+    return total_hops / total_pairs
+
+
+# ---------------------------------------------------------------------------
 # switched cluster
 # ---------------------------------------------------------------------------
 
@@ -620,6 +792,10 @@ _TOPOLOGY_ALIASES = {
     "switch": "switch",
     "switched": "switch",
     "crossbar": "switch",
+    "fattree": "fattree",
+    "fat-tree": "fattree",
+    "fat_tree": "fattree",
+    "tree": "fattree",
 }
 
 #: Topology kinds that accept a (rows, cols) ``shape=`` override.
@@ -628,11 +804,13 @@ SHAPED_KINDS = ("mesh", "torus")
 
 def make_topology(kind: str, num_nodes: int, *,
                   shape: tuple[int, int] | None = None,
-                  switch_hops: int = 2) -> Topology:
+                  switch_hops: int = 2,
+                  arity: int = 4) -> Topology:
     """Build a topology of *kind* over *num_nodes* nodes.
 
     ``shape`` overrides the near-square factorisation used for meshes and
-    tori; a shape whose product is not *num_nodes* raises :class:`TopologyError`.
+    tori; a shape whose product is not *num_nodes* raises
+    :class:`TopologyError`.  ``arity`` is the switch fan-out of a fat tree.
     """
     if num_nodes < 1:
         raise TopologyError(f"a partition needs at least one node, got {num_nodes}")
@@ -651,4 +829,6 @@ def make_topology(kind: str, num_nodes: int, *,
                 f" ({rows}*{cols} = {rows * cols})")
         cls = MeshTopology if canonical == "mesh" else TorusTopology
         return cls(rows, cols)
+    if canonical == "fattree":
+        return FatTreeTopology(num_nodes, arity=arity)
     return SwitchedTopology(num_nodes, switch_hops=switch_hops)

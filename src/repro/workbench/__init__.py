@@ -7,10 +7,13 @@
 * :mod:`forall_study`  — Figure 2 (abstraction of the forall statement)
 * :mod:`ablation`      — design-choice ablations A1/A2 (ours)
 * :mod:`machines`      — cross-machine sweep over the machine registry (ours)
+* :mod:`advising`      — A3 (ours): the performance advisor re-derives the
+  §5.2.1 directive selection automatically
 
 Every study that touches a machine takes ``machine="ipsc860" | "paragon" |
-"cluster" | "torus-cluster"`` (or a :class:`~repro.system.machine.Machine`
-instance), so each table/figure can be regenerated per target.
+"cluster" | "torus-cluster" | "cm5"`` (or a
+:class:`~repro.system.machine.Machine` instance), so each table/figure can
+be regenerated per target.
 
 The sweep studies are thin presets over the design-space exploration
 subsystem (:mod:`repro.explore`): each exposes a ``*_campaign()`` builder
@@ -19,6 +22,7 @@ returning the declarative :class:`~repro.explore.campaign.Campaign`, and the
 """
 
 from .ablation import AblationPoint, AblationReport, run_comm_sensitivity, run_model_ablation
+from .advising import AdvisorStudy, run_advisor_study
 from .accuracy import (
     AccuracyPoint,
     AccuracyReport,
@@ -56,6 +60,8 @@ from .usability import UsabilityEntry, UsabilityStudy, run_usability_study
 __all__ = [
     "AblationPoint",
     "AblationReport",
+    "AdvisorStudy",
+    "run_advisor_study",
     "run_comm_sensitivity",
     "run_model_ablation",
     "AccuracyPoint",

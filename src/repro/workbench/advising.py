@@ -1,0 +1,110 @@
+"""Experiment A3 (ours) — the advisor re-derives the §5.2.1 directive selection.
+
+The paper's directive-selection study (:mod:`repro.workbench.directives`)
+shows that ranking the three Laplace DISTRIBUTE/ALIGN alternatives by their
+*interpreted* times picks the same winner as ranking them by simulated
+(measured) times.  This preset closes the final step: instead of the user
+reading Figure 4/5 and choosing, :func:`repro.advise` is pointed at one
+(deliberately non-optimal) variant and must *automatically* propose the
+directive swap the exhaustive study would have selected — with a predicted
+speedup and an explanation traced to a diagnosis finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..advisor import AdvisorReport, Recommendation, advise
+from ..explore import (
+    ResultStore,
+    ScenarioSpace,
+    resolve_campaign_machine,
+    run_campaign,
+)
+from ..output.report import format_us, render_table
+from ..system import Machine
+from .directives import LAPLACE_VARIANTS
+
+
+@dataclass
+class AdvisorStudy:
+    """Did the advisor's directive pick agree with the exhaustive sweep?"""
+
+    start_variant: str
+    size: int
+    nprocs: int
+    machine: str
+    advice: AdvisorReport
+    exhaustive_best: str = ""
+    exhaustive_times_us: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def advised_variant(self) -> str:
+        """The variant the advisor's best *directive* recommendation lands on."""
+        swap = self.best_directive_swap()
+        return swap.result.point.app if swap is not None else self.start_variant
+
+    def best_directive_swap(self) -> Recommendation | None:
+        for rec in self.advice.recommendations:
+            if rec.mutation.kind == "swap-distribution":
+                return rec
+        return None
+
+    @property
+    def agrees(self) -> bool:
+        """True when the advisor lands on the sweep's best variant."""
+        return self.advised_variant == self.exhaustive_best
+
+    def to_table(self) -> str:
+        rows = []
+        for variant, time_us in sorted(self.exhaustive_times_us.items(),
+                                       key=lambda item: item[1]):
+            marks = []
+            if variant == self.exhaustive_best:
+                marks.append("sweep best")
+            if variant == self.advised_variant:
+                marks.append("advisor pick")
+            if variant == self.start_variant:
+                marks.append("start")
+            rows.append([variant, format_us(time_us), ", ".join(marks) or "-"])
+        return render_table(
+            ["variant", "predicted", "role"],
+            rows,
+            title=f"Directive selection, advisor vs exhaustive sweep "
+                  f"(n={self.size}, p={self.nprocs}, {self.machine})")
+
+
+def run_advisor_study(
+    size: int = 64,
+    nprocs: int = 4,
+    machine: str | Machine = "ipsc860",
+    start_variant: str = "laplace_block_block",
+    store: ResultStore | None = None,
+) -> AdvisorStudy:
+    """Point the advisor at *start_variant* and check it re-derives the
+    exhaustive sweep's directive choice.
+
+    The advisor sees only the single starting scenario; the exhaustive
+    predict-mode campaign over all three variants is run independently as
+    ground truth.  Both share ``store``, so the comparison costs nothing
+    the advisor did not already evaluate.  ``machine`` is a registry name or
+    a :class:`Machine` instance, like every other workbench study.
+    """
+    machine_name, machine_resolver = resolve_campaign_machine(machine)
+    advice = advise(start_variant, size=size, nprocs=nprocs, machine=machine,
+                    store=store, simulate_top=0,
+                    machines=(machine_name,))  # isolate the directive question
+
+    sweep = run_campaign(
+        ScenarioSpace(apps=tuple(f"laplace_{v}" for v in LAPLACE_VARIANTS),
+                      sizes=(size,), proc_counts=(nprocs,),
+                      machines=(machine_name,)),
+        name=f"advisor-study-sweep:p{nprocs}", mode="predict", store=store,
+        machine_resolver=machine_resolver)
+    times = {r.point.app: r.estimated_us for r in sweep.results}
+    best = min(times, key=times.get)
+
+    return AdvisorStudy(
+        start_variant=start_variant, size=size, nprocs=nprocs,
+        machine=machine_name, advice=advice,
+        exhaustive_best=best, exhaustive_times_us=times)

@@ -6,6 +6,15 @@ computes call prices with no communication) and the framework's per-phase
 computation / communication / overhead breakdown is produced — the bar chart
 of Figure 7 — from the interpreted metrics, with the simulated breakdown
 alongside for reference.
+
+This study shows the user the bottleneck; the performance advisor
+(:mod:`repro.advisor`) *acts* on it: ``repro.advise("finance", nprocs=4,
+size=256)`` walks the same per-phase metrics into located
+:class:`~repro.advisor.diagnose.Finding` s (the Phase 1 shift communication
+surfaces as a ``phase-comm`` finding) and returns ranked configuration
+changes with predicted speedups.  See also
+:func:`repro.workbench.advising.run_advisor_study` for the closed-loop
+version of the directive-selection experiment.
 """
 
 from __future__ import annotations

@@ -1,0 +1,500 @@
+"""Tests for the performance advisor (`repro.advisor`): the static
+load-imbalance metric it diagnoses from, the finding walk over the
+interpreted metrics tree, the typed mutation generator, and the
+`repro.advise` goldens — on the Laplace and stock-option suite apps the top
+recommendation must measurably improve the predicted time, the directive
+pick must agree with the exhaustive sweep, and everything must be
+deterministic and store-memoised."""
+
+import pytest
+
+from repro import advise, get_machine, interpret
+from repro.advisor import (
+    AdvisorReport,
+    Finding,
+    diagnose,
+    directive_alternates,
+    generate_mutations,
+)
+from repro.advisor.report import CONFIDENCES
+from repro.explore import ResultStore, ScenarioPoint
+from repro.interpreter.metrics import Metrics
+from repro.suite import get_entry
+from repro.workbench import run_advisor_study
+
+
+def interpret_entry(key: str, size: int, nprocs: int, machine: str = "ipsc860"):
+    entry = get_entry(key)
+    compiled = entry.compile(size, nprocs)
+    return entry, interpret(compiled, get_machine(machine, nprocs),
+                            options=entry.interpreter_options(size))
+
+
+class TestImbalanceMetric:
+    """The static critical-path/mean-rank estimate the advisor diagnoses from."""
+
+    def test_balanced_field_is_excluded_from_equality(self):
+        assert Metrics(computation=5.0) == \
+            Metrics(computation=5.0, balanced_computation=4.0)
+
+    def test_propagates_through_add_and_scale(self):
+        skewed = Metrics(computation=10.0, balanced_computation=8.0)
+        total = skewed + Metrics(computation=10.0)
+        assert total.balanced == pytest.approx(18.0)
+        assert total.imbalance == pytest.approx(20.0 / 18.0)
+        assert skewed.scaled(3.0).imbalance == pytest.approx(skewed.imbalance)
+
+    def test_untracked_metrics_read_as_balanced(self):
+        assert Metrics(computation=7.0).imbalance == 1.0
+        assert Metrics().imbalance == 1.0
+
+    def test_even_partition_nearly_balanced(self):
+        # 64 rows over 8 procs divide evenly; what remains is the (real)
+        # owner-computes skew of the scalar statements
+        _, result = interpret_entry("laplace_block_star", 64, 8)
+        assert 1.0 <= result.load_imbalance < 1.05
+
+    def test_ragged_partition_shows_more_imbalance(self):
+        # 100 rows over 8 procs: ceil(100/8)=13 vs mean 12.5
+        _, even = interpret_entry("laplace_block_star", 64, 8)
+        _, ragged = interpret_entry("laplace_block_star", 100, 8)
+        assert ragged.load_imbalance > even.load_imbalance
+        assert ragged.load_imbalance > 1.04
+
+
+class TestDiagnose:
+    def test_finance_findings_locate_the_figure7_bottleneck(self):
+        entry, result = interpret_entry("finance", 256, 4)
+        findings = diagnose(result, entry)
+        kinds = {f.kind for f in findings}
+        assert "comm-bound" in kinds
+        assert "phase-comm" in kinds
+        phase = next(f for f in findings if f.kind == "phase-comm")
+        assert phase.phase == "Phase 1"          # the shift-building phase
+        hotspot = next(f for f in findings if f.kind == "comm-hotspot")
+        assert "cshift" in hotspot.message
+        assert hotspot.line is not None
+
+    def test_findings_sorted_by_severity(self):
+        entry, result = interpret_entry("finance", 256, 4)
+        severities = [f.severity for f in diagnose(result, entry)]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_compute_bound_program_suggests_scaling(self):
+        entry, result = interpret_entry("laplace_block_block", 64, 4)
+        findings = diagnose(result, entry)
+        compute = next(f for f in findings if f.kind == "compute-bound")
+        assert "scale-nprocs" in compute.suggests
+
+    def test_ragged_partition_yields_imbalance_finding(self):
+        entry, result = interpret_entry("laplace_block_star", 100, 8)
+        findings = diagnose(result, entry, imbalance_threshold=1.02)
+        assert any(f.kind == "load-imbalance" for f in findings)
+
+    def test_describe_carries_the_location(self):
+        finding = Finding(kind="comm-hotspot", severity=0.4, message="m", line=26)
+        assert "[line 26]" in finding.describe()
+
+
+class TestMutations:
+    POINT = ScenarioPoint(app="laplace_block_block", size=64, nprocs=4,
+                          machine="ipsc860", grid_shape=(2, 2))
+
+    def test_directive_alternates_registered_for_laplace(self):
+        assert set(directive_alternates("laplace_block_block")) == \
+            {"laplace_block_star", "laplace_star_block"}
+        assert directive_alternates("finance") == ()
+
+    def test_swap_distribution_rebuilds_the_grid_shape(self):
+        finding = Finding(kind="comm-bound", severity=0.5, message="m",
+                          suggests=("swap-distribution",))
+        muts = generate_mutations(self.POINT, [finding])
+        targets = {m.target.app: m.target for m in muts}
+        assert set(targets) == {"laplace_block_star", "laplace_star_block"}
+        for target in targets.values():
+            assert target.grid_shape != self.POINT.grid_shape or \
+                target.app == "laplace_block_block"
+
+    def test_retarget_proposes_every_other_machine(self):
+        finding = Finding(kind="comm-bound", severity=0.5, message="m",
+                          suggests=("retarget-machine",))
+        muts = generate_mutations(self.POINT, [finding])
+        machines = {m.target.machine for m in muts}
+        assert "ipsc860" not in machines
+        assert {"paragon", "cluster", "torus-cluster", "cm5"} <= machines
+
+    def test_nprocs_mutations_respect_bounds(self):
+        finding = Finding(kind="compute-bound", severity=0.5, message="m",
+                          suggests=("change-nprocs",))
+        muts = generate_mutations(self.POINT, [finding], max_nprocs=8)
+        procs = sorted(m.target.nprocs for m in muts)
+        assert procs == [2, 8]                  # 16 exceeds the bound
+
+    def test_reshape_only_on_shaped_interconnects(self):
+        finding = Finding(kind="load-imbalance", severity=0.5, message="m",
+                          suggests=("reshape-topology",))
+        assert generate_mutations(self.POINT, [finding]) == []  # hypercube
+        mesh_point = ScenarioPoint(app="lfk1", size=128, nprocs=4,
+                                   machine="paragon")
+        muts = generate_mutations(mesh_point, [finding])
+        shapes = {m.target.topology_shape for m in muts}
+        assert shapes == {(1, 4), (4, 1)}       # (2, 2) is the default layout
+
+    def test_duplicate_targets_keep_the_most_severe_finding(self):
+        strong = Finding(kind="comm-bound", severity=0.9, message="strong",
+                         suggests=("retarget-machine",))
+        weak = Finding(kind="overhead-bound", severity=0.1, message="weak",
+                       suggests=("retarget-machine",))
+        muts = generate_mutations(self.POINT, [strong, weak])
+        assert all(m.finding is strong for m in muts)
+
+
+class TestAdviseGoldens:
+    """Acceptance: the top recommendation measurably improves predicted time."""
+
+    @pytest.mark.parametrize("target, size, nprocs", [
+        ("laplace_block_block", 64, 4),
+        ("finance", 256, 4),
+    ])
+    def test_top_recommendation_improves_predicted_time(self, target, size, nprocs):
+        report = advise(target, size=size, nprocs=nprocs, simulate_top=0)
+        assert isinstance(report, AdvisorReport)
+        assert report.findings, "no findings on a known-imperfect baseline"
+        best = report.best()
+        assert best.result.objective_us < report.baseline.objective_us
+        assert best.predicted_speedup > 1.0
+        # the explanation is human-readable and traceable to a finding
+        assert best.finding in report.findings
+        assert best.finding.kind in best.explanation()
+        assert "->" in best.explanation()
+
+    def test_recommendations_ranked_best_first(self):
+        report = advise("laplace_block_block", size=64, nprocs=4,
+                        simulate_top=0)
+        objectives = [r.result.objective_us for r in report.recommendations]
+        assert objectives == sorted(objectives)
+        assert all(r.improves for r in report.recommendations)
+
+    def test_deterministic(self):
+        first = advise("finance", size=256, nprocs=4, simulate_top=0)
+        second = advise("finance", size=256, nprocs=4, simulate_top=0)
+        assert [r.result.point for r in first.recommendations] == \
+            [r.result.point for r in second.recommendations]
+
+    def test_simulator_cross_check_grades_confidence(self):
+        report = advise("laplace_block_block", size=64, nprocs=4,
+                        simulate_top=2)
+        graded = [r.confidence for r in report.recommendations[:2]]
+        assert all(c in CONFIDENCES for c in graded)
+        assert any(c != "interpreted-only" for c in graded)
+        assert all(r.confidence == "interpreted-only"
+                   for r in report.recommendations[2:])
+
+    def test_store_memoises_the_whole_run(self, tmp_path):
+        store = ResultStore(tmp_path / "advice.jsonl")
+        first = advise("finance", size=256, nprocs=4, store=store,
+                       simulate_top=0)
+        assert first.candidates_evaluated > 0
+        rerun = advise("finance", size=256, nprocs=4,
+                       store=ResultStore(store.path), simulate_top=0)
+        assert rerun.candidates_evaluated == 0
+        assert rerun.store_hits > 0
+        assert [r.result.point for r in rerun.recommendations] == \
+            [r.result.point for r in first.recommendations]
+
+    def test_stale_store_is_detected_and_superseded(self, tmp_path):
+        # a store written before a predictor change must not feed old-model
+        # candidate numbers into a new-model baseline comparison
+        import json
+
+        store = ResultStore(tmp_path / "stale.jsonl")
+        clean = advise("finance", size=256, nprocs=4, store=store,
+                       simulate_top=0)
+        assert not clean.store_refreshed
+
+        # simulate a predictor change: perturb every stored estimate
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                record["result"]["estimated_us"] *= 3.0
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        refreshed = advise("finance", size=256, nprocs=4,
+                           store=ResultStore(store.path), simulate_top=0)
+        assert refreshed.store_refreshed
+        assert refreshed.candidates_evaluated > 0       # not served stale
+        assert [r.result.point for r in refreshed.recommendations] == \
+            [r.result.point for r in clean.recommendations]
+        assert refreshed.best().predicted_speedup == \
+            pytest.approx(clean.best().predicted_speedup)
+        # the store was repaired: a third run is clean and fully served
+        again = advise("finance", size=256, nprocs=4,
+                       store=ResultStore(store.path), simulate_top=0)
+        assert not again.store_refreshed
+        assert again.candidates_evaluated == 0
+
+    def test_stale_candidates_without_stored_baseline_probed(self, tmp_path):
+        # the baseline sentinel cannot fire when the store never saw the
+        # baseline point; the winner spot-check must catch it instead
+        import json
+
+        store = ResultStore(tmp_path / "probe.jsonl")
+        clean = advise("finance", size=256, nprocs=4, store=store,
+                       simulate_top=0)
+        base_key = clean.baseline.key
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                if record["key"] == base_key:
+                    continue                      # no stored baseline
+                record["result"]["estimated_us"] /= 4.0   # steers the winner
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        refreshed = advise("finance", size=256, nprocs=4,
+                           store=ResultStore(store.path), simulate_top=0)
+        assert refreshed.store_refreshed
+        assert refreshed.best().result.point == clean.best().result.point
+        assert refreshed.best().predicted_speedup == \
+            pytest.approx(clean.best().predicted_speedup)
+
+    def test_stale_served_record_caught_even_below_a_fresh_winner(self, tmp_path):
+        # partial store: only some candidates are served, and the overall
+        # winner evaluates fresh — the probe must still check the served side
+        import json
+
+        store = ResultStore(tmp_path / "partial.jsonl")
+        clean = advise("finance", size=256, nprocs=4, store=store,
+                       budget=3, simulate_top=0)        # partial record set
+        base_key = clean.baseline.key
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                if record["key"] != base_key:
+                    record["result"]["estimated_us"] *= 10.0   # inflated stale
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        report = advise("finance", size=256, nprocs=4,
+                        store=ResultStore(store.path), simulate_top=0)
+        assert report.store_refreshed
+        truth = advise("finance", size=256, nprocs=4, simulate_top=0)
+        assert [r.result.point for r in report.recommendations] == \
+            [r.result.point for r in truth.recommendations]
+
+    def test_stale_simulated_records_refresh_the_confidence(self, tmp_path):
+        # a simulator change moves measured_us without moving estimates; the
+        # "both"-mode spot-check must catch it and re-grade confidence
+        import json
+
+        store = ResultStore(tmp_path / "sim.jsonl")
+        clean = advise("laplace_block_block", size=64, nprocs=4, store=store,
+                       simulate_top=1)
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                if record["result"].get("measured_us"):
+                    record["result"]["measured_us"] *= 10.0
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        report = advise("laplace_block_block", size=64, nprocs=4,
+                        store=ResultStore(store.path), simulate_top=1)
+        assert report.store_refreshed
+        assert report.best().confidence == clean.best().confidence
+
+    def test_machine_scoped_staleness_caught(self, tmp_path):
+        # a predictor change scoped to one machine's parameter set must be
+        # caught even when the overall winner (another machine) is clean
+        import json
+
+        store = ResultStore(tmp_path / "scoped.jsonl")
+        clean = advise("finance", size=256, nprocs=4, store=store,
+                       simulate_top=0)
+        loser = clean.recommendations[-1].result.point.machine
+        assert loser != clean.best().result.point.machine
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                if record["scenario"]["machine"] == loser:
+                    record["result"]["estimated_us"] *= 2.0
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        report = advise("finance", size=256, nprocs=4,
+                        store=ResultStore(store.path), simulate_top=0)
+        assert report.store_refreshed
+        assert [(r.result.point, r.predicted_speedup)
+                for r in report.recommendations] == \
+            [(r.result.point, r.predicted_speedup)
+             for r in clean.recommendations]
+
+    def test_budget_caps_the_candidates(self):
+        capped = advise("laplace_block_block", size=64, nprocs=4,
+                        budget=3, simulate_top=0)
+        assert capped.candidates_evaluated <= 4      # baseline + 3
+
+    def test_adhoc_source_target(self):
+        source = (
+            "      program tiny\n"
+            "      integer, parameter :: n = 64\n"
+            "      real, dimension(n) :: a\n"
+            "!HPF$ PROCESSORS p(4)\n"
+            "!HPF$ DISTRIBUTE a(BLOCK) ONTO p\n"
+            "      forall (i = 1:n) a(i) = i * 0.5\n"
+            "      s = sum(a)\n"
+            "      print *, s\n"
+            "      end program tiny\n"
+        )
+        report = advise(source, size=64, nprocs=4, simulate_top=0)
+        assert report.baseline.point.app == "adhoc"
+        assert report.findings
+        # ad-hoc sources cannot swap directives, but retargets still rank
+        assert all(r.mutation.kind != "swap-distribution"
+                   for r in report.recommendations)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            advise("no_such_app")
+
+    def test_machine_alias_canonicalised(self):
+        # "hypercube" is an alias of ipsc860; the retarget mutations must
+        # not propose the physically identical machine under its real name
+        report = advise("laplace_block_block", size=64, nprocs=4,
+                        machine="hypercube", simulate_top=0)
+        assert report.baseline.point.machine == "ipsc860"
+        assert all(r.result.point.machine != "ipsc860"
+                   for r in report.recommendations
+                   if r.mutation.kind == "retarget-machine")
+
+    def test_machine_instance_baseline(self):
+        # a comm-bound baseline on a Machine *instance* must not crash the
+        # mutation generator (its display name is not a registry key) and
+        # must suppress layout proposals the registry cannot rebuild
+        machine = get_machine("cluster", 8)
+        report = advise("laplace_block_block", size=16, nprocs=8,
+                        machine=machine, simulate_top=0)
+        assert any(f.kind == "comm-bound" for f in report.findings)
+        assert all(r.mutation.kind != "reshape-topology"
+                   for r in report.recommendations)
+
+    def test_machine_instance_rejects_refine_and_shape(self):
+        machine = get_machine("paragon", 4)
+        with pytest.raises(ValueError):
+            advise("finance", machine=machine, refine="genetic")
+        with pytest.raises(ValueError):
+            advise("finance", machine=machine, topology_shape=(2, 2))
+
+    def test_render_composes(self):
+        report = advise("finance", size=256, nprocs=4, simulate_top=0)
+        text = report.render()
+        assert "findings:" in text
+        assert "Recommendations for" in text
+        assert "top recommendation:" in text
+
+
+class TestRefinement:
+    def test_genetic_refinement_finds_multi_axis_recombinations(self):
+        report = advise("laplace_block_star", size=100, nprocs=8,
+                        simulate_top=0, refine="genetic", seed=4)
+        kinds = {r.mutation.kind for r in report.recommendations}
+        assert "search(genetic)" in kinds
+        # a recombination (machine and nprocs changed at once) must appear
+        assert any(r.result.point.machine != "ipsc860"
+                   and r.result.point.nprocs != 8
+                   for r in report.recommendations)
+
+    def test_refinement_is_seed_deterministic(self):
+        first = advise("laplace_block_star", size=100, nprocs=8,
+                       simulate_top=0, refine="anneal", seed=6)
+        second = advise("laplace_block_star", size=100, nprocs=8,
+                        simulate_top=0, refine="anneal", seed=6)
+        assert [r.result.point for r in first.recommendations] == \
+            [r.result.point for r in second.recommendations]
+
+    def test_unknown_refine_rejected(self):
+        with pytest.raises(ValueError):
+            advise("finance", refine="tabu")
+
+    def test_refinement_never_served_stale_recombinations(self, tmp_path):
+        # recombination records escape both baseline and mutation staleness
+        # guards, so the refinement must not read the store at all
+        import json
+
+        store = ResultStore(tmp_path / "refine.jsonl")
+        clean = advise("laplace_block_star", size=100, nprocs=8, store=store,
+                       simulate_top=0, refine="genetic", seed=4)
+        winner_key = clean.best().result.key
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                if record["key"] == winner_key:
+                    record["result"]["estimated_us"] = 1.0   # poisoned winner
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        again = advise("laplace_block_star", size=100, nprocs=8,
+                       store=ResultStore(store.path), simulate_top=0,
+                       refine="genetic", seed=4)
+        assert again.best().result.point == clean.best().result.point
+        assert again.best().predicted_speedup == \
+            pytest.approx(clean.best().predicted_speedup)
+
+    def test_stale_refresh_appends_no_duplicate_lines(self, tmp_path):
+        # the supersede pass is value-comparing: when only the baseline
+        # record is stale, the full refresh re-checks every candidate but
+        # must append a superseding line for the baseline alone
+        import json
+
+        store = ResultStore(tmp_path / "dup.jsonl")
+        clean = advise("finance", size=256, nprocs=4, store=store,
+                       simulate_top=0)
+        base_key = clean.baseline.key
+        lines = open(store.path).read().splitlines()
+        with open(store.path, "w") as fh:
+            fh.write(lines[0] + "\n")
+            for line in lines[1:]:
+                record = json.loads(line)
+                if record["key"] == base_key:
+                    record["result"]["estimated_us"] *= 2.0
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        report = advise("finance", size=256, nprocs=4,
+                        store=ResultStore(store.path), simulate_top=0)
+        assert report.store_refreshed
+        total = sum(1 for _ in open(store.path)) - 1     # minus header
+        keys = len(ResultStore(store.path))
+        assert total == keys + 1, \
+            "exactly one superseding line (for the stale baseline record)"
+
+
+class TestAdvisorStudy:
+    def test_advisor_rederives_the_directive_selection(self, tmp_path):
+        store = ResultStore(tmp_path / "study.jsonl")
+        study = run_advisor_study(size=64, nprocs=4, store=store)
+        assert study.agrees, (
+            f"advisor picked {study.advised_variant}, sweep best is "
+            f"{study.exhaustive_best}")
+        swap = study.best_directive_swap()
+        assert swap is not None and swap.predicted_speedup > 1.0
+        assert "advisor pick" in study.to_table()
+
+    def test_study_isolates_the_directive_question(self):
+        study = run_advisor_study(size=64, nprocs=4)
+        machines = {r.result.point.machine
+                    for r in study.advice.recommendations}
+        assert machines <= {"ipsc860"}
+
+    def test_study_accepts_a_machine_instance(self):
+        # the workbench contract: every study takes a name or an instance
+        study = run_advisor_study(size=64, nprocs=4,
+                                  machine=get_machine("ipsc860", 4))
+        assert study.agrees
+        assert study.machine == get_machine("ipsc860", 4).name

@@ -460,3 +460,239 @@ class TestWorkbenchPresets:
         for a, b in zip(first.points, again.points):
             assert a.estimated_s == b.estimated_s
             assert a.measured_s == b.measured_s
+
+
+class TestNewStrategies:
+    """Genetic and annealing strategies: registered, seed-deterministic,
+    closed over the valid pool, and competitive with the grid optimum."""
+
+    SPACE = laplace_design_space(sizes=(16, 32), proc_counts=(2, 4, 8),
+                                 machines=("ipsc860", "paragon", "torus-cluster"))
+
+    def test_registered_in_strategies(self):
+        from repro.explore import STRATEGIES
+        assert "genetic" in STRATEGIES and "anneal" in STRATEGIES
+
+    @pytest.mark.parametrize("strategy", ["genetic", "anneal"])
+    def test_deterministic_under_fixed_seed(self, strategy):
+        first = run_campaign(self.SPACE, strategy=strategy, seed=13)
+        second = run_campaign(self.SPACE, strategy=strategy, seed=13)
+        assert [r.point for r in first.trajectory] == \
+            [r.point for r in second.trajectory]
+        assert {r.point for r in first.results} == \
+            {r.point for r in second.results}
+        assert first.best().point == second.best().point
+
+    @pytest.mark.parametrize("strategy", ["genetic", "anneal"])
+    def test_seed_changes_the_search(self, strategy):
+        runs = [run_campaign(self.SPACE, strategy=strategy, seed=s)
+                for s in (1, 2, 3)]
+        trajectories = [tuple(r.point for r in run.trajectory) for run in runs]
+        assert len(set(trajectories)) > 1, "seed never changed the search"
+
+    @pytest.mark.parametrize("strategy", ["genetic", "anneal"])
+    def test_stays_inside_the_valid_pool(self, strategy):
+        pool = set(self.SPACE.expand())
+        run = run_campaign(self.SPACE, strategy=strategy, seed=5)
+        assert all(r.point in pool for r in run.results)
+        assert 0 < run.evaluated <= len(pool)
+
+    def test_genetic_trajectory_is_monotone_best_so_far(self):
+        run = run_campaign(self.SPACE, strategy="genetic", seed=3,
+                           population=6, generations=4)
+        objectives = [r.objective_us for r in run.trajectory]
+        assert objectives == sorted(objectives, reverse=True)
+
+    def test_genetic_finds_the_grid_optimum_on_a_small_space(self):
+        space = ScenarioSpace(apps=("laplace_block_star", "laplace_star_block"),
+                              sizes=(16,), proc_counts=(2, 4, 8),
+                              machines=("ipsc860", "paragon"))
+        grid_best = run_campaign(space).best()
+        genetic = run_campaign(space, strategy="genetic", seed=0,
+                               population=6, generations=6)
+        assert genetic.best().objective_us == grid_best.objective_us
+
+    def test_anneal_best_no_worse_than_its_start(self):
+        run = run_campaign(self.SPACE, strategy="anneal", seed=9, max_steps=20)
+        assert run.best().objective_us <= run.trajectory[0].objective_us
+
+    def test_strategies_share_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "strategies.jsonl")
+        run_campaign(self.SPACE, store=store)                       # fill
+        genetic = run_campaign(self.SPACE, strategy="genetic", seed=2,
+                               store=ResultStore(store.path))
+        assert genetic.evaluated == 0
+        assert genetic.store_hits == len(genetic.results)
+
+
+class TestExecutors:
+    def test_auto_resolution(self):
+        import multiprocessing
+
+        from repro.explore import resolve_executor
+        # auto only risks the pool where forked workers inherit runtime
+        # machine registrations (spawn platforms stay on threads)
+        pooled = "process" if multiprocessing.get_start_method() == "fork" \
+            else "thread"
+        assert resolve_executor("auto", "predict", None) == "thread"
+        assert resolve_executor("auto", "measure", None) == pooled
+        assert resolve_executor("auto", "both", None) == pooled
+        assert resolve_executor("auto", "both", lambda p: None) == "thread"
+        assert resolve_executor("serial", "both", None) == "serial"
+
+    def test_process_executor_matches_serial(self):
+        space = ScenarioSpace(apps=("laplace_block_star",), sizes=(16,),
+                              proc_counts=(2, 4), machines=("ipsc860",))
+        process = run_campaign(space, mode="both", executor="process",
+                               max_workers=2)
+        serial = run_campaign(space, mode="both", executor="serial")
+        assert len(process.results) == 2
+        for a, b in zip(process.results, serial.results):
+            assert a.point == b.point
+            assert a.estimated_us == b.estimated_us
+            assert a.measured_us == b.measured_us
+
+    def test_process_executor_rejects_machine_resolver(self):
+        from repro import get_machine
+        from repro.explore import evaluate_points, resolve_campaign_machine
+        _, resolver = resolve_campaign_machine(get_machine("ipsc860", 4))
+        with pytest.raises(ScenarioError):
+            run_campaign(SMALL_SPACE, executor="process",
+                         machine_resolver=resolver)
+        # rejected up front, even for batches too small to reach the pool
+        with pytest.raises(ScenarioError):
+            evaluate_points([], executor="process", machine_resolver=resolver)
+
+
+class TestEvaluatePoints:
+    """The space-less public face the advisor drives candidates through."""
+
+    def test_evaluates_and_memoises_through_the_store(self, tmp_path):
+        from repro.explore import evaluate_points
+        points = [ScenarioPoint(app="laplace_block_star", size=16, nprocs=p)
+                  for p in (2, 4)]
+        store = ResultStore(tmp_path / "points.jsonl")
+        results, hits, fresh = evaluate_points(points, store=store)
+        assert (hits, fresh) == (0, 2)
+        assert [r.point for r in results] == points
+        again, hits, fresh = evaluate_points(points,
+                                             store=ResultStore(store.path))
+        assert (hits, fresh) == (2, 0)
+        assert [r.estimated_us for r in again] == \
+            [r.estimated_us for r in results]
+
+    def test_duplicates_are_free(self):
+        from repro.explore import evaluate_points
+        point = ScenarioPoint(app="laplace_block_star", size=16, nprocs=2)
+        results, hits, fresh = evaluate_points([point, point, point])
+        assert (hits, fresh) == (0, 1)
+        assert len(results) == 3
+
+    def test_memo_entries_only_satisfy_their_own_mode(self):
+        from repro.explore import evaluate_points
+        point = ScenarioPoint(app="laplace_block_star", size=16, nprocs=2)
+        [predicted], _, _ = evaluate_points([point])
+        # a predict-mode seed must not answer a measure-mode request
+        [measured], _, fresh = evaluate_points([point], mode="measure",
+                                               memo={point: predicted})
+        assert fresh == 1
+        assert measured.mode == "measure"
+        assert measured.measured_us is not None
+
+    def test_bad_mode_rejected(self):
+        from repro.explore import evaluate_points
+        with pytest.raises(ScenarioError):
+            evaluate_points([], mode="guess")
+
+
+class TestStoreDiff:
+    def _results(self, estimates):
+        return [small_result(nprocs=p, estimated=e)
+                for p, e in zip((2, 4, 8), estimates)]
+
+    def test_identical_sides_do_not_drift(self):
+        from repro.explore import store_diff
+        old = self._results([100.0, 200.0, 300.0])
+        diff = store_diff(old, self._results([100.0, 200.0, 300.0]))
+        assert not diff.drifted
+        assert diff.unchanged == diff.compared == 3
+        assert not diff.added and not diff.removed
+
+    def test_drift_detected_and_sorted_worst_first(self):
+        from repro.explore import store_diff
+        old = self._results([100.0, 200.0, 300.0])
+        new = self._results([110.0, 200.0, 390.0])
+        diff = store_diff(old, new)
+        assert len(diff.drifted) == 2 and diff.unchanged == 1
+        assert diff.drifted[0][2] == pytest.approx(30.0)   # worst first
+        assert diff.drifted[1][2] == pytest.approx(10.0)
+
+    def test_added_and_removed_records(self):
+        from repro.explore import store_diff
+        old = self._results([100.0, 200.0])[:2]
+        new = self._results([100.0, 200.0, 300.0])
+        diff = store_diff(old, new)
+        assert len(diff.added) == 1 and diff.added[0].point.nprocs == 8
+        diff_back = store_diff(new, old)
+        assert len(diff_back.removed) == 1
+
+    def test_lost_values_count_as_drift(self):
+        # a regression that nulls a previously-present number must not pass
+        # the gate as "unchanged"
+        from repro.explore import store_diff, store_diff_table
+        old = self._results([100.0, 200.0, 300.0])
+        new = [small_result(nprocs=2, estimated=100.0),
+               small_result(nprocs=4, estimated=None),
+               small_result(nprocs=8, estimated=0.0)]
+        diff = store_diff(old, new)
+        assert len(diff.drifted) == 2
+        assert all(pct == float("inf") for _, _, pct in diff.drifted)
+        assert "value lost" in store_diff_table(old, new)
+
+    def test_drift_table_shows_the_field_that_drifted(self):
+        from repro.explore import store_diff_table
+        old = [small_result(nprocs=2, estimated=100.0, measured=120.0)]
+        new = [small_result(nprocs=2, estimated=100.0, measured=180.0)]
+        table = store_diff_table(old, new)
+        assert "sim" in table and "120.0" in table and "180.0" in table
+
+    def test_simulator_only_drift_detected(self):
+        # measured_us moving while estimates stay put (a simulator change)
+        # must still count as drift
+        from repro.explore import store_diff
+        old = [small_result(nprocs=p, estimated=100.0, measured=m)
+               for p, m in zip((2, 4, 8), (120.0, 120.0, 120.0))]
+        new = [small_result(nprocs=p, estimated=100.0, measured=m)
+               for p, m in zip((2, 4, 8), (120.0, 180.0, 120.0))]
+        diff = store_diff(old, new)
+        assert len(diff.drifted) == 1
+        assert diff.drifted[0][2] == pytest.approx(50.0)
+
+    def test_tolerance_gates_the_drift(self):
+        from repro.explore import store_diff
+        old = self._results([100.0, 200.0, 300.0])
+        new = self._results([100.5, 200.0, 300.0])
+        assert store_diff(old, new, tolerance_pct=1.0).drifted == []
+        assert len(store_diff(old, new, tolerance_pct=0.1).drifted) == 1
+
+    def test_table_renders_and_summarises(self):
+        from repro.explore import store_diff_table
+        old = self._results([100.0, 200.0, 300.0])
+        new = self._results([150.0, 200.0, 300.0])
+        table = store_diff_table(old, new)
+        assert "50.000%" in table and "drifted" in table
+        clean = store_diff_table(old, old)
+        assert "0 drifted" in clean
+
+    def test_diff_joins_across_store_files(self, tmp_path):
+        from repro.explore import store_diff
+        old_store = ResultStore(tmp_path / "old.jsonl")
+        new_store = ResultStore(tmp_path / "new.jsonl")
+        for r in self._results([100.0, 200.0, 300.0]):
+            old_store.add(r)
+        for r in self._results([100.0, 260.0, 300.0]):
+            new_store.add(r)
+        diff = store_diff(ResultStore(old_store.path),
+                          ResultStore(new_store.path))
+        assert len(diff.drifted) == 1
+        assert diff.drifted[0][2] == pytest.approx(30.0)

@@ -13,6 +13,7 @@ from repro.simulator import Network
 from repro.suite import get_entry
 from repro.system import (
     CommunicationComponent,
+    FatTreeTopology,
     HypercubeTopology,
     MeshTopology,
     SwitchedTopology,
@@ -43,6 +44,10 @@ ALL_TOPOLOGIES = [
     TorusTopology(4, 4),
     SwitchedTopology(3),
     SwitchedTopology(8),
+    FatTreeTopology(5),
+    FatTreeTopology(8),
+    FatTreeTopology(16),
+    FatTreeTopology(16, arity=2),
 ]
 
 IDS = [f"{t.kind}-{t.num_nodes}" for t in ALL_TOPOLOGIES]
@@ -59,11 +64,21 @@ class TestTopologyProperties:
                 assert len(topo.route(src, dst)) == topo.hops(src, dst)
 
     def test_routes_stay_in_partition(self, topo):
-        allowed = set(topo.nodes()) | {SWITCH_NODE}
+        # only switch/fat-tree interconnects own pseudo-nodes: the crossbar
+        # exactly SWITCH_NODE, the fat tree any negative switch label;
+        # direct networks must never emit one
+        allowed = set(topo.nodes())
+
+        def pseudo(label):
+            if topo.kind == "switch":
+                return label == SWITCH_NODE
+            return topo.kind == "fattree" and label < 0
+
         for src in topo.nodes():
             for dst in topo.nodes():
                 for a, b in topo.route(src, dst):
-                    assert a in allowed and b in allowed
+                    assert a in allowed or pseudo(a)
+                    assert b in allowed or pseudo(b)
 
     def test_routes_chain_from_src_to_dst(self, topo):
         for src in topo.nodes():
@@ -311,11 +326,112 @@ class TestTorusTopology:
         assert max(errors) < 20.0, f"torus-cluster/{key}: {errors}"
 
 
+class TestFatTreeTopology:
+    def test_leaf_group_peers_are_two_hops(self):
+        topo = FatTreeTopology(16)
+        assert set(topo.neighbors(0)) == {1, 2, 3}
+        assert topo.hops(0, 3) == 2
+        assert topo.hops(0, 4) == 4          # different leaf group: via level 2
+
+    def test_diameter_grows_logarithmically(self):
+        assert FatTreeTopology(4).diameter() == 2
+        assert FatTreeTopology(16).diameter() == 4
+        assert FatTreeTopology(64).diameter() == 6
+        assert FatTreeTopology(16, arity=2).diameter() == 8
+
+    @pytest.mark.parametrize("n, arity", [(5, 4), (8, 4), (16, 4), (16, 2),
+                                          (27, 3), (13, 3)])
+    def test_average_distance_closed_form_matches_enumeration(self, n, arity):
+        topo = FatTreeTopology(n, arity=arity)
+        brute = sum(topo.hops(a, b) for a in topo.nodes() for b in topo.nodes()
+                    if a != b) / (n * (n - 1))
+        assert topo.average_distance() == pytest.approx(brute)
+
+    @pytest.mark.parametrize("arity", [2, 3, 4, 5, 7, 8])
+    def test_levels_exact_at_powers_of_arity(self, arity):
+        # float log would overstate levels at exact powers (log(125,5) > 3)
+        for exponent in (1, 2, 3):
+            topo = FatTreeTopology(arity ** exponent, arity=arity)
+            assert topo.levels == exponent
+            if topo.num_nodes > 1:
+                assert topo.diameter() == 2 * topo.levels
+                assert topo.bisection_links() > 0
+
+    def test_parallel_upper_links_spread_disjoint_routes(self):
+        # the fat part: two disjoint cross-group pairs whose (src + dst)
+        # channel seeds differ must not share an upper link, so they never
+        # contend even though both leave leaf group 0 for leaf group 1
+        topo = FatTreeTopology(16)
+        links_a = {topo.link_id(a, b) for a, b in topo.route(0, 4)}   # seed 4
+        links_b = {topo.link_id(a, b) for a, b in topo.route(2, 7)}   # seed 9
+        assert not (links_a & links_b)
+
+    def test_switch_labels_are_unique_pseudo_nodes(self):
+        topo = FatTreeTopology(16, arity=2)
+        seen = {}
+        for level in range(1, topo.levels + 1):
+            groups = -(-topo.num_nodes // topo.arity ** level)
+            for group in range(groups):
+                for channel in range(topo._width(level)):
+                    label = topo._switch(level, group, channel)
+                    assert label < 0
+                    assert label not in seen, (seen[label], (level, group, channel))
+                    seen[label] = (level, group, channel)
+
+    def test_bisection_positive_and_richer_than_single_switch(self):
+        assert FatTreeTopology(4).bisection_links() == 2
+        assert FatTreeTopology(16).bisection_links() >= 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeTopology(0)
+        with pytest.raises(TopologyError):
+            FatTreeTopology(8, arity=1)
+
+    def test_make_topology_aliases(self):
+        for alias in ("fattree", "fat-tree", "fat_tree", "tree"):
+            assert make_topology(alias, 8).kind == "fattree"
+        assert make_topology("fattree", 27, arity=3).arity == 3
+
+    def test_cm5_machine_registered(self):
+        machine = get_machine("cm5", 8)
+        assert machine.topology_kind == "fattree"
+        assert machine.topology().kind == "fattree"
+        assert get_machine("cm-5", 8).name == machine.name
+        assert get_machine("fat-tree", 8).name == machine.name
+        # shapes are a mesh/torus concept; the fat tree must reject them
+        with pytest.raises(TopologyError):
+            get_machine("cm5", 8, topology_shape=(2, 4))
+
+    def test_control_network_barriers_cheapest_of_registry(self):
+        cm5_comm = get_machine("cm5", 8).communication
+        for other in ("ipsc860", "paragon", "cluster", "torus-cluster"):
+            assert cm5_comm.barrier_per_stage < \
+                get_machine(other, 8).communication.barrier_per_stage
+
+    @pytest.mark.parametrize("key, size", [
+        ("lfk1", 1024),
+        ("laplace_block_star", 64),
+    ])
+    def test_prediction_error_within_paper_band(self, key, size):
+        entry = get_entry(key)
+        errors = []
+        for nprocs in (1, 4, 8):
+            compiled = entry.compile(size, nprocs)
+            machine = get_machine("cm5", nprocs)
+            est = interpret(compiled, machine, options=entry.interpreter_options(size))
+            sim = simulate(compiled, machine)
+            errors.append(abs(est.predicted_time_us - sim.measured_time_us)
+                          / sim.measured_time_us * 100.0)
+        assert max(errors) < 20.0, f"cm5/{key}: {errors}"
+
+
 class TestMachineRegistry:
-    def test_three_builtin_machines(self):
-        assert {"ipsc860", "paragon", "cluster"} <= set(machine_names())
+    def test_builtin_machines(self):
+        assert {"ipsc860", "paragon", "cluster", "torus-cluster",
+                "cm5"} <= set(machine_names())
         for name, kind in (("ipsc860", "hypercube"), ("paragon", "mesh"),
-                           ("cluster", "switch")):
+                           ("cluster", "switch"), ("cm5", "fattree")):
             machine = get_machine(name, 8)
             assert machine.num_nodes == 8
             assert machine.topology().kind == kind
@@ -329,7 +445,7 @@ class TestMachineRegistry:
 
     def test_unknown_machine_raises(self):
         with pytest.raises(KeyError):
-            get_machine("cm5", 8)
+            get_machine("sx-4", 8)
 
     def test_resolve_machine_accepts_name_instance_and_none(self):
         machine = get_machine("paragon", 4)
