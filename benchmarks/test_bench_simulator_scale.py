@@ -1,0 +1,96 @@
+"""E-scale — execution-core scaling: the vector engine vs the loop oracle.
+
+The simulator's ``loop`` engine walks every per-rank quantity in python
+loops, which made large partitions (p ≥ 64 — the CM-5-class and
+modern-cluster regime) the hot path of every campaign.  The ``vector``
+engine computes per-rank state in bulk and drains network phases batched.
+
+This benchmark pins the tentpole claims on the ``modern-cluster`` target:
+
+* both engines produce identical per-rank times (within 1e-9; in practice
+  bit-for-bit) at p ∈ {64, 128, 256}, and
+* the vector engine is at least 3× faster in wall-clock at p = 256.
+
+It also regenerates the README "Performance" table (run with ``-s`` to see
+it)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_simulator_scale.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.simulator import SimulatorOptions, simulate
+from repro.suite import get_entry
+from repro.system import get_machine
+
+MACHINE = "modern-cluster"
+APP = "laplace_block_star"
+SIZE = 64           # grid edge: keeps the (engine-shared) data plane small
+MAXITER = 20.0      # more Jacobi iterations -> more per-rank/network phases
+
+
+def _compiled(nprocs: int):
+    entry = get_entry(APP)
+    params = entry.params_for(SIZE)
+    params["maxiter"] = MAXITER
+    return compile_source(entry.source, nprocs=nprocs, params=params)
+
+
+def _run(engine: str, compiled, machine):
+    return simulate(compiled, machine, options=SimulatorOptions(engine=engine))
+
+
+def _best_wall(engine: str, compiled, machine, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        _run(engine, compiled, machine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("nprocs", [64, 128, 256],
+                         ids=["p64", "p128", "p256"])
+def test_engine_parity_at_scale(nprocs):
+    """Vector and loop engines agree on every per-rank time within 1e-9."""
+    compiled = _compiled(nprocs)
+    machine = get_machine(MACHINE, nprocs)
+    loop = _run("loop", compiled, machine)
+    vector = _run("vector", compiled, machine)
+
+    loop_ranks = np.asarray(loop.per_rank_us)
+    vector_ranks = np.asarray(vector.per_rank_us)
+    worst = float(np.max(np.abs(loop_ranks - vector_ranks)))
+    assert worst <= 1e-9, f"per-rank divergence {worst} at p={nprocs}"
+    assert vector.measured_time_us == loop.measured_time_us
+    assert vector.array_checksum == loop.array_checksum
+    assert vector.engine == "vector" and loop.engine == "loop"
+
+
+def test_vector_engine_speedup_table():
+    """≥3× wall-clock at p=256, and the README performance table."""
+    rows = []
+    for nprocs in (64, 256):
+        compiled = _compiled(nprocs)
+        machine = get_machine(MACHINE, nprocs)
+        loop_wall = _best_wall("loop", compiled, machine)
+        vector_wall = _best_wall("vector", compiled, machine)
+        rows.append((nprocs, loop_wall, vector_wall, loop_wall / vector_wall))
+
+    print()
+    print(f"simulator wall-clock, {APP} n={SIZE} maxiter={int(MAXITER)} "
+          f"on {MACHINE} (best of 3):")
+    print("| p   | loop engine | vector engine | speedup |")
+    print("|-----|-------------|---------------|---------|")
+    for nprocs, loop_wall, vector_wall, speedup in rows:
+        print(f"| {nprocs:<3} | {loop_wall * 1e3:8.0f} ms | {vector_wall * 1e3:10.0f} ms "
+              f"| {speedup:6.1f}x |")
+
+    by_p = {row[0]: row for row in rows}
+    assert by_p[64][3] > 1.0, "vector engine should win already at p=64"
+    assert by_p[256][3] >= 3.0, \
+        f"vector engine speedup at p=256 is {by_p[256][3]:.2f}x (< 3x)"

@@ -17,6 +17,12 @@ python -m pytest tests -x -q
 echo "== benchmark smoke: regenerate Figure 2 (forall) and Figure 3 (distributions)"
 python -m pytest benchmarks -x -q -k "fig2 or fig3"
 
+echo "== simulator-scale smoke: loop/vector engine parity at p=64"
+python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "parity and p64"
+
+echo "== docs check: markdown links + public-API doctests"
+python scripts/docs_check.py
+
 echo "== example smoke: cross-machine sweep"
 python examples/machine_comparison.py > /dev/null
 

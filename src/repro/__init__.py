@@ -23,12 +23,29 @@ performance-prediction framework of Parashar, Hariri, Haupt and Fox
 Quick start
 -----------
 
->>> from repro import compile_source, ipsc860, interpret, simulate
->>> compiled = compile_source(SOURCE, nprocs=4)
->>> machine = ipsc860(4)
->>> estimate = interpret(compiled, machine)       # Phase 2: interpretation parse
->>> measured = simulate(compiled, machine)        # "run it on the iPSC/860"
->>> estimate.predicted_time_s, measured.measured_time_s
+>>> import repro
+>>> SOURCE = '''
+...       program demo
+...       integer, parameter :: n = 16
+...       real, dimension(n) :: x
+...       real :: total
+... !HPF$ PROCESSORS p(2)
+... !HPF$ DISTRIBUTE x(BLOCK) ONTO p
+...       forall (i = 1:n) x(i) = 0.5 * i
+...       total = sum(x)
+...       print *, total
+...       end program demo
+... '''
+>>> estimate = repro.predict(SOURCE, nprocs=2)    # Phase 2: interpretation parse
+>>> measured = repro.measure(SOURCE, nprocs=2)    # simulated "real" execution
+>>> estimate.predicted_time_us > 0 and measured.measured_time_us > 0
+True
+>>> measured.printed                              # the data plane runs for real
+['68']
+
+See ``docs/architecture.md`` for the layer map, ``docs/simulator.md`` for
+the execution simulator (including the ``vector`` vs ``loop`` engines), and
+``docs/cookbook.md`` for campaign and advisor recipes.
 """
 
 from __future__ import annotations
@@ -80,6 +97,7 @@ from .system import (
     ipsc860,
     machine_names,
     make_topology,
+    modern_cluster,
     paragon,
     register_machine,
     resolve_machine,
@@ -100,7 +118,13 @@ from .interpreter import (
 
 # functional interpreter and simulator ------------------------------------------------------
 from .functional import FunctionalEvaluator, evaluate_program
-from .simulator import SimulationResult, SimulatorOptions, simulate, simulate_repeated
+from .simulator import (
+    SimulationResult,
+    SimulatorConfig,
+    SimulatorOptions,
+    simulate,
+    simulate_repeated,
+)
 
 # output module -----------------------------------------------------------------------------
 from .output import (
@@ -142,9 +166,52 @@ def predict(
 ) -> InterpretationResult:
     """One-call convenience: compile HPF source and interpret its performance.
 
-    ``machine`` accepts a :class:`Machine` instance or a registered machine
-    name (``"ipsc860"``, ``"paragon"``, ``"cluster"``, ...); the default is
-    the paper's iPSC/860.
+    This is the paper's Phase 2 — the static interpretation parse — behind a
+    single call: compile (normalise → partition → sequentialise → detect
+    communication), then walk the SPMD abstraction with the target machine's
+    parameter set and the analytic communication models.
+
+    Args:
+        source: HPF/Fortran 90D program text (directives in ``!HPF$`` lines).
+        nprocs: number of node processes the program is compiled for.
+        grid_shape: explicit processor-grid shape (e.g. ``(2, 4)``); ``None``
+            lets the compiler factor ``nprocs`` near-square per the
+            PROCESSORS directive's rank.
+        params: ``{name: value}`` overrides for named integer/real
+            parameters (problem sizes, iteration counts).
+        machine: a :class:`Machine` instance or a registered machine name
+            (``"ipsc860"``, ``"paragon"``, ``"cluster"``, ``"torus-cluster"``,
+            ``"cm5"``, ``"modern-cluster"``, or any alias); ``None`` means
+            the paper's iPSC/860.
+        options: :class:`InterpreterOptions` tuning the interpretation
+            (hit-ratio hints, collective model selection).
+
+    Returns:
+        An :class:`InterpretationResult` with ``predicted_time_us``, the
+        computation/communication/overhead split (``total``), per-line and
+        per-phase breakdowns, and the static load-imbalance estimate
+        (``load_imbalance``).
+
+    Raises:
+        ParserError: the source does not parse.
+        CompilerError: the program cannot be partitioned/sequentialised.
+        KeyError: ``machine`` names no registered machine.
+
+    Example:
+        >>> from repro import predict
+        >>> src = '''
+        ...       program tiny
+        ...       integer, parameter :: n = 16
+        ...       real, dimension(n) :: x
+        ... !HPF$ PROCESSORS p(2)
+        ... !HPF$ DISTRIBUTE x(BLOCK) ONTO p
+        ...       forall (i = 1:n) x(i) = 1.0 * i
+        ...       end program tiny
+        ... '''
+        >>> on_cube = predict(src, nprocs=2)
+        >>> on_modern = predict(src, nprocs=2, machine="modern-cluster")
+        >>> on_modern.predicted_time_us < on_cube.predicted_time_us
+        True
     """
     compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
     target = resolve_machine(machine, nprocs)
@@ -162,8 +229,58 @@ def measure(
 ) -> SimulationResult:
     """One-call convenience: compile HPF source and run it in the simulator.
 
-    ``machine`` accepts a :class:`Machine` instance or a registered machine
-    name (``"ipsc860"``, ``"paragon"``, ``"cluster"``, ...).
+    The simulator stands in for "running the application on the real
+    machine": it executes the compiled node program's data plane for real
+    (NumPy, identical to the functional interpreter) while a per-rank timing
+    plane accrues node-model compute time and message-level network time
+    with link contention and seeded noise.
+
+    Args:
+        source: HPF/Fortran 90D program text (directives in ``!HPF$`` lines).
+        nprocs: number of simulated node processes.
+        grid_shape: explicit processor-grid shape; ``None`` for the
+            compiler's near-square default.
+        params: ``{name: value}`` overrides for named integer/real
+            parameters.
+        machine: a :class:`Machine` instance or registered machine name
+            (see :func:`predict`); ``None`` means the paper's iPSC/860.
+        options: a :class:`SimulatorOptions` / :class:`SimulatorConfig` —
+            noise magnitudes, RNG ``seed``, and the execution-core
+            ``engine`` (``"vector"``, the scaled default, or ``"loop"``,
+            the per-rank oracle; both produce identical times).
+
+    Returns:
+        A :class:`SimulationResult` with ``measured_time_us`` (max over the
+        per-rank clocks), ``per_rank_us``, the metric breakdown, message
+        statistics, captured PRINT output and the final array checksum.
+
+    Raises:
+        ParserError: the source does not parse.
+        CompilerError: the program cannot be partitioned/sequentialised.
+        SimulationError: an unknown ``options.engine``, a non-simulable SPMD
+            node, or a runaway DO WHILE.
+        KeyError: ``machine`` names no registered machine.
+
+    Example:
+        >>> from repro import SimulatorConfig, measure
+        >>> src = '''
+        ...       program tiny
+        ...       integer, parameter :: n = 16
+        ...       real, dimension(n) :: x
+        ...       real :: total
+        ... !HPF$ PROCESSORS p(2)
+        ... !HPF$ DISTRIBUTE x(BLOCK) ONTO p
+        ...       forall (i = 1:n) x(i) = 1.0 * i
+        ...       total = sum(x)
+        ...       end program tiny
+        ... '''
+        >>> fast = measure(src, nprocs=2)                  # vector engine
+        >>> oracle = measure(src, nprocs=2,
+        ...                  options=SimulatorConfig(engine="loop"))
+        >>> fast.engine, oracle.engine
+        ('vector', 'loop')
+        >>> fast.per_rank_us == oracle.per_rank_us         # identical times
+        True
     """
     compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
     target = resolve_machine(machine, nprocs)
@@ -212,6 +329,7 @@ __all__ = [
     "cluster",
     "torus_cluster",
     "cm5",
+    "modern_cluster",
     "get_machine",
     "register_machine",
     "machine_names",
@@ -233,6 +351,7 @@ __all__ = [
     "FunctionalEvaluator",
     "evaluate_program",
     "SimulationResult",
+    "SimulatorConfig",
     "SimulatorOptions",
     "simulate",
     "simulate_repeated",

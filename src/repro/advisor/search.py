@@ -140,20 +140,59 @@ def advise(
 ) -> AdvisorReport:
     """Diagnose *target* and recommend directive/configuration changes.
 
-    ``target`` is a suite key (``"finance"``, ``"laplace_block_block"``, …)
-    or HPF source text.  The baseline scenario is (``size``, ``nprocs``,
-    ``machine``); ``budget`` caps the number of *targeted mutation*
-    candidates evaluated through the predictor, ``simulate_top`` grants
-    execution-simulator runs to the leading candidates for a confidence
-    grade (0 disables), ``refine`` optionally widens the targeted mutations
-    with a ``"genetic"`` or ``"anneal"`` campaign over their axis values —
-    that pass adds its own evaluations on top of ``budget``, bounded by the
-    campaign's population × generations (or ``max_steps``) defaults — and
-    ``store`` memoises every evaluation in a persistent result store.
+    The advisor closes the paper's design-tuning loop: interpret the
+    baseline, walk its metrics into located findings, generate typed
+    candidate edits (distribution swaps, nprocs changes, machine retargets,
+    topology reshapes), evaluate them through the predictor, and rank what
+    actually improves the predicted time.
 
-    Returns an :class:`~repro.advisor.report.AdvisorReport` whose
-    ``recommendations`` are the candidates that improve the predicted time,
-    best first, each explained in terms of the finding that motivated it.
+    Args:
+        target: a suite key (``"finance"``, ``"laplace_block_block"``, …) or
+            HPF source text for an ad-hoc program.
+        size: problem size; ``None`` picks the entry's second-smallest
+            paper size (64 for ad-hoc sources).
+        nprocs: baseline process count.
+        machine: baseline target — registered name (canonicalised, aliases
+            welcome) or a :class:`Machine` instance.
+        topology_shape: pin a (rows, cols) interconnect layout for the
+            baseline (registry names only).
+        params: extra ``((name, value), ...)`` program parameter overrides.
+        store: a :class:`~repro.explore.store.ResultStore` memoising every
+            evaluation persistently (re-advising a stored scenario is free).
+        budget: cap on targeted-mutation candidates evaluated through the
+            predictor.
+        simulate_top: how many leading candidates also get an
+            execution-simulator run for a confidence grade (0 disables).
+        machines: candidate retarget machines (default: whole registry).
+        max_nprocs: upper bound for nprocs-scaling mutations.
+        refine: optionally widen the targeted mutations with a
+            ``"genetic"`` or ``"anneal"`` campaign over their axis values;
+            adds its own evaluations on top of ``budget``.
+        seed: determinism seed for the refinement strategies.
+        max_workers: parallelism for candidate evaluation.
+
+    Returns:
+        An :class:`~repro.advisor.report.AdvisorReport`: ``baseline`` result,
+        ``findings`` (located bottleneck diagnoses), and
+        ``recommendations`` — candidates that improve the predicted time,
+        best first, each with a predicted speedup, confidence grade, and the
+        finding that motivated it.
+
+    Raises:
+        ValueError: unknown ``refine`` strategy, or a refine/topology_shape
+            combination that needs a registry machine name but got an
+            instance.
+        KeyError: ``machine`` names no registered machine.
+        ScenarioError: the baseline scenario is invalid for its space.
+
+    Example:
+        >>> from repro import advise
+        >>> report = advise("laplace_star_block", size=16, nprocs=4,
+        ...                 budget=4, simulate_top=0)
+        >>> report.baseline.estimated_us > 0
+        True
+        >>> for rec in report.top(2):           # doctest: +SKIP
+        ...     print(rec.explanation())
     """
     if refine is not None and refine not in REFINE_STRATEGIES:
         raise ValueError(f"unknown refine strategy {refine!r}; "

@@ -122,6 +122,39 @@ class AxisMapping:
             return layout.block_global_to_local(tidx, self.map_extent, self.nprocs)
         return layout.cyclic_global_to_local(tidx, self.nprocs, self.dist.block)
 
+    def owners_of(self, gidx: np.ndarray) -> np.ndarray:
+        """Owning processor coordinate of every global (0-based) index in *gidx*.
+
+        The vectorised membership test behind per-rank iteration counting:
+        ``owners_of(values) == pcoord`` is elementwise-equal to
+        ``np.isin(values, local_indices(pcoord))``.  Indices outside the
+        array extent or its template map to ``-1`` (owned by nobody); for a
+        collapsed axis every in-range index maps to coordinate ``0``.
+        """
+        g = np.asarray(gidx, dtype=np.int64)
+        if not self.is_distributed:
+            return np.where((g >= 0) & (g < self.extent), 0, -1)
+        t = g + self.offset
+        valid = (g >= 0) & (g < self.extent) & (t >= 0) & (t < self.map_extent)
+        t = np.where(valid, t, 0)
+        if self.dist.kind == "block":
+            owners = layout.block_owner_array(t, self.map_extent, self.nprocs)
+        else:
+            owners = layout.cyclic_owner_array(t, self.nprocs, self.dist.block)
+        return np.where(valid, owners, -1)
+
+    def local_counts(self) -> np.ndarray:
+        """Per-processor-coordinate element counts along this axis.
+
+        Vectorised ``[local_count(p) for p in range(nprocs)]``; a collapsed
+        axis yields a single entry (its count is coordinate-independent).
+        """
+        if not self.is_distributed:
+            return np.array([self.extent], dtype=np.int64)
+        owners = self.owners_of(np.arange(self.extent, dtype=np.int64))
+        return np.bincount(owners[owners >= 0],
+                           minlength=self.nprocs).astype(np.int64)
+
     def max_local_count(self) -> int:
         if not self.is_distributed:
             return self.extent
@@ -226,6 +259,36 @@ class ArrayDistribution:
 
     def local_bytes(self, rank: int) -> int:
         return self.local_size(rank) * self.element_size
+
+    def axis_pcoords(self) -> np.ndarray:
+        """``(nprocs, rank)`` array of every rank's coordinate along each axis.
+
+        Row ``r`` column ``a`` equals the scalar ``_axis_pcoord(r, axes[a])``
+        lookup the per-rank loops perform: the rank's grid coordinate along
+        the axis's grid dimension, or ``0`` for unmapped axes.
+        """
+        p = max(self.nprocs, 1)
+        out = np.zeros((p, self.rank), dtype=np.int64)
+        if self.grid is None:
+            return out
+        coords = self.grid.coords_array()
+        for axis_no, axis in enumerate(self.axes):
+            if axis.grid_axis is not None:
+                out[:, axis_no] = coords[:, axis.grid_axis]
+        return out
+
+    def local_sizes(self) -> np.ndarray:
+        """Per-rank local element counts (vectorised ``local_size``)."""
+        p = max(self.nprocs, 1)
+        sizes = np.ones(p, dtype=np.int64)
+        pcoords = self.axis_pcoords()
+        for axis_no, axis in enumerate(self.axes):
+            table = axis.local_counts()
+            if table.shape[0] == 1:
+                sizes *= int(table[0])
+            else:
+                sizes *= table[pcoords[:, axis_no]]
+        return sizes
 
     def max_local_shape(self) -> tuple[int, ...]:
         return tuple(axis.max_local_count() for axis in self.axes)

@@ -71,6 +71,15 @@ def block_local_indices(proc: int, n: int, p: int) -> np.ndarray:
     return np.arange(lo, hi, dtype=np.int64)
 
 
+def block_owner_array(idx: np.ndarray, n: int, p: int) -> np.ndarray:
+    """Vectorised :func:`block_owner`: owner of every index in *idx*."""
+    b = block_size(n, p)
+    idx = np.asarray(idx, dtype=np.int64)
+    if b == 0:
+        return np.zeros(idx.shape, dtype=np.int64)
+    return np.minimum(idx // b, p - 1)
+
+
 # ---------------------------------------------------------------------------
 # CYCLIC / CYCLIC(k) distribution
 # ---------------------------------------------------------------------------
@@ -104,6 +113,14 @@ def cyclic_global_to_local(i: int, p: int, block: int = 1) -> int:
 def cyclic_local_to_global(proc: int, local: int, p: int, block: int = 1) -> int:
     cycle, offset = divmod(local, block)
     return cycle * p * block + proc * block + offset
+
+
+def cyclic_owner_array(idx: np.ndarray, p: int, block: int = 1) -> np.ndarray:
+    """Vectorised :func:`cyclic_owner`: owner of every index in *idx*."""
+    if block <= 0:
+        raise ValueError("cyclic block size must be positive")
+    idx = np.asarray(idx, dtype=np.int64)
+    return (idx // block) % p
 
 
 def cyclic_local_indices(proc: int, n: int, p: int, block: int = 1) -> np.ndarray:

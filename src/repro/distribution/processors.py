@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import product
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class ProcessorGrid:
@@ -63,6 +65,33 @@ class ProcessorGrid:
     def all_coords(self) -> list[tuple[int, ...]]:
         """All coordinates in linear-rank order."""
         return [self.coords(p) for p in range(self.size)]
+
+    def coords_array(self) -> np.ndarray:
+        """Row-major coordinates of every linear rank, shape ``(size, rank)``.
+
+        The vectorised counterpart of calling :meth:`coords` per rank; row
+        ``r`` equals ``coords(r)``.  Used by the simulator's vector engine to
+        resolve per-rank grid positions in bulk.
+        """
+        idx = np.arange(self.size, dtype=np.int64)
+        out = np.empty((self.size, self.rank), dtype=np.int64)
+        for axis in range(self.rank - 1, -1, -1):
+            extent = self.shape[axis]
+            out[:, axis] = idx % extent
+            idx //= extent
+        return out
+
+    def linear_ranks(self, coords: np.ndarray) -> np.ndarray:
+        """Row-major linear ranks of a ``(n, rank)`` coordinate array.
+
+        The vectorised counterpart of :meth:`linear_rank`; coordinates must
+        already be in range (no bounds checking on the hot path).
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        ranks = np.zeros(coords.shape[0], dtype=np.int64)
+        for axis, extent in enumerate(self.shape):
+            ranks = ranks * extent + coords[:, axis]
+        return ranks
 
     def all_ranks(self) -> range:
         return range(self.size)

@@ -28,7 +28,11 @@ touches the store only.  The default ``executor="auto"`` runs predict-only
 campaigns on a thread pool (interpretation is cheap and releases the GIL
 poorly but briefly) and switches to a :class:`ProcessPoolExecutor` when
 every point requests the execution simulator (``mode`` of ``measure`` /
-``both``), whose per-rank python loops otherwise serialise on the GIL.
+``both``).  Simulation-heavy campaigns also prefer the simulator's
+**vector engine** (``SimulatorConfig(engine="vector")``, the default): each
+simulated point computes its per-rank state in bulk, which is what makes
+p ≥ 64 sweeps affordable; pass explicit ``simulator_options`` to pin the
+``loop`` oracle instead.
 """
 
 from __future__ import annotations
@@ -135,6 +139,8 @@ def evaluate_point(
         comm = estimate.total.communication
         ovhd = estimate.total.overhead
     if mode in ("measure", "both"):
+        # simulated points run the vector engine (the SimulatorOptions
+        # default) unless simulator_options pins the loop oracle
         measured = simulate(compiled, machine,
                             options=simulator_options).measured_time_us
 
@@ -220,9 +226,11 @@ def resolve_executor(executor: str, mode: str,
     """Resolve ``"auto"`` to a concrete executor for this campaign.
 
     Simulation-heavy campaigns (every point runs the execution simulator,
-    i.e. ``mode`` of ``measure`` / ``both``) default to the process pool —
-    the simulator's per-rank python loops hold the GIL, so threads buy
-    nothing there.  A ``machine_resolver`` closure cannot cross a process
+    i.e. ``mode`` of ``measure`` / ``both``) default to the process pool.
+    Each simulated point already runs the simulator's vector engine (see
+    :func:`evaluate_point`), but even its batched python sections hold the
+    GIL, so process-level parallelism still pays once the batch is large
+    enough.  A ``machine_resolver`` closure cannot cross a process
     boundary and pins auto back to threads.
 
     Auto only picks the pool on fork-start platforms: forked workers inherit
@@ -392,18 +400,60 @@ def run_campaign(
 ) -> CampaignRun:
     """Evaluate *space* under one search strategy; the subsystem's front door.
 
-    ``store`` enables cross-run memoisation and persistence.  ``executor`` is
-    ``"auto"`` (default: process pool when every point simulates, threads
-    otherwise), ``"thread"``, ``"process"`` or ``"serial"``.  ``population`` /
-    ``generations`` / ``mutation_rate`` tune the ``genetic`` strategy;
-    ``temperature`` / ``cooling`` / ``max_steps`` tune ``anneal``.  Every
-    strategy is deterministic for a fixed ``seed``.  ``memo`` pre-seeds the
-    in-run result cache with already-evaluated points (the advisor threads
-    its targeted-mutation results into its refinement campaign this way);
-    seeded entries count as neither store hits nor fresh evaluations.  The
-    trajectory strategies (hillclimb/genetic/anneal) report every memo entry
-    in ``run.results``; grid/random report exactly the evaluated batch, so
-    unvisited seeds stay out of their results.
+    Args:
+        space: the declarative :class:`~repro.explore.space.ScenarioSpace`
+            (apps × sizes × proc_counts × machines × layouts × params).
+        name: label recorded on the returned run.
+        mode: ``"predict"`` (interpretation parse only), ``"measure"``
+            (execution simulator only) or ``"both"``.  Simulated points run
+            the simulator's vector engine unless ``simulator_options`` says
+            otherwise.
+        strategy: ``"grid"``, ``"random"``, ``"hillclimb"``, ``"genetic"``
+            or ``"anneal"``; all deterministic for a fixed ``seed``.
+        store: a :class:`~repro.explore.store.ResultStore` for cross-run
+            memoisation and persistence (a finished campaign re-runs free).
+        samples: point count for ``random``.
+        max_steps: step bound for ``hillclimb`` / ``anneal``.
+        seed: RNG seed for the stochastic strategies.
+        population / generations / mutation_rate: ``genetic`` tuning.
+        temperature / cooling: ``anneal`` tuning.
+        where: validity predicate pruning points before evaluation.
+        objective: ranking callable over :class:`ScenarioResult` (default:
+            measured time when present, else estimated).
+        machine_resolver: ``(point) -> Machine`` override used by workbench
+            presets with pre-built Machine instances.
+        simulator_options: :class:`~repro.simulator.SimulatorOptions` for
+            simulated points (noise, seed, ``engine="vector"|"loop"``).
+        max_workers: parallelism cap for the futures executor.
+        executor: ``"auto"`` (process pool when every point simulates and
+            workers would fork, threads otherwise), ``"thread"``,
+            ``"process"`` or ``"serial"``.
+        memo: pre-seeded ``{point: result}`` cache (the advisor threads its
+            targeted-mutation results into its refinement campaign this
+            way); seeded entries count as neither store hits nor fresh
+            evaluations.  Trajectory strategies (hillclimb/genetic/anneal)
+            report every memo entry in ``run.results``; grid/random report
+            exactly the evaluated batch.
+
+    Returns:
+        A :class:`CampaignRun`: evaluated ``results`` (with store-hit and
+        fresh-evaluation counts), rejected points with reasons, and — for
+        the trajectory strategies — the visited ``trajectory``.
+
+    Raises:
+        ScenarioError: unknown ``strategy`` / ``mode`` / ``executor``, an
+            empty-but-invalid space, or an executor/machine_resolver
+            combination that cannot cross a process boundary.
+
+    Example:
+        >>> from repro.explore import ScenarioSpace, run_campaign
+        >>> space = ScenarioSpace(apps=("laplace_block_star",), sizes=(16,),
+        ...                       proc_counts=(2, 4))
+        >>> run = run_campaign(space, mode="predict", executor="serial")
+        >>> len(run.results)
+        2
+        >>> run.best().point.nprocs in (2, 4)
+        True
     """
     if strategy not in STRATEGIES:
         raise ScenarioError(

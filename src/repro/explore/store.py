@@ -149,9 +149,30 @@ class ScenarioResult:
 class ResultStore:
     """JSONL-backed store of :class:`ScenarioResult` records, keyed by content.
 
-    >>> store = ResultStore("results.jsonl")
-    >>> store.add(result)            # appended and indexed
-    >>> store.get_point(point, "predict")   # hit on any later run
+    Opening a path creates the file (with its schema header) if missing and
+    otherwise loads and indexes every record; :meth:`add` appends one record
+    and indexes it; :meth:`get_point` answers "has this (scenario, mode)
+    been evaluated before?" across processes, campaigns and PRs.
+
+    Example:
+        >>> import os, tempfile
+        >>> from repro.explore import ResultStore, ScenarioPoint, ScenarioResult
+        >>> path = os.path.join(tempfile.mkdtemp(), "results.jsonl")
+        >>> store = ResultStore(path)
+        >>> point = ScenarioPoint(app="laplace_block_star", size=16, nprocs=2)
+        >>> store.add(ScenarioResult(point=point, mode="predict",
+        ...                          estimated_us=1234.0))
+        True
+        >>> reloaded = ResultStore(path)         # fresh process, same file
+        >>> reloaded.get_point(point, "predict").estimated_us
+        1234.0
+        >>> reloaded.get_point(point, "measure") is None
+        True
+
+    Raises:
+        StoreError: the path exists but is not a result-store file, or a
+            non-header line is unreadable mid-file.
+        StoreSchemaError: the file's schema version is unsupported.
     """
 
     def __init__(self, path: str | os.PathLike):

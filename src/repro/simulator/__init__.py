@@ -7,11 +7,23 @@ producing the "measured" times that the interpretation parse's estimates are
 validated against.  The network routes over the target machine's pluggable
 :class:`~repro.system.topology.Topology` — iPSC/860 hypercube, Paragon-style
 2-D mesh, or switched cluster.
+
+Two execution cores are provided behind ``SimulatorConfig(engine=...)``:
+the ``"vector"`` engine (default) computes per-rank state in bulk and drains
+each network phase in one batched pass, and the ``"loop"`` engine keeps the
+original per-rank python loops as the correctness oracle.  They produce
+identical times; see ``docs/simulator.md``.
 """
 
 from .collectives import allgather, allreduce, broadcast, shift_exchange, unstructured_gather
-from .events import EventQueue
-from .executor import CommStatistics, SimulatorOptions, SPMDExecutor
+from .events import BatchClock, EventQueue, drain_batch
+from .executor import (
+    ENGINES,
+    CommStatistics,
+    SimulatorConfig,
+    SimulatorOptions,
+    SPMDExecutor,
+)
 from .hypercube import (
     HypercubeTopology,
     TopologyError,
@@ -23,6 +35,7 @@ from .network import Message, Network, TransferResult
 from .node import IterationProfile, NodeCostModel
 from .noise import NoiseModel, NoiseOptions
 from .runtime import SimulationResult, simulate, simulate_repeated
+from .vector import VectorSPMDExecutor
 
 __all__ = [
     "allgather",
@@ -30,10 +43,15 @@ __all__ = [
     "broadcast",
     "shift_exchange",
     "unstructured_gather",
+    "BatchClock",
     "EventQueue",
+    "drain_batch",
+    "ENGINES",
     "CommStatistics",
+    "SimulatorConfig",
     "SimulatorOptions",
     "SPMDExecutor",
+    "VectorSPMDExecutor",
     "HypercubeTopology",
     "TopologyError",
     "cube_dimension",

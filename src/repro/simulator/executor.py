@@ -52,9 +52,24 @@ from .node import IterationProfile, NodeCostModel
 from .noise import NoiseModel, NoiseOptions
 
 
+#: Execution-core engines: ``"vector"`` computes per-rank state in bulk
+#: (array-based iteration counting, memoised cost-model calls, batched
+#: network drain); ``"loop"`` is the original per-rank python loop
+#: implementation, kept as the oracle.  Both produce identical results.
+ENGINES = ("vector", "loop")
+
+
 @dataclass
 class SimulatorOptions:
-    """User-controllable simulation parameters."""
+    """User-controllable simulation parameters.
+
+    ``engine`` selects the execution core: ``"vector"`` (default) computes
+    per-rank iteration counts, compute-time accrual and boundary exchanges in
+    bulk and drains each network phase in one batched pass; ``"loop"`` is the
+    original per-rank python implementation, kept as the correctness oracle.
+    The two are required (and tested) to agree on every per-rank time to
+    within 1e-9 — in practice bit-for-bit.
+    """
 
     noise: NoiseOptions = field(default_factory=NoiseOptions)
     seed: int = 12345
@@ -63,6 +78,12 @@ class SimulatorOptions:
     #: benchmarked collective_call_overhead" (30 µs on the iPSC/860)
     collective_software_overhead: float | None = None
     program_startup_us: float = PROGRAM_STARTUP_US   # node program load + initial barrier
+    engine: str = "vector"                           # "vector" | "loop"
+
+
+#: The name the ISSUE/docs use for the simulation parameter block; the engine
+#: switch made it a configuration object, so both names are supported.
+SimulatorConfig = SimulatorOptions
 
 
 @dataclass
@@ -78,7 +99,20 @@ class CommStatistics:
 
 
 class SPMDExecutor:
-    """Executes one compiled program on the simulated machine."""
+    """Executes one compiled program on the simulated machine.
+
+    This class is the ``"loop"`` engine: every per-rank quantity is computed
+    in an explicit ``for rank in range(self.nprocs)`` python loop.  It is kept
+    as the correctness oracle; the scaled ``"vector"`` engine
+    (:class:`~repro.simulator.vector.VectorSPMDExecutor`) overrides the
+    per-rank hook methods (``_loop_nest_per_rank``, ``_reduction_per_rank``,
+    ``_shift_copy_per_rank``, ``_shift_plan``, ``_set_clocks``) with
+    array-based implementations that must produce identical times.
+    Engine selection happens in :func:`repro.simulator.runtime.simulate`;
+    instantiating this class directly always runs the loop implementation.
+    """
+
+    engine_name = "loop"
 
     def __init__(
         self,
@@ -317,7 +351,14 @@ class SPMDExecutor:
         element_size = home_dist.element_size if home_dist is not None else 4
         precision = self._precision(node.home_array)
 
-        # Timing plane: actual per-rank iteration counts and mask fractions.
+        per_rank = self._loop_nest_per_rank(node, record, home_dist, distributed,
+                                            count, element_size, precision)
+        self._charge(node, "computation", per_rank)
+
+    def _loop_nest_per_rank(self, node: LocalLoopNest, record, home_dist,
+                            distributed: bool, count: OpCount,
+                            element_size: int, precision: str) -> np.ndarray:
+        """Timing plane: actual per-rank iteration counts and mask fractions."""
         per_rank = np.zeros(self.nprocs, dtype=np.float64)
         for rank in range(self.nprocs):
             selectors: list[np.ndarray] = []
@@ -363,8 +404,7 @@ class SPMDExecutor:
             per_rank[rank] = self.noise.compute(
                 self.cost.loop_nest_time(profile, depth=len(node.loops))
             )
-
-        self._charge(node, "computation", per_rank)
+        return per_rank
 
     # -- reductions -----------------------------------------------------------------
 
@@ -384,8 +424,16 @@ class SPMDExecutor:
         count.flops += 1.0
 
         total_extent = self._reduction_extent(node, dist)
-        per_rank = np.zeros(self.nprocs, dtype=np.float64)
         element_size = dist.element_size if dist is not None else 4
+        per_rank = self._reduction_per_rank(dist, count, total_extent, element_size,
+                                            self._precision(node.home_array))
+        self._charge(node, "computation", per_rank)
+
+    def _reduction_per_rank(self, dist: ArrayDistribution | None, count: OpCount,
+                            total_extent: float, element_size: int,
+                            precision: str) -> np.ndarray:
+        """Per-rank local-partial-reduction times (each rank sweeps its share)."""
+        per_rank = np.zeros(self.nprocs, dtype=np.float64)
         for rank in range(self.nprocs):
             if dist is not None and not dist.is_replicated:
                 share = dist.local_size(rank) / max(dist.size, 1)
@@ -394,7 +442,7 @@ class SPMDExecutor:
                 local = total_extent
             profile = IterationProfile(
                 count=count,
-                precision=self._precision(node.home_array),
+                precision=precision,
                 element_size=element_size,
                 local_elements=local,
                 innermost_extent=max(local, 1.0),
@@ -402,7 +450,7 @@ class SPMDExecutor:
                 arrays_touched=max(len(count.arrays_touched), 1),
             )
             per_rank[rank] = self.noise.compute(self.cost.loop_nest_time(profile, depth=1))
-        self._charge(node, "computation", per_rank)
+        return per_rank
 
     def _reduction_extent(self, node: ReductionNode, dist: ArrayDistribution | None) -> float:
         for ref in ast.expr_array_refs(node.source):
@@ -430,45 +478,66 @@ class SPMDExecutor:
             return
 
         offset = abs(int(self._scalar(node.offset_expr, 1)))
-        # local copy cost per rank
-        copy_per_rank = np.zeros(self.nprocs)
-        for rank in range(self.nprocs):
-            local = dist.local_size(rank)
-            copy_per_rank[rank] = self.noise.compute(
-                local * (proc.assignment_overhead + self.machine.memory.hit_time * 2)
-            )
-        self._charge(node, "computation", copy_per_rank)
+        self._charge(node, "computation", self._shift_copy_per_rank(dist))
 
         axis = node.axis if node.axis < len(dist.axes) else 0
         axis_map = dist.axes[axis]
         if not axis_map.is_distributed or axis_map.nprocs <= 1 or dist.grid is None:
             return
 
-        pairs = []
-        sizes: dict[tuple[int, int], int] = {}
         direction = 1 if offset >= 0 else -1
-        for rank in range(self.nprocs):
-            partner = dist.grid.circular_neighbor(rank, axis_map.grid_axis, direction)
-            if partner == rank:
-                continue
-            boundary = 1.0
-            for axis_no in range(dist.rank):
-                if axis_no == axis:
-                    boundary *= min(max(offset, 1), dist.axes[axis_no].local_count(
-                        self._axis_coord(dist, rank, axis_no)))
-                else:
-                    boundary *= max(dist.axes[axis_no].local_count(
-                        self._axis_coord(dist, rank, axis_no)), 1)
-            nbytes = int(boundary * dist.element_size)
-            pairs.append((rank, partner))
-            sizes[(rank, partner)] = nbytes
-            self.comm_stats.record(1, nbytes)
+        pairs, sizes = self._shift_plan(dist, axis, axis_map, offset,
+                                        dist.element_size, direction,
+                                        clamp_shift_axis=False)
 
         clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
         done = shift_exchange(self.network, pairs, sizes, clocks,
                               software_overhead=self.collective_overhead)
         done = {r: self.noise.communication(t - clocks[r]) + clocks[r] for r, t in done.items()}
         self._set_clocks(node, "communication", done)
+
+    def _shift_copy_per_rank(self, dist: ArrayDistribution) -> np.ndarray:
+        """Per-rank local copy cost of a shift (each rank copies its block)."""
+        proc = self.machine.processing
+        copy_per_rank = np.zeros(self.nprocs)
+        for rank in range(self.nprocs):
+            local = dist.local_size(rank)
+            copy_per_rank[rank] = self.noise.compute(
+                local * (proc.assignment_overhead + self.machine.memory.hit_time * 2)
+            )
+        return copy_per_rank
+
+    def _shift_plan(self, dist: ArrayDistribution, axis: int, axis_map, offset: int,
+                    element_size: int, direction: int,
+                    clamp_shift_axis: bool) -> tuple[list[tuple[int, int]],
+                                                     dict[tuple[int, int], int]]:
+        """(sender, receiver) pairs and per-pair byte counts of one boundary shift.
+
+        ``clamp_shift_axis`` keeps the historical difference between the two
+        shift call sites: communication specs clamp the shifted axis's local
+        count to at least one element, cshift nodes do not.  Records each
+        pair's message in ``comm_stats``.
+        """
+        pairs: list[tuple[int, int]] = []
+        sizes: dict[tuple[int, int], int] = {}
+        for rank in range(self.nprocs):
+            partner = dist.grid.circular_neighbor(rank, axis_map.grid_axis, direction)
+            if partner == rank:
+                continue
+            boundary = 1.0
+            for axis_no in range(dist.rank):
+                local = dist.axes[axis_no].local_count(
+                    self._axis_coord(dist, rank, axis_no))
+                if axis_no == axis:
+                    boundary *= min(max(offset, 1),
+                                    max(local, 1) if clamp_shift_axis else local)
+                else:
+                    boundary *= max(local, 1)
+            nbytes = int(boundary * element_size)
+            pairs.append((rank, partner))
+            sizes[(rank, partner)] = nbytes
+            self.comm_stats.record(1, nbytes)
+        return pairs, sizes
 
     def _axis_coord(self, dist: ArrayDistribution, rank: int, axis_no: int) -> int:
         axis = dist.axes[axis_no]
@@ -502,17 +571,10 @@ class SPMDExecutor:
                              elements * (self.machine.memory.hit_time + proc.assignment_overhead))
                 return
             direction = 1 if spec.offset >= 0 else -1
-            pairs = []
-            sizes: dict[tuple[int, int], int] = {}
-            for rank in range(self.nprocs):
-                partner = dist.grid.circular_neighbor(rank, axis_map.grid_axis, direction)
-                if partner == rank:
-                    continue
-                boundary = self._boundary_elements(dist, axis, abs(spec.offset) or 1, rank)
-                nbytes = int(boundary * spec.element_size)
-                pairs.append((rank, partner))
-                sizes[(rank, partner)] = nbytes
-                self.comm_stats.record(1, nbytes)
+            pairs, sizes = self._shift_plan(dist, axis, axis_map,
+                                            abs(spec.offset) or 1,
+                                            spec.element_size, direction,
+                                            clamp_shift_axis=True)
             done = shift_exchange(self.network, pairs, sizes, clocks,
                                   software_overhead=overhead)
             done = {r: self.noise.communication(t - clocks[r]) + clocks[r]

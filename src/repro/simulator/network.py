@@ -8,8 +8,21 @@ carry one message at a time, so concurrent messages that share a link
 serialise — this is the contention the static interpreter's analytic
 collective models do not capture.
 
-The simulation is driven by the discrete-event core in
-:mod:`repro.simulator.events` and is fully deterministic.
+Two drain modes share the same per-message timing rules and produce
+bit-identical results:
+
+* the classic per-event heap (:mod:`repro.simulator.events.EventQueue`),
+  kept as the oracle for the simulator's ``loop`` engine, and
+* a **batched** drain (``batched=True``): because a ``transfer`` call posts
+  every message of a phase up front and no message spawns another event, the
+  heap is pure churn — the batch path sorts the phase once and dispatches it
+  in a single pass (the same ordering contract as
+  :func:`repro.simulator.events.drain_batch`, inlined here for speed), and
+  memoises routes and link ids per (src, dst) pair, which repeat heavily
+  across the stages of a collective.  The simulator's ``vector`` engine runs
+  its network in this mode.
+
+The simulation is fully deterministic in both modes.
 """
 
 from __future__ import annotations
@@ -23,7 +36,7 @@ from ..system.topology import Topology, make_topology
 from .events import EventQueue
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One point-to-point message."""
 
@@ -53,14 +66,28 @@ class TransferResult:
 
 
 class Network:
-    """Simulates batches of messages over one interconnect partition."""
+    """Simulates batches of messages over one interconnect partition.
+
+    ``batched=True`` switches :meth:`transfer` from the per-event heap to the
+    single-pass sorted drain with route memoisation; results are identical.
+    """
 
     def __init__(self, comm: CommunicationComponent, num_nodes: int,
-                 topology: Topology | None = None):
+                 topology: Topology | None = None, batched: bool = False):
         self.comm = comm
         self.topology = topology if topology is not None \
             else make_topology("hypercube", max(num_nodes, 1))
         self.num_nodes = num_nodes
+        self.batched = batched
+        #: (src, dst) -> (route hops, canonical link ids), filled lazily by the
+        #: batched drain; routes are pure functions of the topology, so the
+        #: cache can never go stale for a fixed partition.
+        self._route_cache: dict[tuple[int, int],
+                                tuple[tuple[tuple[int, int], ...],
+                                      tuple[Hashable, ...]]] = {}
+        #: nbytes -> (latency, link occupancy), also batched-drain only; both
+        #: are pure functions of the communication parameter set.
+        self._timing_cache: dict[int, tuple[float, float]] = {}
 
     # -- single message timing (no contention) ------------------------------------
 
@@ -81,6 +108,12 @@ class Network:
 
     def transfer(self, messages: list[Message]) -> TransferResult:
         """Simulate *messages* with link contention; fills per-message completions."""
+        if self.batched:
+            return self._transfer_batched(messages)
+        return self._transfer_heap(messages)
+
+    def _transfer_heap(self, messages: list[Message]) -> TransferResult:
+        """Oracle drain: one heap event per message (the ``loop`` engine path)."""
         result = TransferResult(messages=messages)
         if not messages:
             return result
@@ -122,3 +155,126 @@ class Network:
             queue.schedule(msg.start_time, lambda m=msg: start_message(m))
         queue.run()
         return result
+
+    def _route_links(self, src: int, dst: int) -> tuple[tuple[tuple[int, int], ...],
+                                                        tuple[Hashable, ...]]:
+        """Memoised (route, link ids) of the (src, dst) pair."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            route = tuple(self.topology.route(src, dst))
+            links = tuple(self.topology.link_id(a, b) for a, b in route)
+            cached = (route, links)
+            self._route_cache[key] = cached
+        return cached
+
+    def _transfer_batched(self, messages: list[Message]) -> TransferResult:
+        """Batched drain: the whole phase sorted once, routes memoised.
+
+        Shares its timing core with :meth:`drain_times`; the rules are those
+        of :meth:`_transfer_heap` minus the heap churn, so computed times are
+        identical.
+        """
+        result = TransferResult(messages=messages)
+        if not messages:
+            return result
+        self._drain(
+            [(m.start_time, m.src, m.dst, m.nbytes, m) for m in messages],
+            result)
+        return result
+
+    def drain_times(self, specs: list[tuple[float, int, int, int]],
+                    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Batched completion times of ``(start_time, src, dst, nbytes)`` specs.
+
+        The collective fast path: applies exactly the timing rules of
+        :meth:`transfer` — same sort order, same NIC serialisation, same link
+        contention — without materialising :class:`Message` objects, and
+        returns only the per-node ``(send_complete, recv_complete)`` maps the
+        collective algorithms consume.  Only meaningful on a ``batched``
+        network; the ``loop`` engine's collectives go through
+        :meth:`transfer` unconditionally.
+        """
+        if not specs:
+            return {}, {}
+        result = TransferResult(messages=[])
+        self._drain([(start, src, dst, nbytes, None)
+                     for start, src, dst, nbytes in specs], result)
+        return result.send_complete, result.recv_complete
+
+    def _drain(self, items: list[tuple[float, int, int, int, Message | None]],
+               result: TransferResult) -> None:
+        """The single batched timing core behind ``_transfer_batched`` and
+        ``drain_times``.
+
+        ``items`` are ``(start_time, src, dst, nbytes, message-or-None)``;
+        completion times land in *result*, and per-message completions are
+        written back when a :class:`Message` rides along.  The loop applies
+        exactly :meth:`_transfer_heap`'s rules — same ``(start_time, src,
+        dst)`` sort key with input order breaking ties (stable sort, the
+        heap's insertion-order tie-break), same NIC serialisation, same link
+        contention — so all three drain paths stay bit-identical.
+        """
+        comm = self.comm
+        link_free: dict[Hashable, float] = {}
+        nic_free: dict[int, float] = {}
+        per_hop = comm.per_hop
+        timing = self._timing_cache
+        route_cache = self._route_cache
+        max_link_busy = 0.0
+        total_bytes = 0
+        send_complete = result.send_complete
+        recv_complete = result.recv_complete
+
+        for start_time, src, dst, nbytes, msg in \
+                sorted(items, key=lambda item: (item[0], item[1], item[2])):
+            cached = timing.get(nbytes)
+            if cached is None:
+                occupancy = nbytes * comm.per_byte + (
+                    (message_packets(comm, nbytes) - 1) * comm.per_packet_overhead
+                )
+                cached = (comm.latency(nbytes), occupancy)
+                timing[nbytes] = cached
+            latency, occupancy = cached
+
+            # heap semantics inline: events fire in (time, order) order and
+            # the clock reads the event's own time, so send_start simplifies.
+            send_start = nic_free.get(src, 0.0)
+            if start_time > send_start:
+                send_start = start_time
+            launch = send_start + latency
+
+            routed = route_cache.get((src, dst))
+            if routed is None:
+                routed = self._route_links(src, dst)
+            route, links = routed
+
+            arrival = launch
+            first = True
+            for lid in links:
+                ready = arrival if first else arrival + per_hop
+                first = False
+                busy = link_free.get(lid, 0.0)
+                if busy > ready:
+                    ready = busy
+                free_at = ready + occupancy
+                link_free[lid] = free_at
+                if free_at > max_link_busy:
+                    max_link_busy = free_at
+                arrival = ready
+            if not route:  # self-message (local copy through the NIC)
+                arrival = launch
+            recv_done = arrival + occupancy
+            send_done = launch + occupancy * 0.5  # sender frees once streaming
+            nic_free[src] = send_done
+            if msg is not None:
+                msg.send_complete = send_done
+                msg.recv_complete = recv_done
+            if send_done > send_complete.get(src, 0.0):
+                send_complete[src] = send_done
+            if recv_done > recv_complete.get(dst, 0.0):
+                recv_complete[dst] = recv_done
+            total_bytes += nbytes
+
+        result.total_bytes = total_bytes
+        result.max_link_busy = max_link_busy

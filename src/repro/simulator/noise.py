@@ -54,6 +54,17 @@ class NoiseModel:
             perturbed += hits * opts.interruption_cost_us
         return perturbed
 
+    def compute_batch(self, durations_us: np.ndarray) -> np.ndarray:
+        """Per-element :meth:`compute` noise over a per-rank duration array.
+
+        Draws element by element, in element order, so the random stream is
+        identical to the equivalent sequence of scalar :meth:`compute` calls —
+        this is what keeps the vector engine bit-for-bit equal to the loop
+        engine's per-rank noise.
+        """
+        return np.fromiter((self.compute(float(d)) for d in durations_us),
+                           dtype=np.float64, count=len(durations_us))
+
     def communication(self, duration_us: float) -> float:
         opts = self.options
         if not opts.enabled or duration_us <= 0.0:

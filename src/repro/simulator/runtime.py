@@ -10,14 +10,16 @@ program state (for functional validation against the sequential evaluator).
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..compiler.pipeline import CompiledProgram
+from ..frontend.errors import SimulationError
 from ..interpreter.metrics import Metrics
 from ..system.ipsc860 import Machine
-from .executor import CommStatistics, SimulatorOptions, SPMDExecutor
+from .executor import ENGINES, CommStatistics, SimulatorOptions, SPMDExecutor
+from .vector import VectorSPMDExecutor
 
 
 @dataclass
@@ -37,6 +39,7 @@ class SimulationResult:
     statements_executed: int = 0
     wall_clock_seconds: float = 0.0
     state: object | None = None
+    engine: str = "vector"               # execution core that produced the times
 
     @property
     def measured_time_s(self) -> float:
@@ -69,10 +72,22 @@ def simulate(
     params: dict[str, float] | None = None,
     keep_state: bool = False,
 ) -> SimulationResult:
-    """Execute *compiled* on the simulated *machine* and return measured times."""
+    """Execute *compiled* on the simulated *machine* and return measured times.
+
+    ``options.engine`` selects the execution core: ``"vector"`` (default)
+    computes per-rank state in bulk and drains network phases batched;
+    ``"loop"`` runs the original per-rank python loops.  Both engines
+    produce identical measured times (the parity is tier-1-tested); the
+    vector engine is what makes large partitions (p ≥ 64) affordable.
+    """
     options = options or SimulatorOptions()
+    if options.engine not in ENGINES:
+        raise SimulationError(
+            f"unknown simulator engine {options.engine!r}; known: {ENGINES}")
+    executor_class = VectorSPMDExecutor if options.engine == "vector" \
+        else SPMDExecutor
     started = _time.perf_counter()
-    executor = SPMDExecutor(compiled, machine, options=options, params=params)
+    executor = executor_class(compiled, machine, options=options, params=params)
     executor.run()
     elapsed = _time.perf_counter() - started
 
@@ -91,6 +106,7 @@ def simulate(
         statements_executed=executor.statements_executed,
         wall_clock_seconds=elapsed,
         state=executor.state if keep_state else None,
+        engine=executor.engine_name,
     )
 
 
@@ -108,13 +124,7 @@ def simulate_repeated(
     options = options or SimulatorOptions()
     results = []
     for rep in range(max(repetitions, 1)):
-        rep_options = SimulatorOptions(
-            noise=options.noise,
-            seed=options.seed + rep * 7919,
-            max_while_iterations=options.max_while_iterations,
-            collective_software_overhead=options.collective_software_overhead,
-            program_startup_us=options.program_startup_us,
-        )
+        rep_options = replace(options, seed=options.seed + rep * 7919)
         results.append(simulate(compiled, machine, options=rep_options, params=params))
     mean = float(np.mean([r.measured_time_us for r in results]))
     return mean, results

@@ -3,15 +3,22 @@
 The machine is abstracted off-line into a System Abstraction Graph whose nodes
 (System Abstraction Units) export Processing, Memory, Communication/
 Synchronisation and I/O parameters, plus a structural interconnect
-:class:`~repro.system.topology.Topology`.  Five machine targets ship in the
+:class:`~repro.system.topology.Topology`.  Six machine targets ship in the
 registry — the paper's iPSC/860 hypercube (:func:`ipsc860`), a Paragon-class
 2-D mesh (:func:`paragon`), a switched workstation cluster (:func:`cluster`),
-a T3D-class 2-D torus (:func:`torus_cluster`) and a CM-5-class fat tree
-(:func:`cm5`) — and :func:`get_machine` builds any of them by name.
+a T3D-class 2-D torus (:func:`torus_cluster`), a CM-5-class fat tree
+(:func:`cm5`) and a modern commodity cluster (:func:`modern_cluster`, the
+post-CM5 target for p ≥ 64 studies) — and :func:`get_machine` builds any of
+them by name.
 """
 
 from .cluster import SWITCH_COMMUNICATION, build_cluster_sag, cluster
 from .cm5 import FAT_TREE_COMMUNICATION, build_cm5_sag, cm5
+from .modern_cluster import (
+    MODERN_COMMUNICATION,
+    build_modern_cluster_sag,
+    modern_cluster,
+)
 from .comm_models import (
     allgather_time,
     allreduce_time,
@@ -113,6 +120,9 @@ __all__ = [
     "build_cluster_sag",
     "build_torus_cluster_sag",
     "build_cm5_sag",
+    "build_modern_cluster_sag",
+    "modern_cluster",
+    "MODERN_COMMUNICATION",
     "ipsc860",
     "paragon",
     "cluster",

@@ -19,6 +19,9 @@ Built-in machines:
   aliases ``torus``, ``t3d``.
 * ``cm5`` — CM-5-class SPARC nodes on a 4-ary data-network fat tree;
   aliases ``cm-5``, ``fattree``, ``fat-tree``.
+* ``modern-cluster`` — GHz-class commodity nodes behind a non-blocking
+  switched fabric (the post-CM5 target for p ≥ 64 studies); aliases
+  ``modern``, ``commodity``, ``beowulf``.
 
 User code can add its own with :func:`register_machine`.  Machines on shaped
 interconnects (mesh, torus) additionally accept a ``topology_shape=(rows,
@@ -34,6 +37,7 @@ from .cluster import cluster
 from .cm5 import cm5
 from .ipsc860 import ipsc860
 from .machine import Machine
+from .modern_cluster import modern_cluster
 from .paragon import paragon
 from .topology import SHAPED_KINDS, TopologyError
 from .torus_cluster import torus_cluster
@@ -155,4 +159,10 @@ register_machine(
     description="CM-5-class SPARC nodes on a 4-ary data-network fat tree "
                 "(doubling link capacity, control-network barriers)",
     aliases=("cm-5", "fattree", "fat-tree"),
+)
+register_machine(
+    "modern-cluster", modern_cluster,
+    description="GHz-class commodity nodes behind a non-blocking switched "
+                "fabric (kernel-bypass messaging, offloaded collectives)",
+    aliases=("modern", "commodity", "beowulf"),
 )
