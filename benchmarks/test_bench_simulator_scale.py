@@ -3,21 +3,31 @@
 The simulator's ``loop`` engine walks every per-rank quantity in python
 loops, which made large partitions (p ≥ 64 — the CM-5-class and
 modern-cluster regime) the hot path of every campaign.  The ``vector``
-engine computes per-rank state in bulk and drains network phases batched.
+engine keeps per-rank state — including the clocks of whole communication
+phases — in arrays and prices link-disjoint network stages with one
+vectorised expression each.
 
 This benchmark pins the tentpole claims on the ``modern-cluster`` target:
 
 * both engines produce identical per-rank times (within 1e-9; in practice
-  bit-for-bit) at p ∈ {64, 128, 256}, and
-* the vector engine is at least 3× faster in wall-clock at p = 256.
+  bit-for-bit) at p ∈ {64, 128, 256, 1024}, and
+* the vector engine is at least 6× faster in wall-clock at p = 256 (the
+  PR-4 batched-drain core measured ~4× there, so this pin certifies the
+  array-clock core's ≥2× on top), and
+* a p = 1024 contention-free (crossbar fabric) simulation completes inside
+  the wall-clock budget.
 
-It also regenerates the README "Performance" table (run with ``-s`` to see
-it)::
+Each run also emits ``benchmarks/results/BENCH_simulator_scale.json`` —
+machine-readable per-p wall-clocks and speedups — so the performance
+trajectory is comparable across PRs, and regenerates the README
+"Performance" table from the same rows (run with ``-s`` to see it)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_simulator_scale.py -s
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -31,6 +41,12 @@ MACHINE = "modern-cluster"
 APP = "laplace_block_star"
 SIZE = 64           # grid edge: keeps the (engine-shared) data plane small
 MAXITER = 20.0      # more Jacobi iterations -> more per-rank/network phases
+
+#: Wall-clock budget for one p=1024 vector-engine run on the crossbar
+#: (contention-free) fabric.  Measured ~0.25 s; the budget leaves CI slack.
+P1024_BUDGET_SECONDS = 5.0
+
+RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_simulator_scale.json"
 
 
 def _compiled(nprocs: int):
@@ -53,8 +69,21 @@ def _best_wall(engine: str, compiled, machine, repeats: int = 3) -> float:
     return best
 
 
-@pytest.mark.parametrize("nprocs", [64, 128, 256],
-                         ids=["p64", "p128", "p256"])
+def render_performance_table(rows) -> list[str]:
+    """The README "Performance" table lines for ``(p, loop_s, vector_s, speedup)`` rows."""
+    lines = [
+        "| p    | loop engine | vector engine | speedup |",
+        "|------|-------------|---------------|---------|",
+    ]
+    for nprocs, loop_wall, vector_wall, speedup in rows:
+        lines.append(
+            f"| {nprocs:<4} | {loop_wall * 1e3:8.0f} ms | "
+            f"{vector_wall * 1e3:10.0f} ms | {speedup:6.1f}x |")
+    return lines
+
+
+@pytest.mark.parametrize("nprocs", [64, 128, 256, 1024],
+                         ids=["p64", "p128", "p256", "p1024"])
 def test_engine_parity_at_scale(nprocs):
     """Vector and loop engines agree on every per-rank time within 1e-9."""
     compiled = _compiled(nprocs)
@@ -71,10 +100,28 @@ def test_engine_parity_at_scale(nprocs):
     assert vector.engine == "vector" and loop.engine == "loop"
 
 
+def test_p1024_contention_free_within_budget():
+    """One p=1024 run on the crossbar fabric stays inside the budget.
+
+    The modern-cluster topology advertises ``link_disjoint_paths``, so every
+    collective stage takes the array drain's vectorised fast path — this is
+    the "p ≥ 1024 unlocked" claim in wall-clock form.
+    """
+    compiled = _compiled(1024)
+    machine = get_machine(MACHINE, 1024)
+    assert machine.topology(1024).link_disjoint_paths
+    started = time.perf_counter()
+    result = _run("vector", compiled, machine)
+    elapsed = time.perf_counter() - started
+    assert len(result.per_rank_us) == 1024
+    assert elapsed <= P1024_BUDGET_SECONDS, \
+        f"p=1024 vector run took {elapsed:.2f}s (budget {P1024_BUDGET_SECONDS}s)"
+
+
 def test_vector_engine_speedup_table():
-    """≥3× wall-clock at p=256, and the README performance table."""
+    """≥6× wall-clock at p=256, the README table, and the JSON trajectory."""
     rows = []
-    for nprocs in (64, 256):
+    for nprocs in (64, 256, 1024):
         compiled = _compiled(nprocs)
         machine = get_machine(MACHINE, nprocs)
         loop_wall = _best_wall("loop", compiled, machine)
@@ -84,13 +131,29 @@ def test_vector_engine_speedup_table():
     print()
     print(f"simulator wall-clock, {APP} n={SIZE} maxiter={int(MAXITER)} "
           f"on {MACHINE} (best of 3):")
-    print("| p   | loop engine | vector engine | speedup |")
-    print("|-----|-------------|---------------|---------|")
-    for nprocs, loop_wall, vector_wall, speedup in rows:
-        print(f"| {nprocs:<3} | {loop_wall * 1e3:8.0f} ms | {vector_wall * 1e3:10.0f} ms "
-              f"| {speedup:6.1f}x |")
+    for line in render_performance_table(rows):
+        print(line)
+
+    RESULTS_JSON.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps({
+        "schema": 1,
+        "benchmark": "simulator_scale",
+        "machine": MACHINE,
+        "app": APP,
+        "size": SIZE,
+        "maxiter": MAXITER,
+        "rows": [
+            {"p": nprocs,
+             "loop_wall_s": round(loop_wall, 4),
+             "vector_wall_s": round(vector_wall, 4),
+             "speedup": round(speedup, 2)}
+            for nprocs, loop_wall, vector_wall, speedup in rows
+        ],
+    }, indent=2) + "\n")
 
     by_p = {row[0]: row for row in rows}
     assert by_p[64][3] > 1.0, "vector engine should win already at p=64"
-    assert by_p[256][3] >= 3.0, \
-        f"vector engine speedup at p=256 is {by_p[256][3]:.2f}x (< 3x)"
+    assert by_p[256][3] >= 6.0, \
+        f"vector engine speedup at p=256 is {by_p[256][3]:.2f}x (< 6x)"
+    assert by_p[1024][3] >= 6.0, \
+        f"vector engine speedup at p=1024 is {by_p[1024][3]:.2f}x (< 6x)"

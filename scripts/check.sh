@@ -20,6 +20,9 @@ python -m pytest benchmarks -x -q -k "fig2 or fig3"
 echo "== simulator-scale smoke: loop/vector engine parity at p=64"
 python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "parity and p64"
 
+echo "== simulator-scale smoke: p=1024 contention-free run inside the wall-clock budget"
+python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "p1024_contention_free"
+
 echo "== docs check: markdown links + public-API doctests"
 python scripts/docs_check.py
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Profile the vector engine's hot path on a p=256 scenario.
+
+Runs one ``modern-cluster`` simulation of the scale benchmark's scenario
+under ``cProfile`` and prints the top cumulative hot spots — the first stop
+when a perf PR wants to know where the simulator's wall-clock actually goes
+(historically: the network drain, then per-rank noise draws).
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_sim.py [--nprocs 256] [--top 25]
+            [--engine vector] [--sort cumulative]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.compiler import compile_source
+from repro.simulator import SimulatorOptions, simulate
+from repro.suite import get_entry
+from repro.system import get_machine
+
+APP = "laplace_block_star"
+SIZE = 64
+MAXITER = 20.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nprocs", type=int, default=256)
+    parser.add_argument("--machine", default="modern-cluster")
+    parser.add_argument("--engine", default="vector", choices=("vector", "loop"))
+    parser.add_argument("--top", type=int, default=25,
+                        help="number of hot spots to print")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime"),
+                        help="pstats sort key")
+    args = parser.parse_args()
+
+    entry = get_entry(APP)
+    params = entry.params_for(SIZE)
+    params["maxiter"] = MAXITER
+    compiled = compile_source(entry.source, nprocs=args.nprocs, params=params)
+    machine = get_machine(args.machine, args.nprocs)
+    options = SimulatorOptions(engine=args.engine)
+
+    simulate(compiled, machine, options=options)   # warm caches / imports
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate(compiled, machine, options=options)
+    profiler.disable()
+
+    print(f"{APP} n={SIZE} maxiter={int(MAXITER)} on {args.machine} "
+          f"p={args.nprocs}, engine={args.engine}: "
+          f"{result.wall_clock_seconds * 1e3:.0f} ms wall, "
+          f"{result.measured_time_us / 1e3:.1f} ms simulated")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,19 @@ original per-rank python loops as the correctness oracle.  They produce
 identical times; see ``docs/simulator.md``.
 """
 
-from .collectives import allgather, allreduce, broadcast, shift_exchange, unstructured_gather
-from .events import BatchClock, EventQueue, drain_batch
+from .collectives import (
+    allgather,
+    allgather_clocks,
+    allreduce,
+    allreduce_clocks,
+    broadcast,
+    broadcast_clocks,
+    shift_exchange,
+    shift_exchange_clocks,
+    unstructured_gather,
+    unstructured_gather_clocks,
+)
+from .events import BatchClock, EventQueue, batch_order, drain_batch
 from .executor import (
     ENGINES,
     CommStatistics,
@@ -31,7 +42,14 @@ from .hypercube import (
     ecube_route,
     hamming_distance,
 )
-from .network import Message, Network, TransferResult
+from .network import (
+    STAGE_DISJOINT,
+    STAGE_PAIRED,
+    STAGE_SERIAL,
+    Message,
+    Network,
+    TransferResult,
+)
 from .node import IterationProfile, NodeCostModel
 from .noise import NoiseModel, NoiseOptions
 from .runtime import SimulationResult, simulate, simulate_repeated
@@ -39,13 +57,22 @@ from .vector import VectorSPMDExecutor
 
 __all__ = [
     "allgather",
+    "allgather_clocks",
     "allreduce",
+    "allreduce_clocks",
     "broadcast",
+    "broadcast_clocks",
     "shift_exchange",
+    "shift_exchange_clocks",
     "unstructured_gather",
+    "unstructured_gather_clocks",
     "BatchClock",
     "EventQueue",
+    "batch_order",
     "drain_batch",
+    "STAGE_DISJOINT",
+    "STAGE_PAIRED",
+    "STAGE_SERIAL",
     "ENGINES",
     "CommStatistics",
     "SimulatorConfig",

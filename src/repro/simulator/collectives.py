@@ -23,13 +23,30 @@ On a ``batched`` network (the vector engine) the pairwise stages and shift
 exchanges skip :class:`Message` construction entirely and price each stage
 through :meth:`Network.drain_times`, which applies identical timing rules in
 one pass; both paths return identical times.
+
+**Array-clock kernels** (the ``*_clocks`` functions) are the scaled form the
+``vector`` engine actually calls: per-rank clocks stay an ``np.ndarray``
+indexed by rank end to end — phase entry clocks in, phase completion clocks
+out — and each stage goes through :meth:`Network.drain_stage` as a
+structure-of-arrays batch, so no per-rank dict is ever built between phases.
+Every kernel applies element by element exactly the arithmetic of its
+dict-based twin (same ``max`` placement, same operation order), so the two
+forms are bit-identical; the dict-based routines remain the oracle the
+``loop`` engine runs.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from .network import Message, Network
+
+
+#: µs per byte of unpack/index work charged by the unstructured gather (the
+#: run-time library's index-translation software overhead).
+_UNPACK_US_PER_BYTE = 0.002
 
 
 def _as_list(clocks: Mapping[int, float], ranks: Sequence[int]) -> dict[int, float]:
@@ -239,7 +256,199 @@ def unstructured_gather(
     bulk exchanges; we model it as an allgather of the referenced blocks plus
     an index-translation software overhead proportional to the data moved.
     """
-    per_byte_soft = 0.002  # µs per byte of unpack/index work
     done = allgather(network, ranks, nbytes_per_rank, clocks, software_overhead)
-    unpack = nbytes_per_rank * max(len(ranks) - 1, 0) * per_byte_soft
+    unpack = nbytes_per_rank * max(len(ranks) - 1, 0) * _UNPACK_US_PER_BYTE
     return {rank: t + unpack for rank, t in done.items()}
+
+
+# ---------------------------------------------------------------------------
+# array-clock kernels (the vector engine's collective core)
+# ---------------------------------------------------------------------------
+#
+# Clocks are an ``np.ndarray`` indexed by rank over the whole partition
+# (ranks 0..p-1, which is what the executor always simulates); every stage is
+# priced as a structure-of-arrays batch through ``Network.drain_stage``.  Each
+# kernel mirrors its dict-based twin above operation for operation, so the
+# returned times are bit-identical — the dict routines stay the ``loop``
+# engine's oracle, and the regression tests compare the two directly.
+
+
+def _exchange_stages(network: Network, p: int) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Topology exchange schedule as ``(senders, partners, participants)`` arrays.
+
+    Positions equal ranks because the kernels always run over the full
+    partition 0..p-1.  Cached on the network: schedules are pure functions of
+    the topology and p.
+    """
+    key = ("exchange", p)
+    stages = network._schedule_arrays.get(key)
+    if stages is None:
+        stages = []
+        for stage in network.topology.exchange_schedule(p):
+            i_arr = np.fromiter((i for i, _ in stage), dtype=np.int64,
+                                count=len(stage))
+            j_arr = np.fromiter((j for _, j in stage), dtype=np.int64,
+                                count=len(stage))
+            parts = np.unique(np.concatenate([i_arr, j_arr]))
+            stages.append((i_arr, j_arr, parts))
+        network._schedule_arrays[key] = stages
+    return stages
+
+
+def _broadcast_stages(network: Network, p: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Topology broadcast schedule as ``(sender, receiver)`` position arrays."""
+    key = ("broadcast", p)
+    stages = network._schedule_arrays.get(key)
+    if stages is None:
+        stages = []
+        for stage in network.topology.broadcast_schedule(p):
+            s_arr = np.fromiter((s for s, _ in stage), dtype=np.int64,
+                                count=len(stage))
+            r_arr = np.fromiter((r for _, r in stage), dtype=np.int64,
+                                count=len(stage))
+            stages.append((s_arr, r_arr))
+        network._schedule_arrays[key] = stages
+    return stages
+
+
+def shift_exchange_clocks(
+    network: Network,
+    src: np.ndarray,
+    dst: np.ndarray,
+    nbytes: np.ndarray,
+    clocks: np.ndarray,
+    software_overhead: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array-clock :func:`shift_exchange` over a structure-of-arrays stage.
+
+    Returns ``(new_clocks, participants)``: the updated full-partition clock
+    array (non-participants keep their entry clocks) and the boolean mask of
+    ranks that exchanged — the executor draws communication noise for exactly
+    those ranks, in rank order, matching the dict path.
+    """
+    p = clocks.shape[0]
+    new = clocks.copy()
+    participants = np.zeros(p, dtype=bool)
+    if src.shape[0] == 0:
+        return new, participants
+    participants[src] = True
+    participants[dst] = True
+    send_done, recv_done = network.drain_stage(
+        clocks[src] + software_overhead, src, dst, nbytes)
+    completion = np.maximum(send_done[participants], recv_done[participants])
+    new[participants] = np.maximum(clocks[participants] + software_overhead,
+                                   completion)
+    return new, participants
+
+
+def broadcast_clocks(
+    network: Network,
+    root: int,
+    clocks: np.ndarray,
+    nbytes: int,
+    software_overhead: float = 0.0,
+) -> np.ndarray:
+    """Array-clock :func:`broadcast` from *root* over the full partition."""
+    p = clocks.shape[0]
+    if p <= 1:
+        return clocks.copy()
+    order = np.arange(p, dtype=np.int64) if root == 0 else np.fromiter(
+        (r for r in range(p) if r != root), dtype=np.int64, count=p - 1)
+    if root != 0:
+        order = np.concatenate([np.array([root], dtype=np.int64), order])
+
+    have = np.full(p, -np.inf)
+    have[root] = clocks[root] + software_overhead
+    for s_pos, r_pos in _broadcast_stages(network, p):
+        senders = order[s_pos]
+        receivers = order[r_pos]
+        active = (have[senders] > -np.inf) & (have[receivers] == -np.inf)
+        if not active.any():
+            continue
+        src = senders[active]
+        dst = receivers[active]
+        if np.unique(src).shape[0] != src.shape[0] or \
+                np.unique(dst).shape[0] != dst.shape[0]:
+            # a stage that reuses a sender or receiver needs the sequential
+            # dict semantics; no registered schedule does this, but stay exact
+            done = broadcast(network, root, list(range(p)),
+                             nbytes, dict(enumerate(clocks.tolist())),
+                             software_overhead=software_overhead)
+            return np.fromiter((done[r] for r in range(p)), dtype=np.float64,
+                               count=p)
+        sizes = np.full(src.shape[0], int(nbytes), dtype=np.int64)
+        send_done, recv_done = network.drain_stage(have[src], src, dst, sizes)
+        have[dst] = np.maximum(np.maximum(send_done[dst], recv_done[dst]),
+                               clocks[dst])
+        have[src] = np.maximum(have[src], send_done[src])
+    return np.maximum(clocks, have)
+
+
+def allreduce_clocks(
+    network: Network,
+    clocks: np.ndarray,
+    nbytes: int,
+    combine_time: float = 0.5,
+    software_overhead: float = 0.0,
+) -> np.ndarray:
+    """Array-clock :func:`allreduce` over the full partition."""
+    return _pairwise_stages_clocks(
+        network, clocks + software_overhead,
+        nbytes_for_stage=lambda stage: nbytes,
+        combine_time=combine_time,
+    )
+
+
+def allgather_clocks(
+    network: Network,
+    clocks: np.ndarray,
+    nbytes_per_rank: int,
+    software_overhead: float = 0.0,
+) -> np.ndarray:
+    """Array-clock :func:`allgather` over the full partition."""
+    return _pairwise_stages_clocks(
+        network, clocks + software_overhead,
+        nbytes_for_stage=lambda stage: nbytes_per_rank * (1 << stage),
+        combine_time=None,
+    )
+
+
+def unstructured_gather_clocks(
+    network: Network,
+    clocks: np.ndarray,
+    nbytes_per_rank: int,
+    software_overhead: float = 0.0,
+) -> np.ndarray:
+    """Array-clock :func:`unstructured_gather` over the full partition."""
+    done = allgather_clocks(network, clocks, nbytes_per_rank, software_overhead)
+    unpack = nbytes_per_rank * max(clocks.shape[0] - 1, 0) * _UNPACK_US_PER_BYTE
+    return done + unpack
+
+
+def _pairwise_stages_clocks(
+    network: Network,
+    done: np.ndarray,
+    nbytes_for_stage,
+    combine_time: float | None,
+) -> np.ndarray:
+    """Drive the exchange schedule with array clocks (allreduce/allgather core).
+
+    ``combine_time`` of None means the allgather update ``max(old, arrival)``;
+    a float adds the reduction-combine cost on top, exactly as the dict-based
+    ``post_exchange`` closures do.
+    """
+    p = done.shape[0]
+    if p <= 1:
+        return done
+    for stage_no, (i_arr, j_arr, parts) in enumerate(_exchange_stages(network, p)):
+        size = int(nbytes_for_stage(stage_no))
+        src = np.concatenate([i_arr, j_arr])
+        dst = np.concatenate([j_arr, i_arr])
+        sizes = np.full(src.shape[0], size, dtype=np.int64)
+        _send_done, recv_done = network.drain_stage(done[src], src, dst, sizes)
+        arrival = recv_done[parts]          # every participant receives once
+        if combine_time is None:
+            done[parts] = np.maximum(done[parts], arrival)
+        else:
+            done[parts] = np.maximum(done[parts], arrival) + combine_time
+    return done

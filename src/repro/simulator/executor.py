@@ -80,6 +80,15 @@ class SimulatorOptions:
     program_startup_us: float = PROGRAM_STARTUP_US   # node program load + initial barrier
     engine: str = "vector"                           # "vector" | "loop"
 
+    def __post_init__(self) -> None:
+        # Validate eagerly: a typo'd engine should fail where the config is
+        # written, not several layers down when the simulation dispatches.
+        if self.engine not in ENGINES:
+            known = " | ".join(repr(name) for name in ENGINES)
+            raise SimulationError(
+                f"unknown simulator engine {self.engine!r}; known engines: "
+                f"{known} (pass e.g. SimulatorConfig(engine=\"vector\"))")
+
 
 #: The name the ISSUE/docs use for the simulation parameter block; the engine
 #: switch made it a configuration object, so both names are supported.
@@ -106,8 +115,9 @@ class SPMDExecutor:
     as the correctness oracle; the scaled ``"vector"`` engine
     (:class:`~repro.simulator.vector.VectorSPMDExecutor`) overrides the
     per-rank hook methods (``_loop_nest_per_rank``, ``_reduction_per_rank``,
-    ``_shift_copy_per_rank``, ``_shift_plan``, ``_set_clocks``) with
-    array-based implementations that must produce identical times.
+    ``_shift_copy_per_rank``, ``_set_clocks``) and the whole communication
+    phases (``_exec_shift``, ``_exec_comm_spec`` — array clocks end to end)
+    with array-based implementations that must produce identical times.
     Engine selection happens in :func:`repro.simulator.runtime.simulate`;
     instantiating this class directly always runs the loop implementation.
     """

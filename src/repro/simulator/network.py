@@ -8,21 +8,38 @@ carry one message at a time, so concurrent messages that share a link
 serialise — this is the contention the static interpreter's analytic
 collective models do not capture.
 
-Two drain modes share the same per-message timing rules and produce
+Three drain paths share the same per-message timing rules and produce
 bit-identical results:
 
-* the classic per-event heap (:mod:`repro.simulator.events.EventQueue`),
-  kept as the oracle for the simulator's ``loop`` engine, and
+* the classic per-event **heap** (:mod:`repro.simulator.events.EventQueue`),
+  kept as the oracle for the simulator's ``loop`` engine;
 * a **batched** drain (``batched=True``): because a ``transfer`` call posts
   every message of a phase up front and no message spawns another event, the
   heap is pure churn — the batch path sorts the phase once and dispatches it
   in a single pass (the same ordering contract as
   :func:`repro.simulator.events.drain_batch`, inlined here for speed), and
   memoises routes and link ids per (src, dst) pair, which repeat heavily
-  across the stages of a collective.  The simulator's ``vector`` engine runs
-  its network in this mode.
+  across the stages of a collective;
+* an **array** drain (:meth:`Network.drain_stage`): the phase arrives as a
+  structure-of-arrays batch (``src`` / ``dst`` / ``nbytes`` / ``start`` as
+  numpy arrays, no :class:`Message` objects at all) and is classified once
+  per distinct stage shape by :meth:`Network.stage_route_info`:
 
-The simulation is fully deterministic in both modes.
+  - **link-disjoint** stages (shift exchanges, any stage on a
+    :class:`~repro.system.topology.SwitchedTopology` with distinct endpoints,
+    fat-tree stages that spread across parallel channels) have no link or NIC
+    interaction at all, so the whole stage is priced with one vectorised
+    expression;
+  - **paired** stages — every route is a single link and collisions are only
+    the two opposite directions of an exchange pair (recursive doubling on
+    the hypercube, two-node rings) — admit a closed form: the later message
+    of each pair waits for its partner's link to free;
+  - anything else genuinely collides and falls back to the sorted scalar
+    batched pass above, so contention is never approximated.
+
+  The simulator's ``vector`` engine runs its collectives through this path.
+
+The simulation is fully deterministic on all three paths.
 """
 
 from __future__ import annotations
@@ -30,10 +47,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
+import numpy as np
+
 from ..system.comm_models import message_packets
 from ..system.sau import CommunicationComponent
 from ..system.topology import Topology, make_topology
-from .events import EventQueue
+from .events import EventQueue, batch_order
+
+#: Stage verdicts of :meth:`Network.stage_route_info`.
+STAGE_DISJOINT = "disjoint"   # no two messages share a link; sources distinct
+STAGE_PAIRED = "paired"       # single-link routes; collisions only within a<->b pairs
+STAGE_SERIAL = "serial"       # links genuinely collide: scalar batched drain
+
+_NEG_INF = float("-inf")
 
 
 @dataclass(slots=True)
@@ -88,6 +114,14 @@ class Network:
         #: nbytes -> (latency, link occupancy), also batched-drain only; both
         #: are pure functions of the communication parameter set.
         self._timing_cache: dict[int, tuple[float, float]] = {}
+        #: (src bytes, dst bytes) -> (hops array, stage verdict, pair partner
+        #: permutation) for the array drain; stage shapes repeat across the
+        #: iterations of a program, so classification is paid once per shape.
+        self._stage_cache: dict[tuple[bytes, bytes],
+                                tuple[np.ndarray, str, np.ndarray | None]] = {}
+        #: collective schedules in array form, filled lazily by the
+        #: array-clock kernels in :mod:`repro.simulator.collectives`.
+        self._schedule_arrays: dict = {}
 
     # -- single message timing (no contention) ------------------------------------
 
@@ -113,7 +147,13 @@ class Network:
         return self._transfer_heap(messages)
 
     def _transfer_heap(self, messages: list[Message]) -> TransferResult:
-        """Oracle drain: one heap event per message (the ``loop`` engine path)."""
+        """Oracle drain: one heap event per message (the ``loop`` engine path).
+
+        Deliberately self-contained — it spells out the timing rules inline
+        rather than sharing :meth:`_message_timing` with the batched/array
+        paths, so the parity tests compare two independently-written
+        implementations rather than one formula with itself.
+        """
         result = TransferResult(messages=messages)
         if not messages:
             return result
@@ -155,6 +195,23 @@ class Network:
             queue.schedule(msg.start_time, lambda m=msg: start_message(m))
         queue.run()
         return result
+
+    def _message_timing(self, nbytes: int) -> tuple[float, float]:
+        """Memoised ``(latency, link occupancy)`` of one message size.
+
+        The single timing formula behind the batched and array drains; the
+        heap oracle intentionally keeps its own inline copy (see
+        :meth:`_transfer_heap`).
+        """
+        cached = self._timing_cache.get(nbytes)
+        if cached is None:
+            comm = self.comm
+            occupancy = nbytes * comm.per_byte + (
+                (message_packets(comm, nbytes) - 1) * comm.per_packet_overhead
+            )
+            cached = (comm.latency(nbytes), occupancy)
+            self._timing_cache[nbytes] = cached
+        return cached
 
     def _route_links(self, src: int, dst: int) -> tuple[tuple[tuple[int, int], ...],
                                                         tuple[Hashable, ...]]:
@@ -203,7 +260,7 @@ class Network:
         return result.send_complete, result.recv_complete
 
     def _drain(self, items: list[tuple[float, int, int, int, Message | None]],
-               result: TransferResult) -> None:
+               result: TransferResult, presorted: bool = False) -> None:
         """The single batched timing core behind ``_transfer_batched`` and
         ``drain_times``.
 
@@ -213,7 +270,9 @@ class Network:
         exactly :meth:`_transfer_heap`'s rules — same ``(start_time, src,
         dst)`` sort key with input order breaking ties (stable sort, the
         heap's insertion-order tie-break), same NIC serialisation, same link
-        contention — so all three drain paths stay bit-identical.
+        contention — so all drain paths stay bit-identical.  ``presorted``
+        callers (the array drain's serial fallback) have already applied
+        :func:`repro.simulator.events.batch_order`.
         """
         comm = self.comm
         link_free: dict[Hashable, float] = {}
@@ -226,15 +285,12 @@ class Network:
         send_complete = result.send_complete
         recv_complete = result.recv_complete
 
-        for start_time, src, dst, nbytes, msg in \
-                sorted(items, key=lambda item: (item[0], item[1], item[2])):
+        if not presorted:
+            items = sorted(items, key=lambda item: (item[0], item[1], item[2]))
+        for start_time, src, dst, nbytes, msg in items:
             cached = timing.get(nbytes)
             if cached is None:
-                occupancy = nbytes * comm.per_byte + (
-                    (message_packets(comm, nbytes) - 1) * comm.per_packet_overhead
-                )
-                cached = (comm.latency(nbytes), occupancy)
-                timing[nbytes] = cached
+                cached = self._message_timing(nbytes)
             latency, occupancy = cached
 
             # heap semantics inline: events fire in (time, order) order and
@@ -278,3 +334,144 @@ class Network:
 
         result.total_bytes = total_bytes
         result.max_link_busy = max_link_busy
+
+    # -- array drain (structure-of-arrays phases) ------------------------------------
+
+    def stage_route_info(self, src: np.ndarray, dst: np.ndarray,
+                         ) -> tuple[np.ndarray, str, np.ndarray | None]:
+        """Classify one stage shape: ``(hops, verdict, pair partners)``.
+
+        ``hops[k]`` is the link count of message *k*'s route.  The verdict is
+        :data:`STAGE_DISJOINT` when no two messages share a link (and sources
+        are distinct, so NICs never serialise either), :data:`STAGE_PAIRED`
+        when every route is a single link and the only collisions are the two
+        opposite directions of an exchange pair (``partners[k]`` is then the
+        index of *k*'s pair mate, or ``k`` itself when unpaired), and
+        :data:`STAGE_SERIAL` otherwise.  A topology that declares
+        ``link_disjoint_paths`` (the crossbar: per-node up/down links) is
+        trusted structurally — distinct sources and destinations imply
+        disjointness without walking the link sets.  Verdicts are memoised
+        per stage shape: collective schedules repeat their stages every
+        iteration, so classification is a one-time cost.
+        """
+        # normalise before keying: the byte representation must identify the
+        # stage regardless of the caller's dtype or memory layout
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        key = (src.tobytes(), dst.tobytes())
+        cached = self._stage_cache.get(key)
+        if cached is not None:
+            return cached
+
+        n = src.shape[0]
+        srcs = src.tolist()
+        dsts = dst.tolist()
+        hops = np.empty(n, dtype=np.int64)
+        link_lists = []
+        for k in range(n):
+            _route, links = self._route_links(srcs[k], dsts[k])
+            hops[k] = len(links)
+            link_lists.append(links)
+
+        partners: np.ndarray | None = None
+        if len(set(srcs)) != n:
+            verdict = STAGE_SERIAL          # a NIC would serialise its sends
+        elif getattr(self.topology, "link_disjoint_paths", False) \
+                and len(set(dsts)) == n:
+            verdict = STAGE_DISJOINT        # structural guarantee (crossbar)
+        else:
+            flat = [lid for links in link_lists for lid in links]
+            if len(set(flat)) == len(flat):
+                verdict = STAGE_DISJOINT
+            elif int(hops.max()) <= 1:
+                # single-link routes with distinct sources: a link can only be
+                # shared by the two opposite directions of one exchange pair
+                verdict = STAGE_PAIRED
+                partners = np.arange(n, dtype=np.int64)
+                first_on: dict[Hashable, int] = {}
+                for k, links in enumerate(link_lists):
+                    if not links:
+                        continue
+                    mate = first_on.setdefault(links[0], k)
+                    if mate != k:
+                        if partners[mate] != mate:   # >2 on one link: impossible
+                            verdict, partners = STAGE_SERIAL, None
+                            break
+                        partners[mate], partners[k] = k, mate
+            else:
+                verdict = STAGE_SERIAL
+
+        cached = (hops, verdict, partners)
+        self._stage_cache[key] = cached
+        return cached
+
+    def _stage_timing(self, nbytes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-message ``(latency, occupancy)`` arrays, via the timing memo."""
+        uniq, inverse = np.unique(nbytes, return_inverse=True)
+        lat = np.empty(uniq.shape[0], dtype=np.float64)
+        occ = np.empty(uniq.shape[0], dtype=np.float64)
+        for i, size in enumerate(uniq.tolist()):
+            lat[i], occ[i] = self._message_timing(size)
+        inverse = np.asarray(inverse).reshape(-1)
+        return lat[inverse], occ[inverse]
+
+    def drain_stage(self, start: np.ndarray, src: np.ndarray, dst: np.ndarray,
+                    nbytes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Array drain of one phase; the ``vector`` engine's collective core.
+
+        Takes the phase as a structure-of-arrays batch and returns per-node
+        ``(send_complete, recv_complete)`` arrays of length ``num_nodes``
+        (``-inf`` where a node neither sent nor received).  Link-disjoint and
+        pair-exchange stages are priced by vectorised expressions; colliding
+        stages fall back to the scalar batched pass, so every path applies
+        exactly :meth:`_transfer_heap`'s timing rules.
+        """
+        p = self.num_nodes
+        send_arr = np.full(p, _NEG_INF)
+        recv_arr = np.full(p, _NEG_INF)
+        n = src.shape[0]
+        if n == 0:
+            return send_arr, recv_arr
+
+        hops, verdict, partners = self.stage_route_info(src, dst)
+        if verdict == STAGE_SERIAL:
+            order = batch_order(start, src, dst)
+            result = TransferResult(messages=[])
+            starts = start.tolist()
+            srcs = src.tolist()
+            dsts = dst.tolist()
+            sizes = nbytes.tolist()
+            self._drain([(starts[k], srcs[k], dsts[k], sizes[k], None)
+                         for k in order.tolist()], result, presorted=True)
+            for node, t in result.send_complete.items():
+                send_arr[node] = t
+            for node, t in result.recv_complete.items():
+                recv_arr[node] = t
+            return send_arr, recv_arr
+
+        latency, occupancy = self._stage_timing(nbytes)
+        launch = np.maximum(start, 0.0) + latency
+        send_done = launch + occupancy * 0.5
+
+        if verdict == STAGE_DISJOINT:
+            # No interactions at all: each message pays its own latency, hop
+            # delays and occupancy.  The per-hop delay accrues by repeated
+            # addition (hop by hop, exactly as the scalar loop adds it) so the
+            # float results stay bit-identical.
+            arrival = launch.copy()
+            max_hops = int(hops.max())
+            for hop_no in range(1, max_hops):
+                arrival[hops > hop_no] += self.comm.per_hop
+            recv_done = arrival + occupancy
+        else:                                   # STAGE_PAIRED
+            # Single-link exchanges: the lexicographically later message of a
+            # pair waits until its partner frees the shared link.
+            mate = partners
+            second = (start > start[mate]) | \
+                ((start == start[mate]) & (src > src[mate]))
+            ready = np.maximum(launch, launch[mate] + occupancy[mate])
+            recv_done = np.where(second, ready, launch) + occupancy
+
+        send_arr[src] = send_done               # sources are distinct
+        np.maximum.at(recv_arr, dst, recv_done)
+        return send_arr, recv_arr

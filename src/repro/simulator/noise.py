@@ -72,6 +72,35 @@ class NoiseModel:
         jitter = 1.0 + self.rng.normal(0.0, opts.comm_jitter_sigma)
         return max(duration_us * max(jitter, 0.0) + abs(self.rng.normal(0.0, opts.comm_jitter_floor_us)), 0.0)
 
+    def communication_batch(self, durations_us: np.ndarray) -> np.ndarray:
+        """Per-element :meth:`communication` noise over a per-rank array.
+
+        Unlike :meth:`compute_batch` (which interleaves normal and Poisson
+        draws and therefore stays scalar), a communication perturbation is
+        exactly two consecutive normal draws per positive-duration element —
+        so the whole batch pulls one ``standard_normal(2m)`` block and scales
+        it.  ``numpy``'s Generator produces the identical deviate sequence
+        for batched and repeated scalar draws, and ``normal(0, s)`` is
+        ``s * standard_normal()`` bit for bit, so the random stream (and the
+        result) is indistinguishable from the loop engine's per-rank calls;
+        non-positive elements draw nothing, exactly like the scalar guard.
+        """
+        durations = np.asarray(durations_us, dtype=np.float64)
+        out = durations.copy()
+        opts = self.options
+        if not opts.enabled:
+            return out
+        positive = durations > 0.0
+        m = int(np.count_nonzero(positive))
+        if m == 0:
+            return out
+        z = self.rng.standard_normal(2 * m)
+        jitter = 1.0 + opts.comm_jitter_sigma * z[0::2]
+        floor = np.abs(opts.comm_jitter_floor_us * z[1::2])
+        out[positive] = np.maximum(
+            durations[positive] * np.maximum(jitter, 0.0) + floor, 0.0)
+        return out
+
     def quantise(self, total_us: float) -> float:
         res = self.options.timer_resolution_us
         if not self.options.enabled or res <= 0:

@@ -75,10 +75,14 @@ def simulate(
     """Execute *compiled* on the simulated *machine* and return measured times.
 
     ``options.engine`` selects the execution core: ``"vector"`` (default)
-    computes per-rank state in bulk and drains network phases batched;
-    ``"loop"`` runs the original per-rank python loops.  Both engines
-    produce identical measured times (the parity is tier-1-tested); the
-    vector engine is what makes large partitions (p ≥ 64) affordable.
+    keeps per-rank state — including the clocks of whole communication
+    phases — in arrays and drains network stages as structure-of-arrays
+    batches; ``"loop"`` runs the original per-rank python loops.  Both
+    engines produce identical measured times (the parity is tier-1-tested);
+    the vector engine is what makes large partitions (p ≥ 1024 on a
+    contention-free fabric) affordable.  An unknown engine name fails
+    eagerly, at ``SimulatorOptions(...)`` construction; the check here is a
+    backstop for configs whose ``engine`` was reassigned after construction.
     """
     options = options or SimulatorOptions()
     if options.engine not in ENGINES:
@@ -97,7 +101,7 @@ def simulate(
         machine=machine,
         options=options,
         measured_time_us=measured,
-        per_rank_us=[float(c) for c in executor.clocks],
+        per_rank_us=np.asarray(executor.clocks, dtype=np.float64).tolist(),
         totals=executor.totals,
         line_metrics=executor.line_metrics,
         comm_stats=executor.comm_stats,

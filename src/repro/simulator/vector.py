@@ -20,11 +20,20 @@ collective schedules — and overrides only the per-rank hot loops:
   random stream matches the loop engine exactly;
 * **boundary exchanges** — shift partners and boundary-slab sizes come from
   vectorised grid coordinate arithmetic and per-axis local-count tables;
-* **collective completion** — clock advancement from per-rank completion
-  maps is a single gather/maximum instead of a python loop;
+* **collective completion** — per-rank clocks stay an ``np.ndarray`` across
+  whole communication phases: shifts, broadcasts, reductions and gathers run
+  through the array-clock kernels of :mod:`repro.simulator.collectives`
+  (``*_clocks``), communication noise is drawn for the whole phase in one
+  stream-exact batch (:meth:`NoiseModel.communication_batch`), and clock
+  advancement is a single vectorised maximum — no per-rank dict is built
+  anywhere between phase entry and exit;
 * **network draining** — the executor's :class:`~repro.simulator.network.
-  Network` runs in batched mode: each phase's messages are sorted and
-  drained in one pass with memoised routes instead of per-event heap churn.
+  Network` runs in batched mode, and each collective stage reaches it as a
+  structure-of-arrays batch (:meth:`Network.drain_stage`): link-disjoint
+  stages (shift exchanges, crossbar stages, spread fat-tree channels) and
+  pair-exchange stages (recursive doubling) are priced by one vectorised
+  expression each, and only stages whose links genuinely collide fall back
+  to the sorted scalar pass.
 
 Every override is arithmetically identical to the loop engine's scalar code
 (integer counting, same expression order, same noise-draw order), so the two
@@ -34,11 +43,20 @@ pin this across the whole machine registry and all topology kinds.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from ..compiler.spmd import LocalLoopNest, SPMDNode
+from ..compiler.spmd import CommSpec, LocalLoopNest, ShiftNode, SPMDNode
 from ..distribution import ArrayDistribution
+from ..frontend import ast_nodes as ast
 from ..interpreter.expression_cost import OpCount
+from .collectives import (
+    allreduce_clocks,
+    broadcast_clocks,
+    shift_exchange_clocks,
+    unstructured_gather_clocks,
+)
 from .executor import SPMDExecutor
 from .node import IterationProfile
 
@@ -66,6 +84,31 @@ class VectorSPMDExecutor(SPMDExecutor):
                                   count=len(new_clocks))
             delta[ranks] = np.maximum(targets - self.clocks[ranks], 0.0)
         self._charge(node, category, delta)
+
+    def _set_clocks_array(self, node: SPMDNode, category: str,
+                          targets: np.ndarray) -> None:
+        """Array form of :meth:`_set_clocks`: *targets* covers every rank."""
+        self._charge(node, category, np.maximum(targets - self.clocks, 0.0))
+
+    def _finish_comm_phase(self, node: SPMDNode, targets: np.ndarray,
+                           participants: np.ndarray | None = None) -> None:
+        """Noise the phase's clock advances and commit them.
+
+        Mirrors the loop engine's ``{r: noise.communication(t - clocks[r]) +
+        clocks[r]}`` comprehension: noise is drawn per rank in ascending rank
+        order over exactly the ranks the collective returned (*participants*
+        of a shift; everyone otherwise), so the random stream matches the
+        scalar calls draw for draw.
+        """
+        entry = self.clocks
+        if participants is None:
+            noisy = self.noise.communication_batch(targets - entry) + entry
+        else:
+            noisy = entry.copy()
+            noisy[participants] = self.noise.communication_batch(
+                targets[participants] - entry[participants]
+            ) + entry[participants]
+        self._set_clocks_array(node, "communication", noisy)
 
     # ------------------------------------------------------------------
     # local loop nests
@@ -218,10 +261,17 @@ class VectorSPMDExecutor(SPMDExecutor):
         )
         return self.noise.compute_batch(raw)
 
-    def _shift_plan(self, dist: ArrayDistribution, axis: int, axis_map,
-                    offset: int, element_size: int, direction: int,
-                    clamp_shift_axis: bool) -> tuple[list[tuple[int, int]],
-                                                     dict[tuple[int, int], int]]:
+    def _shift_spec_arrays(self, dist: ArrayDistribution, axis: int, axis_map,
+                           offset: int, element_size: int, direction: int,
+                           clamp_shift_axis: bool,
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One boundary shift as a structure-of-arrays stage.
+
+        Returns ``(senders, receivers, nbytes)`` arrays over the exchanging
+        ranks — the form :meth:`Network.drain_stage` consumes directly — and
+        records the stage in ``comm_stats`` exactly like the loop engine's
+        per-pair bookkeeping.
+        """
         p = self.nprocs
         grid = dist.grid
         coords = grid.coords_array()
@@ -249,11 +299,103 @@ class VectorSPMDExecutor(SPMDExecutor):
 
         ranks = np.arange(p, dtype=np.int64)
         exchanging = partners != ranks
-        pairs = list(zip(ranks[exchanging].tolist(),
-                         partners[exchanging].tolist()))
+        src = ranks[exchanging]
+        dst = partners[exchanging]
         pair_bytes = nbytes[exchanging]
-        sizes = {pair: int(b) for pair, b in zip(pairs, pair_bytes)}
-        self.comm_stats.messages += len(pairs)
+        self.comm_stats.messages += src.shape[0]
         self.comm_stats.bytes += int(pair_bytes.sum())
-        self.comm_stats.operations += len(pairs)
-        return pairs, sizes
+        self.comm_stats.operations += src.shape[0]
+        return src, dst, pair_bytes
+
+    # ------------------------------------------------------------------
+    # communication phases (array clocks end to end)
+    # ------------------------------------------------------------------
+
+    def _exec_shift(self, node: ShiftNode) -> None:
+        """Array-clock CSHIFT: same control flow as the loop engine's, but the
+        exchange prices a structure-of-arrays stage and clocks never leave
+        array form."""
+        if isinstance(node.origin, ast.Assignment):
+            self.data.exec_assignment(node.origin)
+
+        dist = self.compiled.mapping.distribution_of(node.source)
+        proc = self.machine.processing
+        if dist is None:
+            self._charge(node, "computation", proc.call_overhead)
+            return
+
+        offset = abs(int(self._scalar(node.offset_expr, 1)))
+        self._charge(node, "computation", self._shift_copy_per_rank(dist))
+
+        axis = node.axis if node.axis < len(dist.axes) else 0
+        axis_map = dist.axes[axis]
+        if not axis_map.is_distributed or axis_map.nprocs <= 1 or dist.grid is None:
+            return
+
+        direction = 1 if offset >= 0 else -1
+        src, dst, nbytes = self._shift_spec_arrays(
+            dist, axis, axis_map, offset, dist.element_size, direction,
+            clamp_shift_axis=False)
+        targets, participants = shift_exchange_clocks(
+            self.network, src, dst, nbytes, self.clocks,
+            software_overhead=self.collective_overhead)
+        self._finish_comm_phase(node, targets, participants)
+
+    def _exec_comm_spec(self, node: SPMDNode, spec: CommSpec) -> None:
+        """Array-clock communication specs (shift / broadcast / reduce /
+        gather), mirroring the loop engine's dispatch branch for branch."""
+        comm = self.machine.communication
+        proc = self.machine.processing
+        dist = self.compiled.mapping.distribution_of(spec.array) if spec.array else None
+        overhead = self.collective_overhead
+
+        if spec.kind == "shift" and dist is not None and dist.grid is not None:
+            axis = spec.axis if spec.axis is not None else 0
+            axis_map = dist.axes[axis] if axis < len(dist.axes) else None
+            if axis_map is None or not axis_map.is_distributed or axis_map.nprocs <= 1:
+                # boundary stays on-processor: a local copy only
+                elements = self._boundary_elements(dist, axis, abs(spec.offset) or 1, 0)
+                self._charge(node, "overhead",
+                             elements * (self.machine.memory.hit_time + proc.assignment_overhead))
+                return
+            direction = 1 if spec.offset >= 0 else -1
+            src, dst, nbytes = self._shift_spec_arrays(
+                dist, axis, axis_map, abs(spec.offset) or 1,
+                spec.element_size, direction, clamp_shift_axis=True)
+            targets, participants = shift_exchange_clocks(
+                self.network, src, dst, nbytes, self.clocks,
+                software_overhead=overhead)
+            self._finish_comm_phase(node, targets, participants)
+            return
+
+        if spec.kind == "broadcast":
+            nbytes = max(int(self._spec_elements(spec, dist) * spec.element_size),
+                         spec.element_size)
+            targets = broadcast_clocks(self.network, 0, self.clocks, nbytes,
+                                       software_overhead=overhead)
+            self.comm_stats.record(max(self.nprocs - 1, 0), nbytes * max(self.nprocs - 1, 0))
+            self._finish_comm_phase(node, targets)
+            return
+
+        if spec.kind == "reduce":
+            nbytes = spec.element_size
+            targets = allreduce_clocks(self.network, self.clocks, nbytes,
+                                       combine_time=proc.flop_time_sp,
+                                       software_overhead=overhead)
+            self.comm_stats.record(self.nprocs, nbytes * self.nprocs)
+            self._finish_comm_phase(node, targets)
+            return
+
+        if spec.kind in ("gather", "writeback"):
+            elements = self._spec_elements(spec, dist)
+            nbytes = int(elements * spec.element_size)
+            targets = unstructured_gather_clocks(self.network, self.clocks, nbytes,
+                                                 software_overhead=overhead)
+            self.comm_stats.record(self.nprocs * max(self.nprocs - 1, 1) // 2,
+                                   nbytes * max(self.nprocs - 1, 1))
+            self._finish_comm_phase(node, targets)
+            return
+
+        # unknown pattern: charge a barrier
+        stages = max(int(math.ceil(math.log2(max(self.nprocs, 2)))), 1)
+        self._charge(node, "communication", stages * comm.barrier_per_stage)

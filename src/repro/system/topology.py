@@ -55,9 +55,18 @@ class TopologyError(ReproError, ValueError):
 
 @runtime_checkable
 class Topology(Protocol):
-    """Structural abstraction of one interconnect partition."""
+    """Structural abstraction of one interconnect partition.
+
+    ``link_disjoint_paths`` advertises a structural contention guarantee to
+    the network simulator's array drain: when True, any message set with
+    distinct sources and distinct destinations is link-disjoint by
+    construction (each node owns its ports into the fabric), so whole
+    collective stages can be priced without walking their link sets.  Only
+    the crossbar can promise this; wired fabrics are classified dynamically.
+    """
 
     num_nodes: int
+    link_disjoint_paths: bool
 
     @property
     def kind(self) -> str: ...
@@ -94,6 +103,10 @@ class BaseTopology:
     """Generic pieces shared by the concrete topologies."""
 
     num_nodes: int
+
+    #: Wired fabrics share physical links between node pairs, so stages must
+    #: be checked link by link; see :class:`Topology`.
+    link_disjoint_paths: bool = False
 
     @property
     def kind(self) -> str:
@@ -715,11 +728,16 @@ class SwitchedTopology(BaseTopology):
     down-link out of it, so any source-destination pair is exactly
     ``switch_hops`` apart and disjoint pairs never contend inside the fabric
     (contention only arises at a node's own ports).  This models Delta-class
-    service networks and switched workstation clusters.
+    service networks and switched workstation clusters.  Because the only
+    links are per-node ports, any stage with distinct sources and distinct
+    destinations is link-disjoint by construction — the topology advertises
+    that through ``link_disjoint_paths`` and the network's array drain prices
+    such stages with one vectorised expression.
     """
 
     num_nodes: int
     switch_hops: int = 2
+    link_disjoint_paths = True
 
     @property
     def kind(self) -> str:

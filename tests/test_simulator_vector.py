@@ -16,17 +16,25 @@ from repro.distribution.distribute import AxisMapping, DimDistribution
 from repro.frontend.errors import SimulationError
 from repro.simulator import (
     ENGINES,
+    STAGE_DISJOINT,
+    STAGE_PAIRED,
+    STAGE_SERIAL,
     Message,
     Network,
     SimulatorConfig,
     SimulatorOptions,
     allgather,
+    allgather_clocks,
     allreduce,
+    allreduce_clocks,
     broadcast,
+    broadcast_clocks,
     drain_batch,
     shift_exchange,
+    shift_exchange_clocks,
     simulate,
     unstructured_gather,
+    unstructured_gather_clocks,
 )
 from repro.simulator.events import EventQueue
 from repro.system import get_machine, machine_names
@@ -106,6 +114,33 @@ class TestEnginePropertyParity:
         assert vector.totals.computation == pytest.approx(loop.totals.computation)
         assert vector.totals.communication == pytest.approx(loop.totals.communication)
 
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_parity_at_p1024(self, kind):
+        """Array-clock drain == loop oracle at p=1024 on every wired fabric.
+
+        This is the scale regime the array-clock core unlocked; the loop
+        engine stays affordable here because the scenario is tiny (the
+        network still prices 1024-rank collective stages every iteration).
+        """
+        from repro.suite import get_entry
+
+        entry = get_entry("laplace_block_star")
+        params = entry.params_for(32)
+        params["maxiter"] = 2.0
+        compiled = compile_source(entry.source, nprocs=1024, params=params)
+        machine = get_machine("modern-cluster", 1024)
+        machine.topology_kind = kind
+        loop = simulate(compiled, machine,
+                        options=SimulatorOptions(engine="loop"))
+        vector = simulate(compiled, machine,
+                          options=SimulatorOptions(engine="vector"))
+        worst = np.max(np.abs(np.asarray(loop.per_rank_us)
+                              - np.asarray(vector.per_rank_us)))
+        assert worst <= 1e-9, f"{kind}: per-rank divergence {worst} at p=1024"
+        assert vector.measured_time_us == loop.measured_time_us
+        assert vector.comm_stats.messages == loop.comm_stats.messages
+        assert vector.comm_stats.bytes == loop.comm_stats.bytes
+
     @pytest.mark.parametrize("machine_name", ["ipsc860", "modern-cluster"])
     def test_parity_cyclic_and_odd_p(self, machine_name):
         # cyclic layout + non-power-of-two partition (partition-safe routes)
@@ -142,6 +177,22 @@ class TestEngineSwitch:
         with pytest.raises(SimulationError, match="unknown simulator engine"):
             simulate(laplace_compiled, machine4,
                      options=SimulatorOptions(engine="turbo"))
+
+    def test_unknown_engine_fails_eagerly_and_names_the_engines(self):
+        # the typo must fail at construction, not deep inside the run, and
+        # the message must list every known engine
+        with pytest.raises(SimulationError) as err:
+            SimulatorConfig(engine="turbo")
+        message = str(err.value)
+        for name in ENGINES:
+            assert repr(name) in message
+
+    def test_runtime_backstop_catches_post_hoc_reassignment(
+            self, laplace_compiled, machine4):
+        options = SimulatorOptions()
+        options.engine = "warp"            # bypasses __post_init__
+        with pytest.raises(SimulationError, match="unknown simulator engine"):
+            simulate(laplace_compiled, machine4, options=options)
 
 
 class TestModernCluster:
@@ -241,6 +292,227 @@ class TestBatchedNetwork:
         assert order_batch == order_heap == ["d", "b", "a", "c"]
         assert clock.now == 5.0
         assert clock.processed == 4
+
+
+# ---------------------------------------------------------------------------
+# array drain: stage classification + equivalence with the heap oracle
+# ---------------------------------------------------------------------------
+
+
+def _arrays(specs):
+    start = np.array([s[0] for s in specs], dtype=np.float64)
+    src = np.array([s[1] for s in specs], dtype=np.int64)
+    dst = np.array([s[2] for s in specs], dtype=np.int64)
+    nbytes = np.array([s[3] for s in specs], dtype=np.int64)
+    return start, src, dst, nbytes
+
+
+def _drain_stage_vs_heap(kind, nodes, specs):
+    """Run one stage through drain_stage and the heap; return both + verdict."""
+    from repro.system.topology import make_topology
+    start, src, dst, nbytes = _arrays(specs)
+    array_net = Network(_comm(), nodes, make_topology(kind, nodes), batched=True)
+    heap_net = Network(_comm(), nodes, make_topology(kind, nodes))
+    _hops, verdict, _partners = array_net.stage_route_info(src, dst)
+    send_arr, recv_arr = array_net.drain_stage(start, src, dst, nbytes)
+    messages = [Message(src=s, dst=d, nbytes=n, start_time=t)
+                for t, s, d, n in specs]
+    result = heap_net.transfer(messages)
+    return verdict, send_arr, recv_arr, result
+
+
+def _assert_matches_heap(send_arr, recv_arr, result, nodes):
+    for node in range(nodes):
+        expected_send = result.send_complete.get(node, float("-inf"))
+        expected_recv = result.recv_complete.get(node, float("-inf"))
+        assert send_arr[node] == expected_send, f"send mismatch at node {node}"
+        assert recv_arr[node] == expected_recv, f"recv mismatch at node {node}"
+
+
+class TestStageClassification:
+    """Contention-free stage detection: fast paths only where links never
+    collide, and every verdict's times equal the heap oracle's."""
+
+    def test_link_disjoint_stage_is_fast_pathed(self):
+        # hypercube 0->1 and 2->3: single distinct links, one vector expression
+        specs = [(0.0, 0, 1, 256), (5.0, 2, 3, 512)]
+        verdict, send_arr, recv_arr, result = _drain_stage_vs_heap("hypercube", 4, specs)
+        assert verdict == STAGE_DISJOINT
+        _assert_matches_heap(send_arr, recv_arr, result, 4)
+
+    def test_pairwise_exchange_is_paired(self):
+        # recursive-doubling stage: both directions share each undirected link
+        specs = [(0.0, 0, 1, 128), (0.0, 1, 0, 128),
+                 (2.0, 2, 3, 128), (1.0, 3, 2, 128)]
+        verdict, send_arr, recv_arr, result = _drain_stage_vs_heap("hypercube", 4, specs)
+        assert verdict == STAGE_PAIRED
+        _assert_matches_heap(send_arr, recv_arr, result, 4)
+
+    def test_colliding_stage_takes_the_slow_path(self):
+        # mesh row 0->2 and 1->3: both cross link (1,2) — genuine contention,
+        # must serialise through the scalar batched drain
+        from repro.system.topology import MeshTopology
+        specs = [(0.0, 0, 2, 1024), (0.0, 1, 3, 1024)]
+        start, src, dst, nbytes = _arrays(specs)
+        array_net = Network(_comm(), 4, MeshTopology(1, 4), batched=True)
+        heap_net = Network(_comm(), 4, MeshTopology(1, 4))
+        _hops, verdict, _partners = array_net.stage_route_info(src, dst)
+        assert verdict == STAGE_SERIAL
+        send_arr, recv_arr = array_net.drain_stage(start, src, dst, nbytes)
+        result = heap_net.transfer([Message(src=s, dst=d, nbytes=n, start_time=t)
+                                    for t, s, d, n in specs])
+        _assert_matches_heap(send_arr, recv_arr, result, 4)
+
+    def test_duplicate_source_takes_the_slow_path(self):
+        # one NIC sending twice serialises at the source even on a crossbar
+        specs = [(0.0, 0, 1, 64), (0.0, 0, 2, 64)]
+        verdict, send_arr, recv_arr, result = _drain_stage_vs_heap("switch", 4, specs)
+        assert verdict == STAGE_SERIAL
+        _assert_matches_heap(send_arr, recv_arr, result, 4)
+
+    def test_switch_is_structurally_disjoint(self):
+        # the crossbar advertises link_disjoint_paths: distinct endpoints are
+        # disjoint by construction, no link walk needed
+        from repro.system.topology import SwitchedTopology, make_topology
+        assert SwitchedTopology(8).link_disjoint_paths
+        assert not make_topology("hypercube", 8).link_disjoint_paths
+        specs = [(0.0, 0, 5, 256), (0.0, 1, 4, 256), (3.0, 2, 7, 2048)]
+        verdict, send_arr, recv_arr, result = _drain_stage_vs_heap("switch", 8, specs)
+        assert verdict == STAGE_DISJOINT
+        _assert_matches_heap(send_arr, recv_arr, result, 8)
+
+    @pytest.mark.parametrize("kind,nodes", [("hypercube", 8), ("mesh", 6),
+                                            ("torus", 8), ("fattree", 8),
+                                            ("switch", 8)])
+    def test_random_stages_match_heap(self, kind, nodes):
+        rng = np.random.default_rng(nodes)
+        for trial in range(12):
+            n = int(rng.integers(1, 2 * nodes))
+            specs = [(float(rng.choice([0.0, 4.0, 9.5])),
+                      int(rng.integers(0, nodes)), int(rng.integers(0, nodes)),
+                      int(rng.integers(1, 4000))) for _ in range(n)]
+            _verdict, send_arr, recv_arr, result = _drain_stage_vs_heap(kind, nodes, specs)
+            _assert_matches_heap(send_arr, recv_arr, result, nodes)
+
+    def test_verdicts_are_memoised_per_stage_shape(self):
+        from repro.system.topology import make_topology
+        net = Network(_comm(), 4, make_topology("hypercube", 4), batched=True)
+        src = np.array([0, 2], dtype=np.int64)
+        dst = np.array([1, 3], dtype=np.int64)
+        first = net.stage_route_info(src, dst)
+        again = net.stage_route_info(src.copy(), dst.copy())
+        assert first is again
+
+    def test_stage_cache_distinguishes_dtype_and_length(self):
+        # int32 [1, 0] and int64 [1] share a byte representation; the memo
+        # key must not conflate the two stages
+        from repro.system.topology import make_topology
+        net = Network(_comm(), 4, make_topology("hypercube", 4), batched=True)
+        wide = net.stage_route_info(np.array([1, 0], dtype=np.int32),
+                                    np.array([0, 1], dtype=np.int32))
+        narrow = net.stage_route_info(np.array([1], dtype=np.int64),
+                                      np.array([0], dtype=np.int64))
+        assert wide[0].shape[0] == 2
+        assert narrow[0].shape[0] == 1
+
+
+# ---------------------------------------------------------------------------
+# array-clock kernels == dict-based collectives
+# ---------------------------------------------------------------------------
+
+
+class TestArrayClockKernels:
+    """The ``*_clocks`` kernels return bit-identical times to their
+    dict-based twins and never mutate the entry clocks."""
+
+    @pytest.mark.parametrize("kind,nodes", [("hypercube", 8), ("mesh", 6),
+                                            ("torus", 8), ("fattree", 8),
+                                            ("switch", 8), ("hypercube", 5)])
+    def test_kernels_match_dict_collectives(self, kind, nodes):
+        from repro.system.topology import make_topology
+        network = Network(_comm(), nodes, make_topology(kind, nodes),
+                          batched=True)
+        ranks = list(range(nodes))
+        rng = np.random.default_rng(17)
+        clocks_arr = np.round(rng.uniform(0.0, 40.0, size=nodes), 3)
+        clocks = {r: float(clocks_arr[r]) for r in ranks}
+        entry = clocks_arr.copy()
+
+        cases = [
+            (allreduce_clocks(network, clocks_arr, 8, combine_time=0.5,
+                              software_overhead=5.0),
+             allreduce(network, ranks, 8, clocks, combine_time=0.5,
+                       software_overhead=5.0)),
+            (allgather_clocks(network, clocks_arr, 32, software_overhead=5.0),
+             allgather(network, ranks, 32, clocks, software_overhead=5.0)),
+            (unstructured_gather_clocks(network, clocks_arr, 32,
+                                        software_overhead=5.0),
+             unstructured_gather(network, ranks, 32, clocks,
+                                 software_overhead=5.0)),
+            (broadcast_clocks(network, 0, clocks_arr, 128,
+                              software_overhead=5.0),
+             broadcast(network, 0, ranks, 128, clocks, software_overhead=5.0)),
+            (broadcast_clocks(network, 3, clocks_arr, 128,
+                              software_overhead=5.0),
+             broadcast(network, 3, ranks, 128, clocks, software_overhead=5.0)),
+        ]
+        for got, expected in cases:
+            assert got.shape == (nodes,)
+            for rank in ranks:
+                assert got[rank] == expected[rank]
+        np.testing.assert_array_equal(clocks_arr, entry)
+
+    @pytest.mark.parametrize("kind,nodes", [("hypercube", 8), ("mesh", 6),
+                                            ("switch", 8)])
+    def test_shift_kernel_matches_dict_shift(self, kind, nodes):
+        from repro.system.topology import make_topology
+        network = Network(_comm(), nodes, make_topology(kind, nodes),
+                          batched=True)
+        ranks = list(range(nodes))
+        clocks_arr = np.linspace(0.0, 21.0, nodes)
+        clocks = {r: float(clocks_arr[r]) for r in ranks}
+        pairs = [(r, (r + 1) % nodes) for r in ranks]
+        sizes = {pair: 64 * (i + 1) for i, pair in enumerate(pairs)}
+        src = np.array([a for a, _ in pairs], dtype=np.int64)
+        dst = np.array([b for _, b in pairs], dtype=np.int64)
+        nbytes = np.array([sizes[pair] for pair in pairs], dtype=np.int64)
+
+        entry = clocks_arr.copy()
+        got, participants = shift_exchange_clocks(
+            network, src, dst, nbytes, clocks_arr, software_overhead=5.0)
+        expected = shift_exchange(network, pairs, sizes, clocks,
+                                  software_overhead=5.0)
+        assert participants.all()          # a full ring: everyone exchanges
+        for rank in ranks:
+            assert got[rank] == expected[rank]
+        np.testing.assert_array_equal(clocks_arr, entry)
+
+    def test_shift_kernel_flags_non_participants(self):
+        from repro.system.topology import make_topology
+        network = Network(_comm(), 8, make_topology("hypercube", 8),
+                          batched=True)
+        clocks_arr = np.full(8, 3.0)
+        src = np.array([0], dtype=np.int64)
+        dst = np.array([1], dtype=np.int64)
+        nbytes = np.array([64], dtype=np.int64)
+        got, participants = shift_exchange_clocks(
+            network, src, dst, nbytes, clocks_arr, software_overhead=5.0)
+        assert participants.tolist() == [True, True] + [False] * 6
+        np.testing.assert_array_equal(got[~participants], 3.0)
+        assert (got[participants] >= 8.0).all()
+
+    def test_empty_shift_stage_is_identity(self):
+        from repro.system.topology import make_topology
+        network = Network(_comm(), 4, make_topology("hypercube", 4),
+                          batched=True)
+        clocks_arr = np.array([1.0, 2.0, 3.0, 4.0])
+        empty = np.array([], dtype=np.int64)
+        got, participants = shift_exchange_clocks(
+            network, empty, empty, empty.copy(), clocks_arr,
+            software_overhead=5.0)
+        assert not participants.any()
+        np.testing.assert_array_equal(got, clocks_arr)
+        assert got is not clocks_arr
 
 
 # ---------------------------------------------------------------------------
