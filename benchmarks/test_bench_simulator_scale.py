@@ -14,8 +14,12 @@ This benchmark pins the tentpole claims on the ``modern-cluster`` target:
 * the vector engine is at least 6× faster in wall-clock at p = 256 (the
   PR-4 batched-drain core measured ~4× there, so this pin certifies the
   array-clock core's ≥2× on top), and
-* a p = 1024 contention-free (crossbar fabric) simulation completes inside
-  the wall-clock budget.
+* with the counter-keyed noise engine (one vectorised draw per phase
+  instead of per-rank sequential draws) the speedup at p = 1024 is at
+  least 20.3× — 1.3× over the PR-5 baseline's 15.6× — and the table now
+  extends to p = 4096 and p = 8192 with a ≥25× floor, and
+* p = 1024 and p = 4096 contention-free (crossbar fabric) simulations
+  complete inside their wall-clock budgets.
 
 Each run also emits ``benchmarks/results/BENCH_simulator_scale.json`` —
 machine-readable per-p wall-clocks and speedups — so the performance
@@ -42,9 +46,22 @@ APP = "laplace_block_star"
 SIZE = 64           # grid edge: keeps the (engine-shared) data plane small
 MAXITER = 20.0      # more Jacobi iterations -> more per-rank/network phases
 
-#: Wall-clock budget for one p=1024 vector-engine run on the crossbar
-#: (contention-free) fabric.  Measured ~0.25 s; the budget leaves CI slack.
+#: Wall-clock budgets for single vector-engine runs on the crossbar
+#: (contention-free) fabric.  Measured ~0.11 s at p=1024 and ~0.36 s at
+#: p=4096; the budgets leave CI slack.
 P1024_BUDGET_SECONDS = 5.0
+P4096_BUDGET_SECONDS = 10.0
+
+#: Speedup floors for the table rows: ``p -> (loop repeats, floor)``.  The
+#: loop oracle at p >= 4096 takes tens of seconds per run, so those rows are
+#: measured once instead of best-of-3.
+SPEEDUP_ROWS = {
+    64: (3, 1.0),
+    256: (3, 6.0),
+    1024: (3, 20.3),    # >= 1.3x over the PR-5 baseline's 15.6x
+    4096: (1, 25.0),
+    8192: (1, 25.0),
+}
 
 RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_simulator_scale.json"
 
@@ -118,19 +135,36 @@ def test_p1024_contention_free_within_budget():
         f"p=1024 vector run took {elapsed:.2f}s (budget {P1024_BUDGET_SECONDS}s)"
 
 
+def test_p4096_vector_smoke_within_budget():
+    """One p=4096 vector run finishes inside the CI time budget.
+
+    This is the check.sh smoke for the counter-keyed noise engine: at this
+    scale the per-rank sequential draws of the legacy scheme dominated the
+    wall; the keyed engine prices each noise phase in one vectorised call.
+    """
+    compiled = _compiled(4096)
+    machine = get_machine(MACHINE, 4096)
+    started = time.perf_counter()
+    result = _run("vector", compiled, machine)
+    elapsed = time.perf_counter() - started
+    assert len(result.per_rank_us) == 4096
+    assert elapsed <= P4096_BUDGET_SECONDS, \
+        f"p=4096 vector run took {elapsed:.2f}s (budget {P4096_BUDGET_SECONDS}s)"
+
+
 def test_vector_engine_speedup_table():
-    """≥6× wall-clock at p=256, the README table, and the JSON trajectory."""
+    """The per-p speedup floors, the README table, and the JSON trajectory."""
     rows = []
-    for nprocs in (64, 256, 1024):
+    for nprocs, (repeats, _floor) in SPEEDUP_ROWS.items():
         compiled = _compiled(nprocs)
         machine = get_machine(MACHINE, nprocs)
-        loop_wall = _best_wall("loop", compiled, machine)
+        loop_wall = _best_wall("loop", compiled, machine, repeats=repeats)
         vector_wall = _best_wall("vector", compiled, machine)
         rows.append((nprocs, loop_wall, vector_wall, loop_wall / vector_wall))
 
     print()
     print(f"simulator wall-clock, {APP} n={SIZE} maxiter={int(MAXITER)} "
-          f"on {MACHINE} (best of 3):")
+          f"on {MACHINE} (best of 3; single run at p >= 4096):")
     for line in render_performance_table(rows):
         print(line)
 
@@ -152,8 +186,8 @@ def test_vector_engine_speedup_table():
     }, indent=2) + "\n")
 
     by_p = {row[0]: row for row in rows}
-    assert by_p[64][3] > 1.0, "vector engine should win already at p=64"
-    assert by_p[256][3] >= 6.0, \
-        f"vector engine speedup at p=256 is {by_p[256][3]:.2f}x (< 6x)"
-    assert by_p[1024][3] >= 6.0, \
-        f"vector engine speedup at p=1024 is {by_p[1024][3]:.2f}x (< 6x)"
+    for nprocs, (_repeats, floor) in SPEEDUP_ROWS.items():
+        speedup = by_p[nprocs][3]
+        assert speedup >= floor, \
+            f"vector engine speedup at p={nprocs} is {speedup:.2f}x " \
+            f"(floor {floor}x)"

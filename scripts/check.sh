@@ -23,6 +23,12 @@ python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "parity and p
 echo "== simulator-scale smoke: p=1024 contention-free run inside the wall-clock budget"
 python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "p1024_contention_free"
 
+echo "== simulator-scale smoke: p=4096 vector run inside the wall-clock budget"
+python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "p4096_vector_smoke"
+
+echo "== noise-engine store drift: counter vs sequential scheme inside the §5.1 band"
+python scripts/noise_drift_report.py
+
 echo "== docs check: markdown links + public-API doctests"
 python scripts/docs_check.py
 

@@ -1,0 +1,126 @@
+"""Store-migration drift report: sequential-scheme vs counter-scheme noise.
+
+The counter-keyed noise engine replaces the legacy one-stream sequential
+draws as the simulator's default.  Both schemes realise the *same* noise
+magnitudes (the §5.1 "variance of the measured times") from the same seed,
+but as different deterministic realisations — so every measure-mode store
+record drifts by a small amount when regenerated.  This script is the record
+of that migration:
+
+* runs one measure-mode campaign under each scheme (identical space, seed
+  and machines — only ``NoiseOptions.scheme`` differs),
+* joins the two result sets on the content-addressed scenario key and
+  renders the ``store_diff_table`` of worst drifts,
+* asserts every drift stays inside the §5.1 variance band (the noise model's
+  own magnitudes bound how far two equally-valid realisations can sit), and
+* writes ``benchmarks/results/STORE_DIFF_noise_engine.md``.
+
+Predict-mode stores (e.g. ``benchmarks/results/smoke_campaign.jsonl``) carry
+analytic, noise-free estimates and are byte-identical under either scheme —
+the migration touches only simulated measurements.
+
+Usage:  PYTHONPATH=src python scripts/noise_drift_report.py [report-path]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.explore import (  # noqa: E402
+    ScenarioSpace,
+    run_campaign,
+    store_diff,
+    store_diff_table,
+)
+from repro.simulator import NoiseOptions, SimulatorOptions  # noqa: E402
+
+DEFAULT_REPORT = os.path.join(os.path.dirname(__file__), "..",
+                              "benchmarks", "results",
+                              "STORE_DIFF_noise_engine.md")
+
+#: Small but representative measure-mode space: both Laplace layouts, two
+#: problem sizes, two partition sizes, hypercube + crossbar interconnects.
+DRIFT_SPACE = ScenarioSpace(
+    apps=("laplace_block_star", "laplace_star_block"),
+    sizes=(16, 32),
+    proc_counts=(4, 8),
+    machines=("ipsc860", "modern-cluster"),
+)
+
+#: §5.1 variance band: the worst acceptable scheme-to-scheme drift of one
+#: simulated measurement.  The noise model's magnitudes (0.4% compute jitter,
+#: 1% message jitter plus a µs-scale additive floor and rare interruptions)
+#: keep two realisations within a few percent; 5% is the generous bound the
+#: paper's "within the variance of the measured times" language supports.
+DRIFT_BAND_PCT = 5.0
+
+
+def main() -> int:
+    report_path = sys.argv[1] if len(sys.argv) > 1 \
+        else os.path.normpath(DEFAULT_REPORT)
+
+    campaigns = {}
+    for scheme in ("sequential", "counter"):
+        options = SimulatorOptions(noise=NoiseOptions(scheme=scheme))
+        campaigns[scheme] = run_campaign(
+            DRIFT_SPACE, name=f"noise-drift-{scheme}", mode="measure",
+            simulator_options=options)
+
+    old = campaigns["sequential"].results
+    new = campaigns["counter"].results
+    expected = len(DRIFT_SPACE.expand())
+    assert len(old) == expected and len(new) == expected, \
+        f"campaigns produced {len(old)}/{len(new)} of {expected} points"
+
+    # tolerance 0: report every moved value, however small — this table is
+    # the migration record, not a regression gate
+    diff = store_diff(old, new, tolerance_pct=0.0)
+    assert not diff.added and not diff.removed, \
+        "scheme change must not add or remove scenario keys"
+
+    worst = max((pct for _, _, pct in diff.drifted), default=0.0)
+    assert worst <= DRIFT_BAND_PCT, \
+        f"worst scheme drift {worst:.3f}% exceeds the §5.1 band " \
+        f"({DRIFT_BAND_PCT}%)"
+
+    table = store_diff_table(
+        diff=diff, max_rows=len(diff.drifted) or 1,
+        title="Store diff: counter-keyed noise engine vs sequential scheme")
+
+    lines = [
+        "# Noise-engine store migration",
+        "",
+        "The counter-based keyed noise engine (PR 6) replaces the legacy",
+        "sequential one-stream draws as the simulator's default scheme.",
+        "Both schemes realise the same §5.1 noise magnitudes from the same",
+        "seed, as different deterministic realisations — every simulated",
+        "measurement therefore drifts slightly when a store is regenerated.",
+        "",
+        f"* space: {expected} measure-mode scenarios "
+        "(2 layouts x 2 sizes x {4, 8} ranks x {ipsc860, modern-cluster})",
+        f"* worst drift: {worst:.3f}% "
+        f"(band: {DRIFT_BAND_PCT}% — the §5.1 measurement-variance bound)",
+        "* predict-mode stores (analytic, noise-free) are unchanged:",
+        "  `benchmarks/results/smoke_campaign.jsonl` stays byte-identical.",
+        "* the legacy realisation stays reachable via",
+        "  `NoiseOptions(scheme=\"sequential\")` for one release.",
+        "",
+        "```",
+        table,
+        "```",
+        "",
+    ]
+    report = "\n".join(lines)
+    with open(report_path, "w") as fh:
+        fh.write(report)
+
+    print(report)
+    print(f"report written to {report_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

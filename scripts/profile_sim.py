@@ -6,10 +6,16 @@ under ``cProfile`` and prints the top cumulative hot spots — the first stop
 when a perf PR wants to know where the simulator's wall-clock actually goes
 (historically: the network drain, then per-rank noise draws).
 
+``--phase-breakdown`` adds a one-table summary of where the wall-clock goes,
+bucketed by simulator subsystem (noise draws, node cost model, network +
+collectives, everything else) — the view that motivated the counter-keyed
+noise engine (noise was ~40% of the vector wall at p=1024 under the old
+sequential draws).
+
 Usage::
 
     PYTHONPATH=src python scripts/profile_sim.py [--nprocs 256] [--top 25]
-            [--engine vector] [--sort cumulative]
+            [--engine vector] [--sort cumulative] [--phase-breakdown]
 """
 
 from __future__ import annotations
@@ -27,6 +33,43 @@ APP = "laplace_block_star"
 SIZE = 64
 MAXITER = 20.0
 
+#: ``--phase-breakdown`` buckets, matched against each profiled frame's
+#: filename (first match wins, top to bottom).
+_PHASE_BUCKETS = (
+    ("noise", ("simulator/noise.py",)),
+    ("node cost", ("simulator/node.py",)),
+    ("network", ("simulator/network.py", "simulator/collectives.py",
+                 "simulator/events.py", "simulator/hypercube.py")),
+)
+
+
+def phase_breakdown(stats: pstats.Stats) -> list[tuple[str, float]]:
+    """Aggregate per-frame ``tottime`` into simulator-subsystem buckets.
+
+    ``tottime`` (self time, excluding callees) partitions the wall exactly,
+    so the bucket shares sum to the profiled total.
+    """
+    totals = {name: 0.0 for name, _ in _PHASE_BUCKETS}
+    totals["other"] = 0.0
+    for (filename, _line, _func), (_cc, _nc, tottime, _ct, _callers) \
+            in stats.stats.items():
+        path = filename.replace("\\", "/")
+        for name, needles in _PHASE_BUCKETS:
+            if any(needle in path for needle in needles):
+                totals[name] += tottime
+                break
+        else:
+            totals["other"] += tottime
+    return sorted(totals.items(), key=lambda kv: -kv[1])
+
+
+def print_phase_breakdown(stats: pstats.Stats) -> None:
+    rows = phase_breakdown(stats)
+    wall = sum(t for _, t in rows) or 1.0
+    print("\nphase breakdown (self time):")
+    for name, t in rows:
+        print(f"  {name:<10} {t * 1e3:8.1f} ms  {100.0 * t / wall:5.1f}%")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -38,6 +81,9 @@ def main() -> None:
     parser.add_argument("--sort", default="cumulative",
                         choices=("cumulative", "tottime"),
                         help="pstats sort key")
+    parser.add_argument("--phase-breakdown", action="store_true",
+                        help="also print noise / node-cost / network shares "
+                             "of the wall-clock")
     args = parser.parse_args()
 
     entry = get_entry(APP)
@@ -60,6 +106,8 @@ def main() -> None:
           f"{result.measured_time_us / 1e3:.1f} ms simulated")
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
+    if args.phase_breakdown:
+        print_phase_breakdown(stats)
 
 
 if __name__ == "__main__":

@@ -51,7 +51,7 @@ from .network import (
     TransferResult,
 )
 from .node import IterationProfile, NodeCostModel
-from .noise import NoiseModel, NoiseOptions
+from .noise import NOISE_SCHEMES, NoiseKey, NoiseModel, NoiseOptions
 from .runtime import SimulationResult, simulate, simulate_repeated
 from .vector import VectorSPMDExecutor
 
@@ -89,6 +89,8 @@ __all__ = [
     "TransferResult",
     "IterationProfile",
     "NodeCostModel",
+    "NOISE_SCHEMES",
+    "NoiseKey",
     "NoiseModel",
     "NoiseOptions",
     "SimulationResult",

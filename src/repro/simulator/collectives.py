@@ -324,7 +324,8 @@ def shift_exchange_clocks(
     Returns ``(new_clocks, participants)``: the updated full-partition clock
     array (non-participants keep their entry clocks) and the boolean mask of
     ranks that exchanged — the executor draws communication noise for exactly
-    those ranks, in rank order, matching the dict path.
+    those ranks, keyed per rank (counter scheme) or in rank order (sequential
+    scheme), matching the dict path either way.
     """
     p = clocks.shape[0]
     new = clocks.copy()
@@ -367,8 +368,13 @@ def broadcast_clocks(
             continue
         src = senders[active]
         dst = receivers[active]
-        if np.unique(src).shape[0] != src.shape[0] or \
-                np.unique(dst).shape[0] != dst.shape[0]:
+        seen = np.zeros(p, dtype=bool)
+        seen[src] = True
+        src_distinct = int(np.count_nonzero(seen)) == src.shape[0]
+        seen[:] = False
+        seen[dst] = True
+        dst_distinct = int(np.count_nonzero(seen)) == dst.shape[0]
+        if not src_distinct or not dst_distinct:
             # a stage that reuses a sender or receiver needs the sequential
             # dict semantics; no registered schedule does this, but stay exact
             done = broadcast(network, root, list(range(p)),

@@ -206,6 +206,20 @@ class SPMDExecutor:
             delta[rank] = max(target - self.clocks[rank], 0.0)
         self._charge(node, category, delta)
 
+    def _apply_comm_noise(self, done: dict[int, float],
+                          clocks: dict[int, float]) -> dict[int, float]:
+        """Perturb one communication phase's clock advances, rank by rank.
+
+        Claims exactly one noise phase (the vector engine's
+        ``communication_batch`` claims the same phase at the same point in
+        its control flow) and draws each participating rank's deviate keyed
+        on that phase — so the loop engine stays the scalar oracle while
+        remaining bit-identical to the batched draws.
+        """
+        phase = self.noise.begin_phase()
+        return {r: self.noise.communication_keyed(phase, r, t - clocks[r])
+                + clocks[r] for r, t in done.items()}
+
     # ------------------------------------------------------------------
     # sequence / control flow
     # ------------------------------------------------------------------
@@ -334,7 +348,8 @@ class SPMDExecutor:
             except Exception:
                 owner = 0
         count = count_statement_body([stmt])
-        per_rank[owner] += self.noise.compute(self.cost.scalar_statement_time(count))
+        per_rank[owner] += self.noise.compute(
+            self.cost.scalar_statement_time(count), rank=owner)
         self._charge(node, "computation", per_rank)
 
         self.data.exec_assignment(stmt)
@@ -370,6 +385,7 @@ class SPMDExecutor:
                             element_size: int, precision: str) -> np.ndarray:
         """Timing plane: actual per-rank iteration counts and mask fractions."""
         per_rank = np.zeros(self.nprocs, dtype=np.float64)
+        noise_phase = self.noise.begin_phase()
         for rank in range(self.nprocs):
             selectors: list[np.ndarray] = []
             iterations = 1.0
@@ -411,7 +427,8 @@ class SPMDExecutor:
                 arrays_touched=max(len(count.arrays_touched), 1),
                 mask_fraction=mask_fraction,
             )
-            per_rank[rank] = self.noise.compute(
+            per_rank[rank] = self.noise.compute_keyed(
+                noise_phase, rank,
                 self.cost.loop_nest_time(profile, depth=len(node.loops))
             )
         return per_rank
@@ -444,6 +461,7 @@ class SPMDExecutor:
                             precision: str) -> np.ndarray:
         """Per-rank local-partial-reduction times (each rank sweeps its share)."""
         per_rank = np.zeros(self.nprocs, dtype=np.float64)
+        noise_phase = self.noise.begin_phase()
         for rank in range(self.nprocs):
             if dist is not None and not dist.is_replicated:
                 share = dist.local_size(rank) / max(dist.size, 1)
@@ -459,7 +477,8 @@ class SPMDExecutor:
                 stride1=True,
                 arrays_touched=max(len(count.arrays_touched), 1),
             )
-            per_rank[rank] = self.noise.compute(self.cost.loop_nest_time(profile, depth=1))
+            per_rank[rank] = self.noise.compute_keyed(
+                noise_phase, rank, self.cost.loop_nest_time(profile, depth=1))
         return per_rank
 
     def _reduction_extent(self, node: ReductionNode, dist: ArrayDistribution | None) -> float:
@@ -503,16 +522,18 @@ class SPMDExecutor:
         clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
         done = shift_exchange(self.network, pairs, sizes, clocks,
                               software_overhead=self.collective_overhead)
-        done = {r: self.noise.communication(t - clocks[r]) + clocks[r] for r, t in done.items()}
+        done = self._apply_comm_noise(done, clocks)
         self._set_clocks(node, "communication", done)
 
     def _shift_copy_per_rank(self, dist: ArrayDistribution) -> np.ndarray:
         """Per-rank local copy cost of a shift (each rank copies its block)."""
         proc = self.machine.processing
         copy_per_rank = np.zeros(self.nprocs)
+        noise_phase = self.noise.begin_phase()
         for rank in range(self.nprocs):
             local = dist.local_size(rank)
-            copy_per_rank[rank] = self.noise.compute(
+            copy_per_rank[rank] = self.noise.compute_keyed(
+                noise_phase, rank,
                 local * (proc.assignment_overhead + self.machine.memory.hit_time * 2)
             )
         return copy_per_rank
@@ -587,8 +608,7 @@ class SPMDExecutor:
                                             clamp_shift_axis=True)
             done = shift_exchange(self.network, pairs, sizes, clocks,
                                   software_overhead=overhead)
-            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
-                    for r, t in done.items()}
+            done = self._apply_comm_noise(done, clocks)
             self._set_clocks(node, "communication", done)
             return
 
@@ -598,8 +618,7 @@ class SPMDExecutor:
             ranks = list(range(self.nprocs))
             done = broadcast(self.network, 0, ranks, nbytes, clocks,
                              software_overhead=overhead)
-            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
-                    for r, t in done.items()}
+            done = self._apply_comm_noise(done, clocks)
             self.comm_stats.record(max(self.nprocs - 1, 0), nbytes * max(self.nprocs - 1, 0))
             self._set_clocks(node, "communication", done)
             return
@@ -610,8 +629,7 @@ class SPMDExecutor:
             done = allreduce(self.network, ranks, nbytes, clocks,
                              combine_time=proc.flop_time_sp,
                              software_overhead=overhead)
-            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
-                    for r, t in done.items()}
+            done = self._apply_comm_noise(done, clocks)
             self.comm_stats.record(self.nprocs, nbytes * self.nprocs)
             self._set_clocks(node, "communication", done)
             return
@@ -622,8 +640,7 @@ class SPMDExecutor:
             ranks = list(range(self.nprocs))
             done = unstructured_gather(self.network, ranks, nbytes, clocks,
                                        software_overhead=overhead)
-            done = {r: self.noise.communication(t - clocks[r]) + clocks[r]
-                    for r, t in done.items()}
+            done = self._apply_comm_noise(done, clocks)
             self.comm_stats.record(self.nprocs * max(self.nprocs - 1, 1) // 2,
                                    nbytes * max(self.nprocs - 1, 1))
             self._set_clocks(node, "communication", done)

@@ -366,6 +366,20 @@ class Network:
         n = src.shape[0]
         srcs = src.tolist()
         dsts = dst.tolist()
+
+        # Structural fast path: on a crossbar every distinct-endpoint route is
+        # exactly ``switch_hops`` links and a self-message is zero, so a stage
+        # with distinct sources and destinations classifies without walking a
+        # single route (the per-message route walk was the dominant one-time
+        # cost of large-p stage classification).
+        switch_hops = getattr(self.topology, "switch_hops", None)
+        if switch_hops is not None \
+                and getattr(self.topology, "link_disjoint_paths", False) \
+                and len(set(srcs)) == n and len(set(dsts)) == n:
+            hops = np.where(src == dst, 0, int(switch_hops)).astype(np.int64)
+            cached = (hops, STAGE_DISJOINT, None)
+            self._stage_cache[key] = cached
+            return cached
         hops = np.empty(n, dtype=np.int64)
         link_lists = []
         for k in range(n):
@@ -407,6 +421,13 @@ class Network:
 
     def _stage_timing(self, nbytes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-message ``(latency, occupancy)`` arrays, via the timing memo."""
+        nbytes = np.asarray(nbytes).reshape(-1)
+        # Collective stages overwhelmingly carry one message size; broadcast
+        # the memoised scalar pair instead of paying np.unique's sort.
+        if nbytes.shape[0] and int(nbytes.min()) == int(nbytes.max()):
+            lat, occ = self._message_timing(int(nbytes[0]))
+            return (np.full(nbytes.shape[0], lat),
+                    np.full(nbytes.shape[0], occ))
         uniq, inverse = np.unique(nbytes, return_inverse=True)
         lat = np.empty(uniq.shape[0], dtype=np.float64)
         occ = np.empty(uniq.shape[0], dtype=np.float64)

@@ -10,20 +10,73 @@ reproduces those effects with a seeded, deterministic noise model:
 * message timings get a small additive + multiplicative jitter,
 * reported totals are quantised to the measurement clock's resolution.
 
-All draws come from one ``numpy`` Generator seeded per simulation, so results
-are reproducible bit-for-bit.
+Two deviate-generation schemes are provided behind
+``NoiseOptions(scheme=...)``:
+
+``"counter"`` (default)
+    Every deviate is a pure function of a :class:`NoiseKey` —
+    ``(seed, stream, phase, rank, draw)`` — evaluated through a counter-based
+    bit mixer (a splitmix64 chain, the explicit-counter equivalent of keying
+    a ``Philox`` generator per draw).  No draw consumes a shared stream, so
+    there is **no ordering dependency between ranks**: any slice of the noise
+    tensor — all ranks of a compute phase, one rank of one phase, a
+    participant subset of a communication phase — materialises to the same
+    values in one vectorised call.  This is what lets the vector engine batch
+    every draw while the loop oracle evaluates the identical deviates rank by
+    rank, bit for bit.
+
+``"sequential"``
+    The legacy model: all draws come from one sequential ``numpy`` Generator,
+    interleaved per rank.  Kept for one release so stores and benchmarks
+    produced before the counter engine can be regenerated/compared; the
+    per-rank interleaving is why this scheme cannot be batched without
+    changing values.
+
+Both schemes are deterministic per seed; the two produce *different* (equally
+valid) noise realisations, which is the store drift the
+``scripts/noise_drift_report.py`` report documents.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import isfinite
 
 import numpy as np
+
+from ..frontend.errors import SimulationError
+
+#: Deviate-generation schemes of :class:`NoiseOptions`.
+NOISE_SCHEMES = ("counter", "sequential")
+
+#: Stream ids (domain separators) of the counter scheme's draw kinds.
+STREAM_COMPUTE_JITTER = 1
+STREAM_COMPUTE_INTERRUPT = 2
+STREAM_COMM_JITTER = 3
+STREAM_COMM_FLOOR = 4
+
+#: Fields of :class:`NoiseOptions` that must be finite and non-negative.
+_MAGNITUDE_FIELDS = (
+    "compute_jitter_sigma",
+    "comm_jitter_sigma",
+    "comm_jitter_floor_us",
+    "interruption_rate_per_ms",
+    "interruption_cost_us",
+    "timer_resolution_us",
+)
 
 
 @dataclass
 class NoiseOptions:
-    """Magnitudes of the individual noise sources (all dimensionless or µs)."""
+    """Magnitudes of the individual noise sources (all dimensionless or µs).
+
+    ``scheme`` selects deviate generation: ``"counter"`` (default, batchable,
+    order-independent keyed draws) or ``"sequential"`` (the legacy one-stream
+    model).  Validation is eager — an unknown scheme or a negative/non-finite
+    magnitude fails where the options are written, mirroring
+    ``SimulatorOptions.engine``; an unknown *field* fails in the dataclass
+    constructor itself (``TypeError``).
+    """
 
     enabled: bool = True
     compute_jitter_sigma: float = 0.004       # relative sigma on compute phases
@@ -32,17 +85,357 @@ class NoiseOptions:
     interruption_rate_per_ms: float = 0.002   # OS daemon interruptions
     interruption_cost_us: float = 120.0
     timer_resolution_us: float = 1.0
+    scheme: str = "counter"                   # "counter" | "sequential"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in NOISE_SCHEMES:
+            known = " | ".join(repr(name) for name in NOISE_SCHEMES)
+            raise SimulationError(
+                f"unknown noise scheme {self.scheme!r}; known schemes: {known} "
+                f"(pass e.g. NoiseOptions(scheme=\"counter\"))")
+        for name in _MAGNITUDE_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                    or not isfinite(value) or value < 0:
+                raise SimulationError(
+                    f"NoiseOptions.{name} must be a finite non-negative "
+                    f"number, got {value!r}")
+
+
+@dataclass(frozen=True)
+class NoiseKey:
+    """The coordinate of one counter-scheme deviate.
+
+    ``stream`` separates draw kinds (:data:`STREAM_COMPUTE_JITTER` etc.),
+    ``phase`` is the simulation's noise-phase index (one per noise
+    application site, advanced identically by both engines), ``rank`` the
+    simulated processor and ``draw`` a per-(stream, phase, rank) sub-index
+    for sites that need several deviates of one kind.
+    """
+
+    seed: int
+    stream: int
+    phase: int
+    rank: int
+    draw: int = 0
+
+
+# ---------------------------------------------------------------------------
+# counter-based keyed deviates
+# ---------------------------------------------------------------------------
+#
+# The bit mixer is a splitmix64 absorption chain: h <- mix(h ^ word) for each
+# key word.  splitmix64's finaliser has full avalanche, so distinct keys give
+# statistically independent 64-bit outputs — the same construction numpy's
+# ``Philox(key=..., counter=...)`` provides, but evaluable for a whole rank
+# array in a handful of vectorised uint64 operations (constructing one Philox
+# generator per (phase, rank) key would cost more than the draws themselves).
+
+_U64 = np.uint64
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX_1 = _U64(0xBF58476D1CE4E5B9)
+_MIX_2 = _U64(0x94D049BB133111EB)
+_SH_30 = _U64(30)
+_SH_27 = _U64(27)
+_SH_31 = _U64(31)
+_SH_11 = _U64(11)
+_INV_2POW53 = np.float64(2.0 ** -53)
+_MASK_64 = (1 << 64) - 1
+
+
+def _splitmix64(x):
+    """splitmix64 finaliser over a uint64 scalar or array (wrapping ops)."""
+    x = x + _GOLDEN
+    x = (x ^ (x >> _SH_30)) * _MIX_1
+    x = (x ^ (x >> _SH_27)) * _MIX_2
+    return x ^ (x >> _SH_31)
+
+
+def keyed_uniform(seed: int, stream: int, phase: int, ranks: np.ndarray,
+                  draw: int = 0) -> np.ndarray:
+    """Uniform(0, 1) deviates of the keys ``(seed, stream, phase, ranks[i],
+    draw)`` — the counter scheme's ``NoiseKey`` → deviate mapping.
+
+    Pure function of the key: evaluation order, batch composition and array
+    slicing cannot change any element's value.  Output is in the open
+    interval (0, 1), safe for inverse-CDF transforms.
+    """
+    with np.errstate(over="ignore"):      # uint64 wrap is the point
+        h = _splitmix64(_U64(seed & _MASK_64) ^ _U64(stream & _MASK_64))
+        h = _splitmix64(h ^ _U64(phase & _MASK_64))
+        h = _splitmix64(h ^ np.asarray(ranks).astype(_U64))
+        h = _splitmix64(h ^ _U64(draw & _MASK_64))
+    return ((h >> _SH_11).astype(np.float64) + 0.5) * _INV_2POW53
+
+
+# Acklam's rational approximation to the inverse normal CDF (relative error
+# < 1.15e-9 over (0, 1)).  Purely elementwise arithmetic + log/sqrt, so the
+# scalar view and any batch slice produce bit-identical values.
+_NDTRI_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+            -2.759285104469687e+02, 1.383577518672690e+02,
+            -3.066479806614716e+01, 2.506628277459239e+00)
+_NDTRI_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+            -1.556989798598866e+02, 6.680131188771972e+01,
+            -1.328068155288572e+01)
+_NDTRI_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+            -2.400758277161838e+00, -2.549732539343734e+00,
+            4.374664141464968e+00, 2.938163982698783e+00)
+_NDTRI_D = (7.784695709041462e-03, 3.224671290700398e-01,
+            2.445134137142996e+00, 3.754408661907416e+00)
+_NDTRI_P_LOW = 0.02425
+_NDTRI_P_HIGH = 1.0 - _NDTRI_P_LOW
+
+
+def _ndtri_tail(q: np.ndarray) -> np.ndarray:
+    c, d = _NDTRI_C, _NDTRI_D
+    num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+    return num / den
+
+
+def ndtri(u: np.ndarray) -> np.ndarray:
+    """Inverse standard-normal CDF (Acklam), vectorised and deterministic."""
+    u = np.asarray(u, dtype=np.float64)
+    out = np.empty_like(u)
+    lower = u < _NDTRI_P_LOW
+    upper = u > _NDTRI_P_HIGH
+    central = ~(lower | upper)
+    if lower.any():
+        out[lower] = _ndtri_tail(np.sqrt(-2.0 * np.log(u[lower])))
+    if upper.any():
+        out[upper] = -_ndtri_tail(np.sqrt(-2.0 * np.log(1.0 - u[upper])))
+    if central.any():
+        a, b = _NDTRI_A, _NDTRI_B
+        q = u[central] - 0.5
+        r = q * q
+        num = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+               + a[5]) * q
+        den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        out[central] = num / den
+    return out
+
+
+#: Above this rate the single-uniform Poisson inversion switches to the
+#: (rounded, clamped) normal approximation — only reachable for multi-second
+#: single phases; the inversion loop's step cap backstops float-rounding
+#: stragglers near u -> 1.
+_POISSON_NORMAL_APPROX_LAMBDA = 32.0
+_POISSON_MAX_STEPS = 1100
+
+
+def poisson_from_uniform(u: np.ndarray, lam: np.ndarray) -> np.ndarray:
+    """Poisson(lam) deviates by CDF inversion of **one** uniform per element.
+
+    Classic sequential search: the deviate is the smallest k with
+    ``CDF(k) >= u``.  Exactly one keyed uniform per element — unlike
+    rejection samplers, the construction has a fixed draw count, which is
+    what keeps counter-scheme draws independent across ranks.  Elementwise
+    recurrences only, so batch slicing cannot change any element.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    lam = np.asarray(lam, dtype=np.float64)
+    hits = np.zeros(lam.shape, dtype=np.float64)
+    large = lam > _POISSON_NORMAL_APPROX_LAMBDA
+    if large.any():
+        z = ndtri(u[large])
+        hits[large] = np.maximum(
+            np.rint(lam[large] + np.sqrt(lam[large]) * z), 0.0)
+    small = ~large
+    if small.any():
+        ls = lam[small]
+        us = u[small]
+        pmf = np.exp(-ls)
+        cdf = pmf.copy()
+        count = np.zeros_like(ls)
+        k = 0
+        pending = us > cdf
+        while pending.any() and k < _POISSON_MAX_STEPS:
+            k += 1
+            pmf = pmf * (ls / k)
+            cdf = cdf + pmf
+            count[pending] = k
+            pending = us > cdf
+        hits[small] = count
+    return hits
+
+
+def _as_batch(durations_us) -> np.ndarray:
+    """Normalise any duration input — ndarray (any dims), list, tuple,
+    generator, scalar — to a fresh 1-D float64 array.
+
+    ``np.fromiter(..., count=len(...))`` used to crash on 0-d arrays and
+    generators (no ``len``); everything now funnels through ``np.asarray``
+    (iterables are listed first, since ``asarray`` cannot size a generator).
+    """
+    if not isinstance(durations_us, (np.ndarray, list, tuple)) \
+            and hasattr(durations_us, "__iter__"):
+        durations_us = list(durations_us)
+    return np.atleast_1d(np.asarray(durations_us, dtype=np.float64)).copy()
 
 
 class NoiseModel:
-    """Deterministic, seeded noise generator."""
+    """Deterministic, seeded noise generator.
+
+    The **phase counter** is the model's only mutable state under the counter
+    scheme: :meth:`begin_phase` advances it once per noise application site
+    (a compute charge, a communication completion), and both simulator
+    engines traverse the same sites in the same order, so their phase
+    sequences — and therefore every keyed deviate — coincide exactly.  Draws
+    themselves are pure functions of :class:`NoiseKey`; nothing is consumed.
+
+    Under the sequential scheme the phase counter still advances (call sites
+    are scheme-agnostic) but draws come from the legacy shared Generator, in
+    call order.
+    """
 
     def __init__(self, seed: int = 0, options: NoiseOptions | None = None):
         self.options = options or NoiseOptions()
-        self.rng = np.random.default_rng(seed)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)   # sequential-scheme stream
+        self._phase = 0
+        # (stream, phase, gaussian?) -> all-rank deviate array.  Scalar views
+        # (the loop oracle calls one rank at a time) amortise the vectorised
+        # keyed_uniform/ndtri evaluation across a phase's ranks; since every
+        # element is keyed by its rank *value*, array length is irrelevant to
+        # any element and the cache can be grown or dropped freely.
+        self._keyed_cache: dict[tuple[int, int, bool], np.ndarray] = {}
 
-    def compute(self, duration_us: float) -> float:
-        """Return *duration_us* perturbed by system-load noise."""
+    # ------------------------------------------------------------------
+    # phase bookkeeping
+    # ------------------------------------------------------------------
+
+    def begin_phase(self) -> int:
+        """Claim the next noise-phase index (one per application site)."""
+        phase = self._phase
+        self._phase += 1
+        return phase
+
+    @property
+    def counter_based(self) -> bool:
+        return self.options.scheme == "counter"
+
+    def uniform(self, key: NoiseKey) -> float:
+        """The uniform deviate of one :class:`NoiseKey` (counter scheme)."""
+        return float(keyed_uniform(key.seed, key.stream, key.phase,
+                                   np.array([key.rank], dtype=np.int64),
+                                   key.draw)[0])
+
+    def _keyed_phase(self, stream: int, phase: int, rank: int,
+                     gaussian: bool) -> np.float64:
+        """One cached keyed deviate: element *rank* of the (stream, phase)
+        all-rank array, ndtri-transformed when *gaussian*.
+
+        Identical to what a batch over the phase produces for that rank —
+        the uniforms are pure functions of the key and ndtri is elementwise —
+        but costs O(1) amortised per scalar call instead of a fresh
+        vectorised evaluation each time.
+        """
+        key = (stream, phase, gaussian)
+        arr = self._keyed_cache.get(key)
+        if arr is None or arr.shape[0] <= rank:
+            n = max(64, 1 << int(rank).bit_length())
+            u = keyed_uniform(self.seed, stream, phase,
+                              np.arange(n, dtype=np.int64))
+            arr = ndtri(u) if gaussian else u
+            if len(self._keyed_cache) >= 24:   # a phase needs <= 3 streams
+                self._keyed_cache.clear()
+            self._keyed_cache[key] = arr
+        return arr[rank]
+
+    def _poisson_scalar(self, u, lam: float) -> float:
+        """Scalar view of :func:`poisson_from_uniform` — same recurrence in
+        python floats (IEEE-identical to the elementwise array ops), with the
+        single ``exp`` kept on a size-1 array so it matches numpy's
+        vectorised ``exp`` bit for bit."""
+        if lam > _POISSON_NORMAL_APPROX_LAMBDA:
+            return float(poisson_from_uniform(np.array([u]),
+                                              np.array([lam]))[0])
+        pmf = float(np.exp(np.array([-lam]))[0])
+        cdf = pmf
+        k = 0
+        while u > cdf and k < _POISSON_MAX_STEPS:
+            k += 1
+            pmf = pmf * (lam / k)
+            cdf = cdf + pmf
+        return float(k)
+
+    # ------------------------------------------------------------------
+    # compute-phase noise
+    # ------------------------------------------------------------------
+
+    def compute(self, duration_us: float, rank: int = 0) -> float:
+        """Return *duration_us* perturbed by system-load noise.
+
+        Counter scheme: a fresh one-draw phase keyed on *rank*.  Sequential
+        scheme: the legacy interleaved draws.
+        """
+        if not self.counter_based:
+            return self._compute_sequential(duration_us)
+        return self.compute_keyed(self.begin_phase(), rank, duration_us)
+
+    def compute_keyed(self, phase: int, rank: int, duration_us: float) -> float:
+        """Scalar view of one compute-phase deviate: bit-identical to element
+        *rank* of :meth:`compute_batch` over the same *phase*."""
+        if not self.counter_based:
+            return self._compute_sequential(duration_us)
+        opts = self.options
+        if not opts.enabled or duration_us <= 0.0:
+            return duration_us
+        z = self._keyed_phase(STREAM_COMPUTE_JITTER, phase, rank, True)
+        perturbed = duration_us * max(1.0 + opts.compute_jitter_sigma * z, 0.0)
+        if opts.interruption_rate_per_ms > 0.0:
+            lam = opts.interruption_rate_per_ms * (duration_us / 1000.0)
+            u = self._keyed_phase(STREAM_COMPUTE_INTERRUPT, phase, rank, False)
+            perturbed = perturbed + \
+                self._poisson_scalar(u, lam) * opts.interruption_cost_us
+        return float(perturbed)
+
+    def compute_batch(self, durations_us, ranks: np.ndarray | None = None,
+                      phase: int | None = None) -> np.ndarray:
+        """Per-element :meth:`compute` noise over a per-rank duration array.
+
+        The counter scheme's primary path: one vectorised evaluation of the
+        whole phase, keyed per rank — element i uses rank ``ranks[i]``
+        (default ``i``), so any slice of the phase materialises identically.
+        The sequential scheme draws element by element in element order,
+        preserving the legacy stream exactly.
+        """
+        durations = _as_batch(durations_us)
+        if not self.counter_based:
+            for i in range(durations.shape[0]):
+                durations[i] = self._compute_sequential(float(durations[i]))
+            return durations
+        if phase is None:
+            phase = self.begin_phase()
+        if not self.options.enabled:
+            return durations
+        if ranks is None:
+            ranks = np.arange(durations.shape[0], dtype=np.int64)
+        return self._compute_phase(durations, np.asarray(ranks, dtype=np.int64),
+                                   phase)
+
+    def _compute_phase(self, durations: np.ndarray, ranks: np.ndarray,
+                       phase: int) -> np.ndarray:
+        """Keyed compute-noise core (enabled already checked by callers)."""
+        opts = self.options
+        out = durations.copy()
+        positive = durations > 0.0
+        if not positive.any():
+            return out
+        d = durations[positive]
+        r = ranks[positive]
+        z = ndtri(keyed_uniform(self.seed, STREAM_COMPUTE_JITTER, phase, r))
+        perturbed = d * np.maximum(1.0 + opts.compute_jitter_sigma * z, 0.0)
+        if opts.interruption_rate_per_ms > 0.0:
+            lam = opts.interruption_rate_per_ms * (d / 1000.0)
+            u = keyed_uniform(self.seed, STREAM_COMPUTE_INTERRUPT, phase, r)
+            perturbed = perturbed + \
+                poisson_from_uniform(u, lam) * opts.interruption_cost_us
+        out[positive] = perturbed
+        return out
+
+    def _compute_sequential(self, duration_us: float) -> float:
+        """Legacy scheme: interleaved normal + Poisson from the shared stream."""
         opts = self.options
         if not opts.enabled or duration_us <= 0.0:
             return duration_us
@@ -54,38 +447,79 @@ class NoiseModel:
             perturbed += hits * opts.interruption_cost_us
         return perturbed
 
-    def compute_batch(self, durations_us: np.ndarray) -> np.ndarray:
-        """Per-element :meth:`compute` noise over a per-rank duration array.
+    # ------------------------------------------------------------------
+    # communication noise
+    # ------------------------------------------------------------------
 
-        Draws element by element, in element order, so the random stream is
-        identical to the equivalent sequence of scalar :meth:`compute` calls —
-        this is what keeps the vector engine bit-for-bit equal to the loop
-        engine's per-rank noise.
+    def communication(self, duration_us: float, rank: int = 0) -> float:
+        if not self.counter_based:
+            return self._communication_sequential(duration_us)
+        return self.communication_keyed(self.begin_phase(), rank, duration_us)
+
+    def communication_keyed(self, phase: int, rank: int,
+                            duration_us: float) -> float:
+        """Scalar view of one communication deviate (see :meth:`compute_keyed`)."""
+        if not self.counter_based:
+            return self._communication_sequential(duration_us)
+        opts = self.options
+        if not opts.enabled or duration_us <= 0.0:
+            return duration_us
+        z1 = self._keyed_phase(STREAM_COMM_JITTER, phase, rank, True)
+        z2 = self._keyed_phase(STREAM_COMM_FLOOR, phase, rank, True)
+        jitter = 1.0 + opts.comm_jitter_sigma * z1
+        floor = abs(opts.comm_jitter_floor_us * z2)
+        return float(max(duration_us * max(jitter, 0.0) + floor, 0.0))
+
+    def communication_batch(self, durations_us,
+                            ranks: np.ndarray | None = None,
+                            phase: int | None = None) -> np.ndarray:
+        """Per-element :meth:`communication` noise over a per-rank array.
+
+        Counter scheme: two keyed deviates per positive-duration element
+        (jitter and floor streams), keyed by ``ranks[i]`` so a participant
+        subset of a phase draws exactly what the full phase would.  The
+        sequential scheme keeps the legacy one-block ``standard_normal(2m)``
+        draw, which is stream-exact with repeated scalar calls.
         """
-        return np.fromiter((self.compute(float(d)) for d in durations_us),
-                           dtype=np.float64, count=len(durations_us))
+        durations = _as_batch(durations_us)
+        if not self.counter_based:
+            return self._communication_batch_sequential(durations)
+        if phase is None:
+            phase = self.begin_phase()
+        if not self.options.enabled:
+            return durations
+        if ranks is None:
+            ranks = np.arange(durations.shape[0], dtype=np.int64)
+        return self._communication_phase(
+            durations, np.asarray(ranks, dtype=np.int64), phase)
 
-    def communication(self, duration_us: float) -> float:
+    def _communication_phase(self, durations: np.ndarray, ranks: np.ndarray,
+                             phase: int) -> np.ndarray:
+        opts = self.options
+        out = durations.copy()
+        positive = durations > 0.0
+        if not positive.any():
+            return out
+        d = durations[positive]
+        r = ranks[positive]
+        z1 = ndtri(keyed_uniform(self.seed, STREAM_COMM_JITTER, phase, r))
+        z2 = ndtri(keyed_uniform(self.seed, STREAM_COMM_FLOOR, phase, r))
+        jitter = 1.0 + opts.comm_jitter_sigma * z1
+        floor = np.abs(opts.comm_jitter_floor_us * z2)
+        out[positive] = np.maximum(
+            d * np.maximum(jitter, 0.0) + floor, 0.0)
+        return out
+
+    def _communication_sequential(self, duration_us: float) -> float:
         opts = self.options
         if not opts.enabled or duration_us <= 0.0:
             return duration_us
         jitter = 1.0 + self.rng.normal(0.0, opts.comm_jitter_sigma)
-        return max(duration_us * max(jitter, 0.0) + abs(self.rng.normal(0.0, opts.comm_jitter_floor_us)), 0.0)
+        return max(duration_us * max(jitter, 0.0)
+                   + abs(self.rng.normal(0.0, opts.comm_jitter_floor_us)), 0.0)
 
-    def communication_batch(self, durations_us: np.ndarray) -> np.ndarray:
-        """Per-element :meth:`communication` noise over a per-rank array.
-
-        Unlike :meth:`compute_batch` (which interleaves normal and Poisson
-        draws and therefore stays scalar), a communication perturbation is
-        exactly two consecutive normal draws per positive-duration element —
-        so the whole batch pulls one ``standard_normal(2m)`` block and scales
-        it.  ``numpy``'s Generator produces the identical deviate sequence
-        for batched and repeated scalar draws, and ``normal(0, s)`` is
-        ``s * standard_normal()`` bit for bit, so the random stream (and the
-        result) is indistinguishable from the loop engine's per-rank calls;
-        non-positive elements draw nothing, exactly like the scalar guard.
-        """
-        durations = np.asarray(durations_us, dtype=np.float64)
+    def _communication_batch_sequential(self, durations: np.ndarray) -> np.ndarray:
+        """Legacy block draw: two consecutive normals per positive element."""
         out = durations.copy()
         opts = self.options
         if not opts.enabled:
@@ -100,6 +534,10 @@ class NoiseModel:
         out[positive] = np.maximum(
             durations[positive] * np.maximum(jitter, 0.0) + floor, 0.0)
         return out
+
+    # ------------------------------------------------------------------
+    # totals
+    # ------------------------------------------------------------------
 
     def quantise(self, total_us: float) -> float:
         res = self.options.timer_resolution_us

@@ -16,15 +16,17 @@ collective schedules — and overrides only the per-rank hot loops:
 * **compute-time accrual** — the node cost model is evaluated once per
   *distinct* per-rank profile (:meth:`NodeCostModel.loop_nest_times`; block
   and cyclic layouts admit only a handful of distinct local shapes at any
-  ``p``) and broadcast back, with noise drawn per rank in rank order so the
-  random stream matches the loop engine exactly;
+  ``p``) and broadcast back, with system-load noise materialised for the
+  whole phase in one counter-keyed call (:meth:`NoiseModel.compute_batch`;
+  each deviate is a pure function of ``(seed, stream, phase, rank)``, so the
+  batch equals the loop engine's scalar draws bit for bit);
 * **boundary exchanges** — shift partners and boundary-slab sizes come from
   vectorised grid coordinate arithmetic and per-axis local-count tables;
 * **collective completion** — per-rank clocks stay an ``np.ndarray`` across
   whole communication phases: shifts, broadcasts, reductions and gathers run
   through the array-clock kernels of :mod:`repro.simulator.collectives`
   (``*_clocks``), communication noise is drawn for the whole phase in one
-  stream-exact batch (:meth:`NoiseModel.communication_batch`), and clock
+  keyed batch (:meth:`NoiseModel.communication_batch`), and clock
   advancement is a single vectorised maximum — no per-rank dict is built
   anywhere between phase entry and exit;
 * **network draining** — the executor's :class:`~repro.simulator.network.
@@ -36,9 +38,11 @@ collective schedules — and overrides only the per-rank hot loops:
   to the sorted scalar pass.
 
 Every override is arithmetically identical to the loop engine's scalar code
-(integer counting, same expression order, same noise-draw order), so the two
-engines agree on every per-rank time bit-for-bit; the tier-1 property tests
-pin this across the whole machine registry and all topology kinds.
+(integer counting, same expression order, same noise-phase sequence — keyed
+per-rank deviates under the counter scheme, the shared stream in draw order
+under ``NoiseOptions(scheme="sequential")``), so the two engines agree on
+every per-rank time bit-for-bit; the tier-1 property tests pin this across
+the whole machine registry and all topology kinds.
 """
 
 from __future__ import annotations
@@ -94,20 +98,23 @@ class VectorSPMDExecutor(SPMDExecutor):
                            participants: np.ndarray | None = None) -> None:
         """Noise the phase's clock advances and commit them.
 
-        Mirrors the loop engine's ``{r: noise.communication(t - clocks[r]) +
-        clocks[r]}`` comprehension: noise is drawn per rank in ascending rank
-        order over exactly the ranks the collective returned (*participants*
-        of a shift; everyone otherwise), so the random stream matches the
-        scalar calls draw for draw.
+        Mirrors the loop engine's ``_apply_comm_noise``: one batched draw
+        over exactly the ranks the collective returned (*participants* of a
+        shift; everyone otherwise).  Under the counter scheme each element is
+        keyed on its **rank** and the shared phase counter, so the batch is
+        bit-identical to the loop engine's scalar keyed draws; under the
+        sequential scheme the batch pulls the legacy one-block normal draw,
+        stream-exact with the scalar calls in ascending rank order.
         """
         entry = self.clocks
         if participants is None:
             noisy = self.noise.communication_batch(targets - entry) + entry
         else:
+            idx = np.nonzero(participants)[0]
             noisy = entry.copy()
-            noisy[participants] = self.noise.communication_batch(
-                targets[participants] - entry[participants]
-            ) + entry[participants]
+            noisy[idx] = self.noise.communication_batch(
+                targets[idx] - entry[idx], ranks=idx
+            ) + entry[idx]
         self._set_clocks_array(node, "communication", noisy)
 
     # ------------------------------------------------------------------

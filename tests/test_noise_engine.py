@@ -1,0 +1,299 @@
+"""Counter-based noise engine tests: keyed-draw order/slice independence,
+empirical magnitude calibration, input normalisation, and option validation.
+
+The counter scheme's whole contract is that a deviate is a pure function of
+its ``NoiseKey`` — so these tests evaluate the same keys through different
+batch shapes, orders and slices and require bit-identical values, then check
+that the realised noise actually has the magnitudes ``NoiseOptions`` claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend.errors import SimulationError
+from repro.simulator import (
+    NOISE_SCHEMES,
+    NoiseKey,
+    NoiseModel,
+    NoiseOptions,
+    SimulatorOptions,
+    simulate,
+)
+from repro.simulator.noise import (
+    STREAM_COMPUTE_JITTER,
+    keyed_uniform,
+    ndtri,
+    poisson_from_uniform,
+)
+
+
+class TestKeyedUniform:
+    def test_deterministic_pure_function_of_key(self):
+        ranks = np.arange(64, dtype=np.int64)
+        a = keyed_uniform(7, 1, 3, ranks)
+        b = keyed_uniform(7, 1, 3, ranks)
+        assert np.array_equal(a, b)
+        assert np.all((a > 0.0) & (a < 1.0))
+
+    @pytest.mark.parametrize("field", ["seed", "stream", "phase", "draw"])
+    def test_every_key_word_matters(self, field):
+        ranks = np.arange(16, dtype=np.int64)
+        base = dict(seed=7, stream=1, phase=3, draw=0)
+        bumped = dict(base, **{field: base[field] + 1})
+        a = keyed_uniform(base["seed"], base["stream"], base["phase"], ranks,
+                          base["draw"])
+        b = keyed_uniform(bumped["seed"], bumped["stream"], bumped["phase"],
+                          ranks, bumped["draw"])
+        assert not np.any(a == b)
+
+    def test_slicing_cannot_change_values(self):
+        """Any subset of ranks materialises to the full phase's values."""
+        ranks = np.arange(128, dtype=np.int64)
+        full = keyed_uniform(11, 2, 9, ranks)
+        subset = np.array([3, 77, 12, 127, 0], dtype=np.int64)
+        assert np.array_equal(keyed_uniform(11, 2, 9, subset), full[subset])
+        # reversed evaluation order, element by element
+        for r in reversed(range(128)):
+            one = keyed_uniform(11, 2, 9, np.array([r], dtype=np.int64))
+            assert one[0] == full[r]
+
+    def test_approximately_uniform(self):
+        u = keyed_uniform(1, 1, 0, np.arange(200_000, dtype=np.int64))
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.002
+
+
+class TestNdtri:
+    def test_known_quantiles(self):
+        assert ndtri(np.array([0.5]))[0] == pytest.approx(0.0, abs=1e-12)
+        assert ndtri(np.array([0.975]))[0] == pytest.approx(1.959964, abs=1e-5)
+        assert ndtri(np.array([0.0013498980316301])[0]) == \
+            pytest.approx(-3.0, abs=1e-6)
+
+    def test_odd_symmetry_and_tails(self):
+        u = np.array([1e-9, 1e-4, 0.01, 0.3, 0.7, 0.99, 0.9999, 1 - 1e-9])
+        z = ndtri(u)
+        assert np.allclose(z, -ndtri(1.0 - u)[::-1][::1] * 0 - ndtri(1.0 - u),
+                           atol=1e-7)
+        assert np.all(np.diff(z) > 0)
+
+
+class TestPoissonFromUniform:
+    def test_matches_rate_small_lambda(self):
+        n = 200_000
+        u = keyed_uniform(3, 2, 0, np.arange(n, dtype=np.int64))
+        lam = np.full(n, 0.25)
+        hits = poisson_from_uniform(u, lam)
+        assert hits.mean() == pytest.approx(0.25, rel=0.03)
+
+    def test_matches_rate_large_lambda_via_normal_approx(self):
+        n = 50_000
+        u = keyed_uniform(4, 2, 0, np.arange(n, dtype=np.int64))
+        lam = np.full(n, 500.0)
+        hits = poisson_from_uniform(u, lam)
+        assert hits.mean() == pytest.approx(500.0, rel=0.01)
+        assert hits.var() == pytest.approx(500.0, rel=0.05)
+        assert np.all(hits >= 0)
+
+
+class TestOrderAndSliceIndependence:
+    """The tentpole property: a fixed (seed, phase, rank) deviate is the same
+    no matter how — or in what order — it is evaluated."""
+
+    def test_scalar_view_equals_batch_element(self):
+        model = NoiseModel(seed=42)
+        durations = np.linspace(100.0, 5000.0, 32)
+        phase = model.begin_phase()
+        batch = model.compute_batch(durations, phase=phase)
+        for rank in range(32):
+            assert model.compute_keyed(phase, rank, durations[rank]) \
+                == batch[rank]
+
+    def test_reversed_evaluation_order(self):
+        model = NoiseModel(seed=42)
+        durations = np.linspace(100.0, 5000.0, 32)
+        phase = 17
+        forward = [model.compute_keyed(phase, r, durations[r])
+                   for r in range(32)]
+        backward = [model.compute_keyed(phase, r, durations[r])
+                    for r in reversed(range(32))][::-1]
+        assert forward == backward
+
+    def test_batch_subrange_with_explicit_ranks(self):
+        model = NoiseModel(seed=7)
+        durations = np.linspace(100.0, 5000.0, 64)
+        phase = 5
+        full = model.compute_batch(durations, phase=phase)
+        idx = np.array([63, 2, 31, 7], dtype=np.int64)
+        part = model.compute_batch(durations[idx], ranks=idx, phase=phase)
+        assert np.array_equal(part, full[idx])
+
+    def test_communication_subrange_with_explicit_ranks(self):
+        model = NoiseModel(seed=7)
+        durations = np.linspace(10.0, 900.0, 64)
+        phase = 6
+        full = model.communication_batch(durations, phase=phase)
+        idx = np.array([1, 60, 33], dtype=np.int64)
+        part = model.communication_batch(durations[idx], ranks=idx, phase=phase)
+        assert np.array_equal(part, full[idx])
+        for rank in idx:
+            assert model.communication_keyed(phase, int(rank),
+                                             durations[rank]) == full[rank]
+
+    def test_two_models_same_seed_agree_regardless_of_history(self):
+        """No hidden stream: drawing other phases first changes nothing."""
+        fresh = NoiseModel(seed=9)
+        warm = NoiseModel(seed=9)
+        for _ in range(50):  # consume phases + sequential rng on one model
+            warm.rng.standard_normal()
+        assert warm.compute_keyed(3, 2, 1000.0) \
+            == fresh.compute_keyed(3, 2, 1000.0)
+
+    def test_uniform_matches_noise_key(self):
+        model = NoiseModel(seed=5)
+        key = NoiseKey(seed=5, stream=STREAM_COMPUTE_JITTER, phase=2, rank=3)
+        direct = keyed_uniform(5, STREAM_COMPUTE_JITTER, 2,
+                               np.array([3], dtype=np.int64))[0]
+        assert model.uniform(key) == direct
+
+
+class TestEmpiricalMagnitudes:
+    """The realised noise must match what NoiseOptions advertises."""
+
+    def test_compute_jitter_sigma(self):
+        opts = NoiseOptions(compute_jitter_sigma=0.004,
+                            interruption_rate_per_ms=0.0)
+        model = NoiseModel(seed=1, options=opts)
+        n = 200_000
+        base = 1000.0
+        out = model.compute_batch(np.full(n, base))
+        rel = out / base - 1.0
+        assert rel.std() == pytest.approx(0.004, rel=0.02)
+        assert rel.mean() == pytest.approx(0.0, abs=0.0001)
+
+    def test_interruption_rate(self):
+        opts = NoiseOptions(compute_jitter_sigma=0.0,
+                            interruption_rate_per_ms=0.002,
+                            interruption_cost_us=120.0)
+        model = NoiseModel(seed=2, options=opts)
+        n = 500_000
+        base = 10_000.0   # 10 ms -> lambda = 0.02 per element
+        out = model.compute_batch(np.full(n, base))
+        hits = (out - base) / 120.0
+        assert np.allclose(hits, np.rint(hits))  # integral interruption count
+        assert hits.mean() == pytest.approx(0.02, rel=0.05)
+
+    def test_comm_jitter_sigma(self):
+        opts = NoiseOptions(comm_jitter_sigma=0.01, comm_jitter_floor_us=0.0)
+        model = NoiseModel(seed=3, options=opts)
+        n = 200_000
+        base = 5000.0
+        out = model.communication_batch(np.full(n, base))
+        rel = out / base - 1.0
+        assert rel.std() == pytest.approx(0.01, rel=0.02)
+
+    def test_comm_jitter_floor(self):
+        opts = NoiseOptions(comm_jitter_sigma=0.0, comm_jitter_floor_us=1.5)
+        model = NoiseModel(seed=3, options=opts)
+        n = 200_000
+        extra = model.communication_batch(np.full(n, 5000.0)) - 5000.0
+        # additive floor is |N(0, 1.5)|: mean = 1.5 * sqrt(2/pi)
+        assert np.all(extra >= 0.0)
+        assert extra.mean() == pytest.approx(1.5 * np.sqrt(2.0 / np.pi),
+                                             rel=0.02)
+
+
+class TestBatchInputNormalisation:
+    """Regression: np.fromiter(..., count=len(...)) crashed on inputs with
+    no len() — 0-d arrays and generators."""
+
+    @pytest.mark.parametrize("scheme", NOISE_SCHEMES)
+    def test_zero_d_array(self, scheme):
+        model = NoiseModel(seed=1, options=NoiseOptions(scheme=scheme))
+        out = model.compute_batch(np.float64(1000.0))
+        assert out.shape == (1,)
+        assert out[0] > 0.0
+
+    @pytest.mark.parametrize("scheme", NOISE_SCHEMES)
+    def test_generator_input(self, scheme):
+        model = NoiseModel(seed=1, options=NoiseOptions(scheme=scheme))
+        out = model.compute_batch(float(v) for v in (100.0, 200.0, 300.0))
+        assert out.shape == (3,)
+        comm = model.communication_batch(float(v) for v in (10.0, 20.0))
+        assert comm.shape == (2,)
+
+    @pytest.mark.parametrize("scheme", NOISE_SCHEMES)
+    def test_input_array_is_not_mutated(self, scheme):
+        model = NoiseModel(seed=1, options=NoiseOptions(scheme=scheme))
+        src = np.full(8, 1234.5)
+        model.compute_batch(src)
+        assert np.all(src == 1234.5)
+
+
+class TestNoiseOptionsValidation:
+    def test_unknown_scheme_raises_and_names_schemes(self):
+        with pytest.raises(SimulationError, match="unknown noise scheme"):
+            NoiseOptions(scheme="philox4x32")
+        try:
+            NoiseOptions(scheme="nope")
+        except SimulationError as err:
+            for scheme in NOISE_SCHEMES:
+                assert repr(scheme) in str(err)
+
+    def test_unknown_field_raises_type_error(self):
+        with pytest.raises(TypeError):
+            NoiseOptions(compute_jitter_sgima=0.01)  # typo'd field
+
+    @pytest.mark.parametrize("field,value", [
+        ("compute_jitter_sigma", -0.01),
+        ("comm_jitter_floor_us", float("nan")),
+        ("interruption_cost_us", float("inf")),
+        ("timer_resolution_us", -1.0),
+        ("interruption_rate_per_ms", None),
+    ])
+    def test_bad_magnitudes_raise(self, field, value):
+        with pytest.raises(SimulationError, match=field):
+            NoiseOptions(**{field: value})
+
+    def test_valid_schemes_accepted(self):
+        for scheme in NOISE_SCHEMES:
+            assert NoiseOptions(scheme=scheme).scheme == scheme
+
+
+class TestSequentialSchemeCompatibility:
+    """The legacy escape hatch must still work end to end, on both engines."""
+
+    def test_sequential_scalar_matches_legacy_stream(self):
+        opts = NoiseOptions(scheme="sequential")
+        model = NoiseModel(seed=11, options=opts)
+        rng = np.random.default_rng(11)
+        jitter = 1.0 + rng.normal(0.0, opts.compute_jitter_sigma)
+        expected = 1000.0 * max(jitter, 0.0)
+        expected += rng.poisson(opts.interruption_rate_per_ms * 1.0) \
+            * opts.interruption_cost_us
+        assert model.compute(1000.0) == expected
+
+    @pytest.mark.parametrize("scheme", NOISE_SCHEMES)
+    def test_engines_agree_under_both_schemes(self, laplace_compiled,
+                                              machine4, scheme):
+        noise = NoiseOptions(scheme=scheme)
+        loop = simulate(laplace_compiled, machine4,
+                        options=SimulatorOptions(engine="loop", noise=noise))
+        vec = simulate(laplace_compiled, machine4,
+                       options=SimulatorOptions(engine="vector", noise=noise))
+        assert loop.per_rank_us == pytest.approx(vec.per_rank_us, abs=1e-9)
+        assert loop.array_checksum == vec.array_checksum
+
+    def test_schemes_differ_but_stay_close(self, laplace_compiled, machine4):
+        """The two schemes are different noise realisations of the same
+        magnitudes — store drift exists but stays small (§5.1 band)."""
+        counter = simulate(laplace_compiled, machine4,
+                           options=SimulatorOptions(
+                               noise=NoiseOptions(scheme="counter")))
+        sequential = simulate(laplace_compiled, machine4,
+                              options=SimulatorOptions(
+                                  noise=NoiseOptions(scheme="sequential")))
+        assert counter.per_rank_us != sequential.per_rank_us
+        drift = abs(counter.measured_time_us - sequential.measured_time_us) \
+            / sequential.measured_time_us
+        assert drift < 0.05

@@ -34,7 +34,9 @@ class TestSimulationBasics:
     def test_different_seed_changes_timing_not_results(self, laplace_compiled, machine4):
         a = simulate(laplace_compiled, machine4, options=SimulatorOptions(seed=1))
         b = simulate(laplace_compiled, machine4, options=SimulatorOptions(seed=2))
-        assert a.measured_time_us != b.measured_time_us
+        # Compare the unquantised per-rank clocks: the reported total is
+        # quantised to 1 us and two seeds can legitimately collide there.
+        assert a.per_rank_us != b.per_rank_us
         assert a.array_checksum == b.array_checksum
         assert a.printed == b.printed
 
