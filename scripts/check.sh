@@ -26,7 +26,7 @@ python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "p1024_conten
 echo "== simulator-scale smoke: p=4096 vector run inside the wall-clock budget"
 python -m pytest benchmarks/test_bench_simulator_scale.py -x -q -k "p4096_vector_smoke"
 
-echo "== noise-engine store drift: counter vs sequential scheme inside the §5.1 band"
+echo "== noise-engine retirement note: sequential scheme removed, archive verified"
 python scripts/noise_drift_report.py
 
 echo "== docs check: markdown links + public-API doctests"
@@ -40,5 +40,8 @@ python scripts/campaign_smoke.py
 
 echo "== advisor smoke: bounded advise() run against the persistent store"
 python scripts/advisor_smoke.py
+
+echo "== obs smoke: spans, metrics and run manifest cross-checked end to end"
+python scripts/obs_smoke.py
 
 echo "check.sh: all green"

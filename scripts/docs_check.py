@@ -34,6 +34,7 @@ DOCTEST_MODULES = (
     "repro.advisor.search",     # advise
     "repro.explore.campaign",   # run_campaign
     "repro.explore.store",      # ResultStore
+    "repro.obs",                # enable/span/counter facade
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

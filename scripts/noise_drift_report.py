@@ -1,23 +1,25 @@
-"""Store-migration drift report: sequential-scheme vs counter-scheme noise.
+"""Retirement note for the sequential noise scheme (+ archive verification).
 
-The counter-keyed noise engine replaces the legacy one-stream sequential
-draws as the simulator's default.  Both schemes realise the *same* noise
-magnitudes (the §5.1 "variance of the measured times") from the same seed,
-but as different deterministic realisations — so every measure-mode store
-record drifts by a small amount when regenerated.  This script is the record
-of that migration:
+PR 6 replaced the legacy one-stream sequential noise draws with the
+counter-keyed engine and kept ``NoiseOptions(scheme="sequential")`` for one
+release so stores could be regenerated/compared; the measured drift between
+the two realisations was recorded in
+``benchmarks/results/STORE_DIFF_noise_engine.md``.  That window is over: the
+sequential path was deleted in repro 1.1.0 and requesting it now fails
+eagerly with a removal notice.
 
-* runs one measure-mode campaign under each scheme (identical space, seed
-  and machines — only ``NoiseOptions.scheme`` differs),
-* joins the two result sets on the content-addressed scenario key and
-  renders the ``store_diff_table`` of worst drifts,
-* asserts every drift stays inside the §5.1 variance band (the noise model's
-  own magnitudes bound how far two equally-valid realisations can sit), and
-* writes ``benchmarks/results/STORE_DIFF_noise_engine.md``.
+This script regenerates the store-diff note in its final, archival form:
 
-Predict-mode stores (e.g. ``benchmarks/results/smoke_campaign.jsonl``) carry
-analytic, noise-free estimates and are byte-identical under either scheme —
-the migration touches only simulated measurements.
+* asserts ``NoiseOptions(scheme="sequential")`` raises the removal notice
+  and that ``"counter"`` is the default (and only) scheme,
+* re-runs the original 16-scenario measure-mode drift space under the
+  counter scheme and verifies the simulated times still match the archived
+  migration table's "current" column — i.e. the archived drift numbers
+  remain anchored to what the engine produces today, and
+* rewrites ``benchmarks/results/STORE_DIFF_noise_engine.md`` as a
+  retirement note preserving the migration's headline numbers (worst drift
+  0.251% over 16 scenarios, well inside the §5.1 band); the full
+  sequential-vs-counter table lives in git history of that file.
 
 Usage:  PYTHONPATH=src python scripts/noise_drift_report.py [report-path]
 """
@@ -29,20 +31,21 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.explore import (  # noqa: E402
-    ScenarioSpace,
-    run_campaign,
-    store_diff,
-    store_diff_table,
+from repro.explore import ScenarioSpace, run_campaign  # noqa: E402
+from repro.frontend.errors import SimulationError  # noqa: E402
+from repro.simulator import (  # noqa: E402
+    NOISE_SCHEMES,
+    NoiseOptions,
+    SimulatorOptions,
 )
-from repro.simulator import NoiseOptions, SimulatorOptions  # noqa: E402
 
 DEFAULT_REPORT = os.path.join(os.path.dirname(__file__), "..",
                               "benchmarks", "results",
                               "STORE_DIFF_noise_engine.md")
 
-#: Small but representative measure-mode space: both Laplace layouts, two
-#: problem sizes, two partition sizes, hypercube + crossbar interconnects.
+#: The migration report's measure-mode space, unchanged since PR 6: both
+#: Laplace layouts, two problem sizes, two partition sizes, hypercube +
+#: crossbar interconnects.
 DRIFT_SPACE = ScenarioSpace(
     apps=("laplace_block_star", "laplace_star_block"),
     sizes=(16, 32),
@@ -50,75 +53,105 @@ DRIFT_SPACE = ScenarioSpace(
     machines=("ipsc860", "modern-cluster"),
 )
 
-#: §5.1 variance band: the worst acceptable scheme-to-scheme drift of one
-#: simulated measurement.  The noise model's magnitudes (0.4% compute jitter,
-#: 1% message jitter plus a µs-scale additive floor and rare interruptions)
-#: keep two realisations within a few percent; 5% is the generous bound the
-#: paper's "within the variance of the measured times" language supports.
-DRIFT_BAND_PCT = 5.0
+#: The archived migration table's counter-scheme ("current") column:
+#: (app, size, nprocs, machine) -> simulated time in µs.  These anchor the
+#: retirement note to the engine's present-day output — if a change moves
+#: them, the archived drift percentages no longer describe this engine and
+#: the note must be re-derived, not silently kept.
+ARCHIVED_COUNTER_TIMES_US = {
+    ("laplace_block_star", 16, 4, "ipsc860"): 9923.0,
+    ("laplace_block_star", 16, 4, "modern-cluster"): 2773.0,
+    ("laplace_block_star", 16, 8, "ipsc860"): 9391.0,
+    ("laplace_block_star", 16, 8, "modern-cluster"): 2697.0,
+    ("laplace_block_star", 32, 4, "ipsc860"): 20809.0,
+    ("laplace_block_star", 32, 4, "modern-cluster"): 2828.0,
+    ("laplace_block_star", 32, 8, "ipsc860"): 16831.0,
+    ("laplace_block_star", 32, 8, "modern-cluster"): 3312.0,
+    ("laplace_star_block", 16, 4, "ipsc860"): 9519.0,
+    ("laplace_star_block", 16, 4, "modern-cluster"): 2381.0,
+    ("laplace_star_block", 16, 8, "ipsc860"): 9080.0,
+    ("laplace_star_block", 16, 8, "modern-cluster"): 2403.0,
+    ("laplace_star_block", 32, 4, "ipsc860"): 20728.0,
+    ("laplace_star_block", 32, 4, "modern-cluster"): 2528.0,
+    ("laplace_star_block", 32, 8, "ipsc860"): 16008.0,   # the unchanged row
+    ("laplace_star_block", 32, 8, "modern-cluster"): 2479.0,
+}
+
+NOTE_LINES = [
+    "# Noise-engine store migration (closed: sequential scheme retired)",
+    "",
+    "The counter-based keyed noise engine (PR 6) replaced the legacy",
+    "sequential one-stream draws as the simulator's noise scheme.  Both",
+    "realised the same §5.1 noise magnitudes from the same seed, as",
+    "different deterministic realisations, so every simulated measurement",
+    "drifted slightly when a store was regenerated.  The migration window",
+    "(`NoiseOptions(scheme=\"sequential\")` kept for one release) closed in",
+    "repro 1.1.0: the sequential path is deleted and requesting it raises",
+    "an eager `SimulationError` naming this note.",
+    "",
+    "Migration record (measured before retirement, full per-scenario table",
+    "in this file's git history):",
+    "",
+    "* space: 16 measure-mode scenarios (2 layouts x 2 sizes x {4, 8}",
+    "  ranks x {ipsc860, modern-cluster})",
+    "* worst drift: 0.251% — `laplace_star_block n=16 p=4 modern-cluster`",
+    "  (band: 5.0%, the §5.1 measurement-variance bound); 15 of 16",
+    "  scenarios drifted, none added or removed",
+    "* predict-mode stores (analytic, noise-free) were unchanged:",
+    "  `benchmarks/results/smoke_campaign.jsonl` stayed byte-identical.",
+    "",
+    "`scripts/noise_drift_report.py` regenerates this note and re-verifies",
+    "that the counter engine still reproduces the archived \"current\"",
+    "column exactly, so the recorded drift stays anchored to the living",
+    "engine.",
+    "",
+]
 
 
 def main() -> int:
     report_path = sys.argv[1] if len(sys.argv) > 1 \
         else os.path.normpath(DEFAULT_REPORT)
 
-    campaigns = {}
-    for scheme in ("sequential", "counter"):
-        options = SimulatorOptions(noise=NoiseOptions(scheme=scheme))
-        campaigns[scheme] = run_campaign(
-            DRIFT_SPACE, name=f"noise-drift-{scheme}", mode="measure",
-            simulator_options=options)
+    # 1. the retirement contract: sequential is gone, counter is the scheme
+    assert NOISE_SCHEMES == ("counter",), NOISE_SCHEMES
+    assert NoiseOptions().scheme == "counter"
+    try:
+        NoiseOptions(scheme="sequential")
+    except SimulationError as err:
+        message = str(err)
+        assert "removed in repro 1.1.0" in message, message
+        assert "STORE_DIFF_noise_engine" in message, message
+    else:
+        raise AssertionError(
+            "NoiseOptions(scheme='sequential') no longer raises")
 
-    old = campaigns["sequential"].results
-    new = campaigns["counter"].results
+    # 2. the archive anchor: today's counter engine still produces the
+    #    migration table's "current" column
+    run = run_campaign(
+        DRIFT_SPACE, name="noise-retirement-verify", mode="measure",
+        simulator_options=SimulatorOptions(noise=NoiseOptions()))
     expected = len(DRIFT_SPACE.expand())
-    assert len(old) == expected and len(new) == expected, \
-        f"campaigns produced {len(old)}/{len(new)} of {expected} points"
+    assert len(run.results) == expected, \
+        f"campaign produced {len(run.results)} of {expected} points"
+    mismatches = []
+    for result in run.results:
+        point = result.point
+        key = (point.app, point.size, point.nprocs, point.machine)
+        archived = ARCHIVED_COUNTER_TIMES_US[key]
+        current = round(result.measured_us)
+        if current != archived:
+            mismatches.append(f"  {key}: archived {archived}, now {current}")
+    assert not mismatches, \
+        "counter engine no longer matches the archived migration table " \
+        "(re-derive the note):\n" + "\n".join(mismatches)
 
-    # tolerance 0: report every moved value, however small — this table is
-    # the migration record, not a regression gate
-    diff = store_diff(old, new, tolerance_pct=0.0)
-    assert not diff.added and not diff.removed, \
-        "scheme change must not add or remove scenario keys"
-
-    worst = max((pct for _, _, pct in diff.drifted), default=0.0)
-    assert worst <= DRIFT_BAND_PCT, \
-        f"worst scheme drift {worst:.3f}% exceeds the §5.1 band " \
-        f"({DRIFT_BAND_PCT}%)"
-
-    table = store_diff_table(
-        diff=diff, max_rows=len(diff.drifted) or 1,
-        title="Store diff: counter-keyed noise engine vs sequential scheme")
-
-    lines = [
-        "# Noise-engine store migration",
-        "",
-        "The counter-based keyed noise engine (PR 6) replaces the legacy",
-        "sequential one-stream draws as the simulator's default scheme.",
-        "Both schemes realise the same §5.1 noise magnitudes from the same",
-        "seed, as different deterministic realisations — every simulated",
-        "measurement therefore drifts slightly when a store is regenerated.",
-        "",
-        f"* space: {expected} measure-mode scenarios "
-        "(2 layouts x 2 sizes x {4, 8} ranks x {ipsc860, modern-cluster})",
-        f"* worst drift: {worst:.3f}% "
-        f"(band: {DRIFT_BAND_PCT}% — the §5.1 measurement-variance bound)",
-        "* predict-mode stores (analytic, noise-free) are unchanged:",
-        "  `benchmarks/results/smoke_campaign.jsonl` stays byte-identical.",
-        "* the legacy realisation stays reachable via",
-        "  `NoiseOptions(scheme=\"sequential\")` for one release.",
-        "",
-        "```",
-        table,
-        "```",
-        "",
-    ]
-    report = "\n".join(lines)
+    report = "\n".join(NOTE_LINES)
     with open(report_path, "w") as fh:
         fh.write(report)
 
     print(report)
-    print(f"report written to {report_path}")
+    print(f"archived counter column verified over {expected} scenarios; "
+          f"note written to {report_path}")
     return 0
 
 

@@ -7,10 +7,15 @@ when a perf PR wants to know where the simulator's wall-clock actually goes
 (historically: the network drain, then per-rank noise draws).
 
 ``--phase-breakdown`` adds a one-table summary of where the wall-clock goes,
-bucketed by simulator subsystem (noise draws, node cost model, network +
-collectives, everything else) — the view that motivated the counter-keyed
-noise engine (noise was ~40% of the vector wall at p=1024 under the old
-sequential draws).
+bucketed by simulator subsystem (node cost model, noise draws, network +
+collectives, everything else).  The buckets come from the engines' own
+``repro.obs`` spans — recorded in a separate, *unprofiled* run so cProfile's
+per-call overhead cannot skew the shares — and by construction sum to the
+``simulate`` span's total, an invariant the old pstats-filename bucketing
+could silently break.  This is the view that motivated the counter-keyed
+noise engine (noise was ~40% of the vector wall at p=1024 under the
+since-removed sequential draws); cProfile's top-N remains the per-function
+drill-down.
 
 Usage::
 
@@ -24,6 +29,7 @@ import argparse
 import cProfile
 import pstats
 
+from repro import obs
 from repro.compiler import compile_source
 from repro.simulator import SimulatorOptions, simulate
 from repro.suite import get_entry
@@ -33,42 +39,50 @@ APP = "laplace_block_star"
 SIZE = 64
 MAXITER = 20.0
 
-#: ``--phase-breakdown`` buckets, matched against each profiled frame's
-#: filename (first match wins, top to bottom).
-_PHASE_BUCKETS = (
-    ("noise", ("simulator/noise.py",)),
-    ("node cost", ("simulator/node.py",)),
-    ("network", ("simulator/network.py", "simulator/collectives.py",
-                 "simulator/events.py", "simulator/hypercube.py")),
-)
+#: Engine span names bucketed by ``--phase-breakdown``, in print order.
+PHASE_NAMES = ("node_cost", "noise", "network")
 
 
-def phase_breakdown(stats: pstats.Stats) -> list[tuple[str, float]]:
-    """Aggregate per-frame ``tottime`` into simulator-subsystem buckets.
+def phase_breakdown(compiled, machine, options) -> dict[str, float]:
+    """Subsystem shares of one unprofiled, obs-instrumented simulation.
 
-    ``tottime`` (self time, excluding callees) partitions the wall exactly,
-    so the bucket shares sum to the profiled total.
+    Returns ``(shares, totals)``: the ``{phase: fraction}`` dict from
+    :func:`repro.obs.phase_shares` (which asserts the buckets plus ``other``
+    sum to the ``simulate`` span's total) and the per-span-name µs totals
+    backing it.
     """
-    totals = {name: 0.0 for name, _ in _PHASE_BUCKETS}
-    totals["other"] = 0.0
-    for (filename, _line, _func), (_cc, _nc, tottime, _ct, _callers) \
-            in stats.stats.items():
-        path = filename.replace("\\", "/")
-        for name, needles in _PHASE_BUCKETS:
-            if any(needle in path for needle in needles):
-                totals[name] += tottime
-                break
-        else:
-            totals["other"] += tottime
-    return sorted(totals.items(), key=lambda kv: -kv[1])
+    was_enabled = obs.enabled()
+    obs.enable()
+    tracer = obs.get_tracer()
+    mark = tracer.mark()
+    try:
+        simulate(compiled, machine, options=options)
+        spans = tracer.spans_since(mark)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    shares = obs.phase_shares(spans, total_name="simulate",
+                              phase_names=PHASE_NAMES)
+    totals = tracer.aggregate(spans)
+    return shares, totals
 
 
-def print_phase_breakdown(stats: pstats.Stats) -> None:
-    rows = phase_breakdown(stats)
-    wall = sum(t for _, t in rows) or 1.0
-    print("\nphase breakdown (self time):")
-    for name, t in rows:
-        print(f"  {name:<10} {t * 1e3:8.1f} ms  {100.0 * t / wall:5.1f}%")
+def print_phase_breakdown(compiled, machine, options) -> None:
+    shares, totals = phase_breakdown(compiled, machine, options)
+    if not shares:
+        print("\nphase breakdown: no simulate span recorded")
+        return
+    wall_us = totals.get("simulate", 0.0)
+    rows = [(name, shares[name], totals.get(name, 0.0))
+            for name in PHASE_NAMES]
+    rows.append(("other", shares["other"], shares["other"] * wall_us))
+    rows.sort(key=lambda row: -row[1])
+    assert abs(sum(t for _, _, t in rows) - wall_us) <= 1e-3 * wall_us + 1.0, \
+        "bucket times do not reconcile with the simulate span"
+    print("\nphase breakdown (engine spans, separate unprofiled run):")
+    for name, share, total_us in rows:
+        print(f"  {name:<10} {total_us / 1e3:8.1f} ms  {100.0 * share:5.1f}%")
+    print(f"  {'total':<10} {wall_us / 1e3:8.1f} ms  100.0%")
 
 
 def main() -> None:
@@ -82,8 +96,8 @@ def main() -> None:
                         choices=("cumulative", "tottime"),
                         help="pstats sort key")
     parser.add_argument("--phase-breakdown", action="store_true",
-                        help="also print noise / node-cost / network shares "
-                             "of the wall-clock")
+                        help="also print node-cost / noise / network shares "
+                             "of the wall-clock, from repro.obs spans")
     args = parser.parse_args()
 
     entry = get_entry(APP)
@@ -107,7 +121,7 @@ def main() -> None:
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.phase_breakdown:
-        print_phase_breakdown(stats)
+        print_phase_breakdown(compiled, machine, options)
 
 
 if __name__ == "__main__":

@@ -44,13 +44,18 @@ True
 ['68']
 
 See ``docs/architecture.md`` for the layer map, ``docs/simulator.md`` for
-the execution simulator (including the ``vector`` vs ``loop`` engines), and
-``docs/cookbook.md`` for campaign and advisor recipes.
+the execution simulator (including the ``vector`` vs ``loop`` engines),
+``docs/cookbook.md`` for campaign and advisor recipes, and
+``docs/observability.md`` for the ``repro.obs`` telemetry layer (spans,
+metrics, per-run manifests).
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# observability (dependency-free; every other layer reports into it) ------------
+from . import obs
 
 # frontend / compiler -----------------------------------------------------------
 from .compiler import (
@@ -213,9 +218,13 @@ def predict(
         >>> on_modern.predicted_time_us < on_cube.predicted_time_us
         True
     """
-    compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
-    target = resolve_machine(machine, nprocs)
-    return interpret(compiled, target, options=options)
+    with obs.span("predict", nprocs=nprocs):
+        with obs.span("compile", nprocs=nprocs):
+            compiled = compile_source(source, nprocs=nprocs,
+                                      grid_shape=grid_shape, params=params)
+        target = resolve_machine(machine, nprocs)
+        with obs.span("price", machine=target.name):
+            return interpret(compiled, target, options=options)
 
 
 def measure(
@@ -282,13 +291,19 @@ def measure(
         >>> fast.per_rank_us == oracle.per_rank_us         # identical times
         True
     """
-    compiled = compile_source(source, nprocs=nprocs, grid_shape=grid_shape, params=params)
-    target = resolve_machine(machine, nprocs)
-    return simulate(compiled, target, options=options)
+    with obs.span("measure", nprocs=nprocs):
+        with obs.span("compile", nprocs=nprocs):
+            compiled = compile_source(source, nprocs=nprocs,
+                                      grid_shape=grid_shape, params=params)
+        target = resolve_machine(machine, nprocs)
+        # simulate() opens its own "simulate" span nested under this one
+        return simulate(compiled, target, options=options)
 
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # compiler / frontend
     "CompiledProgram",
     "CompileOptions",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import replace as dc_replace
 
+from .. import obs
 from ..explore.campaign import (
     MachineResolver,
     compile_scenario,
@@ -230,11 +231,13 @@ def advise(
 
     # -- diagnose the baseline through the interpretation parse ---------------
     # the exact compile path (and cache) every candidate evaluation uses
-    compiled, options = compile_scenario(point, program)
-    baseline_machine = resolver(point) if resolver is not None else \
-        get_machine(machine_name, point.nprocs, topology_shape=topology_shape)
-    interpretation = interpret(compiled, baseline_machine, options=options)
-    findings = diagnose(interpretation, entry)
+    with obs.span("diagnose", app=key, nprocs=int(nprocs)):
+        compiled, options = compile_scenario(point, program)
+        baseline_machine = resolver(point) if resolver is not None else \
+            get_machine(machine_name, point.nprocs,
+                        topology_shape=topology_shape)
+        interpretation = interpret(compiled, baseline_machine, options=options)
+        findings = diagnose(interpretation, entry)
 
     # the diagnosis interpretation *is* the baseline prediction — seed the
     # evaluation memo (and the store) with it instead of interpreting twice
@@ -375,8 +378,10 @@ def advise(
     # extra interpretations buy the guarantee that a stale store can never
     # steer the ranking.
     targets = [m.target for m in mutations]
-    candidate_results, hits, fresh = evaluate_guarded(
-        targets, "predict", memo={point: baseline_result})
+    obs.counter("repro_advisor_candidates_total").inc(len(targets))
+    with obs.span("candidates", count=len(targets)):
+        candidate_results, hits, fresh = evaluate_guarded(
+            targets, "predict", memo={point: baseline_result})
     store_hits, evaluated = hits, fresh
 
     candidates: list[tuple[Mutation, ScenarioResult]] = \
@@ -395,10 +400,11 @@ def advise(
         # Its inputs come memo-seeded from the (guarded) candidate phase,
         # anything genuinely new is interpreted fresh, and the outputs are
         # persisted with value-comparing supersede.
-        run = run_campaign(space, name=f"advise-{key}-{refine}",
-                           mode="predict", strategy=refine, store=None,
-                           seed=seed, max_workers=max_workers,
-                           memo=result_memo)
+        with obs.span("refine", strategy=refine):
+            run = run_campaign(space, name=f"advise-{key}-{refine}",
+                               mode="predict", strategy=refine, store=None,
+                               seed=seed, max_workers=max_workers,
+                               memo=result_memo)
         if store is not None:
             persist(run.results)
         store_hits += run.store_hits
@@ -439,7 +445,8 @@ def advise(
         # the predict-mode sentinels say nothing about measured_us, so served
         # "both" records get the same guarded treatment (a simulator change
         # moves measurements without moving estimates)
-        sim_results, hits, fresh = evaluate_guarded(sim_points, "both")
+        with obs.span("simulate_check", count=len(sim_points)):
+            sim_results, hits, fresh = evaluate_guarded(sim_points, "both")
         store_hits += hits
         evaluated += fresh
         sim_by_point = {r.point: r for r in sim_results}

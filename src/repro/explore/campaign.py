@@ -39,12 +39,14 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import time as _time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from random import Random
 from typing import Callable, Sequence
 
+from .. import obs
 from ..compiler import compile_source
 from ..interpreter import interpret
 from ..simulator import SimulatorOptions, simulate
@@ -103,8 +105,10 @@ def compile_scenario(point: ScenarioPoint, program: ProgramSpec | None = None):
         params = entry.params_for(point.size)
         options = entry.interpreter_options(point.size)
     params.update({k: v for k, v in point.params})
-    compiled = _compile_cached(source, name, point.nprocs, point.grid_shape,
-                               tuple(sorted(params.items())))
+    with obs.span("compile", app=point.app, nprocs=point.nprocs):
+        compiled = _compile_cached(source, name, point.nprocs,
+                                   point.grid_shape,
+                                   tuple(sorted(params.items())))
     return compiled, options
 
 
@@ -123,34 +127,43 @@ def evaluate_point(
     """
     if mode not in MODES:
         raise ScenarioError(f"unknown campaign mode {mode!r}; known: {MODES}")
-    compiled, options = compile_scenario(point, program)
-    if machine_resolver is not None:
-        machine = machine_resolver(point)
-    else:
-        machine = get_machine(point.machine, point.nprocs,
-                              topology_shape=point.topology_shape)
+    started = _time.perf_counter()
+    with obs.span("point", app=point.app, machine=point.machine,
+                  nprocs=point.nprocs, mode=mode):
+        compiled, options = compile_scenario(point, program)
+        if machine_resolver is not None:
+            machine = machine_resolver(point)
+        else:
+            machine = get_machine(point.machine, point.nprocs,
+                                  topology_shape=point.topology_shape)
 
-    estimated = measured = None
-    comp = comm = ovhd = 0.0
-    if mode in ("predict", "both"):
-        estimate = interpret(compiled, machine, options=options)
-        estimated = estimate.predicted_time_us
-        comp = estimate.total.computation
-        comm = estimate.total.communication
-        ovhd = estimate.total.overhead
-    if mode in ("measure", "both"):
-        # simulated points run the vector engine (the SimulatorOptions
-        # default) unless simulator_options pins the loop oracle
-        measured = simulate(compiled, machine,
-                            options=simulator_options).measured_time_us
+        estimated = measured = None
+        comp = comm = ovhd = 0.0
+        if mode in ("predict", "both"):
+            with obs.span("price", machine=point.machine):
+                estimate = interpret(compiled, machine, options=options)
+            estimated = estimate.predicted_time_us
+            comp = estimate.total.computation
+            comm = estimate.total.communication
+            ovhd = estimate.total.overhead
+        if mode in ("measure", "both"):
+            # simulated points run the vector engine (the SimulatorOptions
+            # default) unless simulator_options pins the loop oracle;
+            # simulate() opens its own "simulate" span
+            measured = simulate(compiled, machine,
+                                options=simulator_options).measured_time_us
 
-    return ScenarioResult(
-        point=point, mode=mode,
-        estimated_us=estimated, measured_us=measured,
-        comp_us=comp, comm_us=comm, ovhd_us=ovhd,
-        grid_shape=tuple(compiled.mapping.grid.shape),
-        program_source=program.source if program is not None else None,
-    )
+        result = ScenarioResult(
+            point=point, mode=mode,
+            estimated_us=estimated, measured_us=measured,
+            comp_us=comp, comm_us=comm, ovhd_us=ovhd,
+            grid_shape=tuple(compiled.mapping.grid.shape),
+            program_source=program.source if program is not None else None,
+        )
+    obs.counter("repro_campaign_points_evaluated_total", mode=mode).inc()
+    obs.histogram("repro_point_latency_us", mode=mode).observe(
+        (_time.perf_counter() - started) * 1e6)
+    return result
 
 
 @dataclass
@@ -166,6 +179,9 @@ class CampaignRun:
     store_hits: int = 0
     evaluated: int = 0
     trajectory: list[ScenarioResult] = field(default_factory=list)   # hillclimb
+    #: the :class:`repro.obs.RunManifest` of this run — populated (and
+    #: written next to the store) only when observability is enabled
+    manifest: object | None = None
 
     @property
     def points(self) -> list[ScenarioPoint]:
@@ -315,10 +331,12 @@ def evaluate_points(
             unique.append(point)
 
     hits = 0
+    memo_hits = 0
     todo: list[ScenarioPoint] = []
     for point in unique:
         cached_memo = memo.get(point)
         if cached_memo is not None and cached_memo.mode == mode:
+            memo_hits += 1
             continue
         # a memo entry from another mode is not an answer to this one (the
         # store keys by mode; the in-run memo must too) — evaluate and let
@@ -333,11 +351,25 @@ def evaluate_points(
         else:
             todo.append(point)
 
+    if memo_hits:
+        obs.counter("repro_campaign_memo_hits_total", mode=mode).inc(memo_hits)
+    if store is not None:
+        if hits:
+            obs.counter("repro_campaign_store_hits_total",
+                        mode=mode).inc(hits)
+        if todo:
+            obs.counter("repro_campaign_store_misses_total",
+                        mode=mode).inc(len(todo))
+
     if todo:
         # auto-chosen process pools must earn their start-up cost; explicit
         # executor="process" is honoured regardless
         if auto and executor == "process" and len(todo) < PROCESS_AUTO_MIN_BATCH:
             executor = "thread"
+        actual = "serial" if executor == "serial" or len(todo) == 1 \
+            else executor
+        obs.counter("repro_campaign_executor_batches_total",
+                    executor=actual).inc()
 
         def job(point: ScenarioPoint) -> ScenarioResult:
             return evaluate_point(point, mode=mode,
@@ -353,7 +385,15 @@ def evaluate_points(
             args = [(point, mode, program_for(point.app), None,
                      simulator_options) for point in todo]
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                fresh = list(pool.map(_evaluate_star, args))
+                outcomes = list(pool.map(_evaluate_star, args))
+            fresh = [result for result, _delta in outcomes]
+            if obs.enabled():
+                # worker registries die with the pool; each task shipped its
+                # metric delta home, so fold them in here
+                registry = obs.get_registry()
+                for _result, delta in outcomes:
+                    if delta:
+                        registry.merge(delta)
         else:
             workers = max_workers or min(8, len(todo))
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -366,8 +406,21 @@ def evaluate_points(
     return [memo[point] for point in points], hits, len(todo)
 
 
-def _evaluate_star(args) -> ScenarioResult:
-    return evaluate_point(*args)
+def _evaluate_star(args) -> tuple[ScenarioResult, dict | None]:
+    """Process-pool worker: the evaluation plus its metric delta.
+
+    Worker processes hold their own ``repro.obs`` registry (forked workers
+    inherit the parent's enabled flag; spawned workers re-read ``REPRO_OBS``),
+    and that registry vanishes when the pool shuts down.  Snapshotting around
+    the evaluation and returning the delta lets the parent merge worker
+    metrics instead of losing them.
+    """
+    if not obs.enabled():
+        return evaluate_point(*args), None
+    registry = obs.get_registry()
+    before = registry.collect()
+    result = evaluate_point(*args)
+    return result, registry.delta_since(before)
 
 
 # ---------------------------------------------------------------------------
@@ -464,10 +517,16 @@ def run_campaign(
         raise ScenarioError(
             f"unknown campaign executor {executor!r}; known: {EXECUTORS}")
 
+    started = _time.perf_counter()
+    obs_mark = obs.get_tracer().mark()
+
     points, rejected = space.expand_with_rejects(where)
     run = CampaignRun(name=name, space=space, mode=mode, strategy=strategy,
                       rejected=rejected)
     if not points:
+        _finalize_campaign_obs(run, store=store, executor=executor,
+                               machine_resolver=machine_resolver,
+                               started=started, mark=obs_mark)
         return run
 
     memo = dict(memo) if memo is not None else {}
@@ -487,28 +546,63 @@ def run_campaign(
 
     if strategy == "grid":
         run.results, _, _ = evaluate(points)
-        return run
-
-    rng = Random(seed)
-    if strategy == "random":
+    elif strategy == "random":
+        rng = Random(seed)
         count = min(samples if samples is not None else max(len(points) // 2, 1),
                     len(points))
         chosen = rng.sample(points, count)
         run.results, _, _ = evaluate(chosen)
-        return run
-
-    if strategy == "hillclimb":
-        _run_hillclimb(run, space, points, rng, evaluate, score, max_steps)
-    elif strategy == "genetic":
-        _run_genetic(run, space, points, rng, evaluate, score,
-                     population=population, generations=generations,
-                     mutation_rate=mutation_rate)
     else:
-        _run_anneal(run, space, points, rng, evaluate, score,
-                    max_steps=max_steps, temperature=temperature,
-                    cooling=cooling)
-    run.results = list(memo.values())
+        rng = Random(seed)
+        if strategy == "hillclimb":
+            _run_hillclimb(run, space, points, rng, evaluate, score, max_steps)
+        elif strategy == "genetic":
+            _run_genetic(run, space, points, rng, evaluate, score,
+                         population=population, generations=generations,
+                         mutation_rate=mutation_rate)
+        else:
+            _run_anneal(run, space, points, rng, evaluate, score,
+                        max_steps=max_steps, temperature=temperature,
+                        cooling=cooling)
+        run.results = list(memo.values())
+
+    _finalize_campaign_obs(run, store=store, executor=executor,
+                           machine_resolver=machine_resolver,
+                           started=started, mark=obs_mark)
     return run
+
+
+def _finalize_campaign_obs(run: CampaignRun, *, store: ResultStore | None,
+                           executor: str,
+                           machine_resolver: MachineResolver | None,
+                           started: float, mark: int) -> None:
+    """Build (and, when a store exists, write) this run's manifest.
+
+    Only active when observability is enabled.  ``executor`` records the
+    campaign-level resolution of ``"auto"``; per-batch demotions (a small
+    cold batch falling back from the process pool to threads) are visible in
+    the manifest's ``repro_campaign_executor_batches_total`` counters.
+    """
+    if not obs.enabled():
+        return
+    spans = obs.get_tracer().spans_since(mark)
+    manifest = obs.build_manifest(
+        name=run.name,
+        mode=run.mode,
+        strategy=run.strategy,
+        executor=resolve_executor(executor, run.mode, machine_resolver),
+        wall_time_s=_time.perf_counter() - started,
+        points_evaluated=len(run.results),
+        fresh_evaluations=run.evaluated,
+        store_hits=run.store_hits,
+        store_path=store.path if store is not None else None,
+        store_records=len(store) if store is not None else None,
+        spans=spans,
+        registry=obs.get_registry(),
+    )
+    run.manifest = manifest
+    if store is not None:
+        manifest.write(obs.manifest_path_for(store.path))
 
 
 def _run_hillclimb(run, space, points, rng, evaluate, score, max_steps):
@@ -516,7 +610,9 @@ def _run_hillclimb(run, space, points, rng, evaluate, score, max_steps):
     current = rng.choice(points)
     [current_result], _, _ = evaluate([current])
     run.trajectory.append(current_result)
-    for _ in range(max_steps):
+    for step in range(max_steps):
+        obs.gauge("repro_campaign_strategy_step",
+                  strategy="hillclimb").set(step + 1)
         neighbours = space.neighbors(current, points)
         if not neighbours:
             break
@@ -565,7 +661,9 @@ def _run_genetic(run, space, points, rng, evaluate, score, *,
     scored, _, _ = evaluate(current)
     best = min(scored, key=score)
     run.trajectory.append(best)
-    for _ in range(generations):
+    for generation in range(generations):
+        obs.gauge("repro_campaign_strategy_step",
+                  strategy="genetic").set(generation + 1)
         next_gen = [best.point]                     # elitism
         while len(next_gen) < pop_size:
             parent_a = _tournament(rng, scored, score)
@@ -596,7 +694,10 @@ def _run_anneal(run, space, points, rng, evaluate, score, *,
     t = temperature if temperature is not None \
         else max(score(current_result) * 0.1, 1e-9)
     run.trajectory.append(current_result)
-    for _ in range(max_steps):
+    for step in range(max_steps):
+        obs.gauge("repro_campaign_strategy_step",
+                  strategy="anneal").set(step + 1)
+        obs.gauge("repro_campaign_anneal_temperature").set(t)
         neighbours = space.neighbors(current, points)
         if not neighbours:
             break

@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
+from .. import obs
 from ..frontend.errors import ReproError
 from .space import ScenarioPoint
 
@@ -222,6 +223,8 @@ class ResultStore:
                     f"{self.path}:{lineno}: corrupt record mid-file") from None
             result = ScenarioResult.from_record(record)
             self._index[str(record.get("key", result.key))] = result
+        obs.counter("repro_store_resume_records_total",
+                    store=os.path.basename(self.path)).inc(len(self._index))
 
     def _truncate_torn_tail(self, content: str, torn_line: str) -> None:
         """Cut an interrupted append off the file so later appends stay clean.
@@ -246,6 +249,8 @@ class ResultStore:
         """
         key = result.key
         if key in self._index and not replace:
+            obs.counter("repro_store_dedup_skips_total",
+                        store=os.path.basename(self.path)).inc()
             return False
         line = json.dumps(result.to_record(), sort_keys=True) + "\n"
         with open(self.path, "a+b") as fh:
@@ -260,6 +265,8 @@ class ResultStore:
             fh.write(line.encode("utf-8"))
             fh.flush()
         self._index[key] = result
+        obs.counter("repro_store_appends_total",
+                    store=os.path.basename(self.path)).inc()
         return True
 
     # -- lookup -------------------------------------------------------------

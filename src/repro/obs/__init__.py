@@ -1,0 +1,172 @@
+"""repro.obs — runtime telemetry: spans, metrics, and run manifests.
+
+The instrumentation layer every subsystem reports into: ``predict`` /
+``measure`` stage spans, per-phase simulator spans (node cost / noise /
+network drain), campaign point spans and store counters, advisor
+candidate spans.  Disabled by default; the disabled path is a module-level
+no-op (a shared singleton span/metric, no allocation, no clock read) so
+instrumentation sites cost almost nothing in production runs.
+
+Enable with the ``REPRO_OBS`` environment variable (``1``/``true``/``on``)
+or programmatically:
+
+>>> import repro.obs as obs
+>>> obs.reset()
+>>> obs.enable()
+>>> with obs.span("demo", task="doctest"):
+...     pass
+>>> [s.name for s in obs.get_tracer().spans()]
+['demo']
+>>> obs.counter("demo_total").inc()
+>>> obs.get_registry().flatten()["demo_total"]
+1.0
+>>> obs.disable()
+>>> obs.span("after-disable") is obs.NOOP_SPAN  # no-op fast path again
+True
+
+Exports live in three sibling modules: :mod:`repro.obs.spans` (tracer),
+:mod:`repro.obs.metrics` (counter/gauge/histogram registry), and
+:mod:`repro.obs.export` (Chrome trace / Prometheus text / JSONL);
+:mod:`repro.obs.manifest` adds the per-run :class:`RunManifest`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Tuple
+
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    spans_jsonl,
+    write_chrome_trace,
+    write_span_log,
+)
+from .manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    RunManifest,
+    build_manifest,
+    manifest_path_for,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NOOP_METRIC,
+)
+from .spans import NOOP_SPAN, SpanRecord, Tracer, phase_shares
+
+ENV_VAR = "REPRO_OBS"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_enabled(environ=os.environ) -> bool:
+    return environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+_enabled = _env_enabled()
+_tracer = Tracer()
+_registry = MetricRegistry()
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Return to the no-op fast path."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (keeps the enabled flag)."""
+    _tracer.clear()
+    _registry.reset()
+
+
+def get_tracer() -> Tracer:
+    return _tracer
+
+
+def get_registry() -> MetricRegistry:
+    return _registry
+
+
+# -- instrumentation-site helpers (the no-op gate lives here) --------------
+
+def span(name: str, **attrs: Any):
+    """A timed region: ``with span("simulate", nprocs=256): ...``.
+
+    Returns the shared no-op singleton when disabled — callers keep a
+    bare ``with`` statement either way.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return _tracer.span(name, attrs or None)
+
+
+def counter(name: str, **labels: Any):
+    if not _enabled:
+        return NOOP_METRIC
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any):
+    if not _enabled:
+        return NOOP_METRIC
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, buckets: Optional[Tuple[float, ...]] = None,
+              **labels: Any):
+    if not _enabled:
+        return NOOP_METRIC
+    return _registry.histogram(name, buckets=buckets, **labels)
+
+
+__all__ = [
+    "ENV_VAR",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "get_tracer",
+    "get_registry",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "Tracer",
+    "SpanRecord",
+    "phase_shares",
+    "NOOP_SPAN",
+    "NOOP_METRIC",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "spans_jsonl",
+    "write_span_log",
+    "RunManifest",
+    "build_manifest",
+    "manifest_path_for",
+    "ManifestError",
+    "MANIFEST_FORMAT",
+    "MANIFEST_SCHEMA_VERSION",
+]

@@ -324,8 +324,7 @@ def shift_exchange_clocks(
     Returns ``(new_clocks, participants)``: the updated full-partition clock
     array (non-participants keep their entry clocks) and the boolean mask of
     ranks that exchanged — the executor draws communication noise for exactly
-    those ranks, keyed per rank (counter scheme) or in rank order (sequential
-    scheme), matching the dict path either way.
+    those ranks, keyed per rank, matching the dict path.
     """
     p = clocks.shape[0]
     new = clocks.copy()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..compiler.pipeline import CompiledProgram
 from ..compiler.spmd import (
     CommPhase,
@@ -216,9 +217,10 @@ class SPMDExecutor:
         on that phase — so the loop engine stays the scalar oracle while
         remaining bit-identical to the batched draws.
         """
-        phase = self.noise.begin_phase()
-        return {r: self.noise.communication_keyed(phase, r, t - clocks[r])
-                + clocks[r] for r, t in done.items()}
+        with obs.span("noise"):
+            phase = self.noise.begin_phase()
+            return {r: self.noise.communication_keyed(phase, r, t - clocks[r])
+                    + clocks[r] for r, t in done.items()}
 
     # ------------------------------------------------------------------
     # sequence / control flow
@@ -383,55 +385,62 @@ class SPMDExecutor:
     def _loop_nest_per_rank(self, node: LocalLoopNest, record, home_dist,
                             distributed: bool, count: OpCount,
                             element_size: int, precision: str) -> np.ndarray:
-        """Timing plane: actual per-rank iteration counts and mask fractions."""
-        per_rank = np.zeros(self.nprocs, dtype=np.float64)
-        noise_phase = self.noise.begin_phase()
-        for rank in range(self.nprocs):
-            selectors: list[np.ndarray] = []
-            iterations = 1.0
-            innermost_extent = 1.0
-            stride1 = False
-            for dim in node.loops:
-                values = record.triplet_ranges.get(dim.var.lower())
-                if values is None:
-                    continue
-                if distributed and dim.home_axis is not None and \
-                        dim.home_axis < len(home_dist.axes) and \
-                        home_dist.axes[dim.home_axis].is_distributed:
-                    owned = home_dist.local_indices(rank, dim.home_axis) + \
-                        home_dist.lower_bounds[dim.home_axis]
-                    selector = np.isin(values, owned)
-                else:
-                    selector = np.ones(len(values), dtype=bool)
-                selectors.append(selector)
-                dim_count = float(np.count_nonzero(selector))
-                iterations *= dim_count
-                if dim.home_axis == 0:
-                    stride1 = True
-                    innermost_extent = dim_count
-            if not stride1 and selectors:
-                innermost_extent = float(np.count_nonzero(selectors[-1]))
+        """Timing plane: actual per-rank iteration counts and mask fractions.
 
-            mask_fraction = None
-            if record.mask is not None and iterations > 0 and selectors:
-                sub_mask = record.mask[np.ix_(*selectors)]
-                mask_fraction = float(np.count_nonzero(sub_mask)) / max(sub_mask.size, 1)
+        The whole sweep is one ``node_cost`` span; the loop engine draws its
+        compute noise scalar-by-scalar inside the sweep, so that time is
+        folded into ``node_cost`` here (the vector engine, where the batch
+        draw is a separable call, reports it under ``noise``).
+        """
+        with obs.span("node_cost"):
+            per_rank = np.zeros(self.nprocs, dtype=np.float64)
+            noise_phase = self.noise.begin_phase()
+            for rank in range(self.nprocs):
+                selectors: list[np.ndarray] = []
+                iterations = 1.0
+                innermost_extent = 1.0
+                stride1 = False
+                for dim in node.loops:
+                    values = record.triplet_ranges.get(dim.var.lower())
+                    if values is None:
+                        continue
+                    if distributed and dim.home_axis is not None and \
+                            dim.home_axis < len(home_dist.axes) and \
+                            home_dist.axes[dim.home_axis].is_distributed:
+                        owned = home_dist.local_indices(rank, dim.home_axis) + \
+                            home_dist.lower_bounds[dim.home_axis]
+                        selector = np.isin(values, owned)
+                    else:
+                        selector = np.ones(len(values), dtype=bool)
+                    selectors.append(selector)
+                    dim_count = float(np.count_nonzero(selector))
+                    iterations *= dim_count
+                    if dim.home_axis == 0:
+                        stride1 = True
+                        innermost_extent = dim_count
+                if not stride1 and selectors:
+                    innermost_extent = float(np.count_nonzero(selectors[-1]))
 
-            profile = IterationProfile(
-                count=count,
-                precision=precision,
-                element_size=element_size,
-                local_elements=iterations,
-                innermost_extent=max(innermost_extent, 1.0),
-                stride1=stride1 or not distributed,
-                arrays_touched=max(len(count.arrays_touched), 1),
-                mask_fraction=mask_fraction,
-            )
-            per_rank[rank] = self.noise.compute_keyed(
-                noise_phase, rank,
-                self.cost.loop_nest_time(profile, depth=len(node.loops))
-            )
-        return per_rank
+                mask_fraction = None
+                if record.mask is not None and iterations > 0 and selectors:
+                    sub_mask = record.mask[np.ix_(*selectors)]
+                    mask_fraction = float(np.count_nonzero(sub_mask)) / max(sub_mask.size, 1)
+
+                profile = IterationProfile(
+                    count=count,
+                    precision=precision,
+                    element_size=element_size,
+                    local_elements=iterations,
+                    innermost_extent=max(innermost_extent, 1.0),
+                    stride1=stride1 or not distributed,
+                    arrays_touched=max(len(count.arrays_touched), 1),
+                    mask_fraction=mask_fraction,
+                )
+                per_rank[rank] = self.noise.compute_keyed(
+                    noise_phase, rank,
+                    self.cost.loop_nest_time(profile, depth=len(node.loops))
+                )
+            return per_rank
 
     # -- reductions -----------------------------------------------------------------
 
@@ -460,26 +469,27 @@ class SPMDExecutor:
                             total_extent: float, element_size: int,
                             precision: str) -> np.ndarray:
         """Per-rank local-partial-reduction times (each rank sweeps its share)."""
-        per_rank = np.zeros(self.nprocs, dtype=np.float64)
-        noise_phase = self.noise.begin_phase()
-        for rank in range(self.nprocs):
-            if dist is not None and not dist.is_replicated:
-                share = dist.local_size(rank) / max(dist.size, 1)
-                local = total_extent * share
-            else:
-                local = total_extent
-            profile = IterationProfile(
-                count=count,
-                precision=precision,
-                element_size=element_size,
-                local_elements=local,
-                innermost_extent=max(local, 1.0),
-                stride1=True,
-                arrays_touched=max(len(count.arrays_touched), 1),
-            )
-            per_rank[rank] = self.noise.compute_keyed(
-                noise_phase, rank, self.cost.loop_nest_time(profile, depth=1))
-        return per_rank
+        with obs.span("node_cost"):
+            per_rank = np.zeros(self.nprocs, dtype=np.float64)
+            noise_phase = self.noise.begin_phase()
+            for rank in range(self.nprocs):
+                if dist is not None and not dist.is_replicated:
+                    share = dist.local_size(rank) / max(dist.size, 1)
+                    local = total_extent * share
+                else:
+                    local = total_extent
+                profile = IterationProfile(
+                    count=count,
+                    precision=precision,
+                    element_size=element_size,
+                    local_elements=local,
+                    innermost_extent=max(local, 1.0),
+                    stride1=True,
+                    arrays_touched=max(len(count.arrays_touched), 1),
+                )
+                per_rank[rank] = self.noise.compute_keyed(
+                    noise_phase, rank, self.cost.loop_nest_time(profile, depth=1))
+            return per_rank
 
     def _reduction_extent(self, node: ReductionNode, dist: ArrayDistribution | None) -> float:
         for ref in ast.expr_array_refs(node.source):
@@ -520,23 +530,25 @@ class SPMDExecutor:
                                         clamp_shift_axis=False)
 
         clocks = {r: float(self.clocks[r]) for r in range(self.nprocs)}
-        done = shift_exchange(self.network, pairs, sizes, clocks,
-                              software_overhead=self.collective_overhead)
+        with obs.span("network"):
+            done = shift_exchange(self.network, pairs, sizes, clocks,
+                                  software_overhead=self.collective_overhead)
         done = self._apply_comm_noise(done, clocks)
         self._set_clocks(node, "communication", done)
 
     def _shift_copy_per_rank(self, dist: ArrayDistribution) -> np.ndarray:
         """Per-rank local copy cost of a shift (each rank copies its block)."""
-        proc = self.machine.processing
-        copy_per_rank = np.zeros(self.nprocs)
-        noise_phase = self.noise.begin_phase()
-        for rank in range(self.nprocs):
-            local = dist.local_size(rank)
-            copy_per_rank[rank] = self.noise.compute_keyed(
-                noise_phase, rank,
-                local * (proc.assignment_overhead + self.machine.memory.hit_time * 2)
-            )
-        return copy_per_rank
+        with obs.span("node_cost"):
+            proc = self.machine.processing
+            copy_per_rank = np.zeros(self.nprocs)
+            noise_phase = self.noise.begin_phase()
+            for rank in range(self.nprocs):
+                local = dist.local_size(rank)
+                copy_per_rank[rank] = self.noise.compute_keyed(
+                    noise_phase, rank,
+                    local * (proc.assignment_overhead + self.machine.memory.hit_time * 2)
+                )
+            return copy_per_rank
 
     def _shift_plan(self, dist: ArrayDistribution, axis: int, axis_map, offset: int,
                     element_size: int, direction: int,
@@ -606,8 +618,9 @@ class SPMDExecutor:
                                             abs(spec.offset) or 1,
                                             spec.element_size, direction,
                                             clamp_shift_axis=True)
-            done = shift_exchange(self.network, pairs, sizes, clocks,
-                                  software_overhead=overhead)
+            with obs.span("network"):
+                done = shift_exchange(self.network, pairs, sizes, clocks,
+                                      software_overhead=overhead)
             done = self._apply_comm_noise(done, clocks)
             self._set_clocks(node, "communication", done)
             return
@@ -616,8 +629,9 @@ class SPMDExecutor:
             nbytes = max(int(self._spec_elements(spec, dist) * spec.element_size),
                          spec.element_size)
             ranks = list(range(self.nprocs))
-            done = broadcast(self.network, 0, ranks, nbytes, clocks,
-                             software_overhead=overhead)
+            with obs.span("network"):
+                done = broadcast(self.network, 0, ranks, nbytes, clocks,
+                                 software_overhead=overhead)
             done = self._apply_comm_noise(done, clocks)
             self.comm_stats.record(max(self.nprocs - 1, 0), nbytes * max(self.nprocs - 1, 0))
             self._set_clocks(node, "communication", done)
@@ -626,9 +640,10 @@ class SPMDExecutor:
         if spec.kind == "reduce":
             nbytes = spec.element_size
             ranks = list(range(self.nprocs))
-            done = allreduce(self.network, ranks, nbytes, clocks,
-                             combine_time=proc.flop_time_sp,
-                             software_overhead=overhead)
+            with obs.span("network"):
+                done = allreduce(self.network, ranks, nbytes, clocks,
+                                 combine_time=proc.flop_time_sp,
+                                 software_overhead=overhead)
             done = self._apply_comm_noise(done, clocks)
             self.comm_stats.record(self.nprocs, nbytes * self.nprocs)
             self._set_clocks(node, "communication", done)
@@ -638,8 +653,9 @@ class SPMDExecutor:
             elements = self._spec_elements(spec, dist)
             nbytes = int(elements * spec.element_size)
             ranks = list(range(self.nprocs))
-            done = unstructured_gather(self.network, ranks, nbytes, clocks,
-                                       software_overhead=overhead)
+            with obs.span("network"):
+                done = unstructured_gather(self.network, ranks, nbytes, clocks,
+                                           software_overhead=overhead)
             done = self._apply_comm_noise(done, clocks)
             self.comm_stats.record(self.nprocs * max(self.nprocs - 1, 1) // 2,
                                    nbytes * max(self.nprocs - 1, 1))

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import obs
 from ..compiler.pipeline import CompiledProgram
 from ..frontend.errors import SimulationError
 from ..interpreter.metrics import Metrics
@@ -91,9 +92,13 @@ def simulate(
     executor_class = VectorSPMDExecutor if options.engine == "vector" \
         else SPMDExecutor
     started = _time.perf_counter()
-    executor = executor_class(compiled, machine, options=options, params=params)
-    executor.run()
+    with obs.span("simulate", engine=options.engine,
+                  nprocs=compiled.nprocs, machine=machine.name):
+        executor = executor_class(compiled, machine, options=options,
+                                  params=params)
+        executor.run()
     elapsed = _time.perf_counter() - started
+    obs.counter("repro_simulations_total", engine=options.engine).inc()
 
     measured = executor.noise.quantise(executor.elapsed_us)
     return SimulationResult(

@@ -38,11 +38,15 @@ collective schedules — and overrides only the per-rank hot loops:
   to the sorted scalar pass.
 
 Every override is arithmetically identical to the loop engine's scalar code
-(integer counting, same expression order, same noise-phase sequence — keyed
-per-rank deviates under the counter scheme, the shared stream in draw order
-under ``NoiseOptions(scheme="sequential")``), so the two engines agree on
-every per-rank time bit-for-bit; the tier-1 property tests pin this across
-the whole machine registry and all topology kinds.
+(integer counting, same expression order, same noise-phase sequence of
+counter-keyed per-rank deviates), so the two engines agree on every per-rank
+time bit-for-bit; the tier-1 property tests pin this across the whole
+machine registry and all topology kinds.
+
+Both engines report their phase timings through :mod:`repro.obs` spans —
+``node_cost`` (cost-model sweeps), ``noise`` (batched deviate draws) and
+``network`` (collective clock drains) — which is what the profiling script's
+``--phase-breakdown`` and every run manifest's ``engine_shares`` read.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ import math
 
 import numpy as np
 
+from .. import obs
 from ..compiler.spmd import CommSpec, LocalLoopNest, ShiftNode, SPMDNode
 from ..distribution import ArrayDistribution
 from ..frontend import ast_nodes as ast
@@ -100,21 +105,20 @@ class VectorSPMDExecutor(SPMDExecutor):
 
         Mirrors the loop engine's ``_apply_comm_noise``: one batched draw
         over exactly the ranks the collective returned (*participants* of a
-        shift; everyone otherwise).  Under the counter scheme each element is
-        keyed on its **rank** and the shared phase counter, so the batch is
-        bit-identical to the loop engine's scalar keyed draws; under the
-        sequential scheme the batch pulls the legacy one-block normal draw,
-        stream-exact with the scalar calls in ascending rank order.
+        shift; everyone otherwise).  Each element is keyed on its **rank**
+        and the shared phase counter, so the batch is bit-identical to the
+        loop engine's scalar keyed draws.
         """
         entry = self.clocks
-        if participants is None:
-            noisy = self.noise.communication_batch(targets - entry) + entry
-        else:
-            idx = np.nonzero(participants)[0]
-            noisy = entry.copy()
-            noisy[idx] = self.noise.communication_batch(
-                targets[idx] - entry[idx], ranks=idx
-            ) + entry[idx]
+        with obs.span("noise"):
+            if participants is None:
+                noisy = self.noise.communication_batch(targets - entry) + entry
+            else:
+                idx = np.nonzero(participants)[0]
+                noisy = entry.copy()
+                noisy[idx] = self.noise.communication_batch(
+                    targets[idx] - entry[idx], ranks=idx
+                ) + entry[idx]
         self._set_clocks_array(node, "communication", noisy)
 
     # ------------------------------------------------------------------
@@ -124,71 +128,75 @@ class VectorSPMDExecutor(SPMDExecutor):
     def _loop_nest_per_rank(self, node: LocalLoopNest, record, home_dist,
                             distributed: bool, count: OpCount,
                             element_size: int, precision: str) -> np.ndarray:
-        p = self.nprocs
-        pcoords = home_dist.axis_pcoords() if home_dist is not None else None
+        with obs.span("node_cost"):
+            p = self.nprocs
+            pcoords = home_dist.axis_pcoords() if home_dist is not None else None
 
-        # Per loop dimension: every rank's owned-value count, plus the
-        # ownership map needed for the mask contraction.  ``owners`` is None
-        # for dimensions whose selector is all-ones (replicated home axis).
-        rank_counts: list[np.ndarray] = []
-        dim_groups: list[tuple[np.ndarray | None, int, np.ndarray | None]] = []
-        stride1 = False
-        innermost = np.ones(p, dtype=np.float64)
-        for dim in node.loops:
-            values = record.triplet_ranges.get(dim.var.lower())
-            if values is None:
-                continue
-            if distributed and dim.home_axis is not None and \
-                    dim.home_axis < len(home_dist.axes) and \
-                    home_dist.axes[dim.home_axis].is_distributed:
-                axis = home_dist.axes[dim.home_axis]
-                owners = axis.owners_of(
-                    np.asarray(values, dtype=np.int64)
-                    - home_dist.lower_bounds[dim.home_axis])
-                by_pcoord = np.bincount(owners[owners >= 0],
-                                        minlength=axis.nprocs)
-                pc = pcoords[:, dim.home_axis]
-                dim_counts = by_pcoord[pc]
-                dim_groups.append((owners, axis.nprocs, pc))
-            else:
-                dim_counts = np.full(p, len(values), dtype=np.int64)
-                dim_groups.append((None, 1, None))
-            rank_counts.append(dim_counts)
-            if dim.home_axis == 0:
-                stride1 = True
-                innermost = dim_counts.astype(np.float64)
+            # Per loop dimension: every rank's owned-value count, plus the
+            # ownership map needed for the mask contraction.  ``owners`` is
+            # None for dimensions whose selector is all-ones (replicated home
+            # axis).
+            rank_counts: list[np.ndarray] = []
+            dim_groups: list[tuple[np.ndarray | None, int,
+                                   np.ndarray | None]] = []
+            stride1 = False
+            innermost = np.ones(p, dtype=np.float64)
+            for dim in node.loops:
+                values = record.triplet_ranges.get(dim.var.lower())
+                if values is None:
+                    continue
+                if distributed and dim.home_axis is not None and \
+                        dim.home_axis < len(home_dist.axes) and \
+                        home_dist.axes[dim.home_axis].is_distributed:
+                    axis = home_dist.axes[dim.home_axis]
+                    owners = axis.owners_of(
+                        np.asarray(values, dtype=np.int64)
+                        - home_dist.lower_bounds[dim.home_axis])
+                    by_pcoord = np.bincount(owners[owners >= 0],
+                                            minlength=axis.nprocs)
+                    pc = pcoords[:, dim.home_axis]
+                    dim_counts = by_pcoord[pc]
+                    dim_groups.append((owners, axis.nprocs, pc))
+                else:
+                    dim_counts = np.full(p, len(values), dtype=np.int64)
+                    dim_groups.append((None, 1, None))
+                rank_counts.append(dim_counts)
+                if dim.home_axis == 0:
+                    stride1 = True
+                    innermost = dim_counts.astype(np.float64)
 
-        iterations = np.ones(p, dtype=np.float64)
-        for dim_counts in rank_counts:
-            iterations *= dim_counts
-        if not stride1 and rank_counts:
-            innermost = rank_counts[-1].astype(np.float64)
-
-        mask_fractions = None
-        if record.mask is not None and rank_counts:
-            mask_counts = self._mask_counts(record.mask, dim_groups)
-            sub_sizes = np.ones(p, dtype=np.int64)
+            iterations = np.ones(p, dtype=np.float64)
             for dim_counts in rank_counts:
-                sub_sizes *= dim_counts
-            fractions = mask_counts / np.maximum(sub_sizes, 1)
-            # ranks with an empty iteration space get no mask fraction
-            # (negative encodes None for the batched cost model)
-            mask_fractions = np.where(iterations > 0, fractions, -1.0)
+                iterations *= dim_counts
+            if not stride1 and rank_counts:
+                innermost = rank_counts[-1].astype(np.float64)
 
-        profile = IterationProfile(
-            count=count,
-            precision=precision,
-            element_size=element_size,
-            stride1=stride1 or not distributed,
-            arrays_touched=max(len(count.arrays_touched), 1),
-        )
-        raw = self.cost.loop_nest_times(
-            profile, depth=len(node.loops),
-            local_elements=iterations,
-            innermost_extents=np.maximum(innermost, 1.0),
-            mask_fractions=mask_fractions,
-        )
-        return self.noise.compute_batch(raw)
+            mask_fractions = None
+            if record.mask is not None and rank_counts:
+                mask_counts = self._mask_counts(record.mask, dim_groups)
+                sub_sizes = np.ones(p, dtype=np.int64)
+                for dim_counts in rank_counts:
+                    sub_sizes *= dim_counts
+                fractions = mask_counts / np.maximum(sub_sizes, 1)
+                # ranks with an empty iteration space get no mask fraction
+                # (negative encodes None for the batched cost model)
+                mask_fractions = np.where(iterations > 0, fractions, -1.0)
+
+            profile = IterationProfile(
+                count=count,
+                precision=precision,
+                element_size=element_size,
+                stride1=stride1 or not distributed,
+                arrays_touched=max(len(count.arrays_touched), 1),
+            )
+            raw = self.cost.loop_nest_times(
+                profile, depth=len(node.loops),
+                local_elements=iterations,
+                innermost_extents=np.maximum(innermost, 1.0),
+                mask_fractions=mask_fractions,
+            )
+        with obs.span("noise"):
+            return self.noise.compute_batch(raw)
 
     def _mask_counts(self, mask: np.ndarray,
                      dim_groups: list[tuple[np.ndarray | None, int,
@@ -237,36 +245,40 @@ class VectorSPMDExecutor(SPMDExecutor):
     def _reduction_per_rank(self, dist: ArrayDistribution | None, count: OpCount,
                             total_extent: float, element_size: int,
                             precision: str) -> np.ndarray:
-        p = self.nprocs
-        if dist is not None and not dist.is_replicated:
-            shares = dist.local_sizes().astype(np.float64) / max(dist.size, 1)
-            local = total_extent * shares
-        else:
-            local = np.full(p, total_extent, dtype=np.float64)
-        profile = IterationProfile(
-            count=count,
-            precision=precision,
-            element_size=element_size,
-            stride1=True,
-            arrays_touched=max(len(count.arrays_touched), 1),
-        )
-        raw = self.cost.loop_nest_times(
-            profile, depth=1,
-            local_elements=local,
-            innermost_extents=np.maximum(local, 1.0),
-        )
-        return self.noise.compute_batch(raw)
+        with obs.span("node_cost"):
+            p = self.nprocs
+            if dist is not None and not dist.is_replicated:
+                shares = dist.local_sizes().astype(np.float64) / max(dist.size, 1)
+                local = total_extent * shares
+            else:
+                local = np.full(p, total_extent, dtype=np.float64)
+            profile = IterationProfile(
+                count=count,
+                precision=precision,
+                element_size=element_size,
+                stride1=True,
+                arrays_touched=max(len(count.arrays_touched), 1),
+            )
+            raw = self.cost.loop_nest_times(
+                profile, depth=1,
+                local_elements=local,
+                innermost_extents=np.maximum(local, 1.0),
+            )
+        with obs.span("noise"):
+            return self.noise.compute_batch(raw)
 
     # ------------------------------------------------------------------
     # shifts
     # ------------------------------------------------------------------
 
     def _shift_copy_per_rank(self, dist: ArrayDistribution) -> np.ndarray:
-        proc = self.machine.processing
-        raw = dist.local_sizes().astype(np.float64) * (
-            proc.assignment_overhead + self.machine.memory.hit_time * 2
-        )
-        return self.noise.compute_batch(raw)
+        with obs.span("node_cost"):
+            proc = self.machine.processing
+            raw = dist.local_sizes().astype(np.float64) * (
+                proc.assignment_overhead + self.machine.memory.hit_time * 2
+            )
+        with obs.span("noise"):
+            return self.noise.compute_batch(raw)
 
     def _shift_spec_arrays(self, dist: ArrayDistribution, axis: int, axis_map,
                            offset: int, element_size: int, direction: int,
@@ -343,9 +355,10 @@ class VectorSPMDExecutor(SPMDExecutor):
         src, dst, nbytes = self._shift_spec_arrays(
             dist, axis, axis_map, offset, dist.element_size, direction,
             clamp_shift_axis=False)
-        targets, participants = shift_exchange_clocks(
-            self.network, src, dst, nbytes, self.clocks,
-            software_overhead=self.collective_overhead)
+        with obs.span("network"):
+            targets, participants = shift_exchange_clocks(
+                self.network, src, dst, nbytes, self.clocks,
+                software_overhead=self.collective_overhead)
         self._finish_comm_phase(node, targets, participants)
 
     def _exec_comm_spec(self, node: SPMDNode, spec: CommSpec) -> None:
@@ -369,26 +382,29 @@ class VectorSPMDExecutor(SPMDExecutor):
             src, dst, nbytes = self._shift_spec_arrays(
                 dist, axis, axis_map, abs(spec.offset) or 1,
                 spec.element_size, direction, clamp_shift_axis=True)
-            targets, participants = shift_exchange_clocks(
-                self.network, src, dst, nbytes, self.clocks,
-                software_overhead=overhead)
+            with obs.span("network"):
+                targets, participants = shift_exchange_clocks(
+                    self.network, src, dst, nbytes, self.clocks,
+                    software_overhead=overhead)
             self._finish_comm_phase(node, targets, participants)
             return
 
         if spec.kind == "broadcast":
             nbytes = max(int(self._spec_elements(spec, dist) * spec.element_size),
                          spec.element_size)
-            targets = broadcast_clocks(self.network, 0, self.clocks, nbytes,
-                                       software_overhead=overhead)
+            with obs.span("network"):
+                targets = broadcast_clocks(self.network, 0, self.clocks, nbytes,
+                                           software_overhead=overhead)
             self.comm_stats.record(max(self.nprocs - 1, 0), nbytes * max(self.nprocs - 1, 0))
             self._finish_comm_phase(node, targets)
             return
 
         if spec.kind == "reduce":
             nbytes = spec.element_size
-            targets = allreduce_clocks(self.network, self.clocks, nbytes,
-                                       combine_time=proc.flop_time_sp,
-                                       software_overhead=overhead)
+            with obs.span("network"):
+                targets = allreduce_clocks(self.network, self.clocks, nbytes,
+                                           combine_time=proc.flop_time_sp,
+                                           software_overhead=overhead)
             self.comm_stats.record(self.nprocs, nbytes * self.nprocs)
             self._finish_comm_phase(node, targets)
             return
@@ -396,8 +412,10 @@ class VectorSPMDExecutor(SPMDExecutor):
         if spec.kind in ("gather", "writeback"):
             elements = self._spec_elements(spec, dist)
             nbytes = int(elements * spec.element_size)
-            targets = unstructured_gather_clocks(self.network, self.clocks, nbytes,
-                                                 software_overhead=overhead)
+            with obs.span("network"):
+                targets = unstructured_gather_clocks(
+                    self.network, self.clocks, nbytes,
+                    software_overhead=overhead)
             self.comm_stats.record(self.nprocs * max(self.nprocs - 1, 1) // 2,
                                    nbytes * max(self.nprocs - 1, 1))
             self._finish_comm_phase(node, targets)

@@ -144,8 +144,8 @@ class TestOrderAndSliceIndependence:
         """No hidden stream: drawing other phases first changes nothing."""
         fresh = NoiseModel(seed=9)
         warm = NoiseModel(seed=9)
-        for _ in range(50):  # consume phases + sequential rng on one model
-            warm.rng.standard_normal()
+        for _ in range(50):  # burn through phases + draws on one model
+            warm.compute(1000.0, rank=_ % 4)
         assert warm.compute_keyed(3, 2, 1000.0) \
             == fresh.compute_keyed(3, 2, 1000.0)
 
@@ -260,40 +260,31 @@ class TestNoiseOptionsValidation:
             assert NoiseOptions(scheme=scheme).scheme == scheme
 
 
-class TestSequentialSchemeCompatibility:
-    """The legacy escape hatch must still work end to end, on both engines."""
+class TestSequentialSchemeRemoval:
+    """The legacy one-stream scheme is gone; asking for it must say so."""
 
-    def test_sequential_scalar_matches_legacy_stream(self):
-        opts = NoiseOptions(scheme="sequential")
-        model = NoiseModel(seed=11, options=opts)
-        rng = np.random.default_rng(11)
-        jitter = 1.0 + rng.normal(0.0, opts.compute_jitter_sigma)
-        expected = 1000.0 * max(jitter, 0.0)
-        expected += rng.poisson(opts.interruption_rate_per_ms * 1.0) \
-            * opts.interruption_cost_us
-        assert model.compute(1000.0) == expected
+    def test_sequential_scheme_raises_removal_notice(self):
+        with pytest.raises(SimulationError, match="removed in repro 1.1.0"):
+            NoiseOptions(scheme="sequential")
 
-    @pytest.mark.parametrize("scheme", NOISE_SCHEMES)
-    def test_engines_agree_under_both_schemes(self, laplace_compiled,
-                                              machine4, scheme):
-        noise = NoiseOptions(scheme=scheme)
+    def test_removal_notice_points_at_archive(self):
+        with pytest.raises(SimulationError,
+                           match="STORE_DIFF_noise_engine"):
+            NoiseOptions(scheme="sequential")
+
+    def test_counter_is_default_and_only_scheme(self):
+        assert NoiseOptions().scheme == "counter"
+        assert NOISE_SCHEMES == ("counter",)
+
+    def test_model_has_no_legacy_stream(self):
+        assert not hasattr(NoiseModel(seed=1), "rng")
+
+    def test_engines_agree_under_counter_scheme(self, laplace_compiled,
+                                                machine4):
+        noise = NoiseOptions(scheme="counter")
         loop = simulate(laplace_compiled, machine4,
                         options=SimulatorOptions(engine="loop", noise=noise))
         vec = simulate(laplace_compiled, machine4,
                        options=SimulatorOptions(engine="vector", noise=noise))
         assert loop.per_rank_us == pytest.approx(vec.per_rank_us, abs=1e-9)
         assert loop.array_checksum == vec.array_checksum
-
-    def test_schemes_differ_but_stay_close(self, laplace_compiled, machine4):
-        """The two schemes are different noise realisations of the same
-        magnitudes — store drift exists but stays small (§5.1 band)."""
-        counter = simulate(laplace_compiled, machine4,
-                           options=SimulatorOptions(
-                               noise=NoiseOptions(scheme="counter")))
-        sequential = simulate(laplace_compiled, machine4,
-                              options=SimulatorOptions(
-                                  noise=NoiseOptions(scheme="sequential")))
-        assert counter.per_rank_us != sequential.per_rank_us
-        drift = abs(counter.measured_time_us - sequential.measured_time_us) \
-            / sequential.measured_time_us
-        assert drift < 0.05
