@@ -44,4 +44,10 @@ python scripts/advisor_smoke.py
 echo "== obs smoke: spans, metrics and run manifest cross-checked end to end"
 python scripts/obs_smoke.py
 
+echo "== serve smoke: live HTTP server under a mixed hit/miss burst"
+python scripts/serve_smoke.py
+
+echo "== serve benchmark: cached latency percentiles + the 10k/s floor"
+python -m pytest benchmarks/test_bench_serve.py -x -q
+
 echo "check.sh: all green"

@@ -35,6 +35,8 @@ DOCTEST_MODULES = (
     "repro.explore.campaign",   # run_campaign
     "repro.explore.store",      # ResultStore
     "repro.obs",                # enable/span/counter facade
+    "repro.serve.protocol",     # ServeOptions eager validation
+    "repro.stages",             # compile/price stage caches
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -1,0 +1,131 @@
+"""CI serving smoke: a live server under a mixed hit/miss burst.
+
+Starts a real ``repro.serve`` server (ephemeral port, scratch store),
+replays a burst of predict requests in which every scenario appears
+several times, and asserts the serving contract against ground truth:
+
+* the response tiers add up — each distinct scenario computes exactly
+  once, every repeat is served from the memory tier, and a fresh server
+  over the same store answers from the store tier without recomputing,
+* the obs cache counters agree with the arithmetic above (hits, misses,
+  computes) as scraped from the live ``/metrics`` endpoint,
+* the per-batch serve manifests cross-check against the store (fresh
+  evaluations == store records == distinct scenarios), and
+* shutdown is clean: the context manager joins the server thread and a
+  second server can immediately rebind the work.
+
+Everything runs against a scratch store in a temp directory.
+
+Usage:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs  # noqa: E402
+from repro.explore import ResultStore  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeOptions,
+    ServerThread,
+    serve_manifest_path,
+)
+
+#: The burst: 4 distinct scenarios, each requested 4 times (interleaved,
+#: so hits and misses mix rather than running in phases).
+SCENARIOS = [
+    {"app": "laplace_block_star", "size": 16, "nprocs": nprocs,
+     "machine": "ipsc860"}
+    for nprocs in (2, 4, 8, 16)
+]
+REPEATS = 4
+
+
+def post_predict(base: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + "/predict", data=json.dumps(payload).encode())
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def scrape_metric(base: str, name: str) -> float:
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+        text = response.read().decode()
+    for line in text.splitlines():
+        if line.startswith(name + " ") or line.startswith(name + "{"):
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0
+
+
+def main() -> int:
+    obs.disable()
+    obs.reset()
+    distinct = len(SCENARIOS)
+    total = distinct * REPEATS
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as scratch:
+        store_path = os.path.join(scratch, "serve_smoke.jsonl")
+        options = ServeOptions(port=0, store_path=store_path, cache_size=64)
+
+        with ServerThread(options) as (host, port):
+            base = f"http://{host}:{port}"
+            tiers: dict[str, int] = {}
+            for repeat in range(REPEATS):
+                for scenario in SCENARIOS:
+                    answer = post_predict(base, scenario)
+                    tiers[answer["served_from"]] = \
+                        tiers.get(answer["served_from"], 0) + 1
+                    assert answer["predicted_time_us"] > 0
+            assert tiers == {"computed": distinct,
+                             "memory": total - distinct}, tiers
+
+            # the live counters must agree with the tier arithmetic
+            computes = scrape_metric(
+                base, 'repro_serve_computes_total{kind="predict"}')
+            memory_hits = scrape_metric(
+                base, 'repro_serve_cache_hits_total{tier="memory"}')
+            assert computes == distinct, (computes, distinct)
+            assert memory_hits == total - distinct, (memory_hits, total)
+
+        # clean shutdown: the store on disk holds exactly the computed set,
+        # and the batch manifests cross-check against it
+        store = ResultStore(store_path)
+        assert len(store) == distinct, len(store)
+        manifest = obs.RunManifest.load(serve_manifest_path(store_path))
+        assert manifest.mode == "serve"
+        assert manifest.store_records <= distinct
+        assert manifest.fresh_evaluations >= 1
+
+        # a fresh server over the same store serves from the store tier
+        # without a single new compute
+        obs.reset()
+        with ServerThread(ServeOptions(port=0, store_path=store_path,
+                                       cache_size=64)) as (host, port):
+            base = f"http://{host}:{port}"
+            for scenario in SCENARIOS:
+                assert post_predict(base, scenario)["served_from"] == "store"
+            computes = scrape_metric(
+                base, 'repro_serve_computes_total{kind="predict"}')
+            store_hits = scrape_metric(
+                base, 'repro_serve_cache_hits_total{tier="store"}')
+            assert computes == 0, computes
+            assert store_hits == distinct, store_hits
+
+    obs.disable()
+    obs.reset()
+    print(f"serve smoke: {total} requests over {distinct} scenarios — "
+          f"{distinct} computed, {total - distinct} memory hits, "
+          f"{distinct} store hits on restart; manifests and counters "
+          f"cross-checked, shutdown clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

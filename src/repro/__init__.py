@@ -52,7 +52,7 @@ metrics, per-run manifests).
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # observability (dependency-free; every other layer reports into it) ------------
 from . import obs
@@ -121,6 +121,9 @@ from .interpreter import (
     interpret,
 )
 
+# staged predict path (compile/price caches) ------------------------------------------------
+from . import stages
+
 # functional interpreter and simulator ------------------------------------------------------
 from .functional import FunctionalEvaluator, evaluate_program
 from .simulator import (
@@ -158,6 +161,9 @@ from .explore import (
 
 # performance advisor -----------------------------------------------------------------------
 from .advisor import AdvisorReport, Finding, Recommendation, advise, diagnose
+
+# prediction-as-a-service (imported last: serve builds on every layer above)
+from . import serve
 
 
 def predict(
@@ -202,6 +208,13 @@ def predict(
         CompilerError: the program cannot be partitioned/sequentialised.
         KeyError: ``machine`` names no registered machine.
 
+    The call runs as two independently keyed, independently cached stages
+    (see :mod:`repro.stages`): *compile* (source → app model, machine-free)
+    and *price* (app model × machine → estimate).  Repeated predictions of
+    one program — same machine or not — reuse the compiled app model, and
+    byte-identical (program, machine, options) requests reuse the priced
+    estimate outright.
+
     Example:
         >>> from repro import predict
         >>> src = '''
@@ -219,12 +232,17 @@ def predict(
         True
     """
     with obs.span("predict", nprocs=nprocs):
-        with obs.span("compile", nprocs=nprocs):
-            compiled = compile_source(source, nprocs=nprocs,
-                                      grid_shape=grid_shape, params=params)
+        compile_key = stages.compile_stage_key(
+            source, nprocs=nprocs, grid_shape=grid_shape, params=params)
+        compiled = stages.compile_cached(
+            source, nprocs=nprocs, grid_shape=grid_shape, params=params,
+            key=compile_key)
         target = resolve_machine(machine, nprocs)
-        with obs.span("price", machine=target.name):
-            return interpret(compiled, target, options=options)
+        # a caller-built Machine instance may not match its registry
+        # namesake, so only registry-resolved targets use the price cache
+        return stages.price_cached(
+            compiled, target, compile_key=compile_key, options=options,
+            cacheable=machine is None or isinstance(machine, str))
 
 
 def measure(
@@ -304,6 +322,10 @@ __all__ = [
     "__version__",
     # observability
     "obs",
+    # staged predict path
+    "stages",
+    # prediction-as-a-service
+    "serve",
     # compiler / frontend
     "CompiledProgram",
     "CompileOptions",

@@ -42,13 +42,10 @@ import multiprocessing
 import time as _time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from functools import lru_cache
 from random import Random
 from typing import Callable, Sequence
 
-from .. import obs
-from ..compiler import compile_source
-from ..interpreter import interpret
+from .. import obs, stages
 from ..simulator import SimulatorOptions, simulate
 from ..suite import get_entry
 from ..system import Machine, get_machine, resolve_machine
@@ -77,23 +74,16 @@ def resolve_campaign_machine(
     return machine.name, lambda point: resolve_machine(machine, point.nprocs)
 
 
-@lru_cache(maxsize=256)
-def _compile_cached(source: str, name: str, nprocs: int,
-                    grid_shape: tuple[int, ...] | None,
-                    params_items: tuple[tuple[str, float], ...]):
-    """Compilation depends on everything but the machine, so cross-machine
-    sweeps reuse one compile per (program, size, nprocs, layout) cell."""
-    return compile_source(source, name=name, nprocs=nprocs,
-                          grid_shape=grid_shape, params=dict(params_items))
-
-
 def compile_scenario(point: ScenarioPoint, program: ProgramSpec | None = None):
     """(compiled program, interpreter options) for one scenario point.
 
     The single compile path every scenario evaluation goes through — the
-    campaign worker and the advisor's baseline diagnosis share it, so the
-    program/params/options resolution can never diverge between them.
-    Compilation is cached per (program, size, nprocs, layout) cell.
+    campaign worker, the advisor's baseline diagnosis and the serve layer's
+    request workers share it, so the program/params/options resolution can
+    never diverge between them.  Compilation is memoised through the
+    package-wide compile-stage cache (:func:`repro.stages.compile_cached`):
+    the machine is not part of the key, so cross-machine sweeps reuse one
+    compile per (program, size, nprocs, layout) cell.
     """
     if program is not None:
         source, name = program.source, program.key
@@ -106,9 +96,10 @@ def compile_scenario(point: ScenarioPoint, program: ProgramSpec | None = None):
         options = entry.interpreter_options(point.size)
     params.update({k: v for k, v in point.params})
     with obs.span("compile", app=point.app, nprocs=point.nprocs):
-        compiled = _compile_cached(source, name, point.nprocs,
-                                   point.grid_shape,
-                                   tuple(sorted(params.items())))
+        compiled = stages.compile_cached(source, name=name,
+                                         nprocs=point.nprocs,
+                                         grid_shape=point.grid_shape,
+                                         params=params)
     return compiled, options
 
 
@@ -140,8 +131,13 @@ def evaluate_point(
         estimated = measured = None
         comp = comm = ovhd = 0.0
         if mode in ("predict", "both"):
-            with obs.span("price", machine=point.machine):
-                estimate = interpret(compiled, machine, options=options)
+            # the price stage is cached per (compile key, machine, options);
+            # a machine_resolver closure builds machines the registry cannot
+            # reproduce, so those points bypass the cache
+            estimate = stages.price_cached(
+                compiled, machine,
+                compile_key=stages.compile_key_of(compiled),
+                options=options, cacheable=machine_resolver is None)
             estimated = estimate.predicted_time_us
             comp = estimate.total.computation
             comm = estimate.total.communication

@@ -23,8 +23,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Mapping
+
+try:                                    # POSIX advisory file locking
+    import fcntl
+except ImportError:                     # pragma: no cover - non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
 
 from .. import obs
 from ..frontend.errors import ReproError
@@ -179,6 +186,10 @@ class ResultStore:
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
         self._index: dict[str, ScenarioResult] = {}
+        # serialises appends from this process's threads (e.g. the serve
+        # worker pool); cross-process writers are covered by the advisory
+        # file lock taken inside add()
+        self._append_lock = threading.Lock()
         self._load_or_create()
 
     # -- loading ------------------------------------------------------------
@@ -188,12 +199,29 @@ class ResultStore:
             parent = os.path.dirname(self.path)
             if parent:
                 os.makedirs(parent, exist_ok=True)
-            with open(self.path, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps({"format": STORE_FORMAT,
-                                     "schema": STORE_SCHEMA_VERSION}) + "\n")
-            return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            content = fh.read()
+            # append-mode create, never "w": losing a creation race to a
+            # concurrent writer must not truncate the winner's records
+            with open(self.path, "a+b") as fh:
+                with self._advisory_lock(fh):
+                    fh.seek(0, os.SEEK_END)
+                    if fh.tell() == 0:
+                        fh.write((json.dumps(
+                            {"format": STORE_FORMAT,
+                             "schema": STORE_SCHEMA_VERSION}) + "\n")
+                            .encode("utf-8"))
+                        fh.flush()
+                        return
+            # the race's winner wrote the header (and possibly records):
+            # fall through and load them
+        with open(self.path, "r+b") as fh:
+            # the lock covers read + torn-tail repair: without it, loading
+            # concurrently with a writer can misread a half-written final
+            # line as a torn tail and truncate away a committed record
+            with self._advisory_lock(fh):
+                content = fh.read().decode("utf-8")
+                self._index_content(content, fh)
+
+    def _index_content(self, content: str, fh) -> None:
         lines = content.splitlines()
         if not lines:
             raise StoreError(f"{self.path}: empty file is not a result store")
@@ -217,7 +245,7 @@ class ResultStore:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 if lineno == len(lines):      # torn final line: interrupted run
-                    self._truncate_torn_tail(content, line)
+                    self._truncate_torn_tail(fh, content, line)
                     break
                 raise StoreError(
                     f"{self.path}:{lineno}: corrupt record mid-file") from None
@@ -226,47 +254,72 @@ class ResultStore:
         obs.counter("repro_store_resume_records_total",
                     store=os.path.basename(self.path)).inc(len(self._index))
 
-    def _truncate_torn_tail(self, content: str, torn_line: str) -> None:
+    def _truncate_torn_tail(self, fh, content: str, torn_line: str) -> None:
         """Cut an interrupted append off the file so later appends stay clean.
 
         Without the repair, the next ``add`` would concatenate its record onto
         the torn fragment, producing a corrupt *mid-file* line that poisons
-        every later load.
+        every later load.  Runs on the loader's already-locked handle.
         """
         fragment = torn_line + ("\n" if content.endswith("\n") else "")
         keep = len(content.encode("utf-8")) - len(fragment.encode("utf-8"))
-        with open(self.path, "r+", encoding="utf-8") as fh:
-            fh.truncate(max(keep, 0))
+        fh.truncate(max(keep, 0))
 
     # -- writing ------------------------------------------------------------
+
+    @staticmethod
+    @contextmanager
+    def _advisory_lock(fh):
+        """Exclusive advisory lock on *fh* for the duration of one append.
+
+        Without it, two *processes* appending concurrently can interleave
+        the seek-to-end / newline-repair / write sequence and tear each
+        other's records (O_APPEND only makes the ``write`` atomic, not the
+        read-modify-write repair around it).  No-op where ``fcntl`` is
+        unavailable.
+        """
+        if fcntl is None:
+            yield
+            return
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def add(self, result: ScenarioResult, replace: bool = False) -> bool:
         """Append *result*; returns True when a record was written.
 
         Existing keys are skipped (the store is a memo table) unless
         ``replace`` is set, in which case a superseding record is appended —
-        load order makes the last record win.
+        load order makes the last record win.  Appends are safe under
+        concurrent writers: a ``threading.Lock`` serialises this process's
+        threads and an exclusive ``flock`` serialises other processes
+        appending to the same file.
         """
         key = result.key
-        if key in self._index and not replace:
-            obs.counter("repro_store_dedup_skips_total",
+        with self._append_lock:
+            if key in self._index and not replace:
+                obs.counter("repro_store_dedup_skips_total",
+                            store=os.path.basename(self.path)).inc()
+                return False
+            line = json.dumps(result.to_record(), sort_keys=True) + "\n"
+            with open(self.path, "a+b") as fh:
+                with self._advisory_lock(fh):
+                    # never land on a line that lost its newline (e.g. a final
+                    # record whose terminator was cut): two records on one line
+                    # would read as a torn tail on the next load and both would
+                    # be dropped
+                    fh.seek(0, os.SEEK_END)
+                    if fh.tell() > 0:
+                        fh.seek(-1, os.SEEK_END)
+                        if fh.read(1) != b"\n":
+                            fh.write(b"\n")
+                    fh.write(line.encode("utf-8"))
+                    fh.flush()
+            self._index[key] = result
+            obs.counter("repro_store_appends_total",
                         store=os.path.basename(self.path)).inc()
-            return False
-        line = json.dumps(result.to_record(), sort_keys=True) + "\n"
-        with open(self.path, "a+b") as fh:
-            # never land on a line that lost its newline (e.g. a final record
-            # whose terminator was cut): two records on one line would read as
-            # a torn tail on the next load and both would be dropped
-            fh.seek(0, os.SEEK_END)
-            if fh.tell() > 0:
-                fh.seek(-1, os.SEEK_END)
-                if fh.read(1) != b"\n":
-                    fh.write(b"\n")
-            fh.write(line.encode("utf-8"))
-            fh.flush()
-        self._index[key] = result
-        obs.counter("repro_store_appends_total",
-                    store=os.path.basename(self.path)).inc()
         return True
 
     # -- lookup -------------------------------------------------------------

@@ -1,0 +1,59 @@
+"""repro.serve — prediction-as-a-service over the repro library.
+
+A stdlib-only asyncio HTTP+JSON server exposing the compile-time
+performance model as network endpoints:
+
+* ``POST /predict`` — one scenario, resolved through three tiers
+  (memory LRU → result store → batched compute with single-flight
+  dedup),
+* ``POST /advise`` — a bounded advisor run,
+* ``POST /campaign`` — a declarative sweep, sized-capped per server,
+* ``GET /metrics`` — Prometheus exposition of the ``repro.obs``
+  registry,
+* ``GET /healthz`` — liveness and capacity gauges.
+
+Quick start::
+
+    from repro.serve import ServeOptions, ServerThread
+
+    with ServerThread(ServeOptions(port=0, store_path="runs.jsonl")) as \
+            (host, port):
+        ...  # POST http://{host}:{port}/predict
+
+or from a shell: ``python -m repro.serve --port 8455 --store runs.jsonl``.
+"""
+
+from .errors import (
+    MethodNotAllowedError,
+    PayloadTooLargeError,
+    ProtocolError,
+    ServeError,
+    UnknownRouteError,
+)
+from .protocol import (
+    AdviseRequest,
+    CampaignRequest,
+    PredictRequest,
+    ServeOptions,
+    request_key,
+)
+from .service import PredictionService, serve_manifest_path
+from .server import ReproServer, ServerThread, run
+
+__all__ = [
+    "AdviseRequest",
+    "CampaignRequest",
+    "MethodNotAllowedError",
+    "PayloadTooLargeError",
+    "PredictRequest",
+    "PredictionService",
+    "ProtocolError",
+    "ReproServer",
+    "ServeError",
+    "ServeOptions",
+    "ServerThread",
+    "UnknownRouteError",
+    "request_key",
+    "run",
+    "serve_manifest_path",
+]

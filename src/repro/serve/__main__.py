@@ -1,0 +1,54 @@
+"""CLI entry point: ``python -m repro.serve [--port N] [--store PATH] ...``"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ServeError
+from .protocol import ServeOptions
+from .server import run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve HPF/Fortran 90D performance predictions "
+                    "over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8455,
+                        help="TCP port; 0 picks an ephemeral port "
+                             "(default: 8455)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="JSONL result store backing the persistent "
+                             "cache tier (default: no store)")
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="in-memory response cache entries "
+                             "(default: 4096)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker threads for cache-miss computes "
+                             "(default: min(8, cpu count))")
+    parser.add_argument("--batch-max", type=int, default=32,
+                        help="max cache misses dispatched per batch "
+                             "(default: 32)")
+    parser.add_argument("--batch-window-ms", type=float, default=2.0,
+                        help="miss-collection window in milliseconds "
+                             "(default: 2.0)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="do not enable repro.obs telemetry")
+    ns = parser.parse_args(argv)
+    try:
+        options = ServeOptions(
+            host=ns.host, port=ns.port, store_path=ns.store,
+            cache_size=ns.cache_size, workers=ns.workers,
+            batch_max=ns.batch_max, batch_window_ms=ns.batch_window_ms,
+            telemetry=not ns.no_telemetry)
+    except ServeError as exc:
+        parser.error(str(exc))
+    run(options)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Cache-miss batching: collect misses, dispatch them to the worker pool.
+
+Tier 3 of the serving path.  Misses are not computed one-by-one on the
+event loop (which would stall every cached request behind a multi-ms
+compile) and not thrown at the pool one-by-one either: a background
+collector gathers whatever arrived within ``batch_window_ms`` (up to
+``batch_max``), dispatches the whole batch to the worker threads at
+once, and awaits the batch together.  Each dispatched batch is observable
+as one unit — a ``serve_batch`` span, batch-size counters, and (through
+the service's ``on_batch`` hook) a per-request-batch ``repro.obs``
+manifest stamped next to the result store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor
+from typing import Any, Callable, List, Optional, Tuple
+
+from .. import obs
+
+#: ``on_batch(items, results, wall_s)`` — results holds per-item outcomes
+#: (a payload or the exception the worker raised).
+BatchHook = Callable[[List[Any], List[Any], float], None]
+
+
+class BatchQueue:
+    """An asyncio queue whose consumer dispatches batches to an executor."""
+
+    def __init__(self, *, worker: Callable[[Any], Any], executor: Executor,
+                 batch_max: int = 32, batch_window_s: float = 0.002,
+                 on_batch: Optional[BatchHook] = None):
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self._worker = worker
+        self._executor = executor
+        self._batch_max = batch_max
+        self._window_s = max(batch_window_s, 0.0)
+        self._on_batch = on_batch
+        self._queue: "asyncio.Queue[Tuple[Any, asyncio.Future]]" = \
+            asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+        self.batches_dispatched = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._closed = False
+            self._task = asyncio.get_running_loop().create_task(
+                self._collect(), name="repro-serve-batcher")
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            task, self._task = self._task, None
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        while not self._queue.empty():
+            _item, future = self._queue.get_nowait()
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("serve batch queue stopped"))
+
+    # -- submission ---------------------------------------------------------
+
+    async def submit(self, item: Any) -> Any:
+        """Enqueue *item* and await its worker result."""
+        if self._closed or self._task is None:
+            raise RuntimeError("serve batch queue is not running")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((item, future))
+        return await future
+
+    # -- the collector ------------------------------------------------------
+
+    async def _collect(self) -> None:
+        while True:
+            item, future = await self._queue.get()
+            batch = [(item, future)]
+            # the window: let a herd of concurrent misses pile into this
+            # batch instead of paying one dispatch each
+            deadline = time.monotonic() + self._window_s
+            while len(batch) < self._batch_max:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    while (len(batch) < self._batch_max
+                           and not self._queue.empty()):
+                        batch.append(self._queue.get_nowait())
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), timeout))
+                except asyncio.TimeoutError:
+                    break
+            await self._dispatch(batch)
+
+    async def _dispatch(self,
+                        batch: List[Tuple[Any, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        self.batches_dispatched += 1
+        obs.counter("repro_serve_batches_total").inc()
+        obs.histogram("repro_serve_batch_size",
+                      buckets=(1, 2, 4, 8, 16, 32, 64, 128)).observe(
+            len(batch))
+        with obs.span("serve_batch", size=len(batch)):
+            results = await asyncio.gather(
+                *(loop.run_in_executor(self._executor, self._worker, item)
+                  for item, _future in batch),
+                return_exceptions=True)
+        for (_item, future), result in zip(batch, results):
+            if future.done():
+                continue
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+        if self._on_batch is not None:
+            try:
+                self._on_batch([item for item, _ in batch], list(results),
+                               time.perf_counter() - started)
+            except Exception:
+                # manifest stamping must never take a batch down with it
+                obs.counter("repro_serve_batch_hook_errors_total").inc()
+
+
+__all__ = ["BatchQueue", "BatchHook"]

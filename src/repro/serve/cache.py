@@ -1,0 +1,71 @@
+"""The memory tier: an LRU over serialised response payloads.
+
+Tier 1 of the serving path's three-tier resolution (memory → store →
+compute).  Values are the JSON-encoded payload **bytes** — a hit costs a
+dict lookup and zero re-serialisation, which is what the ≥10k cached
+predictions/s floor is built on.  Hits and misses are counted per tier
+through ``repro.obs`` (``repro_serve_cache_hits_total{tier="memory"}``,
+``..._misses_total``), the counters the single-flight and smoke tests
+assert against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import obs
+from ..stages import LRUCache
+
+
+class ResponseCache:
+    """Bounded LRU mapping request content keys to response payload bytes."""
+
+    def __init__(self, maxsize: int):
+        self._lru = LRUCache(maxsize)
+        # raw-body fast path: byte-identical request bodies skip JSON
+        # parsing and canonicalisation entirely (the thundering-herd shape:
+        # many clients replaying one exact request)
+        self._raw_keys = LRUCache(maxsize)
+
+    @property
+    def maxsize(self) -> int:
+        return self._lru.maxsize
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self._lru.get(key)
+        if payload is not None:
+            obs.counter("repro_serve_cache_hits_total", tier="memory").inc()
+        else:
+            obs.counter("repro_serve_cache_misses_total", tier="memory").inc()
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._lru.put(key, payload)
+
+    # -- raw-body key memo --------------------------------------------------
+
+    def key_for_body(self, body: bytes) -> Optional[str]:
+        """The content key a byte-identical body canonicalised to, if seen."""
+        return self._raw_keys.get(body)
+
+    def remember_body(self, body: bytes, key: str) -> None:
+        self._raw_keys.put(body, key)
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self._raw_keys.clear()
+
+    def keys(self) -> list:
+        """Content keys from least- to most-recently used."""
+        return self._lru.keys()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lru
+
+
+__all__ = ["ResponseCache"]

@@ -1,0 +1,51 @@
+"""Serve-layer errors, each carrying the HTTP status it maps to.
+
+The split the handler relies on: :class:`ProtocolError` (and the other
+4xx subclasses) means *the request is wrong* — the server reports the
+problem in the response body and stays healthy — while any other
+exception escaping a handler is *the server's fault* and maps to a 500
+with the detail kept out of the response.
+"""
+
+from __future__ import annotations
+
+from ..frontend.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for serve-layer failures; subclasses pin an HTTP status."""
+
+    http_status = 500
+
+
+class ProtocolError(ServeError, ValueError):
+    """A malformed or invalid request (unknown field, bad type, bad value)."""
+
+    http_status = 400
+
+
+class UnknownRouteError(ServeError):
+    """No handler is mounted at the requested path."""
+
+    http_status = 404
+
+
+class MethodNotAllowedError(ServeError):
+    """The path exists but not under this HTTP method."""
+
+    http_status = 405
+
+
+class PayloadTooLargeError(ServeError):
+    """The request body exceeds ``ServeOptions.max_body_bytes``."""
+
+    http_status = 413
+
+
+__all__ = [
+    "ServeError",
+    "ProtocolError",
+    "UnknownRouteError",
+    "MethodNotAllowedError",
+    "PayloadTooLargeError",
+]

@@ -1,0 +1,465 @@
+"""Request/response schemas, eager options validation, and content keys.
+
+Every request body is canonicalised into the same keying the
+:class:`~repro.explore.store.ResultStore` already uses — a ``/predict``
+request *is* a ``(ScenarioPoint, mode="predict")`` pair, so its content
+hash is literally the store key and the persistent store doubles as the
+second cache tier.  ``/advise`` and ``/campaign`` requests canonicalise
+to their own hashed payloads (they have no store-record equivalent, so
+they cache in the memory tier only).
+
+Validation is **eager and total**, mirroring the ``NoiseOptions`` /
+``SimulatorOptions`` convention from the simulator layer: unknown fields
+and bad types are rejected where the request is read, with errors naming
+the valid set — a malformed request can never reach a worker thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from math import isfinite
+from typing import Any, Mapping, Optional
+
+from ..explore.campaign import MODES, STRATEGIES
+from ..explore.space import ProgramSpec, ScenarioPoint
+from ..explore.store import program_sha, scenario_key
+from ..suite import all_entries, get_entry
+from ..system.registry import canonical_machine_name, machine_names
+from .errors import ProtocolError, ServeError
+
+#: Hard ceiling on requested partition sizes — the analytic predictor is
+#: cheap but not free, and a served process must bound its worst request.
+MAX_REQUEST_NPROCS = 16384
+
+#: Valid fields of each request body, by endpoint.
+PREDICT_FIELDS = ("app", "source", "size", "nprocs", "machine",
+                  "grid_shape", "topology_shape", "params")
+ADVISE_FIELDS = ("target", "size", "nprocs", "machine", "budget",
+                 "simulate_top", "max_nprocs", "seed")
+CAMPAIGN_FIELDS = ("name", "apps", "sizes", "proc_counts", "machines",
+                   "strategy", "mode", "samples", "max_steps", "seed")
+
+
+# ---------------------------------------------------------------------------
+# server options
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeOptions:
+    """All user-controllable server parameters, validated at construction.
+
+    Mirrors the ``NoiseOptions`` convention: a bad value raises
+    :class:`ServeError` naming the field and its valid range where the
+    options are *written*, and an unknown field fails in the dataclass
+    constructor itself (``TypeError``).
+
+    >>> ServeOptions(cache_size=0)          # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+    ...
+    repro.serve.errors.ServeError: ...
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8455                     # 0 asks the OS for an ephemeral port
+    cache_size: int = 4096               # memory-tier LRU entries
+    batch_max: int = 32                  # max cache-miss batch per dispatch
+    batch_window_ms: float = 2.0         # how long a batch waits to fill
+    workers: Optional[int] = None        # worker threads (None: min(8, cpus))
+    store_path: Optional[str] = None     # ResultStore backing the 2nd tier
+    telemetry: bool = True               # enable repro.obs on startup
+    max_body_bytes: int = 1_048_576      # request-body ceiling (413 above)
+    advise_budget_cap: int = 16          # per-request advisor budget ceiling
+    campaign_point_cap: int = 512        # max points one /campaign may expand
+
+    def __post_init__(self) -> None:
+        def positive_int(name: str, value: Any, minimum: int = 1) -> None:
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < minimum:
+                raise ServeError(
+                    f"ServeOptions.{name} must be an int >= {minimum}, "
+                    f"got {value!r}")
+
+        if not isinstance(self.host, str) or not self.host:
+            raise ServeError(
+                f"ServeOptions.host must be a non-empty string, "
+                f"got {self.host!r}")
+        if isinstance(self.port, bool) or not isinstance(self.port, int) \
+                or not 0 <= self.port <= 65535:
+            raise ServeError(
+                f"ServeOptions.port must be an int in [0, 65535] "
+                f"(0 = ephemeral), got {self.port!r}")
+        positive_int("cache_size", self.cache_size)
+        positive_int("batch_max", self.batch_max)
+        if isinstance(self.batch_window_ms, bool) \
+                or not isinstance(self.batch_window_ms, (int, float)) \
+                or not isfinite(self.batch_window_ms) \
+                or self.batch_window_ms < 0:
+            raise ServeError(
+                f"ServeOptions.batch_window_ms must be a finite number "
+                f">= 0, got {self.batch_window_ms!r}")
+        if self.workers is not None:
+            positive_int("workers", self.workers)
+        if self.store_path is not None and (
+                not isinstance(self.store_path, str) or not self.store_path):
+            raise ServeError(
+                f"ServeOptions.store_path must be None or a non-empty "
+                f"path string, got {self.store_path!r}")
+        if not isinstance(self.telemetry, bool):
+            raise ServeError(
+                f"ServeOptions.telemetry must be a bool, "
+                f"got {self.telemetry!r}")
+        positive_int("max_body_bytes", self.max_body_bytes, minimum=1024)
+        positive_int("advise_budget_cap", self.advise_budget_cap)
+        positive_int("campaign_point_cap", self.campaign_point_cap)
+
+
+# ---------------------------------------------------------------------------
+# field validators (shared by the request parsers)
+# ---------------------------------------------------------------------------
+
+
+def _reject_unknown(payload: Mapping, valid: tuple[str, ...],
+                    endpoint: str) -> None:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"{endpoint}: request body must be a JSON object, "
+            f"got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(valid))
+    if unknown:
+        raise ProtocolError(
+            f"{endpoint}: unknown request field(s) {unknown}; "
+            f"valid fields: {sorted(valid)}")
+
+
+def _get_int(payload: Mapping, name: str, default: int | None,
+             endpoint: str, *, minimum: int = 1,
+             maximum: int | None = None) -> int | None:
+    value = payload.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            f"{endpoint}: field {name!r} must be an integer, got {value!r}")
+    if value < minimum or (maximum is not None and value > maximum):
+        bound = f">= {minimum}" if maximum is None \
+            else f"in [{minimum}, {maximum}]"
+        raise ProtocolError(
+            f"{endpoint}: field {name!r} must be {bound}, got {value}")
+    return value
+
+
+def _get_machine(payload: Mapping, endpoint: str,
+                 default: str = "ipsc860") -> str:
+    name = payload.get("machine", default)
+    if not isinstance(name, str):
+        raise ProtocolError(
+            f"{endpoint}: field 'machine' must be a string, got {name!r}")
+    try:
+        return canonical_machine_name(name)
+    except KeyError:
+        raise ProtocolError(
+            f"{endpoint}: unknown machine {name!r}; registered machines: "
+            f"{machine_names()}") from None
+
+
+def _get_shape(payload: Mapping, name: str, endpoint: str,
+               *, rank: int | None = None) -> tuple[int, ...] | None:
+    value = payload.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not value or any(
+            isinstance(d, bool) or not isinstance(d, int) or d < 1
+            for d in value):
+        raise ProtocolError(
+            f"{endpoint}: field {name!r} must be a list of positive "
+            f"integers, got {value!r}")
+    if rank is not None and len(value) != rank:
+        raise ProtocolError(
+            f"{endpoint}: field {name!r} must have exactly {rank} "
+            f"dimensions, got {len(value)}")
+    return tuple(int(d) for d in value)
+
+
+def _get_params(payload: Mapping, endpoint: str) -> tuple[tuple[str, float], ...]:
+    value = payload.get("params")
+    if value is None:
+        return ()
+    if not isinstance(value, Mapping):
+        raise ProtocolError(
+            f"{endpoint}: field 'params' must be an object of "
+            f"name -> number, got {value!r}")
+    items = []
+    for key, item in value.items():
+        if not isinstance(key, str) or isinstance(item, bool) \
+                or not isinstance(item, (int, float)) or not isfinite(item):
+            raise ProtocolError(
+                f"{endpoint}: params entry {key!r}: {item!r} is not a "
+                f"finite number")
+        items.append((key, float(item)))
+    return tuple(sorted(items))
+
+
+def _looks_like_source(text: str) -> bool:
+    """Heuristic split between a suite key and HPF program text."""
+    return "\n" in text or " " in text.strip()
+
+
+# ---------------------------------------------------------------------------
+# /predict
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One canonicalised ``POST /predict`` body.
+
+    ``point`` + ``program`` are exactly what the campaign worker
+    (:func:`repro.explore.campaign.evaluate_point`) consumes, and ``key``
+    is the store's own ``scenario_key`` — tier 2 needs no translation.
+    """
+
+    point: ScenarioPoint
+    program: Optional[ProgramSpec] = None
+    key: str = field(default="", compare=False)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PredictRequest":
+        _reject_unknown(payload, PREDICT_FIELDS, "/predict")
+        app = payload.get("app")
+        source = payload.get("source")
+        if (app is None) == (source is None):
+            raise ProtocolError(
+                "/predict: exactly one of 'app' (suite key) or 'source' "
+                "(HPF program text) is required")
+        program: ProgramSpec | None = None
+        if source is not None:
+            if not isinstance(source, str) or not source.strip():
+                raise ProtocolError(
+                    "/predict: field 'source' must be non-empty HPF "
+                    "program text")
+            app_key = f"adhoc-{program_sha(source)[:8]}"
+            program = ProgramSpec(key=app_key, source=source)
+            default_size = 16
+        else:
+            if not isinstance(app, str):
+                raise ProtocolError(
+                    f"/predict: field 'app' must be a string suite key, "
+                    f"got {app!r}")
+            try:
+                entry = get_entry(app)
+            except KeyError:
+                raise ProtocolError(
+                    f"/predict: unknown suite app {app!r}; known: "
+                    f"{sorted(all_entries())}") from None
+            app_key = entry.key
+            default_size = entry.sizes[0]
+        point = ScenarioPoint(
+            app=app_key,
+            size=_get_int(payload, "size", default_size, "/predict"),
+            nprocs=_get_int(payload, "nprocs", 4, "/predict",
+                            maximum=MAX_REQUEST_NPROCS),
+            machine=_get_machine(payload, "/predict"),
+            topology_shape=_get_shape(payload, "topology_shape",
+                                      "/predict", rank=2),
+            grid_shape=_get_shape(payload, "grid_shape", "/predict"),
+            params=_get_params(payload, "/predict"),
+        )
+        key = scenario_key(point.scenario_dict(), "predict",
+                           program.source if program is not None else None)
+        return cls(point=point, program=program, key=key)
+
+
+# ---------------------------------------------------------------------------
+# /advise
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdviseRequest:
+    """One canonicalised ``POST /advise`` body."""
+
+    target: str                      # suite key or HPF source text
+    size: Optional[int]
+    nprocs: int
+    machine: str
+    budget: int
+    simulate_top: int
+    max_nprocs: int
+    seed: int
+    key: str = field(default="", compare=False)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping,
+                     options: ServeOptions) -> "AdviseRequest":
+        _reject_unknown(payload, ADVISE_FIELDS, "/advise")
+        target = payload.get("target")
+        if not isinstance(target, str) or not target.strip():
+            raise ProtocolError(
+                "/advise: field 'target' (suite key or HPF source text) "
+                "is required")
+        if not _looks_like_source(target):
+            try:
+                get_entry(target)
+            except KeyError:
+                raise ProtocolError(
+                    f"/advise: unknown suite app {target!r}; known: "
+                    f"{sorted(all_entries())} (or pass HPF source "
+                    f"text)") from None
+        request = cls(
+            target=target,
+            size=_get_int(payload, "size", None, "/advise"),
+            nprocs=_get_int(payload, "nprocs", 4, "/advise",
+                            maximum=MAX_REQUEST_NPROCS),
+            machine=_get_machine(payload, "/advise"),
+            budget=_get_int(payload, "budget",
+                            min(12, options.advise_budget_cap), "/advise",
+                            maximum=options.advise_budget_cap),
+            simulate_top=_get_int(payload, "simulate_top", 0, "/advise",
+                                  minimum=0, maximum=4),
+            max_nprocs=_get_int(payload, "max_nprocs", 64, "/advise",
+                                maximum=MAX_REQUEST_NPROCS),
+            seed=_get_int(payload, "seed", 0, "/advise", minimum=0),
+        )
+        key = request_key("advise", {
+            "target_sha": program_sha(target),
+            "size": request.size, "nprocs": request.nprocs,
+            "machine": request.machine, "budget": request.budget,
+            "simulate_top": request.simulate_top,
+            "max_nprocs": request.max_nprocs, "seed": request.seed,
+        })
+        object.__setattr__(request, "key", key)
+        return request
+
+
+# ---------------------------------------------------------------------------
+# /campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One canonicalised ``POST /campaign`` body."""
+
+    name: str
+    apps: tuple[str, ...]
+    sizes: tuple[int, ...]
+    proc_counts: tuple[int, ...]
+    machines: tuple[str, ...]
+    strategy: str
+    mode: str
+    samples: Optional[int]
+    max_steps: int
+    seed: int
+    key: str = field(default="", compare=False)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping,
+                     options: ServeOptions) -> "CampaignRequest":
+        _reject_unknown(payload, CAMPAIGN_FIELDS, "/campaign")
+
+        def str_tuple(name: str, default: tuple[str, ...],
+                      check) -> tuple[str, ...]:
+            value = payload.get(name)
+            if value is None:
+                return default
+            if not isinstance(value, (list, tuple)) or not value or any(
+                    not isinstance(item, str) for item in value):
+                raise ProtocolError(
+                    f"/campaign: field {name!r} must be a non-empty list "
+                    f"of strings, got {value!r}")
+            return tuple(check(item) for item in value)
+
+        def int_tuple(name: str, default: tuple[int, ...],
+                      maximum: int | None = None) -> tuple[int, ...]:
+            value = payload.get(name)
+            if value is None:
+                return default
+            if not isinstance(value, (list, tuple)) or not value or any(
+                    isinstance(item, bool) or not isinstance(item, int)
+                    or item < 1 or (maximum is not None and item > maximum)
+                    for item in value):
+                raise ProtocolError(
+                    f"/campaign: field {name!r} must be a non-empty list "
+                    f"of positive integers"
+                    + (f" <= {maximum}" if maximum else "")
+                    + f", got {value!r}")
+            return tuple(int(item) for item in value)
+
+        def suite_app(app: str) -> str:
+            try:
+                return get_entry(app).key
+            except KeyError:
+                raise ProtocolError(
+                    f"/campaign: unknown suite app {app!r}; known: "
+                    f"{sorted(all_entries())}") from None
+
+        def campaign_machine(name: str) -> str:
+            try:
+                return canonical_machine_name(name)
+            except KeyError:
+                raise ProtocolError(
+                    f"/campaign: unknown machine {name!r}; registered "
+                    f"machines: {machine_names()}") from None
+
+        name = payload.get("name", "served-campaign")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(
+                f"/campaign: field 'name' must be a non-empty string, "
+                f"got {name!r}")
+        strategy = payload.get("strategy", "grid")
+        if strategy not in STRATEGIES:
+            raise ProtocolError(
+                f"/campaign: unknown strategy {strategy!r}; known: "
+                f"{STRATEGIES}")
+        mode = payload.get("mode", "predict")
+        if mode not in MODES:
+            raise ProtocolError(
+                f"/campaign: unknown mode {mode!r}; known: {MODES}")
+        request = cls(
+            name=name,
+            apps=str_tuple("apps", ("laplace_block_star",), suite_app),
+            sizes=int_tuple("sizes", (16,)),
+            proc_counts=int_tuple("proc_counts", (4,),
+                                  maximum=MAX_REQUEST_NPROCS),
+            machines=str_tuple("machines", ("ipsc860",), campaign_machine),
+            strategy=strategy,
+            mode=mode,
+            samples=_get_int(payload, "samples", None, "/campaign"),
+            max_steps=_get_int(payload, "max_steps", 16, "/campaign",
+                               maximum=256),
+            seed=_get_int(payload, "seed", 0, "/campaign", minimum=0),
+        )
+        key = request_key("campaign", {
+            "name": request.name, "apps": list(request.apps),
+            "sizes": list(request.sizes),
+            "proc_counts": list(request.proc_counts),
+            "machines": list(request.machines),
+            "strategy": request.strategy, "mode": request.mode,
+            "samples": request.samples, "max_steps": request.max_steps,
+            "seed": request.seed,
+        })
+        object.__setattr__(request, "key", key)
+        return request
+
+
+def request_key(kind: str, payload: Mapping) -> str:
+    """Stable content hash of one canonicalised non-predict request."""
+    canonical = json.dumps({"kind": kind, "payload": dict(payload)},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+__all__ = [
+    "MAX_REQUEST_NPROCS",
+    "PREDICT_FIELDS",
+    "ADVISE_FIELDS",
+    "CAMPAIGN_FIELDS",
+    "ServeOptions",
+    "PredictRequest",
+    "AdviseRequest",
+    "CampaignRequest",
+    "request_key",
+]

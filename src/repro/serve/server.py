@@ -1,0 +1,318 @@
+"""A stdlib-only asyncio HTTP/1.1 front end over the prediction service.
+
+No third-party dependencies: requests are parsed straight off asyncio
+streams (one ``readuntil`` for the header block, one ``readexactly`` for
+the body), keep-alive and pipelining fall out of the per-connection read
+loop, and responses are written with precomputed status lines.  The codec
+is deliberately minimal — JSON-over-POST plus two GET endpoints — because
+the interesting machinery (caching, single-flight, batching) lives in
+:class:`~repro.serve.service.PredictionService`.
+
+Endpoints::
+
+    POST /predict    one scenario -> interpreted estimate (cached 3-tier)
+    POST /advise     bounded advisor run -> ranked recommendations
+    POST /campaign   declarative sweep -> best configuration
+    GET  /metrics    Prometheus text exposition (repro.obs registry)
+    GET  /healthz    liveness + cache/store/in-flight gauges
+
+Run one with :class:`ServerThread` (tests, notebooks), :func:`run`
+(blocking), or ``python -m repro.serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Optional, Tuple
+
+from .. import obs
+from .errors import (
+    MethodNotAllowedError,
+    PayloadTooLargeError,
+    ProtocolError,
+    ServeError,
+    UnknownRouteError,
+)
+from .protocol import ServeOptions
+from .service import PredictionService, _encode, _with_tier
+
+_STATUS_LINES = {
+    200: b"HTTP/1.1 200 OK\r\n",
+    400: b"HTTP/1.1 400 Bad Request\r\n",
+    404: b"HTTP/1.1 404 Not Found\r\n",
+    405: b"HTTP/1.1 405 Method Not Allowed\r\n",
+    413: b"HTTP/1.1 413 Payload Too Large\r\n",
+    500: b"HTTP/1.1 500 Internal Server Error\r\n",
+}
+
+_JSON = b"application/json"
+_TEXT = b"text/plain; charset=utf-8"
+
+#: Ceiling on one request's header block (readuntil buffer limit).
+MAX_HEADER_BYTES = 65536
+
+
+def _response(status: int, body: bytes,
+              content_type: bytes = _JSON, close: bool = False) -> bytes:
+    return b"".join((
+        _STATUS_LINES.get(status, _STATUS_LINES[500]),
+        b"Content-Type: ", content_type, b"\r\n",
+        b"Content-Length: ", str(len(body)).encode("ascii"), b"\r\n",
+        b"Connection: close\r\n" if close else b"Connection: keep-alive\r\n",
+        b"\r\n",
+        body,
+    ))
+
+
+class ReproServer:
+    """The asyncio server: socket lifecycle + HTTP codec + routing."""
+
+    def __init__(self, options: Optional[ServeOptions] = None,
+                 service: Optional[PredictionService] = None):
+        self.options = options or ServeOptions()
+        self.service = service or PredictionService(self.options)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start the service machinery, and return (host, port)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.options.host, self.options.port,
+            limit=MAX_HEADER_BYTES)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    # -- one connection -----------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    header_blob = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except asyncio.LimitOverrunError:
+                    writer.write(_response(
+                        400, _encode({"error": "header block too large",
+                                      "status": 400}), close=True))
+                    await writer.drain()
+                    break
+                keep_alive, payload = await self._serve_request(
+                    header_blob, reader)
+                writer.write(payload)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_request(self, header_blob: bytes,
+                             reader: asyncio.StreamReader
+                             ) -> Tuple[bool, bytes]:
+        """Parse one request off the stream and produce the response bytes."""
+        started = time.perf_counter()
+        route = "<bad>"
+        status = 500
+        try:
+            method, target, headers = _parse_header_block(header_blob)
+            route = target.split("?", 1)[0] or "/"
+            length = int(headers.get("content-length", "0") or "0")
+            if length > self.options.max_body_bytes:
+                # the body is not read; the connection cannot be reused
+                raise PayloadTooLargeError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.options.max_body_bytes}-byte limit")
+            body = await reader.readexactly(length) if length else b""
+            keep_alive = headers.get("connection", "").lower() != "close"
+            status, payload = await self._dispatch(method, route, body)
+            return keep_alive, _response(
+                status, payload,
+                _TEXT if route == "/metrics" else _JSON,
+                close=not keep_alive)
+        except asyncio.IncompleteReadError:
+            return False, b""
+        except ServeError as exc:
+            status = exc.http_status
+            return False, _response(
+                status, _encode({"error": str(exc), "status": status}),
+                close=True)
+        except Exception as exc:
+            status = 500
+            obs.counter("repro_serve_internal_errors_total",
+                        kind=type(exc).__name__).inc()
+            # internal detail stays out of the response body
+            return False, _response(
+                500, _encode({"error": "internal server error",
+                              "status": 500}), close=True)
+        finally:
+            obs.counter("repro_serve_requests_total",
+                        route=route, status=status).inc()
+            obs.histogram("repro_serve_request_latency_us",
+                          route=route).observe(
+                (time.perf_counter() - started) * 1e6)
+
+    async def _dispatch(self, method: str, route: str,
+                        body: bytes) -> Tuple[int, bytes]:
+        if route == "/predict":
+            _require(method, "POST", route)
+            payload, tier = await self.service.handle_predict(body)
+            return 200, _with_tier(payload, tier)
+        if route == "/advise":
+            _require(method, "POST", route)
+            payload, tier = await self.service.handle_advise(body)
+            return 200, _with_tier(payload, tier)
+        if route == "/campaign":
+            _require(method, "POST", route)
+            payload, tier = await self.service.handle_campaign(body)
+            return 200, _with_tier(payload, tier)
+        if route == "/metrics":
+            _require(method, "GET", route)
+            return 200, self.service.metrics_text().encode("utf-8")
+        if route == "/healthz":
+            _require(method, "GET", route)
+            return 200, _encode(self.service.health_payload())
+        raise UnknownRouteError(
+            f"no handler at {route!r}; endpoints: /predict /advise "
+            f"/campaign (POST), /metrics /healthz (GET)")
+
+
+def _require(method: str, expected: str, route: str) -> None:
+    if method != expected:
+        raise MethodNotAllowedError(
+            f"{route} only accepts {expected}, got {method}")
+
+
+def _parse_header_block(blob: bytes) -> Tuple[str, str, dict]:
+    lines = blob.split(b"\r\n")
+    try:
+        method, target, _version = lines[0].decode("ascii").split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError(f"malformed request line {lines[0]!r}") from None
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        try:
+            headers[name.decode("ascii").strip().lower()] = \
+                value.decode("latin-1").strip()
+        except UnicodeDecodeError:
+            raise ProtocolError(f"undecodable header line {line!r}") from None
+    return method, target, headers
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def run(options: Optional[ServeOptions] = None) -> None:
+    """Blocking entry point: serve until interrupted."""
+    server = ReproServer(options)
+
+    async def main() -> None:
+        host, port = await server.start()
+        print(f"repro.serve listening on http://{host}:{port} "
+              f"(store: {server.options.store_path or 'none'})")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a background thread's event loop.
+
+    The shape tests, benchmarks and examples want::
+
+        with ServerThread(ServeOptions(port=0)) as (host, port):
+            ... issue real HTTP requests over localhost ...
+
+    Entering starts the loop, binds the socket and returns the bound
+    address; exiting stops the server and joins the thread.
+    """
+
+    def __init__(self, options: Optional[ServeOptions] = None,
+                 service: Optional[PredictionService] = None):
+        self.server = ReproServer(options, service)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("repro.serve server thread failed to start")
+        if self._startup_error is not None:
+            raise RuntimeError("repro.serve server failed to start") \
+                from self._startup_error
+        assert self.server.host is not None and self.server.port is not None
+        return self.server.host, self.server.port
+
+    def __exit__(self, *exc_info) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), loop).result(timeout=30)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:     # surface bind/start failures
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+        finally:
+            loop.close()
+
+
+__all__ = ["ReproServer", "ServerThread", "run", "MAX_HEADER_BYTES"]

@@ -1,0 +1,326 @@
+"""The prediction service: three-tier request resolution over the library.
+
+The transport-free heart of ``repro.serve`` (the HTTP server in
+:mod:`repro.serve.server` is a thin codec around it; tests drive it
+directly).  Every request resolves through the same path:
+
+1. **memory** — the :class:`~repro.serve.cache.ResponseCache` LRU over
+   serialised payloads (plus a raw-body fast path for byte-identical
+   requests),
+2. **store** — the content-addressed :class:`~repro.explore.store.ResultStore`
+   (predict requests *are* scenario points, so the persistent store is a
+   cache tier for free),
+3. **compute** — single-flight deduplicated (:mod:`.singleflight`), batched
+   (:mod:`.batching`) and dispatched to a worker-thread pool running the
+   same :func:`~repro.explore.campaign.evaluate_point` worker campaigns
+   use; computed results are appended to the store and promoted to the
+   memory tier.
+
+Each dispatched cache-miss batch stamps a ``repro.obs`` manifest next to
+the store (``<store>.serve-manifest.json``) so a live server leaves the
+same flight-recorder trail campaigns do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Mapping, Optional, Tuple
+
+from .. import obs
+from ..advisor.search import advise
+from ..explore.campaign import evaluate_point, run_campaign
+from ..explore.space import ScenarioSpace
+from ..explore.store import ResultStore, ScenarioResult
+from .batching import BatchQueue
+from .cache import ResponseCache
+from .errors import ProtocolError, ServeError
+from .protocol import (
+    AdviseRequest,
+    CampaignRequest,
+    PredictRequest,
+    ServeOptions,
+)
+from .singleflight import SingleFlight
+
+
+def serve_manifest_path(store_path: str) -> str:
+    """Where serve-batch manifests live — deliberately distinct from the
+    campaign manifest path, so a served campaign cannot clobber the batch
+    trail (nor vice versa)."""
+    root, _ext = os.path.splitext(store_path)
+    return root + ".serve-manifest.json"
+
+
+def _parse_json(body: bytes, endpoint: str) -> Mapping:
+    try:
+        payload = json.loads(body or b"{}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"{endpoint}: request body is not valid JSON "
+                            f"({exc})") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{endpoint}: request body must be a JSON "
+                            f"object, got {type(payload).__name__}")
+    return payload
+
+
+def _encode(payload: Mapping) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _with_tier(payload_bytes: bytes, tier: str) -> bytes:
+    # payloads are non-empty JSON objects, so grafting the tier field onto
+    # the cached bytes avoids re-serialising the whole payload per hit
+    return b'{"served_from":"' + tier.encode("ascii") + b'",' \
+        + payload_bytes[1:]
+
+
+class PredictionService:
+    """Three-tier cached predict/advise/campaign over the repro library."""
+
+    def __init__(self, options: Optional[ServeOptions] = None):
+        self.options = options or ServeOptions()
+        self.store: Optional[ResultStore] = (
+            ResultStore(self.options.store_path)
+            if self.options.store_path else None)
+        self.cache = ResponseCache(self.options.cache_size)
+        self.flight = SingleFlight()
+        workers = self.options.workers or min(8, (os.cpu_count() or 2))
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self.batches = BatchQueue(
+            worker=self._compute_predict,
+            executor=self.executor,
+            batch_max=self.options.batch_max,
+            batch_window_s=self.options.batch_window_ms / 1000.0,
+            on_batch=self._stamp_batch_manifest,
+        )
+        self.started_monotonic: Optional[float] = None
+        self.last_manifest = None
+        self._batch_seq = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.options.telemetry:
+            obs.enable()
+        self.batches.start()
+        self.started_monotonic = time.monotonic()
+
+    async def stop(self) -> None:
+        await self.batches.stop()
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- /predict -----------------------------------------------------------
+
+    async def handle_predict(self, body: bytes) -> Tuple[bytes, str]:
+        """Resolve one predict request; returns (payload bytes, tier)."""
+        request: Optional[PredictRequest] = None
+        key = self.cache.key_for_body(body)
+        if key is None:
+            request = PredictRequest.from_payload(
+                _parse_json(body, "/predict"))
+            key = request.key
+            self.cache.remember_body(body, key)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, "memory"
+        if request is None:
+            # the raw-body memo outlived the payload entry; re-canonicalise
+            request = PredictRequest.from_payload(
+                _parse_json(body, "/predict"))
+
+        req = request
+
+        async def compute() -> Tuple[bytes, str]:
+            if self.store is not None:
+                hit = self.store.get_point(
+                    req.point, "predict",
+                    req.program.source if req.program is not None else None)
+                if hit is not None:
+                    obs.counter("repro_serve_cache_hits_total",
+                                tier="store").inc()
+                    data = _encode(self._predict_payload(hit))
+                    self.cache.put(key, data)
+                    return data, "store"
+                obs.counter("repro_serve_cache_misses_total",
+                            tier="store").inc()
+            data = _encode(await self.batches.submit(req))
+            self.cache.put(key, data)
+            return data, "computed"
+
+        return await self.flight.run(key, compute)
+
+    def _compute_predict(self, req: PredictRequest) -> Mapping:
+        """Worker-thread body: one fresh prediction through the campaign
+        worker (two-stage compile/price caches apply underneath)."""
+        obs.counter("repro_serve_computes_total", kind="predict").inc()
+        result = evaluate_point(req.point, mode="predict",
+                                program=req.program)
+        if self.store is not None:
+            self.store.add(result)
+        return self._predict_payload(result)
+
+    @staticmethod
+    def _predict_payload(result: ScenarioResult) -> Mapping:
+        return {
+            "key": result.key,
+            "scenario": result.point.scenario_dict(),
+            "predicted_time_us": result.estimated_us,
+            "comp_us": result.comp_us,
+            "comm_us": result.comm_us,
+            "ovhd_us": result.ovhd_us,
+            "grid_shape": list(result.grid_shape),
+        }
+
+    # -- /advise ------------------------------------------------------------
+
+    async def handle_advise(self, body: bytes) -> Tuple[bytes, str]:
+        request = AdviseRequest.from_payload(
+            _parse_json(body, "/advise"), self.options)
+        cached = self.cache.get(request.key)
+        if cached is not None:
+            return cached, "memory"
+
+        async def compute() -> Tuple[bytes, str]:
+            data = _encode(await asyncio.get_running_loop().run_in_executor(
+                self.executor, self._compute_advise, request))
+            self.cache.put(request.key, data)
+            return data, "computed"
+
+        return await self.flight.run(request.key, compute)
+
+    def _compute_advise(self, req: AdviseRequest) -> Mapping:
+        obs.counter("repro_serve_computes_total", kind="advise").inc()
+        report = advise(
+            req.target, size=req.size, nprocs=req.nprocs,
+            machine=req.machine, store=self.store, budget=req.budget,
+            simulate_top=req.simulate_top, max_nprocs=req.max_nprocs,
+            seed=req.seed)
+        return {
+            "target": report.target,
+            "baseline_us": report.baseline.objective_us,
+            "findings": [
+                {"kind": f.kind, "severity": round(f.severity, 4),
+                 "message": f.message, "phase": f.phase, "line": f.line}
+                for f in report.findings],
+            "recommendations": [
+                {"description": r.mutation.description,
+                 "predicted_speedup": round(r.predicted_speedup, 3),
+                 "confidence": r.confidence,
+                 "explanation": r.explanation()}
+                for r in report.recommendations],
+            "candidates_evaluated": report.candidates_evaluated,
+            "store_hits": report.store_hits,
+        }
+
+    # -- /campaign ----------------------------------------------------------
+
+    async def handle_campaign(self, body: bytes) -> Tuple[bytes, str]:
+        request = CampaignRequest.from_payload(
+            _parse_json(body, "/campaign"), self.options)
+        cached = self.cache.get(request.key)
+        if cached is not None:
+            return cached, "memory"
+
+        space = ScenarioSpace(apps=request.apps, sizes=request.sizes,
+                              proc_counts=request.proc_counts,
+                              machines=request.machines)
+        points, _rejects = space.expand_with_rejects()
+        if len(points) > self.options.campaign_point_cap:
+            raise ProtocolError(
+                f"/campaign: space expands to {len(points)} points, over "
+                f"this server's cap of {self.options.campaign_point_cap}; "
+                f"shrink the axes or raise "
+                f"ServeOptions.campaign_point_cap")
+
+        async def compute() -> Tuple[bytes, str]:
+            data = _encode(await asyncio.get_running_loop().run_in_executor(
+                self.executor, self._compute_campaign, request, space))
+            self.cache.put(request.key, data)
+            return data, "computed"
+
+        return await self.flight.run(request.key, compute)
+
+    def _compute_campaign(self, req: CampaignRequest,
+                          space: ScenarioSpace) -> Mapping:
+        obs.counter("repro_serve_computes_total", kind="campaign").inc()
+        # worker threads must not fork a process pool mid-request; the
+        # thread executor is the safe choice inside a live server
+        run = run_campaign(space, name=req.name, mode=req.mode,
+                           strategy=req.strategy, store=self.store,
+                           samples=req.samples, max_steps=req.max_steps,
+                           seed=req.seed, executor="thread")
+        best = run.best() if run.results else None
+        return {
+            "name": run.name,
+            "strategy": run.strategy,
+            "mode": run.mode,
+            "points": len(run.results),
+            "fresh_evaluations": run.evaluated,
+            "store_hits": run.store_hits,
+            "rejected": len(run.rejected),
+            "best": {
+                "scenario": best.point.scenario_dict(),
+                "objective_us": best.objective_us,
+            } if best is not None else None,
+        }
+
+    # -- GET endpoints ------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the process-wide metric registry."""
+        return obs.prometheus_text(obs.get_registry())
+
+    def health_payload(self) -> Mapping:
+        from .. import __version__
+        uptime = 0.0 if self.started_monotonic is None \
+            else time.monotonic() - self.started_monotonic
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(uptime, 3),
+            "cache_entries": len(self.cache),
+            "store_records": len(self.store) if self.store is not None
+            else None,
+            "in_flight": self.flight.in_flight(),
+            "batches_dispatched": self.batches.batches_dispatched,
+        }
+
+    # -- batch manifests ----------------------------------------------------
+
+    def _stamp_batch_manifest(self, items: List[Any], results: List[Any],
+                              wall_s: float) -> None:
+        """Per-request-batch flight record, written next to the store."""
+        self._batch_seq += 1
+        if not obs.enabled() or self.store is None:
+            return
+        computed = sum(1 for r in results
+                       if not isinstance(r, BaseException))
+        manifest = obs.build_manifest(
+            name=f"serve-batch-{self._batch_seq}",
+            mode="serve",
+            strategy="batch",
+            executor="serve-pool",
+            wall_time_s=wall_s,
+            points_evaluated=len(items),
+            fresh_evaluations=computed,
+            store_hits=0,
+            store_path=self.store.path,
+            store_records=len(self.store),
+            registry=obs.get_registry(),
+        )
+        manifest.write(serve_manifest_path(self.store.path))
+        self.last_manifest = manifest
+
+
+__all__ = [
+    "PredictionService",
+    "serve_manifest_path",
+    "ServeError",
+    "ProtocolError",
+    "ServeOptions",
+]

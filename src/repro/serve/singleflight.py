@@ -1,0 +1,66 @@
+"""Single-flight deduplication: one compute per key, however many callers.
+
+A thundering herd on one scenario — N clients asking for the same
+uncached prediction at once — must cost one compile + one price, not N.
+The first caller for a key becomes the **leader** and runs the supplier;
+every concurrent caller for the same key becomes a **follower** and
+awaits the leader's future.  Once the leader finishes, the key leaves the
+in-flight table, so a later request computes afresh (the response cache,
+not the flight group, is the steady-state memo).
+
+Leaders and followers are counted through ``repro.obs``
+(``repro_serve_singleflight_leaders_total`` / ``..._followers_total``) —
+the test asserting "N≥32 concurrent identical requests, exactly one
+compute" reads those counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict
+
+from .. import obs
+
+
+class SingleFlight:
+    """Keyed in-flight futures; asyncio, single event loop."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str,
+                  supplier: Callable[[], Awaitable[Any]]) -> Any:
+        """Return ``await supplier()``, deduplicated per *key*.
+
+        The leader's failure is propagated to every follower; a cancelled
+        follower never cancels the shared computation (``shield``).
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            obs.counter("repro_serve_singleflight_followers_total").inc()
+            return await asyncio.shield(existing)
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        obs.counter("repro_serve_singleflight_leaders_total").inc()
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                # mark retrieved so a follower-less failure does not log
+                # an "exception was never retrieved" warning at GC time
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)
+
+
+__all__ = ["SingleFlight"]

@@ -1,0 +1,295 @@
+"""Two-stage cached predict path: *compile* and *price* as keyed stages.
+
+``repro.predict`` is really two pipelines glued together:
+
+1. **compile** — HPF/Fortran 90D source → parsed AST → partitioned,
+   sequentialised SPMD node program (the app model).  Depends on the
+   program text, process count, grid layout and parameter overrides —
+   and on *nothing about the target machine*.
+2. **price** — walk that app model with one machine's SAG/SAU parameter
+   set and the analytic communication models (the interpretation parse).
+   Depends on the compile stage's output plus the machine and the
+   interpreter options.
+
+This module splits the two stages behind **independent, explicitly keyed
+caches** so hot program ASTs/app models compile once and are shared across
+machines and requests: a cross-machine sweep (or a prediction server
+fielding the same program against many targets) pays one compile and N
+prices, and repeated identical predictions pay nothing at all.
+
+Both caches are bounded thread-safe LRUs and are instrumented with
+``repro.obs`` hit/miss counters (``repro_stage_cache_hits_total`` /
+``repro_stage_cache_misses_total``, labelled ``stage="compile"`` /
+``stage="price"``), which is how the serve-layer tests assert the
+acceptance property: a second request for the same program on a different
+machine hits the compile cache but misses the price cache.
+
+Example:
+    >>> import repro
+    >>> from repro import stages
+    >>> stages.clear_stage_caches()
+    >>> src = '''
+    ...       program tiny
+    ...       integer, parameter :: n = 16
+    ...       real, dimension(n) :: x
+    ... !HPF$ PROCESSORS p(2)
+    ... !HPF$ DISTRIBUTE x(BLOCK) ONTO p
+    ...       forall (i = 1:n) x(i) = 1.0 * i
+    ...       end program tiny
+    ... '''
+    >>> a = repro.predict(src, nprocs=2)                      # compile + price
+    >>> b = repro.predict(src, nprocs=2, machine="paragon")   # price only
+    >>> a.compiled is b.compiled                              # shared app model
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, is_dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from . import obs
+from .compiler import compile_source
+from .interpreter import InterpreterOptions, interpret
+from .system.machine import Machine
+
+#: Bounded sizes of the two stage caches.  Compiled programs are the heavy
+#: objects (ASTs + SPMD trees); priced estimates are small result records.
+COMPILE_CACHE_SIZE = 128
+PRICE_CACHE_SIZE = 1024
+
+
+class LRUCache:
+    """A small thread-safe bounded mapping with least-recently-used eviction.
+
+    The cache primitive shared by the stage caches here and the serve
+    layer's response tier: ``get`` refreshes recency, ``put`` evicts the
+    stalest entry once ``maxsize`` is exceeded.
+    """
+
+    def __init__(self, maxsize: int):
+        if not isinstance(maxsize, int) or isinstance(maxsize, bool) \
+                or maxsize < 1:
+            raise ValueError(f"LRUCache maxsize must be a positive int, "
+                             f"got {maxsize!r}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return default
+            return self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def keys(self) -> list:
+        """Keys from least- to most-recently used (a snapshot)."""
+        with self._lock:
+            return list(self._data)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._data
+
+
+# ---------------------------------------------------------------------------
+# stage keys
+# ---------------------------------------------------------------------------
+
+
+def _canonical_hash(payload: Mapping) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+def compile_stage_key(source: str, *, nprocs: int,
+                      grid_shape: tuple[int, ...] | None = None,
+                      params: Mapping[str, float] | None = None) -> str:
+    """Content key of the compile stage: everything Phase 1 depends on.
+
+    The machine is deliberately absent — that is the whole point of the
+    split.  Two predictions of one program on two machines share this key.
+    """
+    return _canonical_hash({
+        "stage": "compile",
+        "source_sha": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        "nprocs": int(nprocs),
+        "grid_shape": list(grid_shape) if grid_shape else None,
+        "params": sorted((str(k), float(v))
+                         for k, v in (params or {}).items()),
+    })
+
+
+def compile_key_of(compiled) -> str:
+    """The compile-stage key of an already-compiled program.
+
+    Derived from the inputs recorded on the
+    :class:`~repro.compiler.CompiledProgram` itself, so callers holding a
+    compiled program (the campaign worker) can key the price stage without
+    threading the original key through.
+    """
+    opts = compiled.options
+    return compile_stage_key(compiled.source.text, nprocs=opts.nprocs,
+                             grid_shape=opts.grid_shape, params=opts.params)
+
+
+def machine_stage_token(machine: Machine) -> str:
+    """The part of the price key a :class:`Machine` contributes.
+
+    Registry machines are fully determined by (name, partition size,
+    topology kind/shape); the token spells all four out so a reshaped
+    torus and its near-square default never share a price entry.
+    """
+    return "|".join((
+        machine.name,
+        str(machine.num_nodes),
+        machine.topology_kind,
+        "x".join(str(d) for d in machine.topology_shape)
+        if machine.topology_shape else "-",
+        str(machine.noise_seed),
+    ))
+
+
+def options_stage_token(options: Optional[InterpreterOptions]) -> str | None:
+    """A canonical token for interpreter options; ``None`` when the options
+    cannot be canonicalised (caller should skip the price cache then)."""
+    if options is None:
+        return "default"
+    if not is_dataclass(options):
+        return None
+    try:
+        return json.dumps(asdict(options), sort_keys=True, default=str,
+                          separators=(",", ":"))
+    except (TypeError, ValueError):
+        return None
+
+
+def price_stage_key(compile_key: str, machine: Machine,
+                    options: Optional[InterpreterOptions] = None) -> str | None:
+    """Content key of the price stage: compile key × machine × options."""
+    options_token = options_stage_token(options)
+    if options_token is None:
+        return None
+    return _canonical_hash({
+        "stage": "price",
+        "compile_key": compile_key,
+        "machine": machine_stage_token(machine),
+        "options": options_token,
+    })
+
+
+# ---------------------------------------------------------------------------
+# the caches
+# ---------------------------------------------------------------------------
+
+_compile_cache = LRUCache(COMPILE_CACHE_SIZE)
+_price_cache = LRUCache(PRICE_CACHE_SIZE)
+
+
+def clear_stage_caches() -> None:
+    """Drop both stage caches (tests and long-lived servers under memory
+    pressure; the obs counters are left alone)."""
+    _compile_cache.clear()
+    _price_cache.clear()
+
+
+def stage_cache_sizes() -> dict[str, int]:
+    return {"compile": len(_compile_cache), "price": len(_price_cache)}
+
+
+def _note(stage: str, hit: bool) -> None:
+    name = "repro_stage_cache_hits_total" if hit \
+        else "repro_stage_cache_misses_total"
+    obs.counter(name, stage=stage).inc()
+
+
+def compile_cached(source: str, *, name: str = "<string>", nprocs: int,
+                   grid_shape: tuple[int, ...] | None = None,
+                   params: Mapping[str, float] | None = None,
+                   key: str | None = None):
+    """The compile stage, memoised behind :func:`compile_stage_key`.
+
+    Returns the cached :class:`~repro.compiler.CompiledProgram` on a hit —
+    byte-identical by construction, since the key covers every compile
+    input — and compiles, caches and returns on a miss.
+    """
+    if key is None:
+        key = compile_stage_key(source, nprocs=nprocs, grid_shape=grid_shape,
+                                params=params)
+    cached = _compile_cache.get(key)
+    if cached is not None:
+        _note("compile", hit=True)
+        return cached
+    _note("compile", hit=False)
+    with obs.span("compile", nprocs=nprocs):
+        compiled = compile_source(source, name=name, nprocs=nprocs,
+                                  grid_shape=grid_shape,
+                                  params=dict(params or {}))
+    _compile_cache.put(key, compiled)
+    return compiled
+
+
+def price_cached(compiled, machine: Machine, *, compile_key: str,
+                 options: Optional[InterpreterOptions] = None,
+                 cacheable: bool = True,
+                 pricer: Callable | None = None):
+    """The price stage, memoised per (compile key, machine, options).
+
+    ``cacheable=False`` (e.g. a caller-built :class:`Machine` instance that
+    may not match its registry namesake) bypasses the cache entirely but
+    keeps the one code path.  ``pricer`` overrides the default
+    :func:`repro.interpreter.interpret` call (tests).
+    """
+    key = price_stage_key(compile_key, machine, options) if cacheable else None
+    if key is not None:
+        cached = _price_cache.get(key)
+        if cached is not None:
+            _note("price", hit=True)
+            return cached
+        _note("price", hit=False)
+    with obs.span("price", machine=machine.name):
+        result = (pricer or interpret)(compiled, machine, options=options)
+    if key is not None:
+        _price_cache.put(key, result)
+    return result
+
+
+__all__ = [
+    "COMPILE_CACHE_SIZE",
+    "PRICE_CACHE_SIZE",
+    "LRUCache",
+    "compile_stage_key",
+    "compile_key_of",
+    "price_stage_key",
+    "machine_stage_token",
+    "options_stage_token",
+    "compile_cached",
+    "price_cached",
+    "clear_stage_caches",
+    "stage_cache_sizes",
+]

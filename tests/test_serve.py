@@ -1,0 +1,475 @@
+"""repro.serve tests: options validation, LRU eviction, the three-tier
+resolution, single-flight dedup, batching, the HTTP codec's error mapping,
+/metrics under concurrent load, the two-stage compile/price caches, and
+concurrent-writer store safety."""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro import obs, stages
+from repro.explore import ResultStore, ScenarioPoint, ScenarioResult
+from repro.serve import (
+    PredictRequest,
+    PredictionService,
+    ProtocolError,
+    ServeError,
+    ServeOptions,
+    ServerThread,
+    serve_manifest_path,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Serve tests read obs counters and the package-level stage caches;
+    both must start empty and leak nothing into the rest of the suite."""
+    obs.disable()
+    obs.reset()
+    stages.clear_stage_caches()
+    yield
+    obs.disable()
+    obs.reset()
+    stages.clear_stage_caches()
+
+
+PREDICT_BODY = {"app": "laplace_block_star", "size": 16, "nprocs": 4,
+                "machine": "ipsc860"}
+
+SOURCE = """
+      program tiny
+      integer, parameter :: n = 16
+      real, dimension(n) :: x
+      real :: total
+!HPF$ PROCESSORS p(4)
+!HPF$ DISTRIBUTE x(BLOCK) ONTO p
+      forall (i = 1:n) x(i) = 0.5 * i
+      total = sum(x)
+      print *, total
+      end program tiny
+"""
+
+
+def counters():
+    return obs.get_registry().flatten()
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def with_service(options, body):
+    """Start a service, run the coroutine-producing callable, stop it."""
+    service = PredictionService(options)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+
+
+def post(url, payload):
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=data)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+# ---------------------------------------------------------------------------
+# ServeOptions / request validation (the NoiseOptions convention)
+# ---------------------------------------------------------------------------
+
+
+class TestServeOptionsValidation:
+    def test_defaults_are_valid(self):
+        options = ServeOptions()
+        assert options.port == 8455
+        assert options.cache_size == 4096
+
+    @pytest.mark.parametrize("field,value", [
+        ("port", -1), ("port", 70000), ("port", "8455"), ("port", True),
+        ("cache_size", 0), ("cache_size", 2.5),
+        ("batch_max", 0),
+        ("batch_window_ms", -1.0), ("batch_window_ms", float("nan")),
+        ("workers", 0),
+        ("store_path", ""),
+        ("telemetry", "yes"),
+        ("max_body_bytes", 100),
+        ("advise_budget_cap", 0),
+        ("campaign_point_cap", 0),
+    ])
+    def test_bad_values_fail_eagerly_naming_the_field(self, field, value):
+        with pytest.raises(ServeError, match=field):
+            ServeOptions(**{field: value})
+
+    def test_unknown_field_fails_in_the_constructor(self):
+        with pytest.raises(TypeError):
+            ServeOptions(cach_size=16)
+
+    def test_unknown_request_field_names_the_valid_set(self):
+        with pytest.raises(ProtocolError) as err:
+            PredictRequest.from_payload({**PREDICT_BODY, "bogus": 1})
+        assert "bogus" in str(err.value)
+        assert "'app'" in str(err.value)       # the valid set is listed
+
+    def test_unknown_machine_names_the_registry(self):
+        with pytest.raises(ProtocolError, match="ipsc860"):
+            PredictRequest.from_payload({**PREDICT_BODY, "machine": "cray"})
+
+    def test_app_and_source_are_mutually_exclusive(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            PredictRequest.from_payload({"app": "laplace_block_star",
+                                         "source": SOURCE})
+
+    def test_predict_key_is_the_store_scenario_key(self):
+        request = PredictRequest.from_payload(PREDICT_BODY)
+        from repro.explore.store import scenario_key
+        assert request.key == scenario_key(
+            request.point.scenario_dict(), "predict")
+
+
+# ---------------------------------------------------------------------------
+# LRU eviction (the memory tier's substrate)
+# ---------------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used_first(self):
+        lru = stages.LRUCache(3)
+        for k in "abc":
+            lru.put(k, k.upper())
+        lru.get("a")                   # refresh 'a'; 'b' is now the LRU
+        lru.put("d", "D")
+        assert lru.keys() == ["c", "a", "d"]
+        assert "b" not in lru
+        assert lru.get("a") == "A"
+
+    def test_put_refreshes_recency_too(self):
+        lru = stages.LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)               # rewrite refreshes 'a'
+        lru.put("c", 3)
+        assert "b" not in lru and lru.get("a") == 10
+
+    def test_bound_is_hard(self):
+        lru = stages.LRUCache(4)
+        for n in range(100):
+            lru.put(n, n)
+        assert len(lru) == 4
+        assert lru.keys() == [96, 97, 98, 99]
+
+
+# ---------------------------------------------------------------------------
+# three-tier resolution + single-flight + batching (service level)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceResolution:
+    def test_memory_tier_second_request_is_a_hit(self):
+        body = json.dumps(PREDICT_BODY).encode()
+
+        async def scenario(service):
+            first = await service.handle_predict(body)
+            second = await service.handle_predict(body)
+            return first, second
+
+        (payload1, tier1), (payload2, tier2) = run_async(
+            with_service(ServeOptions(port=0), scenario))
+        assert (tier1, tier2) == ("computed", "memory")
+        assert payload1 == payload2    # byte-identical cached payload
+        flat = counters()
+        assert flat['repro_serve_cache_hits_total{tier="memory"}'] == 1
+        assert flat['repro_serve_computes_total{kind="predict"}'] == 1
+
+    def test_store_tier_survives_a_fresh_service(self, tmp_path):
+        store_path = str(tmp_path / "runs.jsonl")
+        body = json.dumps(PREDICT_BODY).encode()
+
+        async def compute_once(service):
+            return await service.handle_predict(body)
+
+        _, tier1 = run_async(with_service(
+            ServeOptions(port=0, store_path=store_path), compute_once))
+        assert tier1 == "computed"
+        # a new service (empty memory tier) over the same store file
+        payload, tier2 = run_async(with_service(
+            ServeOptions(port=0, store_path=store_path), compute_once))
+        assert tier2 == "store"
+        assert json.loads(payload)["predicted_time_us"] > 0
+        flat = counters()
+        assert flat['repro_serve_cache_hits_total{tier="store"}'] == 1
+        assert flat['repro_serve_computes_total{kind="predict"}'] == 1
+
+    def test_single_flight_32_concurrent_identical_one_compute(self):
+        body = json.dumps(PREDICT_BODY).encode()
+
+        async def herd(service):
+            return await asyncio.gather(
+                *(service.handle_predict(body) for _ in range(32)))
+
+        results = run_async(with_service(ServeOptions(port=0), herd))
+        assert len(results) == 32
+        payloads = {payload for payload, _tier in results}
+        assert len(payloads) == 1      # every caller got the same bytes
+        flat = counters()
+        assert flat['repro_serve_computes_total{kind="predict"}'] == 1
+        assert flat["repro_serve_singleflight_leaders_total"] == 1
+        assert flat["repro_serve_singleflight_followers_total"] == 31
+
+    def test_concurrent_distinct_misses_batch_together(self):
+        bodies = [json.dumps({**PREDICT_BODY, "nprocs": n}).encode()
+                  for n in (2, 4, 8, 16)]
+
+        async def burst(service):
+            return await asyncio.gather(
+                *(service.handle_predict(b) for b in bodies))
+
+        results = run_async(with_service(
+            ServeOptions(port=0, batch_window_ms=100.0), burst))
+        assert [tier for _p, tier in results] == ["computed"] * 4
+        flat = counters()
+        assert flat['repro_serve_computes_total{kind="predict"}'] == 4
+        # a generous window collects the whole burst into one dispatch
+        assert flat["repro_serve_batches_total"] == 1
+
+    def test_batch_manifest_stamped_next_to_the_store(self, tmp_path):
+        store_path = str(tmp_path / "runs.jsonl")
+        body = json.dumps(PREDICT_BODY).encode()
+
+        async def compute_once(service):
+            return await service.handle_predict(body)
+
+        run_async(with_service(
+            ServeOptions(port=0, store_path=store_path), compute_once))
+        manifest_file = serve_manifest_path(store_path)
+        assert os.path.exists(manifest_file)
+        with open(manifest_file) as fh:
+            manifest = json.load(fh)
+        assert manifest["mode"] == "serve"
+        assert manifest["points_evaluated"] == 1
+        assert manifest["store_records"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the HTTP layer: status mapping and /metrics under load
+# ---------------------------------------------------------------------------
+
+
+class TestHTTPServer:
+    def test_error_status_mapping(self):
+        with ServerThread(ServeOptions(port=0)) as (host, port):
+            base = f"http://{host}:{port}"
+            status, payload = post(f"{base}/predict", b"{not json")
+            assert status == 400 and "JSON" in payload["error"]
+            status, payload = post(f"{base}/predict",
+                                   {**PREDICT_BODY, "bogus": 1})
+            assert status == 400 and "bogus" in payload["error"]
+            status, payload = post(f"{base}/predict", {"app": "no_such_app"})
+            assert status == 400 and "laplace" in payload["error"]
+            status, _ = get(f"{base}/predict")           # wrong method
+            assert status == 405
+            status, _ = get(f"{base}/no_such_route")
+            assert status == 404
+            # an internal failure (uncompilable program reaches the worker)
+            status, payload = post(
+                f"{base}/predict",
+                {"source": "      program broken\n      x = (1 +\n"
+                           "      end program broken\n"})
+            assert status == 500
+            assert payload["error"] == "internal server error"
+            # the server survives all of the above
+            status, payload = post(f"{base}/predict", PREDICT_BODY)
+            assert status == 200 and payload["served_from"] == "computed"
+
+    def test_healthz_shape(self):
+        with ServerThread(ServeOptions(port=0)) as (host, port):
+            status, raw = get(f"http://{host}:{port}/healthz")
+            assert status == 200
+            health = json.loads(raw)
+            assert health["status"] == "ok"
+            assert health["version"] == repro.__version__
+            assert health["cache_entries"] == 0
+            assert health["store_records"] is None
+
+    def test_metrics_parse_under_concurrent_load(self):
+        line_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.naif-]+$')
+        with ServerThread(ServeOptions(port=0)) as (host, port):
+            base = f"http://{host}:{port}"
+            failures = []
+            scrapes = []
+
+            def client(n):
+                try:
+                    status, _ = post(f"{base}/predict",
+                                     {**PREDICT_BODY, "nprocs": 2 + 2 * (n % 4)})
+                    assert status == 200
+                except Exception as exc:       # noqa: BLE001 - collected
+                    failures.append(exc)
+
+            def scraper():
+                try:
+                    for _ in range(5):
+                        status, raw = get(f"{base}/metrics")
+                        assert status == 200
+                        scrapes.append(raw.decode())
+                except Exception as exc:       # noqa: BLE001 - collected
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=client, args=(n,))
+                       for n in range(8)] + \
+                      [threading.Thread(target=scraper) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not failures
+            status, raw = get(f"{base}/metrics")   # post-load scrape
+            assert status == 200
+            scrapes.append(raw.decode())
+            # every scrape, including mid-load ones, is valid exposition text
+            for text in scrapes:
+                for line in text.splitlines():
+                    if not line or line.startswith("#"):
+                        continue
+                    assert line_re.match(line), f"unparseable line: {line!r}"
+            final = scrapes[-1]
+            assert 'repro_serve_requests_total{route="/predict",status="200"} 8' \
+                in final
+
+
+# ---------------------------------------------------------------------------
+# two-stage predict path: compile and price cached independently
+# ---------------------------------------------------------------------------
+
+
+class TestStageCaches:
+    def test_same_program_different_machine_hits_compile_misses_price(self):
+        obs.enable()
+        repro.predict(SOURCE, nprocs=4, machine="ipsc860")
+        baseline = counters()
+        assert baseline['repro_stage_cache_misses_total{stage="compile"}'] == 1
+        assert baseline['repro_stage_cache_misses_total{stage="price"}'] == 1
+
+        # the acceptance scenario: same program, different machine
+        repro.predict(SOURCE, nprocs=4, machine="paragon")
+        flat = counters()
+        assert flat['repro_stage_cache_hits_total{stage="compile"}'] == 1
+        assert flat['repro_stage_cache_misses_total{stage="price"}'] == 2
+        assert 'repro_stage_cache_hits_total{stage="price"}' not in flat
+
+    def test_price_cache_hit_on_identical_request(self):
+        obs.enable()
+        first = repro.predict(SOURCE, nprocs=4)
+        second = repro.predict(SOURCE, nprocs=4)
+        assert second is first         # memoised result object
+        flat = counters()
+        assert flat['repro_stage_cache_hits_total{stage="price"}'] == 1
+        assert flat['repro_stage_cache_hits_total{stage="compile"}'] == 1
+
+    def test_compile_memo_returns_identical_compiled_program(self):
+        compiled1 = stages.compile_cached(SOURCE, nprocs=4, grid_shape=None,
+                                          params=None)
+        compiled2 = stages.compile_cached(SOURCE, nprocs=4, grid_shape=None,
+                                          params=None)
+        assert compiled2 is compiled1
+        # a different nprocs is a different compile key
+        compiled4 = stages.compile_cached(SOURCE, nprocs=2, grid_shape=None,
+                                          params=None)
+        assert compiled4 is not compiled1
+
+    def test_stage_caches_are_bounded(self):
+        assert stages._compile_cache.maxsize == stages.COMPILE_CACHE_SIZE
+        assert stages._price_cache.maxsize == stages.PRICE_CACHE_SIZE
+
+    def test_custom_machine_instances_bypass_the_price_cache(self):
+        from repro.system import get_machine
+        machine = get_machine("ipsc860", nprocs=4)
+        obs.enable()
+        repro.predict(SOURCE, nprocs=4, machine=machine)
+        repro.predict(SOURCE, nprocs=4, machine=machine)
+        flat = counters()
+        # compile still memoises; price never caches a caller-built Machine
+        assert flat['repro_stage_cache_hits_total{stage="compile"}'] == 1
+        assert 'repro_stage_cache_hits_total{stage="price"}' not in flat
+
+
+# ---------------------------------------------------------------------------
+# concurrent-writer store safety (advisory lock satellite)
+# ---------------------------------------------------------------------------
+
+
+def _append_worker(store_path, worker_id, count):
+    store = ResultStore(store_path)
+    for n in range(count):
+        point = ScenarioPoint(app="laplace_block_star", size=16,
+                              nprocs=2, machine="ipsc860",
+                              params=(("w", float(worker_id)), ("n", float(n))))
+        store.add(ScenarioResult(point=point, mode="predict",
+                                 estimated_us=1.0 * n))
+
+
+class TestStoreConcurrentWriters:
+    def test_two_processes_appending_interleaved_lose_nothing(self, tmp_path):
+        store_path = str(tmp_path / "contended.jsonl")
+        ResultStore(store_path)        # write the header once
+        ctx = multiprocessing.get_context("fork")
+        workers = [ctx.Process(target=_append_worker,
+                               args=(store_path, wid, 25))
+                   for wid in range(4)]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        # every line must parse (no torn/interleaved records), and every
+        # one of the 100 distinct scenarios must be present
+        with open(store_path) as fh:
+            lines = fh.read().splitlines()
+        for line in lines[1:]:
+            json.loads(line)
+        reloaded = ResultStore(store_path)
+        assert len(reloaded) == 100
+
+    def test_many_threads_one_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "threaded.jsonl"))
+
+        def worker(worker_id):
+            _append_worker(store.path, worker_id, 10)
+            # also hammer the shared instance itself
+            for n in range(10):
+                point = ScenarioPoint(
+                    app="laplace_block_star", size=16, nprocs=4,
+                    machine="ipsc860",
+                    params=(("t", float(worker_id)), ("n", float(n))))
+                store.add(ScenarioResult(point=point, mode="predict",
+                                         estimated_us=2.0 * n))
+
+        threads = [threading.Thread(target=worker, args=(wid,))
+                   for wid in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        reloaded = ResultStore(store.path)
+        assert len(reloaded) == 160    # 8 workers x (10 + 10) distinct points
