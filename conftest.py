@@ -1,6 +1,36 @@
-"""Repository-level pytest configuration: make src/ importable without install."""
+"""Repository-level pytest configuration: make src/ importable without install.
+
+Also registers the ``slow`` marker: stress tests and benchmarks (8-way
+writer contention, 10k-point sharded sweeps) are deselected by default so
+tier-1 stays fast; CI opts in with ``REPRO_SLOW=1`` (see scripts/check.sh)
+and a developer can run one explicitly with ``-m slow``.
+"""
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+SLOW_ENV = "REPRO_SLOW"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: stress tests / benchmarks, skipped unless REPRO_SLOW=1 "
+        "or explicitly selected with -m slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get(SLOW_ENV, "").strip().lower() in ("1", "true", "on"):
+        return
+    if config.getoption("-m", default="") and \
+            "slow" in config.getoption("-m"):
+        return                          # explicit -m slow selection wins
+    skip = pytest.mark.skip(
+        reason=f"slow test (set {SLOW_ENV}=1 or run with -m slow)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

@@ -38,6 +38,9 @@ python examples/machine_comparison.py > /dev/null
 echo "== campaign smoke: design-space sweep + persistent store"
 python scripts/campaign_smoke.py
 
+echo "== sharding smoke: interrupt a sharded campaign, resume, verify the merge"
+python scripts/sharding_smoke.py
+
 echo "== advisor smoke: bounded advise() run against the persistent store"
 python scripts/advisor_smoke.py
 
@@ -49,5 +52,8 @@ python scripts/serve_smoke.py
 
 echo "== serve benchmark: cached latency percentiles + the 10k/s floor"
 python -m pytest benchmarks/test_bench_serve.py -x -q
+
+echo "== slow tier: stress tests (8-way writer contention, live-server mix)"
+REPRO_SLOW=1 python -m pytest tests -x -q -m slow
 
 echo "check.sh: all green"

@@ -33,6 +33,7 @@ DOCTEST_MODULES = (
     "repro",                    # package quickstart + predict + measure
     "repro.advisor.search",     # advise
     "repro.explore.campaign",   # run_campaign
+    "repro.explore.sharding",   # partition_key / shard_of determinism
     "repro.explore.store",      # ResultStore
     "repro.obs",                # enable/span/counter facade
     "repro.serve.protocol",     # ServeOptions eager validation

@@ -52,7 +52,7 @@ metrics, per-run manifests).
 
 from __future__ import annotations
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # observability (dependency-free; every other layer reports into it) ------------
 from . import obs

@@ -14,7 +14,13 @@ canonical example).  This subsystem turns that workflow into an engine:
   content-addressed :class:`ResultStore` (JSONL) that lets campaigns resume
   and results accumulate across revisions,
 * :mod:`~repro.explore.report`   — best-config tables, Pareto frontiers and
-  error-band summaries rendered through the Output Module.
+  error-band summaries rendered through the Output Module,
+* :mod:`~repro.explore.sharding` + :mod:`~repro.explore.checkpoint` — the
+  scale layer: :func:`run_sharded_campaign` partitions a space
+  deterministically across worker processes, streams per-shard store
+  segments, checkpoints after every chunk for zero-recompute resume, and
+  merges through :func:`store_diff` — with optional
+  ``fidelity="screen+sim"`` successive-halving corroboration.
 
 >>> from repro.explore import ScenarioSpace, ResultStore, run_campaign
 >>> space = ScenarioSpace(apps=("laplace_block_star",), sizes=(64, 128),
@@ -36,6 +42,14 @@ from .campaign import (
     resolve_executor,
     run_campaign,
 )
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CampaignCheckpoint,
+    CheckpointError,
+    ShardCheckpoint,
+    checkpoint_path_for,
+    shard_checkpoint_path_for,
+)
 from .report import (
     StoreDiff,
     best_config_table,
@@ -45,6 +59,20 @@ from .report import (
     pareto_table,
     store_diff,
     store_diff_table,
+)
+from .sharding import (
+    FIDELITIES,
+    SHARD_STRATEGIES,
+    CampaignInterrupted,
+    ShardedCampaignRun,
+    ShardFault,
+    ShardOutcome,
+    partition_key,
+    partition_points,
+    run_sharded_campaign,
+    segment_path,
+    shard_of,
+    space_fingerprint,
 )
 from .space import (
     ProgramSpec,
@@ -76,6 +104,24 @@ __all__ = [
     "resolve_campaign_machine",
     "resolve_executor",
     "run_campaign",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "ShardCheckpoint",
+    "checkpoint_path_for",
+    "shard_checkpoint_path_for",
+    "FIDELITIES",
+    "SHARD_STRATEGIES",
+    "CampaignInterrupted",
+    "ShardedCampaignRun",
+    "ShardFault",
+    "ShardOutcome",
+    "partition_key",
+    "partition_points",
+    "run_sharded_campaign",
+    "segment_path",
+    "shard_of",
+    "space_fingerprint",
     "StoreDiff",
     "best_config_table",
     "campaign_report",

@@ -16,7 +16,11 @@ of ArchGym's exploration harnesses around fast cost models:
   crossover (derived fields rebuilt), one-axis mutation, elitism; the best
   point of each generation is recorded on the trajectory,
 * ``anneal``    — simulated annealing over the one-axis neighbour graph
-  with a geometric temperature schedule and Metropolis acceptance.
+  with a geometric temperature schedule and Metropolis acceptance,
+* ``bandit``    — a UCB1 bandit over *directive arms*: each application
+  (directive alternative) is an arm, and the evaluation budget
+  (``max_steps`` pulls) concentrates on the arms whose sampled points
+  rank best; ``ucb_c`` scales the exploration bonus.
 
 All strategies are deterministic for a fixed ``seed``.
 
@@ -52,7 +56,7 @@ from ..system import Machine, get_machine, resolve_machine
 from .space import ProgramSpec, ScenarioError, ScenarioPoint, ScenarioSpace
 from .store import ResultStore, ScenarioResult
 
-STRATEGIES = ("grid", "random", "hillclimb", "genetic", "anneal")
+STRATEGIES = ("grid", "random", "hillclimb", "genetic", "anneal", "bandit")
 MODES = ("predict", "measure", "both")
 EXECUTORS = ("auto", "thread", "process", "serial")
 
@@ -439,6 +443,7 @@ def run_campaign(
     mutation_rate: float = 0.3,
     temperature: float | None = None,
     cooling: float = 0.85,
+    ucb_c: float = 1.0,
     where: Callable[[ScenarioPoint], bool] | None = None,
     objective: Callable[[ScenarioResult], float] | None = None,
     machine_resolver: MachineResolver | None = None,
@@ -457,8 +462,9 @@ def run_campaign(
             (execution simulator only) or ``"both"``.  Simulated points run
             the simulator's vector engine unless ``simulator_options`` says
             otherwise.
-        strategy: ``"grid"``, ``"random"``, ``"hillclimb"``, ``"genetic"``
-            or ``"anneal"``; all deterministic for a fixed ``seed``.
+        strategy: ``"grid"``, ``"random"``, ``"hillclimb"``, ``"genetic"``,
+            ``"anneal"`` or ``"bandit"``; all deterministic for a fixed
+            ``seed``.
         store: a :class:`~repro.explore.store.ResultStore` for cross-run
             memoisation and persistence (a finished campaign re-runs free).
         samples: point count for ``random``.
@@ -466,6 +472,8 @@ def run_campaign(
         seed: RNG seed for the stochastic strategies.
         population / generations / mutation_rate: ``genetic`` tuning.
         temperature / cooling: ``anneal`` tuning.
+        ucb_c: ``bandit`` exploration constant — scales the UCB1
+            confidence bonus over the directive arms (0 is pure greedy).
         where: validity predicate pruning points before evaluation.
         objective: ranking callable over :class:`ScenarioResult` (default:
             measured time when present, else estimated).
@@ -556,6 +564,9 @@ def run_campaign(
             _run_genetic(run, space, points, rng, evaluate, score,
                          population=population, generations=generations,
                          mutation_rate=mutation_rate)
+        elif strategy == "bandit":
+            _run_bandit(run, points, rng, evaluate, score,
+                        max_steps=max_steps, ucb_c=ucb_c)
         else:
             _run_anneal(run, space, points, rng, evaluate, score,
                         max_steps=max_steps, temperature=temperature,
@@ -675,6 +686,55 @@ def _run_genetic(run, space, points, rng, evaluate, score, *,
         if score(generation_best) < score(best):
             best = generation_best
         run.trajectory.append(best)
+
+
+def _run_bandit(run, points, rng, evaluate, score, *, max_steps, ucb_c):
+    """UCB1 bandit over *directive arms*: one arm per application key.
+
+    The paper's §5.2.1 question — which DISTRIBUTE/ALIGN alternative wins —
+    maps naturally onto a multi-armed bandit: each directive alternative
+    (application key) is an arm; a pull samples one of the arm's points
+    uniformly and evaluates it.  Arms are initialised with one pull each
+    (sorted key order, so runs are deterministic for a fixed seed), then
+    the remaining ``max_steps`` budget follows the UCB1 index
+
+        mean_reward(arm) + ucb_c * sqrt(2 ln t / pulls(arm))
+
+    with rewards normalised as ``best_objective_so_far / objective`` —
+    a pull matching the incumbent scores 1, worse pulls decay toward 0,
+    so the index is scale-free across problem sizes.  The best-so-far
+    result after each pull lands on ``run.trajectory`` ArchGym-style.
+    """
+    arms: dict[str, list[ScenarioPoint]] = {}
+    for point in points:
+        arms.setdefault(point.app, []).append(point)
+    order = sorted(arms)
+    pulls = {app: 0 for app in order}
+    rewards = {app: 0.0 for app in order}
+    state = {"best": None, "total": 0}
+
+    def pull(app: str) -> None:
+        pool = arms[app]
+        point = pool[rng.randrange(len(pool))]
+        [result], _, _ = evaluate([point])
+        state["total"] += 1
+        pulls[app] += 1
+        if state["best"] is None or score(result) < score(state["best"]):
+            state["best"] = result
+        rewards[app] += score(state["best"]) / max(score(result), 1e-12)
+        run.trajectory.append(state["best"])
+        obs.gauge("repro_campaign_strategy_step",
+                  strategy="bandit").set(state["total"])
+
+    for app in order:                       # one warm-up pull per arm
+        if state["total"] >= max_steps:
+            break
+        pull(app)
+    while state["total"] < max_steps:
+        t = state["total"]
+        pull(max(order, key=lambda app: (
+            rewards[app] / pulls[app]
+            + ucb_c * math.sqrt(2.0 * math.log(max(t, 2)) / pulls[app]))))
 
 
 def _run_anneal(run, space, points, rng, evaluate, score, *,

@@ -1,0 +1,257 @@
+"""Schema-versioned checkpoints for sharded campaigns.
+
+A sharded campaign (:mod:`repro.explore.sharding`) survives interruption —
+a killed worker, a lost node, a ctrl-C — because its progress is written
+down continuously at two levels:
+
+* the **campaign checkpoint** (``<store>.checkpoint.json``), written by the
+  coordinating process: which space (an order-independent fingerprint over
+  the partition keys), how many shards, which chunk size, and the campaign
+  status (``running`` / ``interrupted`` / ``merged``).  A resume validates
+  this file against the caller's arguments before touching any segment, so
+  a checkpoint can never silently resume *a different campaign*;
+* one **shard checkpoint** per worker (``<store>.shard-K.checkpoint.json``),
+  rewritten atomically (temp file + ``os.replace``) after **every chunk**:
+  chunks/points done, store hits vs fresh evaluations, wall time, and —
+  when observability is on — the worker's metric delta, so a SIGKILLed
+  worker still ships its telemetry home through its last checkpoint.
+
+Like the :class:`~repro.explore.store.ResultStore` and the
+:class:`~repro.obs.RunManifest`, checkpoints are format- and
+schema-versioned: :func:`load_checkpoint_payload` rejects foreign files and
+newer schemas eagerly instead of letting a resume misread them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..frontend.errors import ReproError
+
+CHECKPOINT_SCHEMA_VERSION = 1
+CHECKPOINT_FORMAT = "repro-campaign-checkpoint"
+SHARD_CHECKPOINT_FORMAT = "repro-shard-checkpoint"
+
+#: Terminal shard states; anything else on disk means the worker died.
+SHARD_DONE = "done"
+SHARD_FAILED = "failed"
+SHARD_RUNNING = "running"
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file failed format/schema/identity validation."""
+
+
+def checkpoint_path_for(store_path: str) -> str:
+    """Where the campaign checkpoint lives relative to its result store."""
+    root, _ext = os.path.splitext(store_path)
+    return root + ".checkpoint.json"
+
+
+def shard_checkpoint_path_for(segment_path: str) -> str:
+    """Where a shard's checkpoint lives relative to its store segment."""
+    root, _ext = os.path.splitext(segment_path)
+    return root + ".checkpoint.json"
+
+
+def write_json_atomic(path: str, payload: Dict[str, Any]) -> str:
+    """Write *payload* to *path* through a temp file + ``os.replace``.
+
+    A checkpoint is rewritten after every chunk, so a worker killed
+    mid-write must never leave a half-written manifest: readers either see
+    the previous complete checkpoint or the new complete one.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint_payload(path: str, expected_format: str) -> Dict[str, Any]:
+    """Read one checkpoint file, validating format and schema eagerly."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, OSError) as exc:
+        raise CheckpointError(f"{path}: unreadable checkpoint ({exc})") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("format") != expected_format:
+        raise CheckpointError(
+            f"{path}: not a {expected_format} file "
+            f"(format={payload.get('format') if isinstance(payload, dict) else None!r})")
+    schema = payload.get("schema")
+    if not isinstance(schema, int) or schema < 1 \
+            or schema > CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint schema {schema!r} "
+            f"(this build reads <= {CHECKPOINT_SCHEMA_VERSION})")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# metric-delta transport (a SIGKILLed worker's telemetry survives in its
+# last checkpoint; tuple-keyed registry snapshots are not JSON-able as-is)
+# ---------------------------------------------------------------------------
+
+
+def encode_metric_delta(delta: Optional[Dict[Tuple, Dict[str, Any]]]
+                        ) -> List[List[Any]]:
+    """JSON-able form of a :meth:`MetricRegistry.delta_since` snapshot."""
+    if not delta:
+        return []
+    return [[[kind, name, [list(pair) for pair in labels]], state]
+            for (kind, name, labels), state in sorted(delta.items())]
+
+
+def decode_metric_delta(data: Any) -> Dict[Tuple, Dict[str, Any]]:
+    """Inverse of :func:`encode_metric_delta`, ready for ``registry.merge``."""
+    decoded: Dict[Tuple, Dict[str, Any]] = {}
+    for item in data or []:
+        (kind, name, labels), state = item
+        decoded[(str(kind), str(name),
+                 tuple((str(k), str(v)) for k, v in labels))] = dict(state)
+    return decoded
+
+
+# ---------------------------------------------------------------------------
+# shard checkpoints (one per worker, rewritten after every chunk)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardCheckpoint:
+    """One worker's progress record, atomically rewritten after each chunk."""
+
+    campaign: str
+    fingerprint: str
+    shard: int
+    shards: int
+    mode: str
+    chunk_size: int
+    total_points: int
+    chunks_done: int = 0
+    points_done: int = 0
+    store_hits: int = 0
+    fresh_evaluations: int = 0
+    wall_s: float = 0.0
+    status: str = SHARD_RUNNING
+    error: Optional[str] = None
+    metrics: List[List[Any]] = field(default_factory=list)
+    updated_unix: float = field(default_factory=time.time)
+    schema: int = CHECKPOINT_SCHEMA_VERSION
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["format"] = SHARD_CHECKPOINT_FORMAT
+        payload["updated_unix"] = round(time.time(), 3)
+        payload["wall_s"] = round(self.wall_s, 6)
+        return payload
+
+    def write(self, path: str) -> str:
+        return write_json_atomic(path, self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ShardCheckpoint":
+        payload = load_checkpoint_payload(path, SHARD_CHECKPOINT_FORMAT)
+        payload.pop("format", None)
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise CheckpointError(f"{path}: malformed shard checkpoint "
+                                  f"({exc})") from None
+
+
+# ---------------------------------------------------------------------------
+# the campaign checkpoint (coordinator-owned)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignCheckpoint:
+    """The coordinator's record of one sharded campaign's identity + status.
+
+    ``fingerprint`` is the order-independent hash of the expanded space's
+    partition keys (see :func:`repro.explore.sharding.space_fingerprint`);
+    :meth:`validate_resume` refuses to resume when the caller's space,
+    shard count, chunk size or mode disagree with what is on disk —
+    a checkpoint resumes *this* campaign or none at all.
+    """
+
+    name: str
+    mode: str
+    strategy: str
+    fingerprint: str
+    shards: int
+    chunk_size: int
+    total_points: int
+    segments: List[str] = field(default_factory=list)   # basenames
+    status: str = SHARD_RUNNING       # running | interrupted | merged
+    created_unix: float = field(default_factory=time.time)
+    updated_unix: float = field(default_factory=time.time)
+    schema: int = CHECKPOINT_SCHEMA_VERSION
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["format"] = CHECKPOINT_FORMAT
+        payload["updated_unix"] = round(time.time(), 3)
+        return payload
+
+    def write(self, path: str) -> str:
+        return write_json_atomic(path, self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignCheckpoint":
+        payload = load_checkpoint_payload(path, CHECKPOINT_FORMAT)
+        payload.pop("format", None)
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise CheckpointError(f"{path}: malformed campaign checkpoint "
+                                  f"({exc})") from None
+
+    def validate_resume(self, path: str, *, fingerprint: str, shards: int,
+                        chunk_size: int, mode: str) -> None:
+        mismatches = []
+        if self.fingerprint != fingerprint:
+            mismatches.append(
+                f"space fingerprint {self.fingerprint} != {fingerprint} "
+                f"(a different scenario space)")
+        if self.shards != shards:
+            mismatches.append(f"shards {self.shards} != {shards}")
+        if self.chunk_size != chunk_size:
+            mismatches.append(f"chunk_size {self.chunk_size} != {chunk_size}")
+        if self.mode != mode:
+            mismatches.append(f"mode {self.mode!r} != {mode!r}")
+        if mismatches:
+            raise CheckpointError(
+                f"{path}: cannot resume campaign {self.name!r}: "
+                + "; ".join(mismatches)
+                + " — finish or delete the interrupted campaign's checkpoint "
+                  "and segments before starting a different one on this store")
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "SHARD_CHECKPOINT_FORMAT",
+    "SHARD_DONE",
+    "SHARD_FAILED",
+    "SHARD_RUNNING",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "ShardCheckpoint",
+    "checkpoint_path_for",
+    "decode_metric_delta",
+    "encode_metric_delta",
+    "load_checkpoint_payload",
+    "shard_checkpoint_path_for",
+    "write_json_atomic",
+]

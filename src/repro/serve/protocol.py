@@ -39,7 +39,8 @@ PREDICT_FIELDS = ("app", "source", "size", "nprocs", "machine",
 ADVISE_FIELDS = ("target", "size", "nprocs", "machine", "budget",
                  "simulate_top", "max_nprocs", "seed")
 CAMPAIGN_FIELDS = ("name", "apps", "sizes", "proc_counts", "machines",
-                   "strategy", "mode", "samples", "max_steps", "seed")
+                   "strategy", "mode", "samples", "max_steps", "seed",
+                   "shards")
 
 
 # ---------------------------------------------------------------------------
@@ -73,6 +74,7 @@ class ServeOptions:
     max_body_bytes: int = 1_048_576      # request-body ceiling (413 above)
     advise_budget_cap: int = 16          # per-request advisor budget ceiling
     campaign_point_cap: int = 512        # max points one /campaign may expand
+    campaign_shard_cap: int = 8          # max shards= fan-out per /campaign
 
     def __post_init__(self) -> None:
         def positive_int(name: str, value: Any, minimum: int = 1) -> None:
@@ -114,6 +116,7 @@ class ServeOptions:
         positive_int("max_body_bytes", self.max_body_bytes, minimum=1024)
         positive_int("advise_budget_cap", self.advise_budget_cap)
         positive_int("campaign_point_cap", self.campaign_point_cap)
+        positive_int("campaign_shard_cap", self.campaign_shard_cap)
 
 
 # ---------------------------------------------------------------------------
@@ -353,6 +356,7 @@ class CampaignRequest:
     samples: Optional[int]
     max_steps: int
     seed: int
+    shards: int = 1                      # > 1: sharded worker-process fan-out
     key: str = field(default="", compare=False)
 
     @classmethod
@@ -418,6 +422,12 @@ class CampaignRequest:
         if mode not in MODES:
             raise ProtocolError(
                 f"/campaign: unknown mode {mode!r}; known: {MODES}")
+        shards = _get_int(payload, "shards", 1, "/campaign",
+                          maximum=options.campaign_shard_cap)
+        if shards > 1 and strategy not in ("grid", "random"):
+            raise ProtocolError(
+                f"/campaign: strategy {strategy!r} does not decompose over "
+                f"shards; sharded campaigns support 'grid' and 'random'")
         request = cls(
             name=name,
             apps=str_tuple("apps", ("laplace_block_star",), suite_app),
@@ -431,6 +441,7 @@ class CampaignRequest:
             max_steps=_get_int(payload, "max_steps", 16, "/campaign",
                                maximum=256),
             seed=_get_int(payload, "seed", 0, "/campaign", minimum=0),
+            shards=shards,
         )
         key = request_key("campaign", {
             "name": request.name, "apps": list(request.apps),
@@ -439,7 +450,7 @@ class CampaignRequest:
             "machines": list(request.machines),
             "strategy": request.strategy, "mode": request.mode,
             "samples": request.samples, "max_steps": request.max_steps,
-            "seed": request.seed,
+            "seed": request.seed, "shards": request.shards,
         })
         object.__setattr__(request, "key", key)
         return request

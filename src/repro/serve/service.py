@@ -30,9 +30,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Mapping, Optional, Tuple
 
+import shutil
+import tempfile
+
 from .. import obs
 from ..advisor.search import advise
 from ..explore.campaign import evaluate_point, run_campaign
+from ..explore.sharding import run_sharded_campaign
 from ..explore.space import ScenarioSpace
 from ..explore.store import ResultStore, ScenarioResult
 from .batching import BatchQueue
@@ -248,12 +252,15 @@ class PredictionService:
     def _compute_campaign(self, req: CampaignRequest,
                           space: ScenarioSpace) -> Mapping:
         obs.counter("repro_serve_computes_total", kind="campaign").inc()
-        # worker threads must not fork a process pool mid-request; the
-        # thread executor is the safe choice inside a live server
-        run = run_campaign(space, name=req.name, mode=req.mode,
-                           strategy=req.strategy, store=self.store,
-                           samples=req.samples, max_steps=req.max_steps,
-                           seed=req.seed, executor="thread")
+        if req.shards > 1:
+            run = self._run_sharded(req, space)
+        else:
+            # worker threads must not fork a process pool mid-request; the
+            # thread executor is the safe choice inside a live server
+            run = run_campaign(space, name=req.name, mode=req.mode,
+                               strategy=req.strategy, store=self.store,
+                               samples=req.samples, max_steps=req.max_steps,
+                               seed=req.seed, executor="thread")
         best = run.best() if run.results else None
         return {
             "name": run.name,
@@ -263,11 +270,32 @@ class PredictionService:
             "fresh_evaluations": run.evaluated,
             "store_hits": run.store_hits,
             "rejected": len(run.rejected),
+            "shards": req.shards,
             "best": {
                 "scenario": best.point.scenario_dict(),
                 "objective_us": best.objective_us,
             } if best is not None else None,
         }
+
+    def _run_sharded(self, req: CampaignRequest, space: ScenarioSpace):
+        """``shards > 1``: fan the campaign out over worker processes.
+
+        Segments and checkpoints live in a per-request temporary directory —
+        two concurrent sharded campaigns over one serve store must never
+        collide on ``<store>.shard-K.jsonl`` — and merge into the server's
+        canonical store through the normal drift-checked path.  The fan-out
+        is request-scoped (no resume), so the segment directory is removed
+        whatever happens.
+        """
+        segment_dir = tempfile.mkdtemp(prefix="repro-serve-shards-")
+        try:
+            return run_sharded_campaign(
+                space, name=req.name, mode=req.mode, strategy=req.strategy,
+                samples=req.samples, seed=req.seed, shards=req.shards,
+                store=self.store, segment_dir=segment_dir,
+                keep_segments=False)
+        finally:
+            shutil.rmtree(segment_dir, ignore_errors=True)
 
     # -- GET endpoints ------------------------------------------------------
 

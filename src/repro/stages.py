@@ -49,7 +49,7 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
-from dataclasses import asdict, is_dataclass
+from dataclasses import is_dataclass
 from typing import Any, Callable, Mapping, Optional
 
 from . import obs
@@ -175,15 +175,54 @@ def machine_stage_token(machine: Machine) -> str:
     ))
 
 
+def _canonical_value(value: Any) -> Any:
+    """JSON-able canonical form of one options field value, or raise.
+
+    Recurses through nested dataclasses (field by field, not ``asdict`` —
+    which would also flatten dataclass *instances inside containers* before
+    we can vet them), mappings (string keys, sorted), sets (sorted by their
+    canonical JSON form, so iteration order never leaks into the token) and
+    sequences.  Anything else — callables, file handles, arbitrary objects
+    whose ``str`` could embed a memory address — raises ``TypeError``: an
+    unstable token is worse than no token, so such options bypass the
+    price cache instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if is_dataclass(value) and not isinstance(value, type):
+        from dataclasses import fields
+        return {f.name: _canonical_value(getattr(value, f.name))
+                for f in fields(value)}
+    if isinstance(value, Mapping):
+        return {str(k): _canonical_value(v) for k, v in sorted(
+            value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        canon = [_canonical_value(v) for v in value]
+        return sorted(canon, key=lambda v: json.dumps(
+            v, sort_keys=True, separators=(",", ":")))
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    raise TypeError(f"{type(value).__name__} has no canonical options form")
+
+
 def options_stage_token(options: Optional[InterpreterOptions]) -> str | None:
     """A canonical token for interpreter options; ``None`` when the options
-    cannot be canonicalised (caller should skip the price cache then)."""
+    cannot be canonicalised (caller should skip the price cache then).
+
+    Dataclass options — including non-default :class:`InterpreterOptions`
+    with nested dataclasses, override mappings and set-valued fields — get
+    a stable canonical JSON token (equal-by-value options always share it,
+    whatever their construction or iteration order).  Non-dataclass options
+    and dataclasses carrying uncanonicalisable values (callables, arbitrary
+    objects) return ``None``: the conservative bypass, correctness over
+    cache hits.
+    """
     if options is None:
         return "default"
-    if not is_dataclass(options):
+    if not is_dataclass(options) or isinstance(options, type):
         return None
     try:
-        return json.dumps(asdict(options), sort_keys=True, default=str,
+        return json.dumps(_canonical_value(options), sort_keys=True,
                           separators=(",", ":"))
     except (TypeError, ValueError):
         return None

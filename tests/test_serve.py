@@ -16,7 +16,13 @@ import pytest
 
 import repro
 from repro import obs, stages
-from repro.explore import ResultStore, ScenarioPoint, ScenarioResult
+from repro.explore import (
+    ResultStore,
+    ScenarioPoint,
+    ScenarioResult,
+    store_diff,
+)
+from repro.interpreter import InterpreterOptions
 from repro.serve import (
     PredictRequest,
     PredictionService,
@@ -415,6 +421,105 @@ class TestStageCaches:
 
 
 # ---------------------------------------------------------------------------
+# options-token canonicalisation: the conservative bypass, then the widened
+# dataclass canonicalisation (PR-8 follow-up)
+# ---------------------------------------------------------------------------
+
+
+class _FakePricer:
+    """A counting stand-in for interpret(): distinguishes cache hits (no
+    call) from fresh prices (one call)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, compiled, machine, options=None):
+        self.calls += 1
+        return ("priced", self.calls)
+
+
+class TestOptionsTokenCanonicalisation:
+    def price_twice(self, options):
+        """Price the same (compiled, machine) twice under *options*;
+        returns how many times the pricer actually ran."""
+        from repro.system import get_machine
+        compiled = stages.compile_cached(SOURCE, nprocs=4, grid_shape=None,
+                                         params=None)
+        machine = get_machine("ipsc860", nprocs=4)
+        pricer = _FakePricer()
+        for _ in range(2):
+            stages.price_cached(compiled, machine,
+                                compile_key=stages.compile_key_of(compiled),
+                                options=options, pricer=pricer)
+        return pricer.calls
+
+    def test_none_options_token_is_default(self):
+        assert stages.options_stage_token(None) == "default"
+
+    def test_non_dataclass_options_pin_the_conservative_bypass(self):
+        # a mapping, a plain object, a dataclass *class* (not instance):
+        # none can be canonicalised, all must bypass the price cache
+        for options in ({"mask_true_fraction": 0.5}, object(),
+                        InterpreterOptions):
+            assert stages.options_stage_token(options) is None
+        assert self.price_twice({"mask_true_fraction": 0.5}) == 2
+
+    def test_uncanonicalisable_dataclass_values_bypass(self):
+        from dataclasses import dataclass, field as dc_field
+
+        @dataclass
+        class HookedOptions:
+            scale: float = 2.0
+            hook: object = dc_field(default=print)   # a callable: no token
+
+        assert stages.options_stage_token(HookedOptions()) is None
+        assert self.price_twice(HookedOptions()) == 2
+
+    def test_non_default_interpreter_options_share_a_stable_token(self):
+        a = InterpreterOptions(mask_true_fraction=0.75,
+                               overrides={"x": 1.0, "y": 2.0},
+                               while_trip_estimate=7.0)
+        b = InterpreterOptions(mask_true_fraction=0.75,
+                               overrides={"y": 2.0, "x": 1.0},
+                               while_trip_estimate=7.0)
+        token = stages.options_stage_token(a)
+        assert token is not None and token == stages.options_stage_token(b)
+        # the nested memory/overlap dataclasses are part of the token
+        assert "page_size" in token or "memory" in token
+        assert stages.options_stage_token(InterpreterOptions()) != token
+        # equal-by-value options are one price-cache entry
+        assert self.price_twice(a) == 1
+
+    def test_different_options_are_different_price_entries(self):
+        obs.enable()
+        assert self.price_twice(
+            InterpreterOptions(mask_true_fraction=0.25)) == 1
+        assert self.price_twice(
+            InterpreterOptions(mask_true_fraction=0.75)) == 1
+        flat = counters()
+        assert flat['repro_stage_cache_hits_total{stage="price"}'] == 2
+        assert flat['repro_stage_cache_misses_total{stage="price"}'] == 2
+
+    def test_set_valued_dataclass_fields_get_a_canonical_token(self):
+        from dataclasses import dataclass, field as dc_field
+
+        @dataclass
+        class TaggedOptions:
+            tags: frozenset = dc_field(default_factory=frozenset)
+            factor: float = 1.0
+
+        a = TaggedOptions(tags=frozenset(["gamma", "alpha", "beta"]))
+        b = TaggedOptions(tags=frozenset(["beta", "gamma", "alpha"]))
+        token = stages.options_stage_token(a)
+        assert token is not None
+        assert token == stages.options_stage_token(b)
+        # canonical form sorts set members, so the token is reproducible
+        assert token.index("alpha") < token.index("beta") \
+            < token.index("gamma")
+        assert self.price_twice(a) == 1
+
+
+# ---------------------------------------------------------------------------
 # concurrent-writer store safety (advisory lock satellite)
 # ---------------------------------------------------------------------------
 
@@ -473,3 +578,121 @@ class TestStoreConcurrentWriters:
             t.join(timeout=60)
         reloaded = ResultStore(store.path)
         assert len(reloaded) == 160    # 8 workers x (10 + 10) distinct points
+
+
+# ---------------------------------------------------------------------------
+# /campaign shards= fan-out
+# ---------------------------------------------------------------------------
+
+
+class TestServedShardedCampaign:
+    def test_shards_field_validated(self):
+        options = ServeOptions(port=0)
+        from repro.serve import CampaignRequest
+        with pytest.raises(ProtocolError, match="shards"):
+            CampaignRequest.from_payload(
+                {"shards": options.campaign_shard_cap + 1}, options)
+        with pytest.raises(ProtocolError, match="decompose"):
+            CampaignRequest.from_payload(
+                {"shards": 2, "strategy": "hillclimb"}, options)
+        plain = CampaignRequest.from_payload({}, options)
+        sharded = CampaignRequest.from_payload({"shards": 2}, options)
+        assert plain.shards == 1 and sharded.shards == 2
+        assert plain.key != sharded.key        # shards is part of the key
+
+    def test_sharded_campaign_merges_into_the_serve_store(self, tmp_path):
+        store_path = str(tmp_path / "served.jsonl")
+        body = json.dumps({
+            "name": "fanout", "apps": ["laplace_block_star"],
+            "sizes": [16, 32], "proc_counts": [2, 4], "shards": 2,
+        }).encode()
+
+        async def scenario(service):
+            return await service.handle_campaign(body)
+
+        payload, tier = run_async(with_service(
+            ServeOptions(port=0, store_path=store_path), scenario))
+        assert tier == "computed"
+        data = json.loads(payload)
+        assert data["shards"] == 2
+        assert data["points"] == 4
+        assert data["best"]["objective_us"] > 0
+        # segments merged into the canonical store and were cleaned up
+        assert len(ResultStore(store_path)) == 4
+        leftovers = [f for f in os.listdir(tmp_path) if "shard" in f]
+        assert leftovers == []
+
+    def test_sharded_result_matches_plain_campaign(self, tmp_path):
+        request = {"apps": ["laplace_block_star"], "sizes": [16, 32],
+                   "proc_counts": [2, 4]}
+
+        async def scenario(service):
+            return await service.handle_campaign(json.dumps(request).encode())
+
+        plain_payload, _ = run_async(with_service(
+            ServeOptions(port=0, store_path=str(tmp_path / "a.jsonl")),
+            scenario))
+        request["shards"] = 2
+
+        sharded_payload, _ = run_async(with_service(
+            ServeOptions(port=0, store_path=str(tmp_path / "b.jsonl")),
+            scenario))
+        plain, sharded = json.loads(plain_payload), json.loads(sharded_payload)
+        assert plain["best"] == sharded["best"]
+        assert plain["points"] == sharded["points"]
+        # merged store records match the plain campaign's exactly
+        diff = store_diff(ResultStore(str(tmp_path / "a.jsonl")).results(),
+                          ResultStore(str(tmp_path / "b.jsonl")).results())
+        assert diff.drifted == [] and not diff.added and not diff.removed
+
+
+# ---------------------------------------------------------------------------
+# stress: 8 shard-segment writer processes + a live server on one store
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestStressWritersWithLiveServer:
+    def test_eight_writers_a_live_server_and_readers_agree(self, tmp_path):
+        from repro.serve import ServerThread
+        store_path = str(tmp_path / "stress.jsonl")
+        ResultStore(store_path)                      # header once
+        ctx = multiprocessing.get_context("fork")
+        writers = [ctx.Process(target=_append_worker,
+                               args=(store_path, wid, 25))
+                   for wid in range(8)]
+        options = ServeOptions(port=0, store_path=store_path,
+                               telemetry=False)
+        with ServerThread(options) as (host, port):
+            for proc in writers:
+                proc.start()
+            # the live server computes fresh predictions into the same
+            # store while the 8 writer processes hammer it
+            seen_lengths = []
+            for nprocs in (2, 4, 8, 16, 2, 4, 8, 16):
+                status, payload = post(f"http://{host}:{port}/predict",
+                                       {"app": "laplace_block_block",
+                                        "size": 16, "nprocs": nprocs})
+                assert status == 200
+                assert payload["predicted_time_us"] > 0
+                # concurrent reader: every mid-write load parses cleanly
+                # and never shrinks
+                seen_lengths.append(len(ResultStore(store_path)))
+            assert seen_lengths == sorted(seen_lengths)
+            for proc in writers:
+                proc.join(timeout=120)
+                assert proc.exitcode == 0
+        # every line parses -- no torn or interleaved records
+        with open(store_path) as fh:
+            lines = fh.read().splitlines()
+        for line in lines[1:]:
+            json.loads(line)
+        # 8 writers x 25 distinct points + 4 distinct served scenarios
+        reloaded = ResultStore(store_path)
+        assert len(reloaded) == 8 * 25 + 4
+        # reader drift check: two independent loads of the final store
+        # agree record-for-record
+        diff = store_diff(ResultStore(store_path).results(),
+                          reloaded.results())
+        assert diff.drifted == [] and not diff.added and not diff.removed
+        assert diff.compared == len(reloaded)
