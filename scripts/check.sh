@@ -50,6 +50,9 @@ python scripts/obs_smoke.py
 echo "== serve smoke: live HTTP server under a mixed hit/miss burst"
 python scripts/serve_smoke.py
 
+echo "== chaos smoke: crash + hang + torn write + transient across a 4-shard campaign and a live server"
+python scripts/chaos_smoke.py
+
 echo "== serve benchmark: cached latency percentiles + the 10k/s floor"
 python -m pytest benchmarks/test_bench_serve.py -x -q
 

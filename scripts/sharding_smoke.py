@@ -3,9 +3,10 @@
 Exercises the fault-tolerance contract of ``repro.explore.sharding`` end to
 end in well under 30 seconds:
 
-1. run a 3-shard predict campaign over a small Laplace space with a fault
-   injected into one worker (it commits part of a chunk, writes a torn JSON
-   fragment to its segment, then SIGKILLs itself mid-chunk),
+1. run a 3-shard predict campaign over a small Laplace space with a planned
+   ``repro.faults`` torn write against one worker's segment (the worker
+   commits part of a chunk, writes a torn JSON fragment, then SIGKILLs
+   itself mid-append),
 2. assert the run surfaces as :class:`CampaignInterrupted` with an
    ``interrupted`` checkpoint on disk,
 3. resume from the checkpoint and assert only the torn chunk was recomputed
@@ -27,14 +28,15 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import faults  # noqa: E402
 from repro.explore import (  # noqa: E402
     CampaignInterrupted,
     ResultStore,
     ScenarioSpace,
-    ShardFault,
     partition_points,
     run_campaign,
     run_sharded_campaign,
+    segment_path,
     store_diff,
 )
 from repro.explore.checkpoint import CampaignCheckpoint  # noqa: E402
@@ -50,25 +52,41 @@ SHARDS = 3
 CHUNK = 4
 
 
+#: die during chunk 1, after one of its records was committed
+KILL_CHUNK = 1
+KEEP_RECORDS = 1
+
+
 def main() -> int:
     started = time.perf_counter()
     points = SMOKE_SPACE.expand()
     parts = partition_points(points, SHARDS)
     # kill the fullest shard after it commits its first chunk plus one record
     victim = max(range(SHARDS), key=lambda k: len(parts[k]))
-    fault = ShardFault(shard=victim, chunk=1, keep_records=1)
 
     with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as tmp:
         store_path = os.path.join(tmp, "sharded.jsonl")
+        # a planned torn write at the victim segment's (CHUNK * KILL_CHUNK
+        # + KEEP_RECORDS)-th append: the worker writes a torn fragment and
+        # SIGKILLs itself mid-append.  max_restarts=0 keeps the watchdog
+        # from absorbing the death — this smoke proves interrupt + resume.
+        faults.install(faults.FaultPlan(actions=(
+            faults.FaultAction(
+                site="store.append", action="torn_write",
+                index=CHUNK * KILL_CHUNK + KEEP_RECORDS,
+                match={"store": os.path.basename(
+                    segment_path(store_path, victim))}),)))
 
         try:
             run_sharded_campaign(SMOKE_SPACE, shards=SHARDS,
                                  name="ci-shard-smoke", store=store_path,
-                                 chunk_size=CHUNK, _inject_fault=fault)
+                                 chunk_size=CHUNK, max_restarts=0)
         except CampaignInterrupted as exc:
             interrupted = exc
         else:
             raise AssertionError("fault injection did not interrupt the run")
+        finally:
+            faults.clear()
         ckpt = CampaignCheckpoint.load(interrupted.checkpoint_path)
         assert ckpt.status == "interrupted", ckpt.status
         print(f"interrupted as planned: {interrupted.failed} "
@@ -78,7 +96,7 @@ def main() -> int:
                                        name="ci-shard-smoke", store=store_path,
                                        chunk_size=CHUNK)
         assert resumed.resumed, "resume did not pick up the checkpoint"
-        committed = CHUNK * fault.chunk + fault.keep_records
+        committed = CHUNK * KILL_CHUNK + KEEP_RECORDS
         victim_outcome = resumed.per_shard[victim]
         assert victim_outcome.store_hits == committed, \
             f"expected {committed} pre-kill records to survive, " \

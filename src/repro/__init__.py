@@ -47,15 +47,19 @@ See ``docs/architecture.md`` for the layer map, ``docs/simulator.md`` for
 the execution simulator (including the ``vector`` vs ``loop`` engines),
 ``docs/cookbook.md`` for campaign and advisor recipes, and
 ``docs/observability.md`` for the ``repro.obs`` telemetry layer (spans,
-metrics, per-run manifests).
+metrics, per-run manifests), and ``docs/resilience.md`` for ``repro.faults``
+(deterministic fault injection, retries, the watchdog, load shedding).
 """
 
 from __future__ import annotations
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # observability (dependency-free; every other layer reports into it) ------------
 from . import obs
+
+# fault injection + resilience primitives (no-op unless a plan is installed) ----
+from . import faults
 
 # frontend / compiler -----------------------------------------------------------
 from .compiler import (
@@ -322,6 +326,8 @@ __all__ = [
     "__version__",
     # observability
     "obs",
+    # fault injection + resilience
+    "faults",
     # staged predict path
     "stages",
     # prediction-as-a-service

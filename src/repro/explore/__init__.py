@@ -65,7 +65,6 @@ from .sharding import (
     SHARD_STRATEGIES,
     CampaignInterrupted,
     ShardedCampaignRun,
-    ShardFault,
     ShardOutcome,
     partition_key,
     partition_points,
@@ -89,6 +88,7 @@ from .store import (
     StoreError,
     StoreSchemaError,
     program_sha,
+    quarantine_path_for,
     scenario_key,
 )
 
@@ -114,7 +114,6 @@ __all__ = [
     "SHARD_STRATEGIES",
     "CampaignInterrupted",
     "ShardedCampaignRun",
-    "ShardFault",
     "ShardOutcome",
     "partition_key",
     "partition_points",
@@ -142,5 +141,6 @@ __all__ = [
     "StoreError",
     "StoreSchemaError",
     "program_sha",
+    "quarantine_path_for",
     "scenario_key",
 ]

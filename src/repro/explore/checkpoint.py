@@ -30,6 +30,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import faults
 from ..frontend.errors import ReproError
 
 CHECKPOINT_SCHEMA_VERSION = 1
@@ -63,14 +64,24 @@ def write_json_atomic(path: str, payload: Dict[str, Any]) -> str:
 
     A checkpoint is rewritten after every chunk, so a worker killed
     mid-write must never leave a half-written manifest: readers either see
-    the previous complete checkpoint or the new complete one.
+    the previous complete checkpoint or the new complete one.  The
+    ``checkpoint.write`` injection site fires here (a planned
+    ``torn_write`` dies with only the temp file half-written — which the
+    atomic rename makes invisible, the property the fault exists to
+    prove); transient I/O failures are retried.
     """
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
-    return path
+    def _write() -> str:
+        action = faults.fire("checkpoint.write", path=os.path.basename(path))
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            if action is not None and action.action == "torn_write":
+                faults.torn_write_and_die(fh, action)
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    return faults.retry_call(_write, site="checkpoint.write")
 
 
 def load_checkpoint_payload(path: str, expected_format: str) -> Dict[str, Any]:

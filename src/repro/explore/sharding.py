@@ -27,7 +27,19 @@ sizes:
   analytic predict over the *full* space, then simulator-corroborates only
   the survivors of a successive-halving schedule (Hyperband-style
   cheap-screen / expensive-corroborate), keeping the simulator budget at
-  ``O(screen_top)`` instead of ``O(|space|)``.
+  ``O(screen_top)`` instead of ``O(|space|)``;
+* **a supervising watchdog** — workers stamp a heartbeat by atomically
+  rewriting their shard checkpoint every chunk; the supervisor's
+  ``connection.wait`` loop polls those stamps, SIGKILLs a worker whose
+  heartbeat goes stale (a *hung* worker, which a sentinel alone can never
+  detect), and respawns dead or killed workers up to ``max_restarts``
+  per shard.  A shard that keeps dying at the same chunk gets that chunk
+  quarantined to a ``<segment>.quarantine.json`` sidecar instead of
+  looping forever.  Chunks are retried through
+  :func:`repro.faults.retry_call` for transient failures, and the
+  ``shard.chunk`` :mod:`repro.faults` injection site fires at the top of
+  every chunk — the chaos suite drives crash/hang/torn-write storms
+  through exactly this machinery.
 
 Worker processes are plain forks (the registry and the pre-warmed
 compile-stage cache ride along); on platforms without ``fork`` the shards
@@ -42,14 +54,13 @@ import math
 import multiprocessing
 import multiprocessing.connection
 import os
-import signal
 import tempfile
 import time as _time
 from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from .. import obs, stages
+from .. import faults, obs, stages
 from ..simulator import SimulatorOptions
 from .campaign import MODES, compile_scenario, evaluate_points
 from .checkpoint import (
@@ -91,24 +102,6 @@ class CampaignInterrupted(ScenarioError):
         super().__init__(message)
         self.failed = list(failed)
         self.checkpoint_path = checkpoint_path
-
-
-@dataclass(frozen=True)
-class ShardFault:
-    """Test-only fault injection: SIGKILL a worker mid-chunk.
-
-    When worker ``shard`` reaches chunk ``chunk``, it commits only the first
-    ``keep_records`` results of that chunk to its segment, optionally tears
-    the segment's final line (``tear``, simulating death mid-``write``), and
-    then SIGKILLs itself — the harness the fault-injection tests and
-    ``scripts/sharding_smoke.py`` drive resume through.  Requires forked
-    workers (an in-process shard cannot survive killing itself).
-    """
-
-    shard: int
-    chunk: int = 0
-    keep_records: int = 0
-    tear: bool = True
 
 
 # ---------------------------------------------------------------------------
@@ -201,6 +194,7 @@ class ShardOutcome:
     wall_s: float = 0.0
     status: str = "pending"
     skipped: bool = False        # complete before this run; no worker spawned
+    restarts: int = 0            # watchdog/death respawns this run
 
 
 @dataclass
@@ -269,7 +263,6 @@ class _ShardTask:
     segment_path: str
     programs: tuple
     simulator_options: Optional[SimulatorOptions]
-    fault: Optional[ShardFault]
 
 
 def _program_for(programs: tuple):
@@ -282,23 +275,6 @@ def _chunks(points: Sequence[ScenarioPoint], size: int):
         yield points[start:start + size]
 
 
-def _die_mid_chunk(task: _ShardTask, segment: ResultStore,
-                   chunk: Sequence[ScenarioPoint], fault: ShardFault) -> None:
-    """Fault injection: commit part of a chunk, tear the tail, SIGKILL."""
-    results, _hits, _fresh = evaluate_points(
-        chunk, mode=task.mode, store=None,
-        program_for=_program_for(task.programs),
-        simulator_options=task.simulator_options, executor="serial")
-    for result in results[:fault.keep_records]:
-        segment.add(result)
-    if fault.tear:
-        with open(segment.path, "ab") as fh:
-            fh.write(b'{"key": "torn-by-fault-injection", "mode": "pre')
-            fh.flush()
-            os.fsync(fh.fileno())
-    os.kill(os.getpid(), signal.SIGKILL)
-
-
 def _shard_worker(task: _ShardTask) -> ShardCheckpoint:
     """One shard, chunk by chunk, checkpointing after every chunk."""
     started = _time.perf_counter()
@@ -308,6 +284,9 @@ def _shard_worker(task: _ShardTask) -> ShardCheckpoint:
         campaign=task.name, fingerprint=task.fingerprint, shard=task.shard,
         shards=task.shards, mode=task.mode, chunk_size=task.chunk_size,
         total_points=len(task.points))
+    # every checkpoint write (this one and the per-chunk rewrites below)
+    # doubles as the worker's heartbeat: the supervisor's watchdog watches
+    # the file's mtime and declares the worker hung when it goes stale
     ckpt.write(ckpt_path)
     telemetry = obs.enabled()
     before = obs.get_registry().collect() if telemetry else None
@@ -318,14 +297,20 @@ def _shard_worker(task: _ShardTask) -> ShardCheckpoint:
         with obs.span("shard", shard=task.shard, campaign=task.name):
             for index, chunk in enumerate(_chunks(task.points,
                                                   task.chunk_size)):
-                if task.fault is not None and task.fault.shard == task.shard \
-                        and task.fault.chunk == index:
-                    _die_mid_chunk(task, segment, chunk, task.fault)
-                _results, hits, fresh = evaluate_points(
-                    chunk, mode=task.mode, store=segment,
-                    program_for=program_for,
-                    simulator_options=task.simulator_options,
-                    executor="serial", memo=memo)
+                def _evaluate(chunk=chunk, index=index):
+                    # the shard.chunk injection site; a transient
+                    # InjectedFault here is retried in place, a crash or
+                    # hang is the watchdog/respawn machinery's problem
+                    faults.fire("shard.chunk",
+                                shard=task.shard, chunk=index)
+                    return evaluate_points(
+                        chunk, mode=task.mode, store=segment,
+                        program_for=program_for,
+                        simulator_options=task.simulator_options,
+                        executor="serial", memo=memo)
+
+                _results, hits, fresh = faults.retry_call(
+                    _evaluate, site="shard.chunk")
                 ckpt.chunks_done += 1
                 ckpt.points_done += len(chunk)
                 ckpt.store_hits += hits
@@ -435,7 +420,8 @@ def run_sharded_campaign(
     eta: int = 2,
     screen_top: Optional[int] = None,
     keep_segments: bool = True,
-    _inject_fault: Optional[ShardFault] = None,
+    heartbeat_timeout_s: Optional[float] = 120.0,
+    max_restarts: int = 2,
 ) -> ShardedCampaignRun:
     """Evaluate *space* across *shards* worker processes with resume.
 
@@ -472,6 +458,13 @@ def run_sharded_campaign(
             (``sim_top`` / ``eta`` / ``screen_top``).
         keep_segments: leave segments + checkpoints on disk after a
             successful merge (required for later zero-recompute re-runs).
+        heartbeat_timeout_s: how stale a worker's checkpoint heartbeat may
+            go before the watchdog SIGKILLs it as hung (``None`` disables
+            the watchdog; must comfortably exceed one chunk's wall time).
+        max_restarts: per-shard budget of automatic respawns for dead or
+            hung workers; ``0`` restores fail-fast interruption.  A shard
+            that exhausts the budget dying at one chunk has that chunk
+            quarantined to ``<segment>.quarantine.json``.
 
     Returns:
         A :class:`ShardedCampaignRun` with merged ``results`` in
@@ -509,6 +502,17 @@ def run_sharded_campaign(
     if sim_top < 1 or eta < 2:
         raise ScenarioError(
             f"sim_top must be >= 1 and eta >= 2, got {sim_top}/{eta}")
+    if heartbeat_timeout_s is not None and (
+            isinstance(heartbeat_timeout_s, bool)
+            or not isinstance(heartbeat_timeout_s, (int, float))
+            or not heartbeat_timeout_s > 0):
+        raise ScenarioError(
+            f"heartbeat_timeout_s must be None or a number > 0, "
+            f"got {heartbeat_timeout_s!r}")
+    if isinstance(max_restarts, bool) or not isinstance(max_restarts, int) \
+            or max_restarts < 0:
+        raise ScenarioError(
+            f"max_restarts must be an int >= 0, got {max_restarts!r}")
 
     started = _time.perf_counter()
     obs_mark = obs.get_tracer().mark()
@@ -529,7 +533,8 @@ def run_sharded_campaign(
             max_workers=max_workers, simulator_options=simulator_options,
             where=where, fidelity=fidelity, sim_top=sim_top, eta=eta,
             screen_top=screen_top, keep_segments=keep_segments,
-            fault=_inject_fault, started=started, obs_mark=obs_mark)
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            max_restarts=max_restarts, started=started, obs_mark=obs_mark)
     finally:
         if tempdir is not None:
             tempdir.cleanup()
@@ -538,7 +543,8 @@ def run_sharded_campaign(
 def _run_sharded(space, canonical, *, shards, name, mode, strategy, samples,
                  seed, segment_dir, chunk_size, max_workers,
                  simulator_options, where, fidelity, sim_top, eta,
-                 screen_top, keep_segments, fault, started, obs_mark):
+                 screen_top, keep_segments, heartbeat_timeout_s,
+                 max_restarts, started, obs_mark):
     points, rejected = space.expand_with_rejects(where)
     if strategy == "random" and points:
         rng = Random(seed)
@@ -640,19 +646,17 @@ def _run_sharded(space, canonical, *, shards, name, mode, strategy, samples,
             shard=k, shards=shards, points=part, mode=mode, name=name,
             fingerprint=fingerprint, chunk_size=chunk_size,
             segment_path=seg_paths[k], programs=space.programs,
-            simulator_options=simulator_options,
-            fault=fault if (fault is not None and fault.shard == k) else None))
+            simulator_options=simulator_options))
 
-    if fault is not None and ctx is None:
-        raise ScenarioError(
-            "fault injection needs forked workers; this platform has none")
-
-    _drive_workers(tasks, ctx, max_workers, shards)
+    restarts, quarantined = _drive_workers(
+        tasks, ctx, max_workers, shards,
+        heartbeat_timeout_s=heartbeat_timeout_s, max_restarts=max_restarts)
 
     failed: List[Tuple[int, str]] = []
     for task in tasks:
         shard_ckpt_path = shard_checkpoint_path_for(task.segment_path)
         outcome = outcomes[task.shard]
+        outcome.restarts = restarts.get(task.shard, 0)
         try:
             shard_ckpt = ShardCheckpoint.load(shard_ckpt_path)
         except (FileNotFoundError, CheckpointError):
@@ -665,6 +669,10 @@ def _run_sharded(space, canonical, *, shards, name, mode, strategy, samples,
             reason = shard_ckpt.error or (
                 f"worker stopped at chunk {shard_ckpt.chunks_done} of "
                 f"{math.ceil(len(task.points) / chunk_size)} (killed?)")
+            if task.shard in quarantined:
+                reason += (f" after {restarts.get(task.shard, 0)} restarts; "
+                           f"poison chunk quarantined to "
+                           f"{quarantined[task.shard]}")
             failed.append((task.shard, reason))
         elif obs.enabled() and shard_ckpt.metrics:
             obs.get_registry().merge(decode_metric_delta(shard_ckpt.metrics))
@@ -738,39 +746,133 @@ def _note_outcome(outcome: ShardOutcome, ckpt: ShardCheckpoint,
         outcome.wall_s = ckpt.wall_s
 
 
+def _heartbeat_age(task: _ShardTask, spawned_at: float, now: float) -> float:
+    """Seconds since the worker last proved liveness.
+
+    The shard checkpoint is atomically rewritten after every chunk, so its
+    mtime *is* the heartbeat; before the first write, the spawn time
+    stands in (forking and importing are not a hang).
+    """
+    try:
+        stamped = os.path.getmtime(shard_checkpoint_path_for(
+            task.segment_path))
+    except OSError:
+        stamped = 0.0
+    return now - max(stamped, spawned_at)
+
+
+def _chunk_at_death(task: _ShardTask) -> int:
+    """Which chunk a dead worker was on: the first one not checkpointed."""
+    try:
+        ckpt = ShardCheckpoint.load(
+            shard_checkpoint_path_for(task.segment_path))
+    except (FileNotFoundError, CheckpointError):
+        return 0
+    return ckpt.chunks_done
+
+
+def _quarantine_poison_chunk(task: _ShardTask, deaths: List[int]) -> Optional[str]:
+    """Record a chunk that killed every worker sent at it.
+
+    When a shard exhausts its restart budget dying at the *same* chunk, the
+    chunk's points are written to a ``<segment>.quarantine.json`` sidecar —
+    naming the poison instead of looping on it — and the campaign's
+    interruption message points operators at the file.
+    """
+    if len(deaths) < 2 or len(set(deaths)) != 1:
+        return None                     # deaths at different chunks: not poison
+    chunk = deaths[-1]
+    points = task.points[chunk * task.chunk_size:(chunk + 1) * task.chunk_size]
+    path = os.path.splitext(task.segment_path)[0] + ".quarantine.json"
+    payload = {
+        "format": "repro-poison-chunk",
+        "schema": 1,
+        "campaign": task.name,
+        "shard": task.shard,
+        "chunk": chunk,
+        "failures": len(deaths),
+        "points": [p.label() for p in points],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    obs.counter("repro_poison_chunks_total").inc()
+    return path
+
+
 def _drive_workers(tasks: List[_ShardTask], ctx,
-                   max_workers: Optional[int], shards: int) -> None:
-    """Run shard tasks on a bounded pool of forked workers (or inline)."""
+                   max_workers: Optional[int], shards: int, *,
+                   heartbeat_timeout_s: Optional[float] = None,
+                   max_restarts: int = 0,
+                   ) -> Tuple[dict, dict]:
+    """Run shard tasks on a bounded pool of forked workers (or inline).
+
+    The supervisor loop: spawn up to the pool limit, block on the workers'
+    sentinels (with a timeout when the watchdog is on), SIGKILL any worker
+    whose checkpoint heartbeat has gone stale, and respawn dead workers up
+    to *max_restarts* per shard.  Returns ``(restarts, quarantined)`` —
+    respawn counts per shard, and poison-chunk sidecar paths per shard
+    that exhausted its budget dying at one chunk.
+    """
+    restarts: dict = {task.shard: 0 for task in tasks}
+    quarantined: dict = {}
     if not tasks:
-        return
+        return restarts, quarantined
     if ctx is None:                     # pragma: no cover - non-POSIX hosts
         for task in tasks:
             try:
                 _shard_worker(task)
             except BaseException:
                 pass                    # recorded in the shard checkpoint
-        return
+        return restarts, quarantined
     limit = max_workers if max_workers is not None \
         else min(shards, max(2, os.cpu_count() or 1))
     limit = max(1, limit)
+    poll = None if heartbeat_timeout_s is None \
+        else min(max(heartbeat_timeout_s / 4.0, 0.05), 5.0)
     pending = list(tasks)
-    running: List = []
+    running: dict = {}                  # proc -> (task, spawn time)
+    death_chunks: dict = {}             # shard -> chunk index per death
     while pending or running:
         while pending and len(running) < limit:
             task = pending.pop(0)
             proc = ctx.Process(target=_shard_worker_entry, args=(task,),
                                name=f"repro-shard-{task.shard}")
             proc.start()
-            running.append(proc)
+            running[proc] = (task, _time.time())
         multiprocessing.connection.wait(
-            [proc.sentinel for proc in running])
-        still = []
-        for proc in running:
+            [proc.sentinel for proc in running], timeout=poll)
+        now = _time.time()
+        for proc in list(running):
+            task, spawned_at = running[proc]
             if proc.is_alive():
-                still.append(proc)
+                if heartbeat_timeout_s is None or _heartbeat_age(
+                        task, spawned_at, now) <= heartbeat_timeout_s:
+                    continue
+                # a hung worker: the sentinel will never fire, so kill it
+                # and let the death path below decide about a respawn
+                obs.counter("repro_worker_stalled_total",
+                            shard=str(task.shard)).inc()
+                proc.kill()
+            proc.join()
+            del running[proc]
+            if proc.exitcode == 0:
+                continue
+            death_chunks.setdefault(task.shard, []).append(
+                _chunk_at_death(task))
+            if restarts[task.shard] < max_restarts:
+                restarts[task.shard] += 1
+                obs.counter("repro_worker_restart_total",
+                            shard=str(task.shard)).inc()
+                # the respawn resumes from the segment: committed records
+                # dedup as store hits, so a death costs at most one chunk
+                pending.append(task)
             else:
-                proc.join()
-        running = still
+                path = _quarantine_poison_chunk(
+                    task, death_chunks[task.shard])
+                if path is not None:
+                    quarantined[task.shard] = path
+    return restarts, quarantined
 
 
 def _corroborate(run: ShardedCampaignRun, canonical: ResultStore,
@@ -833,7 +935,6 @@ __all__ = [
     "FIDELITIES",
     "SHARD_STRATEGIES",
     "CampaignInterrupted",
-    "ShardFault",
     "ShardOutcome",
     "ShardedCampaignRun",
     "partition_key",

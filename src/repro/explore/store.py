@@ -15,7 +15,16 @@ framework itself.  The :class:`ResultStore` is a JSONL file:
   canonical scenario (plus evaluation mode and, for ad-hoc programs, the
   source text), so the same scenario always maps to the same key, across
   processes and across PRs, and a re-run hits the store instead of
-  re-evaluating.
+  re-evaluating,
+* **self-repairing** — a torn *tail* (death mid-append) is truncated away
+  on load; an unparseable *mid-file* record is quarantined to a
+  ``<store>.quarantine.jsonl`` sidecar and compacted out of the main file,
+  so one bad line never poisons every later load.
+
+Appends carry the ``store.append`` :mod:`repro.faults` injection site
+(fired under the advisory lock, so crash-between-lock-and-append is
+testable) and retry transient I/O failures through
+:func:`repro.faults.retry_call`.
 """
 
 from __future__ import annotations
@@ -26,14 +35,14 @@ import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterator, List, Mapping
 
 try:                                    # POSIX advisory file locking
     import fcntl
 except ImportError:                     # pragma: no cover - non-POSIX hosts
     fcntl = None  # type: ignore[assignment]
 
-from .. import obs
+from .. import faults, obs
 from ..frontend.errors import ReproError
 from .space import ScenarioPoint
 
@@ -49,6 +58,12 @@ class StoreError(ReproError):
 
 class StoreSchemaError(StoreError):
     """Raised when a store file's schema version is not supported."""
+
+
+def quarantine_path_for(store_path: str) -> str:
+    """Where a store's quarantined (unparseable mid-file) records land."""
+    root, _ext = os.path.splitext(os.fspath(store_path))
+    return root + ".quarantine.jsonl"
 
 
 def program_sha(source: str) -> str:
@@ -178,8 +193,10 @@ class ResultStore:
         True
 
     Raises:
-        StoreError: the path exists but is not a result-store file, or a
-            non-header line is unreadable mid-file.
+        StoreError: the path exists but is not a result-store file.
+            (Unreadable *record* lines no longer raise: a torn tail is
+            truncated, and corrupt mid-file lines are quarantined to
+            ``<store>.quarantine.jsonl`` and compacted out.)
         StoreSchemaError: the file's schema version is unsupported.
     """
 
@@ -238,19 +255,30 @@ class ResultStore:
                 f"{self.path}: store schema {header.get('schema')!r} is not "
                 f"supported (this build reads schema {STORE_SCHEMA_VERSION}); "
                 f"move the file aside or migrate it")
+        kept: List[str] = []            # verbatim good record lines
+        quarantined: List[str] = []
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
             try:
                 record = json.loads(line)
+                result = ScenarioResult.from_record(record)
             except json.JSONDecodeError:
                 if lineno == len(lines):      # torn final line: interrupted run
-                    self._truncate_torn_tail(fh, content, line)
+                    if not quarantined:       # cheap repair: cut the tail only
+                        self._truncate_torn_tail(fh, content, line)
                     break
-                raise StoreError(
-                    f"{self.path}:{lineno}: corrupt record mid-file") from None
-            result = ScenarioResult.from_record(record)
+                quarantined.append(line)
+                continue
+            except Exception:
+                # valid JSON but not a result record (wrong/missing fields):
+                # just as poisonous as a torn line, so it goes the same way
+                quarantined.append(line)
+                continue
+            kept.append(line)
             self._index[str(record.get("key", result.key))] = result
+        if quarantined:
+            self._quarantine(fh, lines[0], kept, quarantined)
         obs.counter("repro_store_resume_records_total",
                     store=os.path.basename(self.path)).inc(len(self._index))
 
@@ -264,6 +292,27 @@ class ResultStore:
         fragment = torn_line + ("\n" if content.endswith("\n") else "")
         keep = len(content.encode("utf-8")) - len(fragment.encode("utf-8"))
         fh.truncate(max(keep, 0))
+
+    def _quarantine(self, fh, header_line: str, kept: List[str],
+                    quarantined: List[str]) -> None:
+        """Move unparseable mid-file records to the sidecar and compact.
+
+        The bad lines are appended verbatim to ``<store>.quarantine.jsonl``
+        (nothing is ever silently destroyed) and the main file is rewritten
+        in place — header plus the kept records, byte-for-byte — on the
+        loader's already-locked handle, so concurrent writers on the same
+        advisory lock never observe the compaction mid-flight.
+        """
+        with open(quarantine_path_for(self.path), "a", encoding="utf-8") as q:
+            for line in quarantined:
+                q.write(line + "\n")
+        data = "".join(line + "\n" for line in [header_line] + kept)
+        fh.seek(0)
+        fh.write(data.encode("utf-8"))
+        fh.truncate()
+        fh.flush()
+        obs.counter("repro_store_quarantined_total",
+                    store=os.path.basename(self.path)).inc(len(quarantined))
 
     # -- writing ------------------------------------------------------------
 
@@ -304,23 +353,36 @@ class ResultStore:
                             store=os.path.basename(self.path)).inc()
                 return False
             line = json.dumps(result.to_record(), sort_keys=True) + "\n"
-            with open(self.path, "a+b") as fh:
-                with self._advisory_lock(fh):
-                    # never land on a line that lost its newline (e.g. a final
-                    # record whose terminator was cut): two records on one line
-                    # would read as a torn tail on the next load and both would
-                    # be dropped
-                    fh.seek(0, os.SEEK_END)
-                    if fh.tell() > 0:
-                        fh.seek(-1, os.SEEK_END)
-                        if fh.read(1) != b"\n":
-                            fh.write(b"\n")
-                    fh.write(line.encode("utf-8"))
-                    fh.flush()
+            # transient I/O failures (and injected transient faults) get a
+            # bounded, jittered retry before the append is declared dead
+            faults.retry_call(lambda: self._locked_append(line),
+                              site="store.append")
             self._index[key] = result
             obs.counter("repro_store_appends_total",
                         store=os.path.basename(self.path)).inc()
         return True
+
+    def _locked_append(self, line: str) -> None:
+        """One locked append attempt; the ``store.append`` injection site."""
+        with open(self.path, "a+b") as fh:
+            with self._advisory_lock(fh):
+                # the site fires *inside* the lock, so a planned crash here
+                # is exactly "died between taking the lock and appending"
+                action = faults.fire("store.append",
+                                     store=os.path.basename(self.path))
+                # never land on a line that lost its newline (e.g. a final
+                # record whose terminator was cut): two records on one line
+                # would read as a torn tail on the next load and both would
+                # be dropped
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+                if action is not None and action.action == "torn_write":
+                    faults.torn_write_and_die(fh, action)
+                fh.write(line.encode("utf-8"))
+                fh.flush()
 
     # -- lookup -------------------------------------------------------------
 

@@ -1,0 +1,157 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+The failure twin of :mod:`repro.obs`: a no-op unless a
+:class:`FaultPlan` is installed, at which point named injection sites
+across the stack (``store.append``, ``checkpoint.write``, ``shard.chunk``,
+``serve.compute``) start executing the plan's crash / delay / exception /
+torn-write actions at their planned invocation indices.  Disabled, a site
+costs one module-global read — the same discipline as the obs no-op
+singleton, and pinned by the same ≤3% overhead benchmarks.
+
+Activate with the ``REPRO_FAULTS`` environment variable (a plan-file path,
+or inline JSON starting with ``{``) or programmatically:
+
+>>> import repro.faults as faults
+>>> faults.clear()
+>>> faults.enabled()
+False
+>>> faults.fire("store.append", store="x.jsonl") is None   # no-op fast path
+True
+>>> plan = faults.FaultPlan(actions=(
+...     faults.FaultAction(site="store.append", action="exception", index=1),))
+>>> faults.install(plan)
+>>> faults.fire("store.append", store="x.jsonl") is None   # invocation 0
+True
+>>> try:                                                    # invocation 1
+...     faults.fire("store.append", store="x.jsonl")
+... except faults.InjectedFault:
+...     print("fired")
+fired
+>>> faults.fire("store.append", store="x.jsonl") is None   # fire-once
+True
+>>> faults.clear()
+
+The resilience layer the injections exercise lives next door:
+:func:`retry_call` (bounded backoff+jitter), the serve deadlines and load
+shedding in :mod:`repro.serve`, and the shard-worker watchdog in
+:mod:`repro.explore.sharding`.  See ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Set
+
+from .inject import FaultInjector, InjectedFault, torn_write_and_die
+from .plan import (
+    ACTIONS,
+    PLAN_FORMAT,
+    PLAN_SCHEMA_VERSION,
+    SITES,
+    TORN_FRAGMENT,
+    FaultAction,
+    FaultError,
+    FaultPlan,
+)
+from .retry import (
+    TRANSIENT_ERRORS,
+    reset_retry_stats,
+    retry_call,
+    retry_total,
+)
+
+ENV_VAR = "REPRO_FAULTS"
+
+_injector: Optional[FaultInjector] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install *plan*; every later :func:`fire` runs against it."""
+    global _injector
+    if not isinstance(plan, FaultPlan):
+        raise FaultError(
+            f"install() takes a FaultPlan, got {type(plan).__name__}")
+    _injector = FaultInjector(plan)
+
+
+def clear() -> None:
+    """Remove any installed plan; sites return to the no-op fast path."""
+    global _injector
+    _injector = None
+
+
+def enabled() -> bool:
+    return _injector is not None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _injector.plan if _injector is not None else None
+
+
+def fire(site: str, **context) -> Optional[FaultAction]:
+    """One invocation of *site*.  The instrumentation-site entry point.
+
+    Returns ``None`` on the (overwhelmingly common) nothing-fires path.
+    A due ``torn_write`` action is *returned* for the site to execute
+    (see :func:`torn_write_and_die`); ``crash`` / ``delay`` / ``exception``
+    are executed here.
+    """
+    injector = _injector
+    if injector is None:
+        return None
+    return injector.fire(site, context)
+
+
+def fired() -> Set[str]:
+    """Ids of actions that have fired (ledger-wide when the plan has one)."""
+    return _injector.fired() if _injector is not None else set()
+
+
+def injected_total() -> int:
+    """Actions executed by this process's injector (plain int; obs-free)."""
+    return _injector.injected_total if _injector is not None else 0
+
+
+def site_counts() -> Dict[str, int]:
+    """Per-site invocation counts seen by this process's injector."""
+    return _injector.site_counts() if _injector is not None else {}
+
+
+def _install_from_env(environ=os.environ) -> None:
+    value = environ.get(ENV_VAR, "").strip()
+    if not value:
+        return
+    plan = FaultPlan.loads(value) if value.startswith("{") \
+        else FaultPlan.load(value)
+    install(plan)
+
+
+_install_from_env()
+
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "PLAN_FORMAT",
+    "PLAN_SCHEMA_VERSION",
+    "SITES",
+    "TORN_FRAGMENT",
+    "TRANSIENT_ERRORS",
+    "FaultAction",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "enabled",
+    "fire",
+    "fired",
+    "injected_total",
+    "install",
+    "reset_retry_stats",
+    "retry_call",
+    "retry_total",
+    "site_counts",
+    "torn_write_and_die",
+]

@@ -1,0 +1,159 @@
+"""The injector: per-site invocation counting, matching, fire-once ledgers.
+
+:meth:`FaultInjector.fire` is the runtime of one installed
+:class:`~repro.faults.plan.FaultPlan`.  Each call counts one invocation of
+a site; an action whose matched-invocation index comes up is *claimed*
+(through the cross-process ledger when the plan has one) and executed:
+
+* ``crash``      — SIGKILL this process, immediately;
+* ``delay``      — sleep ``delay_s`` (a hang, to any watchdog watching);
+* ``exception``  — raise :class:`InjectedFault` (transient; the retry
+  layer in :mod:`repro.faults.retry` treats it as retryable);
+* ``torn_write`` — *return the action* so the site itself writes the torn
+  fragment and dies; only the site knows what a half-written record of its
+  format looks like.
+
+Claiming happens **before** executing, so a crash can never re-fire after
+a watchdog respawn: the respawned worker deterministically re-reaches the
+same invocation index, finds the action already in the ledger, and sails
+past it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from fnmatch import fnmatch
+from typing import Dict, Mapping, Optional, Set
+
+try:                                    # POSIX advisory locking for the ledger
+    import fcntl
+except ImportError:                     # pragma: no cover - non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
+from .. import obs
+from ..frontend.errors import ReproError
+from .plan import FaultAction, FaultPlan
+
+
+class InjectedFault(ReproError):
+    """The ``exception`` action: a deterministic, transient, retryable fault."""
+
+
+def _matches(patterns: Mapping[str, str], context: Mapping[str, object]) -> bool:
+    for key, pattern in patterns.items():
+        if key not in context or not fnmatch(str(context[key]), pattern):
+            return False
+    return True
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan`; one instance per installation."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._site_counts: Dict[str, int] = {}
+        self._seen = [0] * len(plan.actions)    # matched invocations, per action
+        self._fired_local: Set[str] = set()
+        self.injected_total = 0
+
+    # -- the hot path --------------------------------------------------------
+
+    def fire(self, site: str, context: Mapping[str, object]
+             ) -> Optional[FaultAction]:
+        """Count one invocation of *site*; execute at most one due action."""
+        claimed: Optional[FaultAction] = None
+        with self._lock:
+            self._site_counts[site] = self._site_counts.get(site, 0) + 1
+            for pos, action in enumerate(self.plan.actions):
+                if action.site != site or not _matches(action.match, context):
+                    continue
+                seen, self._seen[pos] = self._seen[pos], self._seen[pos] + 1
+                if action.index is not None and action.index != seen:
+                    continue
+                if claimed is None and self._claim(pos, action):
+                    claimed = action
+        if claimed is None:
+            return None
+        return self._execute(claimed, site)
+
+    # -- fire-once bookkeeping ----------------------------------------------
+
+    @staticmethod
+    def _action_id(pos: int, action: FaultAction) -> str:
+        return f"{pos}:{action.site}:{action.action}"
+
+    def _claim(self, pos: int, action: FaultAction) -> bool:
+        """True exactly once per action, across every process on the ledger."""
+        aid = self._action_id(pos, action)
+        if aid in self._fired_local:
+            return False
+        if self.plan.ledger is None:
+            self._fired_local.add(aid)
+            return True
+        with open(self.plan.ledger, "a+", encoding="utf-8") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.seek(0)
+                fired = {line.strip() for line in fh if line.strip()}
+                self._fired_local |= fired
+                if aid in fired:
+                    return False
+                fh.seek(0, os.SEEK_END)
+                fh.write(aid + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        self._fired_local.add(aid)
+        return True
+
+    def fired(self) -> Set[str]:
+        """Action ids that fired (this process + everything on the ledger)."""
+        fired = set(self._fired_local)
+        if self.plan.ledger is not None and os.path.exists(self.plan.ledger):
+            with open(self.plan.ledger, encoding="utf-8") as fh:
+                fired |= {line.strip() for line in fh if line.strip()}
+        return fired
+
+    def site_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._site_counts)
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, action: FaultAction, site: str
+                 ) -> Optional[FaultAction]:
+        self.injected_total += 1
+        obs.counter("repro_fault_injected_total",
+                    site=site, action=action.action).inc()
+        if action.action == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if action.action == "delay":
+            time.sleep(action.delay_s)
+            return None
+        if action.action == "exception":
+            raise InjectedFault(f"{site}: {action.message}")
+        return action                    # torn_write: the site tears and dies
+
+
+def torn_write_and_die(fh, action: FaultAction) -> None:
+    """Write *action*'s torn fragment to *fh* and SIGKILL this process.
+
+    The shared tail of every ``torn_write`` site: flush + fsync first, so
+    the partial record is really on disk when the process dies — exactly
+    what a power-cut mid-``write`` leaves behind.
+    """
+    fh.write(action.fragment.encode("utf-8")
+             if "b" in getattr(fh, "mode", "b") else action.fragment)
+    fh.flush()
+    os.fsync(fh.fileno())
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+__all__ = ["FaultInjector", "InjectedFault", "torn_write_and_die"]

@@ -1,0 +1,267 @@
+"""Deterministic fault plans: what to break, where, and on which invocation.
+
+A :class:`FaultPlan` is a small, serialisable description of failures to
+inject into a run: each :class:`FaultAction` names an injection **site**
+(one of :data:`SITES`, e.g. ``store.append``), an **action** (one of
+:data:`ACTIONS`: ``crash`` / ``delay`` / ``exception`` / ``torn_write``),
+and the per-process **invocation index** at which it fires — so the same
+plan replays the same failure at the same point of the same run, every
+time.  ``match`` narrows an action to invocations whose context matches
+(``fnmatch`` patterns against the keyword context the site passes to
+:func:`repro.faults.fire`), e.g. only appends to one shard's segment.
+
+Plans are JSON round-trippable (:meth:`FaultPlan.dumps` /
+:meth:`FaultPlan.loads`) so they can ride the ``REPRO_FAULTS``
+environment variable into forked workers and subprocesses, and
+:meth:`FaultPlan.storm` derives a seeded four-failure storm — one crash,
+one hang, one transient exception, one torn write, across four distinct
+sites — for chaos tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from math import isfinite
+from random import Random
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..frontend.errors import ReproError
+
+PLAN_FORMAT = "repro-fault-plan"
+PLAN_SCHEMA_VERSION = 1
+
+#: Named injection sites wired into the stack.  ``store.append`` fires under
+#: the store's advisory lock (just before the record is written),
+#: ``checkpoint.write`` before a checkpoint's temp-file write,
+#: ``shard.chunk`` at the top of each shard-worker chunk, and
+#: ``serve.compute`` inside the serve worker pool's predict computation.
+SITES = ("store.append", "checkpoint.write", "shard.chunk", "serve.compute")
+
+#: What an action does when it fires: ``crash`` SIGKILLs the process,
+#: ``delay`` sleeps ``delay_s`` (a hang, from the watchdog's point of view),
+#: ``exception`` raises a transient :class:`~repro.faults.InjectedFault`
+#: (exercising the retry layer), and ``torn_write`` makes the site write a
+#: partial record and then SIGKILL itself (death mid-``write``).
+ACTIONS = ("crash", "delay", "exception", "torn_write")
+
+#: The default torn fragment — an unterminated record prefix, exactly the
+#: shape a process killed mid-append leaves behind.
+TORN_FRAGMENT = '{"key": "torn-by-fault-injection", "mode": "pre'
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault plans or unloadable plan files."""
+
+
+@dataclass
+class FaultAction:
+    """One planned failure: *action* at *site*, on matched invocation *index*.
+
+    ``index`` counts, per process, the invocations of ``site`` whose context
+    matches ``match`` (all invocations when ``match`` is empty); ``None``
+    fires on the first matching invocation.  Every action fires **at most
+    once per plan installation** — a plan with a ledger file extends that
+    guarantee across processes and respawns (see :class:`FaultPlan`).
+    """
+
+    site: str
+    action: str
+    index: Optional[int] = None
+    delay_s: float = 0.0                  # "delay" only: how long to hang
+    message: str = "injected transient fault"   # "exception" only
+    fragment: str = TORN_FRAGMENT         # "torn_write" only
+    match: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultError(
+                f"FaultAction.site {self.site!r} is not a known injection "
+                f"site; known sites: {SITES}")
+        if self.action not in ACTIONS:
+            raise FaultError(
+                f"FaultAction.action {self.action!r} is not a known action; "
+                f"known actions: {ACTIONS}")
+        if self.index is not None and (
+                isinstance(self.index, bool) or not isinstance(self.index, int)
+                or self.index < 0):
+            raise FaultError(
+                f"FaultAction.index must be None or an int >= 0, "
+                f"got {self.index!r}")
+        if isinstance(self.delay_s, bool) \
+                or not isinstance(self.delay_s, (int, float)) \
+                or not isfinite(self.delay_s) or self.delay_s < 0:
+            raise FaultError(
+                f"FaultAction.delay_s must be a finite number >= 0, "
+                f"got {self.delay_s!r}")
+        if not isinstance(self.fragment, str) or not self.fragment:
+            raise FaultError(
+                f"FaultAction.fragment must be a non-empty string, "
+                f"got {self.fragment!r}")
+        if not isinstance(self.match, Mapping) or any(
+                not isinstance(k, str) for k in self.match):
+            raise FaultError(
+                f"FaultAction.match must map str -> str pattern, "
+                f"got {self.match!r}")
+        self.match = {k: str(v) for k, v in self.match.items()}
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "FaultAction":
+        if not isinstance(payload, Mapping):
+            raise FaultError(
+                f"fault action must be a JSON object, got "
+                f"{type(payload).__name__}")
+        known = {"site", "action", "index", "delay_s", "message",
+                 "fragment", "match"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultError(
+                f"unknown fault-action field(s) {unknown}; "
+                f"valid fields: {sorted(known)}")
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise FaultError(f"malformed fault action ({exc})") from None
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of :class:`FaultAction`\\ s plus fire-once state.
+
+    ``ledger`` names an append-only file recording which actions already
+    fired; sharing one ledger across the coordinator and its (re)spawned
+    workers is what makes a ``crash`` action fire exactly once campaign-wide
+    — without it, a respawned worker would deterministically re-reach the
+    same invocation index and die again, forever.
+    """
+
+    actions: Tuple[FaultAction, ...] = ()
+    seed: int = 0
+    ledger: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.actions, FaultAction):
+            self.actions = (self.actions,)
+        try:
+            self.actions = tuple(self.actions)
+        except TypeError:
+            raise FaultError(
+                f"FaultPlan.actions must be a sequence of FaultAction, "
+                f"got {self.actions!r}") from None
+        for action in self.actions:
+            if not isinstance(action, FaultAction):
+                raise FaultError(
+                    f"FaultPlan.actions entries must be FaultAction, "
+                    f"got {action!r}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise FaultError(
+                f"FaultPlan.seed must be an int, got {self.seed!r}")
+        if self.ledger is not None and (
+                not isinstance(self.ledger, str) or not self.ledger):
+            raise FaultError(
+                f"FaultPlan.ledger must be None or a non-empty path, "
+                f"got {self.ledger!r}")
+
+    # -- JSON round trip -----------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "format": PLAN_FORMAT,
+            "schema": PLAN_SCHEMA_VERSION,
+            "seed": self.seed,
+            "ledger": self.ledger,
+            "actions": [a.to_json() for a in self.actions],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    def dump(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps() + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "FaultPlan":
+        if not isinstance(payload, Mapping) \
+                or payload.get("format") != PLAN_FORMAT:
+            raise FaultError(
+                f"not a {PLAN_FORMAT} payload (format="
+                f"{payload.get('format') if isinstance(payload, Mapping) else None!r})")
+        schema = payload.get("schema")
+        if not isinstance(schema, int) or schema < 1 \
+                or schema > PLAN_SCHEMA_VERSION:
+            raise FaultError(
+                f"unsupported fault-plan schema {schema!r} "
+                f"(this build reads <= {PLAN_SCHEMA_VERSION})")
+        actions = payload.get("actions", [])
+        if not isinstance(actions, (list, tuple)):
+            raise FaultError(
+                f"fault-plan 'actions' must be a list, got {actions!r}")
+        return cls(
+            actions=tuple(FaultAction.from_json(a) for a in actions),
+            seed=payload.get("seed", 0),
+            ledger=payload.get("ledger"))
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan is not valid JSON ({exc})") from None
+        return cls.from_json(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan {path!r}: {exc}") from None
+        return cls.loads(text)
+
+    # -- the seeded storm ----------------------------------------------------
+
+    @classmethod
+    def storm(cls, seed: int, *, hang_s: float = 30.0, max_index: int = 4,
+              ledger: Optional[str] = None) -> "FaultPlan":
+        """A seeded four-failure storm across four distinct sites.
+
+        One crash (``shard.chunk``), one hang (``checkpoint.write``, matched
+        to *shard* checkpoints so the coordinator's own campaign-checkpoint
+        writes are never the victim), one transient exception
+        (``serve.compute``), and one torn write (``store.append``, matched
+        to shard *segments* so the coordinator's merge appends are safe) —
+        the destructive actions land only at sites that run in expendable
+        forked workers.  Indices derive from *seed*; the same seed replays
+        the same storm.
+        """
+        rng = Random(seed)
+        return cls(seed=seed, ledger=ledger, actions=(
+            FaultAction(site="shard.chunk", action="crash",
+                        index=rng.randrange(max_index)),
+            FaultAction(site="checkpoint.write", action="delay",
+                        delay_s=hang_s, index=rng.randrange(max_index),
+                        match={"path": "*.shard-*.checkpoint.json"}),
+            FaultAction(site="serve.compute", action="exception",
+                        index=rng.randrange(max_index),
+                        message=f"storm(seed={seed}) transient"),
+            FaultAction(site="store.append", action="torn_write",
+                        index=rng.randrange(max_index),
+                        match={"store": "*.shard-*.jsonl"}),
+        ))
+
+
+__all__ = [
+    "ACTIONS",
+    "PLAN_FORMAT",
+    "PLAN_SCHEMA_VERSION",
+    "SITES",
+    "TORN_FRAGMENT",
+    "FaultAction",
+    "FaultError",
+    "FaultPlan",
+]

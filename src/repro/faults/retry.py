@@ -1,0 +1,74 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The recovery half of the fault framework: transient failures — an
+:class:`~repro.faults.inject.InjectedFault` from an ``exception`` action,
+or a real ``OSError`` from a flaky filesystem — are retried a bounded
+number of times with exponentially growing, jittered sleeps, then
+re-raised.  Every retry is counted (``repro_retry_total{site=...}`` plus a
+plain process-local total that stays visible with obs disabled), so chaos
+tests can reconcile retries against the plan that caused them.
+
+Jitter is *deterministic* (seeded from ``site`` and the attempt number):
+the repo's replayability discipline extends to its failure handling.
+"""
+
+from __future__ import annotations
+
+import time
+from random import Random
+from typing import Callable, Tuple, Type, TypeVar
+
+from .. import obs
+from .inject import InjectedFault
+
+T = TypeVar("T")
+
+#: What counts as transient by default: injected faults and OS-level I/O
+#: errors.  Anything else propagates immediately — retrying a logic error
+#: only repeats it.
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (InjectedFault, OSError)
+
+_retry_total = 0
+
+
+def retry_total() -> int:
+    """Retries performed by this process since start / last reset."""
+    return _retry_total
+
+
+def reset_retry_stats() -> None:
+    global _retry_total
+    _retry_total = 0
+
+
+def retry_call(fn: Callable[[], T], *, site: str, retries: int = 2,
+               base_delay_s: float = 0.01, max_delay_s: float = 0.25,
+               transient: Tuple[Type[BaseException], ...] = TRANSIENT_ERRORS,
+               ) -> T:
+    """Call *fn*, retrying transient failures up to *retries* times.
+
+    Backoff doubles from *base_delay_s* up to *max_delay_s*, scaled by a
+    deterministic jitter in ``[0.5, 1.5)`` keyed on ``(site, attempt)``.
+    The final failure re-raises the original exception unchanged.
+    """
+    global _retry_total
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except transient:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            _retry_total += 1
+            obs.counter("repro_retry_total", site=site).inc()
+            delay = min(max_delay_s, base_delay_s * (2 ** (attempt - 1)))
+            delay *= 0.5 + Random(f"{site}:{attempt}").random()
+            if delay > 0:
+                time.sleep(delay)
+
+
+__all__ = ["TRANSIENT_ERRORS", "retry_call", "retry_total",
+           "reset_retry_stats"]

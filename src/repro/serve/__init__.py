@@ -10,7 +10,13 @@ performance model as network endpoints:
 * ``POST /campaign`` — a declarative sweep, sized-capped per server,
 * ``GET /metrics`` — Prometheus exposition of the ``repro.obs``
   registry,
-* ``GET /healthz`` — liveness and capacity gauges.
+* ``GET /healthz`` — liveness (``ok`` | ``degraded``) and capacity
+  gauges.
+
+Resilience (``docs/resilience.md``): per-request deadlines (504 +
+``Retry-After`` when ``ServeOptions.request_deadline_ms`` expires),
+queue-depth load shedding (503 above ``ServeOptions.queue_max``),
+transient-failure retries around compute, and graceful drain on stop.
 
 Quick start::
 
@@ -24,7 +30,9 @@ or from a shell: ``python -m repro.serve --port 8455 --store runs.jsonl``.
 """
 
 from .errors import (
+    DeadlineExceededError,
     MethodNotAllowedError,
+    OverloadedError,
     PayloadTooLargeError,
     ProtocolError,
     ServeError,
@@ -43,7 +51,9 @@ from .server import ReproServer, ServerThread, run
 __all__ = [
     "AdviseRequest",
     "CampaignRequest",
+    "DeadlineExceededError",
     "MethodNotAllowedError",
+    "OverloadedError",
     "PayloadTooLargeError",
     "PredictRequest",
     "PredictionService",

@@ -9,6 +9,20 @@ once, and awaits the batch together.  Each dispatched batch is observable
 as one unit — a ``serve_batch`` span, batch-size counters, and (through
 the service's ``on_batch`` hook) a per-request-batch ``repro.obs``
 manifest stamped next to the result store.
+
+The queue is also the server's pressure valve (see ``docs/resilience.md``):
+
+* :meth:`~BatchQueue.submit` **sheds** new work with
+  :class:`~repro.serve.errors.OverloadedError` when the queue already
+  holds ``queue_max`` pending items or the queue is draining for
+  shutdown — better an honest 503 than an unbounded backlog;
+* every queued item may carry a **deadline** (``time.monotonic()``
+  stamp); work whose deadline passed while it waited is dropped at
+  dispatch time with :class:`~repro.serve.errors.DeadlineExceededError`
+  instead of burning a worker on an answer nobody is waiting for;
+* :meth:`~BatchQueue.stop` *drains*: submissions are rejected
+  immediately, but work already accepted is dispatched and completed
+  (up to ``drain_timeout_s``) before the collector is cancelled.
 """
 
 from __future__ import annotations
@@ -19,10 +33,15 @@ from concurrent.futures import Executor
 from typing import Any, Callable, List, Optional, Tuple
 
 from .. import obs
+from .errors import DeadlineExceededError, OverloadedError
 
 #: ``on_batch(items, results, wall_s)`` — results holds per-item outcomes
 #: (a payload or the exception the worker raised).
 BatchHook = Callable[[List[Any], List[Any], float], None]
+
+#: ``on_shed(reason)`` — called whenever submit/dispatch drops work
+#: (``queue_full`` | ``stopped`` | ``deadline``).
+ShedHook = Callable[[str], None]
 
 
 class BatchQueue:
@@ -30,19 +49,28 @@ class BatchQueue:
 
     def __init__(self, *, worker: Callable[[Any], Any], executor: Executor,
                  batch_max: int = 32, batch_window_s: float = 0.002,
-                 on_batch: Optional[BatchHook] = None):
+                 queue_max: int = 1024,
+                 on_batch: Optional[BatchHook] = None,
+                 on_shed: Optional[ShedHook] = None):
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if queue_max < 1:
+            raise ValueError(f"queue_max must be >= 1, got {queue_max}")
         self._worker = worker
         self._executor = executor
         self._batch_max = batch_max
         self._window_s = max(batch_window_s, 0.0)
+        self._queue_max = queue_max
         self._on_batch = on_batch
-        self._queue: "asyncio.Queue[Tuple[Any, asyncio.Future]]" = \
+        self._on_shed = on_shed
+        self._queue: "asyncio.Queue[Tuple[Any, asyncio.Future, Optional[float]]]" = \
             asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
         self._closed = False
+        self._dispatching = False
         self.batches_dispatched = 0
+        self.shed_total = 0       # queue_full + stopped rejections
+        self.expired_total = 0    # deadline-expired drops at dispatch
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -52,8 +80,22 @@ class BatchQueue:
             self._task = asyncio.get_running_loop().create_task(
                 self._collect(), name="repro-serve-batcher")
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain: bool = True,
+                   drain_timeout_s: float = 10.0) -> None:
+        """Stop the collector; with *drain*, finish accepted work first.
+
+        New submissions are rejected (503) from the moment this is
+        called; already-queued and in-flight work is given
+        *drain_timeout_s* seconds to complete before the collector is
+        cancelled and any leftovers are failed with
+        :class:`OverloadedError`.
+        """
         self._closed = True
+        if drain and self._task is not None:
+            deadline = time.monotonic() + max(drain_timeout_s, 0.0)
+            while ((not self._queue.empty() or self._dispatching)
+                   and time.monotonic() < deadline):
+                await asyncio.sleep(0.005)
         if self._task is not None:
             task, self._task = self._task, None
             task.cancel()
@@ -62,27 +104,57 @@ class BatchQueue:
             except asyncio.CancelledError:
                 pass
         while not self._queue.empty():
-            _item, future = self._queue.get_nowait()
+            _item, future, _deadline = self._queue.get_nowait()
             if not future.done():
+                self._shed("stopped")
                 future.set_exception(
-                    RuntimeError("serve batch queue stopped"))
+                    OverloadedError("serve batch queue stopped"))
 
     # -- submission ---------------------------------------------------------
 
-    async def submit(self, item: Any) -> Any:
-        """Enqueue *item* and await its worker result."""
+    @property
+    def queue_depth(self) -> int:
+        """Pending (not yet dispatched) items — the health probe's gauge."""
+        return self._queue.qsize()
+
+    async def submit(self, item: Any,
+                     deadline: Optional[float] = None) -> Any:
+        """Enqueue *item* and await its worker result.
+
+        *deadline* is an absolute ``time.monotonic()`` stamp; ``None``
+        means the item waits as long as it takes.  Raises
+        :class:`OverloadedError` when the queue is full or draining.
+        """
         if self._closed or self._task is None:
-            raise RuntimeError("serve batch queue is not running")
+            self._shed("stopped")
+            raise OverloadedError("serve batch queue is not accepting work "
+                                  "(stopped or draining)")
+        if self._queue.qsize() >= self._queue_max:
+            self._shed("queue_full")
+            raise OverloadedError(
+                f"serve batch queue is full ({self._queue_max} pending)")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((item, future))
+        self._queue.put_nowait((item, future, deadline))
         return await future
+
+    def _shed(self, reason: str) -> None:
+        if reason == "deadline":
+            self.expired_total += 1
+        else:
+            self.shed_total += 1
+        obs.counter("repro_shed_total", reason=reason).inc()
+        if self._on_shed is not None:
+            try:
+                self._on_shed(reason)
+            except Exception:
+                pass  # pressure bookkeeping must never break the queue
 
     # -- the collector ------------------------------------------------------
 
     async def _collect(self) -> None:
         while True:
-            item, future = await self._queue.get()
-            batch = [(item, future)]
+            entry = await self._queue.get()
+            batch = [entry]
             # the window: let a herd of concurrent misses pile into this
             # batch instead of paying one dispatch each
             deadline = time.monotonic() + self._window_s
@@ -98,23 +170,42 @@ class BatchQueue:
                         self._queue.get(), timeout))
                 except asyncio.TimeoutError:
                     break
-            await self._dispatch(batch)
+            self._dispatching = True
+            try:
+                await self._dispatch(batch)
+            finally:
+                self._dispatching = False
 
-    async def _dispatch(self,
-                        batch: List[Tuple[Any, asyncio.Future]]) -> None:
+    async def _dispatch(
+            self,
+            batch: List[Tuple[Any, asyncio.Future, Optional[float]]]) -> None:
+        # shed work whose deadline passed while it sat in the queue: its
+        # requester has already been told 504, computing would be waste
+        now = time.monotonic()
+        live: List[Tuple[Any, asyncio.Future, Optional[float]]] = []
+        for item, future, item_deadline in batch:
+            if item_deadline is not None and now >= item_deadline:
+                self._shed("deadline")
+                if not future.done():
+                    future.set_exception(DeadlineExceededError(
+                        "request deadline expired while queued"))
+                continue
+            live.append((item, future, item_deadline))
+        if not live:
+            return
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
         self.batches_dispatched += 1
         obs.counter("repro_serve_batches_total").inc()
         obs.histogram("repro_serve_batch_size",
                       buckets=(1, 2, 4, 8, 16, 32, 64, 128)).observe(
-            len(batch))
-        with obs.span("serve_batch", size=len(batch)):
+            len(live))
+        with obs.span("serve_batch", size=len(live)):
             results = await asyncio.gather(
                 *(loop.run_in_executor(self._executor, self._worker, item)
-                  for item, _future in batch),
+                  for item, _future, _d in live),
                 return_exceptions=True)
-        for (_item, future), result in zip(batch, results):
+        for (_item, future, _d), result in zip(live, results):
             if future.done():
                 continue
             if isinstance(result, BaseException):
@@ -123,11 +214,11 @@ class BatchQueue:
                 future.set_result(result)
         if self._on_batch is not None:
             try:
-                self._on_batch([item for item, _ in batch], list(results),
+                self._on_batch([item for item, _f, _d in live], list(results),
                                time.perf_counter() - started)
             except Exception:
                 # manifest stamping must never take a batch down with it
                 obs.counter("repro_serve_batch_hook_errors_total").inc()
 
 
-__all__ = ["BatchQueue", "BatchHook"]
+__all__ = ["BatchQueue", "BatchHook", "ShedHook"]

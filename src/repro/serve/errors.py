@@ -42,10 +42,28 @@ class PayloadTooLargeError(ServeError):
     http_status = 413
 
 
+class OverloadedError(ServeError):
+    """The server is shedding load: the compute queue is at
+    ``ServeOptions.queue_max``, or the server is draining for shutdown.
+    Transient by design — the response carries ``Retry-After``."""
+
+    http_status = 503
+
+
+class DeadlineExceededError(ServeError):
+    """The request's ``ServeOptions.request_deadline_ms`` budget expired
+    before a result was ready (including work shed from the batch queue
+    because its deadline passed while queued)."""
+
+    http_status = 504
+
+
 __all__ = [
     "ServeError",
     "ProtocolError",
     "UnknownRouteError",
     "MethodNotAllowedError",
     "PayloadTooLargeError",
+    "OverloadedError",
+    "DeadlineExceededError",
 ]

@@ -75,6 +75,11 @@ class ServeOptions:
     advise_budget_cap: int = 16          # per-request advisor budget ceiling
     campaign_point_cap: int = 512        # max points one /campaign may expand
     campaign_shard_cap: int = 8          # max shards= fan-out per /campaign
+    request_deadline_ms: float = 0.0     # per-request budget; 0 = unlimited
+    queue_max: int = 1024                # pending-compute ceiling (503 above)
+    retry_after_s: float = 1.0           # Retry-After hint on 503/504
+    compute_retries: int = 2             # transient compute-failure retries
+    drain_timeout_s: float = 10.0        # graceful-stop drain budget
 
     def __post_init__(self) -> None:
         def positive_int(name: str, value: Any, minimum: int = 1) -> None:
@@ -117,6 +122,31 @@ class ServeOptions:
         positive_int("advise_budget_cap", self.advise_budget_cap)
         positive_int("campaign_point_cap", self.campaign_point_cap)
         positive_int("campaign_shard_cap", self.campaign_shard_cap)
+
+        def finite_number(name: str, value: Any, *,
+                          minimum: float = 0.0) -> None:
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)) \
+                    or not isfinite(value) or value < minimum:
+                raise ServeError(
+                    f"ServeOptions.{name} must be a finite number "
+                    f">= {minimum}, got {value!r}")
+
+        finite_number("request_deadline_ms", self.request_deadline_ms)
+        positive_int("queue_max", self.queue_max)
+        if isinstance(self.retry_after_s, bool) \
+                or not isinstance(self.retry_after_s, (int, float)) \
+                or not isfinite(self.retry_after_s) or self.retry_after_s <= 0:
+            raise ServeError(
+                f"ServeOptions.retry_after_s must be a finite number > 0, "
+                f"got {self.retry_after_s!r}")
+        if isinstance(self.compute_retries, bool) \
+                or not isinstance(self.compute_retries, int) \
+                or self.compute_retries < 0:
+            raise ServeError(
+                f"ServeOptions.compute_retries must be an int >= 0, "
+                f"got {self.compute_retries!r}")
+        finite_number("drain_timeout_s", self.drain_timeout_s)
 
 
 # ---------------------------------------------------------------------------

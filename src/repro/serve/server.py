@@ -25,6 +25,8 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from math import ceil
 from typing import Optional, Tuple
 
 from .. import obs
@@ -45,6 +47,8 @@ _STATUS_LINES = {
     405: b"HTTP/1.1 405 Method Not Allowed\r\n",
     413: b"HTTP/1.1 413 Payload Too Large\r\n",
     500: b"HTTP/1.1 500 Internal Server Error\r\n",
+    503: b"HTTP/1.1 503 Service Unavailable\r\n",
+    504: b"HTTP/1.1 504 Gateway Timeout\r\n",
 }
 
 _JSON = b"application/json"
@@ -55,11 +59,16 @@ MAX_HEADER_BYTES = 65536
 
 
 def _response(status: int, body: bytes,
-              content_type: bytes = _JSON, close: bool = False) -> bytes:
+              content_type: bytes = _JSON, close: bool = False,
+              retry_after: Optional[float] = None) -> bytes:
+    retry_header = b"" if retry_after is None else \
+        b"Retry-After: " + str(max(1, ceil(retry_after))).encode("ascii") \
+        + b"\r\n"
     return b"".join((
         _STATUS_LINES.get(status, _STATUS_LINES[500]),
         b"Content-Type: ", content_type, b"\r\n",
         b"Content-Length: ", str(len(body)).encode("ascii"), b"\r\n",
+        retry_header,
         b"Connection: close\r\n" if close else b"Connection: keep-alive\r\n",
         b"\r\n",
         body,
@@ -82,9 +91,15 @@ class ReproServer:
     async def start(self) -> Tuple[str, int]:
         """Bind, start the service machinery, and return (host, port)."""
         await self.service.start()
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.options.host, self.options.port,
-            limit=MAX_HEADER_BYTES)
+        try:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.options.host, self.options.port,
+                limit=MAX_HEADER_BYTES)
+        except BaseException:
+            # unwind: a failed bind must not leak the service's collector
+            # task into a loop that is about to close
+            await self.service.stop()
+            raise
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
         return self.host, self.port
@@ -152,7 +167,8 @@ class ReproServer:
                     f"{self.options.max_body_bytes}-byte limit")
             body = await reader.readexactly(length) if length else b""
             keep_alive = headers.get("connection", "").lower() != "close"
-            status, payload = await self._dispatch(method, route, body)
+            status, payload = await self._dispatch(
+                method, route, body, self.service.request_deadline())
             return keep_alive, _response(
                 status, payload,
                 _TEXT if route == "/metrics" else _JSON,
@@ -161,9 +177,13 @@ class ReproServer:
             return False, b""
         except ServeError as exc:
             status = exc.http_status
+            # 503/504 are transient by contract: tell the client when to
+            # come back (the shielded computation is warming the cache)
+            retry_after = self.options.retry_after_s \
+                if status in (503, 504) else None
             return False, _response(
                 status, _encode({"error": str(exc), "status": status}),
-                close=True)
+                close=True, retry_after=retry_after)
         except Exception as exc:
             status = 500
             obs.counter("repro_serve_internal_errors_total",
@@ -179,19 +199,20 @@ class ReproServer:
                           route=route).observe(
                 (time.perf_counter() - started) * 1e6)
 
-    async def _dispatch(self, method: str, route: str,
-                        body: bytes) -> Tuple[int, bytes]:
+    async def _dispatch(self, method: str, route: str, body: bytes,
+                        deadline: Optional[float] = None
+                        ) -> Tuple[int, bytes]:
         if route == "/predict":
             _require(method, "POST", route)
-            payload, tier = await self.service.handle_predict(body)
+            payload, tier = await self.service.handle_predict(body, deadline)
             return 200, _with_tier(payload, tier)
         if route == "/advise":
             _require(method, "POST", route)
-            payload, tier = await self.service.handle_advise(body)
+            payload, tier = await self.service.handle_advise(body, deadline)
             return 200, _with_tier(payload, tier)
         if route == "/campaign":
             _require(method, "POST", route)
-            payload, tier = await self.service.handle_campaign(body)
+            payload, tier = await self.service.handle_campaign(body, deadline)
             return 200, _with_tier(payload, tier)
         if route == "/metrics":
             _require(method, "GET", route)
@@ -277,14 +298,31 @@ class ServerThread:
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
+    #: how long __enter__/__exit__ wait before giving up with a ServeError
+    STARTUP_TIMEOUT_S = 30.0
+    SHUTDOWN_TIMEOUT_S = 30.0
+
+    def _thread_state(self) -> str:
+        """One-line diagnosis of the server thread, for timeout errors."""
+        thread = self._thread
+        if thread is None:
+            return "thread never started"
+        return (f"thread {thread.name!r} "
+                f"{'alive' if thread.is_alive() else 'dead'}, "
+                f"loop {'running' if self._loop is not None and self._loop.is_running() else 'not running'}, "
+                f"bound to {self.server.host}:{self.server.port}")
+
     def __enter__(self) -> Tuple[str, int]:
         self._thread = threading.Thread(target=self._run,
                                         name="repro-serve", daemon=True)
         self._thread.start()
-        if not self._ready.wait(timeout=30):
-            raise RuntimeError("repro.serve server thread failed to start")
+        if not self._ready.wait(timeout=self.STARTUP_TIMEOUT_S):
+            raise ServeError(
+                f"repro.serve server thread did not become ready within "
+                f"{self.STARTUP_TIMEOUT_S:g}s ({self._thread_state()})")
         if self._startup_error is not None:
-            raise RuntimeError("repro.serve server failed to start") \
+            raise ServeError("repro.serve server failed to start "
+                             f"({self._thread_state()})") \
                 from self._startup_error
         assert self.server.host is not None and self.server.port is not None
         return self.server.host, self.server.port
@@ -292,11 +330,24 @@ class ServerThread:
     def __exit__(self, *exc_info) -> None:
         loop = self._loop
         if loop is not None and loop.is_running():
-            asyncio.run_coroutine_threadsafe(
-                self.server.stop(), loop).result(timeout=30)
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(), loop)
+            try:
+                future.result(timeout=self.SHUTDOWN_TIMEOUT_S)
+            except (TimeoutError, FutureTimeoutError):
+                future.cancel()
+                raise ServeError(
+                    f"repro.serve server did not stop within "
+                    f"{self.SHUTDOWN_TIMEOUT_S:g}s — a drain or in-flight "
+                    f"request is stuck ({self._thread_state()})") from None
             loop.call_soon_threadsafe(loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=30)
+            self._thread.join(timeout=self.SHUTDOWN_TIMEOUT_S)
+            if self._thread.is_alive():
+                raise ServeError(
+                    f"repro.serve server thread did not exit within "
+                    f"{self.SHUTDOWN_TIMEOUT_S:g}s of loop stop "
+                    f"({self._thread_state()})")
 
     def _run(self) -> None:
         loop = asyncio.new_event_loop()

@@ -19,6 +19,16 @@ directly).  Every request resolves through the same path:
 Each dispatched cache-miss batch stamps a ``repro.obs`` manifest next to
 the store (``<store>.serve-manifest.json``) so a live server leaves the
 same flight-recorder trail campaigns do.
+
+The service is also where the resilience knobs land (see
+``docs/resilience.md``): every request gets a monotonic **deadline**
+derived from ``ServeOptions.request_deadline_ms`` (504 when it expires —
+the underlying computation is shielded and still completes, warming the
+cache for the retry), the batch queue **sheds** above
+``ServeOptions.queue_max`` (503 with ``Retry-After``), transient compute
+failures are retried through :func:`repro.faults.retry_call`, and
+:meth:`~PredictionService.health_payload` reports ``degraded`` while the
+server is under recent pressure.
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ from typing import Any, List, Mapping, Optional, Tuple
 import shutil
 import tempfile
 
-from .. import obs
+from .. import faults, obs
 from ..advisor.search import advise
 from ..explore.campaign import evaluate_point, run_campaign
 from ..explore.sharding import run_sharded_campaign
@@ -41,7 +51,7 @@ from ..explore.space import ScenarioSpace
 from ..explore.store import ResultStore, ScenarioResult
 from .batching import BatchQueue
 from .cache import ResponseCache
-from .errors import ProtocolError, ServeError
+from .errors import DeadlineExceededError, ProtocolError, ServeError
 from .protocol import (
     AdviseRequest,
     CampaignRequest,
@@ -100,11 +110,18 @@ class PredictionService:
             executor=self.executor,
             batch_max=self.options.batch_max,
             batch_window_s=self.options.batch_window_ms / 1000.0,
+            queue_max=self.options.queue_max,
             on_batch=self._stamp_batch_manifest,
+            on_shed=self._note_pressure,
         )
         self.started_monotonic: Optional[float] = None
         self.last_manifest = None
         self._batch_seq = 0
+        self.deadline_exceeded_total = 0
+        self._last_pressure: Optional[float] = None  # monotonic stamp
+
+    #: how long after the last shed/timeout ``/healthz`` reports degraded
+    PRESSURE_WINDOW_S = 30.0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -115,12 +132,58 @@ class PredictionService:
         self.started_monotonic = time.monotonic()
 
     async def stop(self) -> None:
-        await self.batches.stop()
+        """Graceful stop: drain accepted work, then shut the pool down.
+
+        New submissions are shed with 503 from the moment this is
+        called; work already in the batch queue gets
+        ``ServeOptions.drain_timeout_s`` seconds to finish.
+        """
+        await self.batches.stop(
+            drain=True, drain_timeout_s=self.options.drain_timeout_s)
         self.executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- deadlines ----------------------------------------------------------
+
+    def request_deadline(self) -> Optional[float]:
+        """Absolute ``time.monotonic()`` budget for one request, or None."""
+        ms = self.options.request_deadline_ms
+        return None if ms <= 0 else time.monotonic() + ms / 1000.0
+
+    def _note_pressure(self, _reason: str = "") -> None:
+        self._last_pressure = time.monotonic()
+
+    async def _resolve(self, key: str, compute,
+                       deadline: Optional[float]) -> Tuple[bytes, str]:
+        """Await the single-flight computation under *deadline*.
+
+        The underlying flight is shielded: a 504 abandons the *wait*,
+        not the *work* — the computation completes, lands in the cache,
+        and the client's retry hits it.  (Joiners share the first
+        caller's flight; each still times out on its own deadline.)
+        """
+        task = asyncio.ensure_future(self.flight.run(key, compute))
+        if deadline is None:
+            return await task
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(task), max(deadline - time.monotonic(), 0.0))
+        except asyncio.TimeoutError:
+            self.deadline_exceeded_total += 1
+            obs.counter("repro_serve_deadline_exceeded_total").inc()
+            self._note_pressure("deadline")
+            # the shielded flight keeps running; keep its eventual failure
+            # (if any) from surfacing as an "exception never retrieved"
+            task.add_done_callback(
+                lambda t: t.cancelled() or t.exception())
+            raise DeadlineExceededError(
+                f"request exceeded its "
+                f"{self.options.request_deadline_ms:g} ms deadline") from None
 
     # -- /predict -----------------------------------------------------------
 
-    async def handle_predict(self, body: bytes) -> Tuple[bytes, str]:
+    async def handle_predict(self, body: bytes,
+                             deadline: Optional[float] = None
+                             ) -> Tuple[bytes, str]:
         """Resolve one predict request; returns (payload bytes, tier)."""
         request: Optional[PredictRequest] = None
         key = self.cache.key_for_body(body)
@@ -152,18 +215,29 @@ class PredictionService:
                     return data, "store"
                 obs.counter("repro_serve_cache_misses_total",
                             tier="store").inc()
-            data = _encode(await self.batches.submit(req))
+            data = _encode(await self.batches.submit(req, deadline))
             self.cache.put(key, data)
             return data, "computed"
 
-        return await self.flight.run(key, compute)
+        return await self._resolve(key, compute, deadline)
 
     def _compute_predict(self, req: PredictRequest) -> Mapping:
         """Worker-thread body: one fresh prediction through the campaign
-        worker (two-stage compile/price caches apply underneath)."""
+        worker (two-stage compile/price caches apply underneath).
+
+        The ``serve.compute`` injection site fires here, and transient
+        failures (injected or real ``OSError``) are retried up to
+        ``ServeOptions.compute_retries`` times before the request fails.
+        """
         obs.counter("repro_serve_computes_total", kind="predict").inc()
-        result = evaluate_point(req.point, mode="predict",
-                                program=req.program)
+
+        def _evaluate() -> ScenarioResult:
+            faults.fire("serve.compute", app=req.point.app)
+            return evaluate_point(req.point, mode="predict",
+                                  program=req.program)
+
+        result = faults.retry_call(_evaluate, site="serve.compute",
+                                   retries=self.options.compute_retries)
         if self.store is not None:
             self.store.add(result)
         return self._predict_payload(result)
@@ -182,7 +256,9 @@ class PredictionService:
 
     # -- /advise ------------------------------------------------------------
 
-    async def handle_advise(self, body: bytes) -> Tuple[bytes, str]:
+    async def handle_advise(self, body: bytes,
+                            deadline: Optional[float] = None
+                            ) -> Tuple[bytes, str]:
         request = AdviseRequest.from_payload(
             _parse_json(body, "/advise"), self.options)
         cached = self.cache.get(request.key)
@@ -195,7 +271,7 @@ class PredictionService:
             self.cache.put(request.key, data)
             return data, "computed"
 
-        return await self.flight.run(request.key, compute)
+        return await self._resolve(request.key, compute, deadline)
 
     def _compute_advise(self, req: AdviseRequest) -> Mapping:
         obs.counter("repro_serve_computes_total", kind="advise").inc()
@@ -223,7 +299,9 @@ class PredictionService:
 
     # -- /campaign ----------------------------------------------------------
 
-    async def handle_campaign(self, body: bytes) -> Tuple[bytes, str]:
+    async def handle_campaign(self, body: bytes,
+                              deadline: Optional[float] = None
+                              ) -> Tuple[bytes, str]:
         request = CampaignRequest.from_payload(
             _parse_json(body, "/campaign"), self.options)
         cached = self.cache.get(request.key)
@@ -247,7 +325,7 @@ class PredictionService:
             self.cache.put(request.key, data)
             return data, "computed"
 
-        return await self.flight.run(request.key, compute)
+        return await self._resolve(request.key, compute, deadline)
 
     def _compute_campaign(self, req: CampaignRequest,
                           space: ScenarioSpace) -> Mapping:
@@ -304,11 +382,22 @@ class PredictionService:
         return obs.prometheus_text(obs.get_registry())
 
     def health_payload(self) -> Mapping:
+        """``/healthz`` body — ``status`` is ``ok`` or ``degraded``.
+
+        Degraded means the server is still answering but under pressure:
+        the batch queue is currently full, or work was shed / a deadline
+        expired within the last :data:`PRESSURE_WINDOW_S` seconds.
+        """
         from .. import __version__
         uptime = 0.0 if self.started_monotonic is None \
             else time.monotonic() - self.started_monotonic
+        queue_depth = self.batches.queue_depth
+        degraded = queue_depth >= self.options.queue_max or (
+            self._last_pressure is not None
+            and time.monotonic() - self._last_pressure
+            < self.PRESSURE_WINDOW_S)
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "version": __version__,
             "uptime_s": round(uptime, 3),
             "cache_entries": len(self.cache),
@@ -316,6 +405,15 @@ class PredictionService:
             else None,
             "in_flight": self.flight.in_flight(),
             "batches_dispatched": self.batches.batches_dispatched,
+            "resilience": {
+                "queue_depth": queue_depth,
+                "queue_max": self.options.queue_max,
+                "shed_total": self.batches.shed_total,
+                "deadline_expired_total": self.batches.expired_total
+                + self.deadline_exceeded_total,
+                "retry_total": faults.retry_total(),
+                "faults_active": faults.enabled(),
+            },
         }
 
     # -- batch manifests ----------------------------------------------------

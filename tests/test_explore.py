@@ -26,6 +26,7 @@ from repro.explore import (
     laplace_design_space,
     pareto_frontier,
     pareto_table,
+    quarantine_path_for,
     run_campaign,
     scenario_key,
 )
@@ -221,14 +222,38 @@ class TestResultStore:
         assert reloaded.get_point(small_result(nprocs=2).point, "predict")
         assert reloaded.get_point(small_result(nprocs=4).point, "predict")
 
-    def test_corrupt_mid_file_rejected(self, tmp_path):
+    def test_corrupt_mid_file_quarantined_and_compacted(self, tmp_path):
+        # a bad *mid-file* line (not a torn tail) must not poison the store:
+        # it is moved verbatim to the quarantine sidecar, the main file is
+        # compacted, and every good record survives
         path = tmp_path / "store.jsonl"
         store = ResultStore(path)
         with open(path, "a", encoding="utf-8") as fh:
             fh.write("not json\n")
         store.add(small_result())
-        with pytest.raises(StoreError):
-            ResultStore(path)
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get_point(small_result().point, "predict")
+        sidecar = quarantine_path_for(path)
+        assert open(sidecar).read() == "not json\n"
+        # the compacted file is clean: loading again quarantines nothing new
+        again = ResultStore(path)
+        assert len(again) == 1
+        assert open(sidecar).read() == "not json\n"
+        assert "not json" not in open(path).read()
+
+    def test_json_but_not_a_record_is_quarantined(self, tmp_path):
+        # structurally valid JSON that is not a result record (missing
+        # scenario) is just as poisonous and goes the same way
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add(small_result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "not-a-record"}\n')
+        store.add(small_result(nprocs=4))
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert '"not-a-record"' in open(quarantine_path_for(path)).read()
 
     def test_schema_version_rejected(self, tmp_path):
         path = tmp_path / "store.jsonl"

@@ -1,6 +1,7 @@
 """Sharded campaigns: partition properties, checkpoint schema, fault
-injection (SIGKILL mid-shard + checkpointed resume), multi-fidelity
-successive halving, and the UCB bandit strategy."""
+injection (planned SIGKILL/torn-write mid-shard + checkpointed resume,
+via :mod:`repro.faults`), watchdog respawn, multi-fidelity successive
+halving, and the UCB bandit strategy."""
 
 import json
 import os
@@ -8,7 +9,7 @@ import random
 
 import pytest
 
-from repro import obs
+from repro import faults, obs
 from repro.explore import (
     CHECKPOINT_SCHEMA_VERSION,
     CampaignCheckpoint,
@@ -19,7 +20,6 @@ from repro.explore import (
     ScenarioError,
     ScenarioSpace,
     ShardCheckpoint,
-    ShardFault,
     checkpoint_path_for,
     partition_key,
     partition_points,
@@ -42,9 +42,11 @@ from repro.explore.checkpoint import (
 def quiet_obs():
     obs.disable()
     obs.reset()
+    faults.clear()
     yield
     obs.disable()
     obs.reset()
+    faults.clear()
 
 
 def small_space() -> ScenarioSpace:
@@ -255,10 +257,14 @@ class TestValidation:
     def test_interrupted_resume_refuses_a_different_geometry(self, tmp_path):
         store = str(tmp_path / "s.jsonl")
         space = small_space()
-        fault = ShardFault(shard=0, chunk=0, keep_records=0)
+        # kill shard 0's worker at the top of its first chunk
+        faults.install(faults.FaultPlan(actions=(
+            faults.FaultAction(site="shard.chunk", action="crash", index=0,
+                               match={"shard": "0"}),)))
         with pytest.raises(CampaignInterrupted):
             run_sharded_campaign(space, shards=2, store=store,
-                                 chunk_size=2, _inject_fault=fault)
+                                 chunk_size=2, max_restarts=0)
+        faults.clear()
         # an *interrupted* campaign's segments are keyed to its geometry:
         # resuming with a different shard count or chunk size is refused
         with pytest.raises(CheckpointError, match="shards"):
@@ -290,11 +296,14 @@ class TestValidation:
 
 # ---------------------------------------------------------------------------
 # fault injection: SIGKILL a worker mid-shard, resume, byte-identity
+# (planned through the repro.faults API; the plan rides the fork)
 # ---------------------------------------------------------------------------
 
 
 class TestFaultInjection:
     CHUNK = 2
+    #: planned death mid-chunk-1, after one record of it was committed
+    KEEP_RECORDS = 1
 
     def fault_setup(self):
         """A space plus the shard/chunk layout the fault will hit."""
@@ -306,14 +315,26 @@ class TestFaultInjection:
         assert len(parts[shard]) > 2 * self.CHUNK, "space too small for test"
         return space, points, parts, shard
 
+    def kill_plan(self, store, shard, action="crash"):
+        """Die at the victim shard's segment append number ``CHUNK + KEEP``:
+        chunk 0 commits ``CHUNK`` records, then ``KEEP_RECORDS`` of chunk 1
+        land before the worker dies mid-chunk."""
+        return faults.FaultPlan(actions=(
+            faults.FaultAction(
+                site="store.append", action=action,
+                index=self.CHUNK + self.KEEP_RECORDS,
+                match={"store": os.path.basename(segment_path(store,
+                                                              shard))}),))
+
     def test_sigkill_resume_recomputes_at_most_one_chunk(self, tmp_path):
         space, points, parts, shard = self.fault_setup()
         store = str(tmp_path / "campaign.jsonl")
-        fault = ShardFault(shard=shard, chunk=1, keep_records=1)
+        faults.install(self.kill_plan(store, shard))
 
         with pytest.raises(CampaignInterrupted) as err:
             run_sharded_campaign(space, shards=2, chunk_size=self.CHUNK,
-                                 store=store, _inject_fault=fault)
+                                 store=store, max_restarts=0)
+        faults.clear()
         assert err.value.failed and err.value.failed[0][0] == shard
         assert os.path.exists(err.value.checkpoint_path)
 
@@ -332,7 +353,7 @@ class TestFaultInjection:
                                    store=store)
         assert run.resumed
         outcome = run.per_shard[shard]
-        committed = self.CHUNK + fault.keep_records  # chunk 0 + kept records
+        committed = self.CHUNK + self.KEEP_RECORDS  # chunk 0 + kept records
         assert outcome.store_hits == committed
         assert outcome.fresh_evaluations == len(parts[shard]) - committed
         # the surviving shard was never re-run
@@ -350,11 +371,11 @@ class TestFaultInjection:
         run_sharded_campaign(space, shards=2, chunk_size=self.CHUNK,
                              store=clean)
         torn = str(tmp_path / "torn" / "campaign.jsonl")
+        faults.install(self.kill_plan(torn, shard, action="torn_write"))
         with pytest.raises(CampaignInterrupted):
-            run_sharded_campaign(
-                space, shards=2, chunk_size=self.CHUNK, store=torn,
-                _inject_fault=ShardFault(shard=shard, chunk=1,
-                                         keep_records=1, tear=True))
+            run_sharded_campaign(space, shards=2, chunk_size=self.CHUNK,
+                                 store=torn, max_restarts=0)
+        faults.clear()
         # the torn segment really is torn (no trailing newline on a fragment)
         seg_bytes = open(segment_path(torn, shard), "rb").read()
         assert not seg_bytes.endswith(b"\n")
@@ -362,6 +383,50 @@ class TestFaultInjection:
                                    store=torn)
         assert open(clean, "rb").read() == open(torn, "rb").read()
         assert run.merge_diff.drifted == []
+
+    def test_crash_respawn_completes_without_interruption(self, tmp_path):
+        """With a restart budget and a shared fire-once ledger, a planned
+        worker death is absorbed: the watchdog respawns the shard, the
+        respawn resumes from the segment, and the campaign finishes."""
+        space, points, _parts, shard = self.fault_setup()
+        store = str(tmp_path / "campaign.jsonl")
+        ledger = str(tmp_path / "faults.ledger")
+        plan = self.kill_plan(store, shard)
+        faults.install(faults.FaultPlan(actions=plan.actions, ledger=ledger))
+        run = run_sharded_campaign(space, shards=2, chunk_size=self.CHUNK,
+                                   store=store, max_restarts=2)
+        assert len(run.results) == len(points)
+        assert run.per_shard[shard].restarts == 1
+        assert run.per_shard[1 - shard].restarts == 0
+        assert run.merge_diff.drifted == []
+        assert len(faults.fired()) == 1              # the ledger remembers
+
+    def test_poison_chunk_quarantined_after_restart_budget(self, tmp_path):
+        """A shard that dies at the same chunk through its whole restart
+        budget gets that chunk quarantined to a sidecar instead of the
+        coordinator looping forever."""
+        space, _points, _parts, shard = self.fault_setup()
+        store = str(tmp_path / "campaign.jsonl")
+        # no ledger and index=None: *every* spawn of this shard's worker
+        # crashes at its first chunk — a deterministic poison chunk
+        faults.install(faults.FaultPlan(actions=(
+            faults.FaultAction(site="shard.chunk", action="crash",
+                               match={"shard": str(shard)}),)))
+        with pytest.raises(CampaignInterrupted) as err:
+            run_sharded_campaign(space, shards=2, chunk_size=self.CHUNK,
+                                 store=store, max_restarts=1)
+        faults.clear()
+        reason = dict(err.value.failed)[shard]
+        assert "quarantined" in reason
+        sidecar = os.path.splitext(segment_path(store, shard))[0] \
+            + ".quarantine.json"
+        assert os.path.exists(sidecar)
+        payload = json.load(open(sidecar))
+        assert payload["format"] == "repro-poison-chunk"
+        assert payload["shard"] == shard
+        assert payload["chunk"] == 0
+        assert payload["failures"] == 2              # initial death + respawn
+        assert payload["points"]                     # names the poison
 
     def test_rerun_after_merge_is_pure_store_hits(self, tmp_path):
         space = small_space()
